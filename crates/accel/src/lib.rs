@@ -1,0 +1,41 @@
+//! # beacon-accel — near-data-processing building blocks and baselines
+//!
+//! The pieces every NDP accelerator in this repository is assembled from:
+//!
+//! * [`task`] — the NDP module's task machinery: multi-context PEs, the
+//!   Task Scheduler with its incoming/out-going queues (paper Fig. 5 b ④)
+//!   and access tokens for matching returned data to blocked tasks,
+//! * [`translate`] — the Address Translator abstraction (paper Fig. 5 b
+//!   ③): mapping a kernel's logical `(region, offset)` accesses onto
+//!   physical `(node, DIMM coordinate)` locations,
+//! * [`cpu_model`] — the analytical 48-thread CPU baseline the paper
+//!   normalises against, and
+//! * [`medal`] / [`nest`] — the prior DDR-DIMM accelerators (MEDAL for
+//!   DNA seeding, NEST for k-mer counting) used as hardware baselines,
+//!   complete with their shared-memory-channel communication bottleneck.
+//!
+//! The BEACON systems themselves (BEACON-D / BEACON-S) live in
+//! `beacon-core` and are wired from the same parts.
+
+#![warn(missing_docs)]
+
+pub mod cpu_model;
+pub mod medal;
+pub mod nest;
+pub mod pending;
+pub mod result;
+pub mod server;
+pub mod task;
+pub mod translate;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::cpu_model::{CpuModel, CpuRun, WorkloadSummary};
+    pub use crate::medal::{Medal, MedalConfig, RegionSpec};
+    pub use crate::nest::{Nest, NestConfig};
+    pub use crate::pending::PendingTable;
+    pub use crate::result::RunResult;
+    pub use crate::server::{DimmServer, ServiceOp};
+    pub use crate::task::{AccessToken, IssuedAccess, TaskEngine, TaskId};
+    pub use crate::translate::{PhysSegment, Placement, RegionMap};
+}

@@ -1,0 +1,157 @@
+//! Requester-side aggregation of multi-segment accesses.
+//!
+//! The address translator may split one logical access into several
+//! physical segments (stripe or interleave boundaries). The issuing task
+//! must only resume when *all* segments have returned; a [`PendingTable`]
+//! tracks that fan-in and hands back the original [`AccessToken`] when
+//! the last segment lands.
+
+use crate::task::AccessToken;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    token: AccessToken,
+    remaining: u32,
+    blocking: bool,
+    in_use: bool,
+}
+
+/// Slab of in-flight logical accesses awaiting their segments.
+#[derive(Debug, Clone, Default)]
+pub struct PendingTable {
+    entries: Vec<Entry>,
+    free: Vec<u32>,
+    peak: usize,
+}
+
+impl PendingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        PendingTable::default()
+    }
+
+    /// Registers an access split into `segments` pieces; returns the slab
+    /// id to carry on every segment.
+    ///
+    /// # Panics
+    /// Panics when `segments` is zero.
+    pub fn alloc(&mut self, token: AccessToken, segments: u32, blocking: bool) -> u64 {
+        assert!(segments > 0, "access with zero segments");
+        let entry = Entry {
+            token,
+            remaining: segments,
+            blocking,
+            in_use: true,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.entries[i as usize] = entry;
+                i
+            }
+            None => {
+                self.entries.push(entry);
+                (self.entries.len() - 1) as u32
+            }
+        };
+        self.peak = self.peak.max(self.in_flight());
+        idx as u64
+    }
+
+    /// Records the completion of one segment of access `id`. Returns
+    /// `Some((token, blocking))` when this was the last segment.
+    ///
+    /// # Panics
+    /// Panics when `id` is not an in-flight access.
+    pub fn complete_one(&mut self, id: u64) -> Option<(AccessToken, bool)> {
+        let e = &mut self.entries[id as usize];
+        assert!(e.in_use, "completion for idle pending slot {id}");
+        debug_assert!(e.remaining > 0);
+        e.remaining -= 1;
+        if e.remaining == 0 {
+            e.in_use = false;
+            self.free.push(id as u32);
+            Some((e.token, e.blocking))
+        } else {
+            None
+        }
+    }
+
+    /// Accesses currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.entries.len() - self.free.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight() == 0
+    }
+
+    /// Largest number of simultaneously in-flight accesses observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+
+    fn token(t: u32) -> AccessToken {
+        AccessToken {
+            task: TaskId(t),
+            step: 0,
+            idx: 0,
+        }
+    }
+
+    #[test]
+    fn single_segment_completes_immediately() {
+        let mut p = PendingTable::new();
+        let id = p.alloc(token(1), 1, true);
+        let (tok, blocking) = p.complete_one(id).expect("last segment");
+        assert_eq!(tok.task, TaskId(1));
+        assert!(blocking);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn multi_segment_waits_for_all() {
+        let mut p = PendingTable::new();
+        let id = p.alloc(token(2), 3, false);
+        assert!(p.complete_one(id).is_none());
+        assert!(p.complete_one(id).is_none());
+        let (tok, blocking) = p.complete_one(id).unwrap();
+        assert_eq!(tok.task, TaskId(2));
+        assert!(!blocking);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut p = PendingTable::new();
+        let a = p.alloc(token(1), 1, true);
+        p.complete_one(a);
+        let b = p.alloc(token(2), 1, true);
+        assert_eq!(a, b, "freed slot should be reused");
+        assert_eq!(p.peak(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle pending slot")]
+    fn double_completion_panics() {
+        let mut p = PendingTable::new();
+        let id = p.alloc(token(1), 1, true);
+        p.complete_one(id);
+        p.complete_one(id);
+    }
+
+    #[test]
+    fn in_flight_counts() {
+        let mut p = PendingTable::new();
+        let a = p.alloc(token(1), 2, true);
+        let _b = p.alloc(token(2), 1, true);
+        assert_eq!(p.in_flight(), 2);
+        p.complete_one(a);
+        assert_eq!(p.in_flight(), 2, "partial completion keeps slot");
+    }
+}

@@ -1,0 +1,95 @@
+//! Raw measurement bundle of one accelerator run.
+//!
+//! Systems (MEDAL, NEST, BEACON-D/S) produce a [`RunResult`]; the energy
+//! model in `beacon-core` turns the counters into joules and the
+//! experiment drivers into figures.
+
+use beacon_sim::stats::{Histogram, Stats};
+use serde::{Deserialize, Serialize};
+
+/// Counters and outcomes of one full system run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Cycles until the workload drained.
+    pub cycles: u64,
+    /// Tasks completed.
+    pub tasks: usize,
+    /// Merged DRAM counters of every DIMM (`dram.*`).
+    pub dram: Stats,
+    /// Merged communication counters of every link/switch (`cxl.*`,
+    /// `switch.*`).
+    pub comm: Stats,
+    /// Merged engine/server counters (`engine.*`, `server.*`).
+    pub engine: Stats,
+    /// Integral of busy-PE count over time.
+    pub pe_busy_cycles: u64,
+    /// Total DRAM chips in the system (background energy).
+    pub total_chips: u64,
+    /// Per-DIMM chip-access histograms (Fig. 13 data).
+    pub chip_histograms: Vec<Histogram>,
+}
+
+impl RunResult {
+    /// Tasks per kilocycle — the throughput figure used for speedups.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.tasks as f64 * 1000.0 / self.cycles as f64
+    }
+
+    /// Wall-clock seconds at a given tCK.
+    pub fn seconds(&self, tck_ps: u64) -> f64 {
+        self.cycles as f64 * tck_ps as f64 * 1e-12
+    }
+
+    /// Merged per-chip histogram across all DIMMs.
+    pub fn merged_chip_histogram(&self) -> Option<Histogram> {
+        let mut it = self.chip_histograms.iter();
+        let first = it.next()?;
+        let mut merged = first.clone();
+        for h in it {
+            if h.len() == merged.len() {
+                merged.merge(h);
+            }
+        }
+        Some(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_tasks_per_kilocycle() {
+        let r = RunResult {
+            cycles: 10_000,
+            tasks: 50,
+            dram: Stats::new(),
+            comm: Stats::new(),
+            engine: Stats::new(),
+            pe_busy_cycles: 0,
+            total_chips: 0,
+            chip_histograms: vec![],
+        };
+        assert_eq!(r.throughput(), 5.0);
+        assert!((r.seconds(1250) - 1.25e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_cycles_is_zero_throughput() {
+        let r = RunResult {
+            cycles: 0,
+            tasks: 50,
+            dram: Stats::new(),
+            comm: Stats::new(),
+            engine: Stats::new(),
+            pe_busy_cycles: 0,
+            total_chips: 0,
+            chip_histograms: vec![],
+        };
+        assert_eq!(r.throughput(), 0.0);
+        assert!(r.merged_chip_histogram().is_none());
+    }
+}

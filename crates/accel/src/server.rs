@@ -1,0 +1,288 @@
+//! `DimmServer`: executes memory service operations against one DIMM.
+//!
+//! Systems (MEDAL, NEST, BEACON-D/S) hand the server *service
+//! operations* — plain reads, writes and two-phase atomic RMWs — each
+//! identified by a caller-chosen `u64` service id. The server owns the
+//! [`Dimm`], queues operations when its controller is full, sequences the
+//! read and write phases of atomics (the Atomic Engine's job, paper
+//! Fig. 7) and reports completions.
+
+use std::collections::VecDeque;
+
+use beacon_sim::component::Tick;
+use beacon_sim::cycle::Cycle;
+use beacon_sim::stats::{Histogram, Stats};
+
+use beacon_dram::address::DramCoord;
+use beacon_dram::module::{Dimm, DimmConfig};
+use beacon_dram::request::{MemRequest, ReqKind};
+
+/// Kind of service operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceOp {
+    /// Read `bytes`.
+    Read,
+    /// Write `bytes`.
+    Write,
+    /// Atomic read-modify-write: a read phase, the arithmetic in the
+    /// atomic engine, then a write phase.
+    Rmw,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ServiceReq {
+    id: u64,
+    coord: DramCoord,
+    bytes: u32,
+    op: ServiceOp,
+}
+
+/// Tag discriminators on the DRAM request tags.
+const PHASE_SINGLE: u64 = 0 << 62;
+const PHASE_RMW_READ: u64 = 1 << 62;
+const PHASE_RMW_WRITE: u64 = 2 << 62;
+const PHASE_MASK: u64 = 0b11 << 62;
+
+/// One DIMM with its service front-end.
+#[derive(Debug, Clone)]
+pub struct DimmServer {
+    dimm: Dimm,
+    backlog: VecDeque<ServiceReq>,
+    /// Completions ready to hand back: `(service id, finish cycle)`.
+    done: Vec<(u64, Cycle)>,
+    /// Extra latency of the atomic engine's arithmetic between the RMW
+    /// read and write phases, in cycles (small ALU op).
+    rmw_alu_cycles: u64,
+    /// RMW operations between phases: `(ready_cycle, write request)`.
+    rmw_stage: VecDeque<(Cycle, ServiceReq)>,
+    stats: Stats,
+}
+
+impl DimmServer {
+    /// Creates a server over a fresh DIMM.
+    pub fn new(config: DimmConfig) -> Self {
+        DimmServer {
+            dimm: Dimm::new(config),
+            backlog: VecDeque::new(),
+            done: Vec::new(),
+            rmw_alu_cycles: 4,
+            rmw_stage: VecDeque::new(),
+            stats: Stats::new(),
+        }
+    }
+
+    /// Submits a service operation.
+    ///
+    /// # Panics
+    /// Panics when `id` uses the two reserved discriminator bits (ids
+    /// must stay below 2^62).
+    pub fn request(&mut self, id: u64, coord: DramCoord, bytes: u32, op: ServiceOp) {
+        assert_eq!(id & PHASE_MASK, 0, "service id too large");
+        self.backlog.push_back(ServiceReq {
+            id,
+            coord,
+            bytes,
+            op,
+        });
+    }
+
+    /// Backlogged operations not yet in the DRAM controller.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Completed service ids (drains the internal list).
+    pub fn drain_done(&mut self) -> Vec<(u64, Cycle)> {
+        std::mem::take(&mut self.done)
+    }
+
+    /// The underlying DIMM (stats, histograms).
+    pub fn dimm(&self) -> &Dimm {
+        &self.dimm
+    }
+
+    /// Server statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Per-chip access histogram of the DIMM.
+    pub fn chip_histogram(&self) -> &Histogram {
+        self.dimm.chip_histogram()
+    }
+
+    fn pump_backlog(&mut self) {
+        while let Some(req) = self.backlog.front().copied() {
+            if self.dimm.queue_free() == 0 {
+                break;
+            }
+            let (kind, tag) = match req.op {
+                ServiceOp::Read => (ReqKind::Read, PHASE_SINGLE | req.id),
+                ServiceOp::Write => (ReqKind::Write, PHASE_SINGLE | req.id),
+                ServiceOp::Rmw => (ReqKind::Read, PHASE_RMW_READ | req.id),
+            };
+            let mem = MemRequest {
+                kind,
+                coord: req.coord,
+                bytes: req.bytes,
+                tag,
+            };
+            match self.dimm.enqueue(mem) {
+                Ok(_) => {
+                    self.backlog.pop_front();
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn pump_rmw_stage(&mut self, now: Cycle) {
+        while let Some(&(ready, req)) = self.rmw_stage.front() {
+            if ready > now || self.dimm.queue_free() == 0 {
+                break;
+            }
+            let mem = MemRequest {
+                kind: ReqKind::Write,
+                coord: req.coord,
+                bytes: req.bytes,
+                tag: PHASE_RMW_WRITE | req.id,
+            };
+            match self.dimm.enqueue(mem) {
+                Ok(_) => {
+                    self.rmw_stage.pop_front();
+                }
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+impl Tick for DimmServer {
+    fn tick(&mut self, now: Cycle) {
+        self.pump_rmw_stage(now);
+        self.pump_backlog();
+        self.dimm.tick(now);
+        for c in self.dimm.drain_completed() {
+            let id = c.request.tag & !PHASE_MASK;
+            match c.request.tag & PHASE_MASK {
+                PHASE_SINGLE => {
+                    self.done.push((id, c.finished_at));
+                }
+                PHASE_RMW_READ => {
+                    // Atomic engine: arithmetic, then the write phase.
+                    self.stats.incr("server.atomic_ops");
+                    let ready = c.finished_at + beacon_sim::cycle::Duration::new(self.rmw_alu_cycles);
+                    self.rmw_stage.push_back((
+                        ready,
+                        ServiceReq {
+                            id,
+                            coord: c.request.coord,
+                            bytes: c.request.bytes,
+                            op: ServiceOp::Rmw,
+                        },
+                    ));
+                }
+                PHASE_RMW_WRITE => {
+                    self.done.push((id, c.finished_at));
+                }
+                _ => unreachable!("invalid phase bits"),
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.backlog.is_empty() && self.rmw_stage.is_empty() && self.dimm.is_idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beacon_dram::module::AccessMode;
+    use beacon_sim::engine::Engine;
+
+    fn server() -> DimmServer {
+        let mut cfg = DimmConfig::paper(AccessMode::PerChip);
+        cfg.refresh_enabled = false;
+        DimmServer::new(cfg)
+    }
+
+    fn coord(group: u32, row: u64) -> DramCoord {
+        DramCoord {
+            rank: 0,
+            group,
+            bank: 0,
+            row,
+            col: 0,
+        }
+    }
+
+    #[test]
+    fn read_completes_with_id() {
+        let mut s = server();
+        s.request(42, coord(0, 5), 32, ServiceOp::Read);
+        let mut e = Engine::new();
+        e.run(&mut s);
+        let done = s.drain_done();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, 42);
+    }
+
+    #[test]
+    fn rmw_is_read_then_write() {
+        let mut s = server();
+        s.request(7, coord(1, 9), 1, ServiceOp::Rmw);
+        let mut e = Engine::new();
+        e.run(&mut s);
+        let done = s.drain_done();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, 7);
+        assert_eq!(s.dimm().stats().get("dram.cmd.read"), 1);
+        assert_eq!(s.dimm().stats().get("dram.cmd.write"), 1);
+        assert_eq!(s.stats().get("server.atomic_ops"), 1);
+    }
+
+    #[test]
+    fn rmw_takes_longer_than_read() {
+        let mut sr = server();
+        sr.request(1, coord(0, 3), 4, ServiceOp::Read);
+        let mut e = Engine::new();
+        e.run(&mut sr);
+        let t_read = sr.drain_done()[0].1;
+
+        let mut sm = server();
+        sm.request(1, coord(0, 3), 4, ServiceOp::Rmw);
+        let mut e = Engine::new();
+        e.run(&mut sm);
+        let t_rmw = sm.drain_done()[0].1;
+        assert!(t_rmw > t_read);
+    }
+
+    #[test]
+    fn backlog_absorbs_bursts_beyond_queue_depth() {
+        let mut s = server();
+        for i in 0..200 {
+            s.request(i, coord((i % 16) as u32, i), 4, ServiceOp::Read);
+        }
+        assert!(s.backlog_len() > 0);
+        let mut e = Engine::new();
+        e.run(&mut s);
+        assert_eq!(s.drain_done().len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "service id too large")]
+    fn oversized_id_panics() {
+        let mut s = server();
+        s.request(1 << 62, coord(0, 0), 4, ServiceOp::Read);
+    }
+
+    #[test]
+    fn writes_complete_too() {
+        let mut s = server();
+        s.request(9, coord(2, 4), 8, ServiceOp::Write);
+        let mut e = Engine::new();
+        e.run(&mut s);
+        assert_eq!(s.drain_done()[0].0, 9);
+    }
+}

@@ -1,0 +1,532 @@
+//! The NDP module's task machinery: PEs and the Task Scheduler.
+//!
+//! A *task* is one [`TaskTrace`] (one read / one candidate pair). PEs
+//! execute a task's steps: compute for the application's PE latency, then
+//! issue the step's memory accesses. A task that must wait for data
+//! (`wait_for_data`) leaves its PE and parks in the scheduler's incoming
+//! queue — the PE immediately picks another ready task, which is how the
+//! paper's design hides memory latency behind task-level parallelism.
+//! When the last outstanding access of a parked task returns, the task
+//! moves to the out-going queue and is assigned to the next free PE.
+
+use std::collections::VecDeque;
+
+use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::stats::Stats;
+use serde::{Deserialize, Serialize};
+
+use beacon_genomics::trace::{Access, TaskTrace};
+
+/// Identifier of a task within one [`TaskEngine`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TaskId(pub u32);
+
+/// Matches a returned datum to the access that requested it.
+///
+/// Encodes `(task, step, index-within-step)` into a `u64` so it can ride
+/// in message tags across the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccessToken {
+    /// The requesting task.
+    pub task: TaskId,
+    /// Step index within the task.
+    pub step: u32,
+    /// Access index within the step.
+    pub idx: u32,
+}
+
+impl AccessToken {
+    /// Packs the token into a `u64` tag.
+    pub fn encode(&self) -> u64 {
+        ((self.task.0 as u64) << 32) | ((self.step as u64 & 0xFFFF) << 16) | (self.idx as u64 & 0xFFFF)
+    }
+
+    /// Unpacks a token from a `u64` tag.
+    pub fn decode(tag: u64) -> Self {
+        AccessToken {
+            task: TaskId((tag >> 32) as u32),
+            step: ((tag >> 16) & 0xFFFF) as u32,
+            idx: (tag & 0xFFFF) as u32,
+        }
+    }
+}
+
+/// An access a PE has just issued; the owning system must translate and
+/// deliver it, then call [`TaskEngine::on_data`] with the token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssuedAccess {
+    /// Token to return via [`TaskEngine::on_data`].
+    pub token: AccessToken,
+    /// The logical access.
+    pub access: Access,
+    /// Whether the issuing task blocks on this access.
+    pub blocking: bool,
+}
+
+#[derive(Debug, Clone)]
+struct TaskState {
+    trace: TaskTrace,
+    /// Per-step compute latency (from the task's application engine —
+    /// the PEs are multi-purpose, paper Fig. 5 d).
+    latency: Duration,
+    /// Next step to execute.
+    cursor: usize,
+    /// Outstanding blocking accesses of the current step.
+    outstanding: u32,
+    /// Outstanding posted (fire-and-forget) accesses across all steps.
+    outstanding_posted: u32,
+    /// All steps executed (may still have posted accesses in flight).
+    steps_done: bool,
+    retired: bool,
+}
+
+/// PEs + Task Scheduler of one NDP module.
+///
+/// The tick path is event-driven: computing PEs sit in a min-heap keyed
+/// by completion cycle, so a tick costs O(events) rather than O(PEs) —
+/// essential with the paper's 512-PE configurations.
+#[derive(Debug, Clone)]
+pub struct TaskEngine {
+    n_pes: usize,
+    /// `(finish_cycle, task)` of every computing PE.
+    computing: std::collections::BinaryHeap<std::cmp::Reverse<(Cycle, TaskId)>>,
+    /// Default per-step compute latency for tasks whose application is
+    /// not consulted (see [`TaskEngine::submit`]).
+    pe_latency: Duration,
+    /// Out-going queue: tasks ready for a PE.
+    ready: VecDeque<TaskId>,
+    tasks: Vec<TaskState>,
+    completed: usize,
+    stats: Stats,
+    /// Integral of busy-PE count over time (utilisation / PE energy).
+    busy_pe_cycles: u64,
+    last_busy_update: Cycle,
+}
+
+impl TaskEngine {
+    /// Creates an engine with `n_pes` processing elements whose per-step
+    /// compute latency is `pe_latency_cycles`.
+    ///
+    /// # Panics
+    /// Panics when `n_pes` is zero.
+    pub fn new(n_pes: usize, pe_latency_cycles: u32) -> Self {
+        assert!(n_pes > 0, "need at least one PE");
+        TaskEngine {
+            n_pes,
+            computing: std::collections::BinaryHeap::new(),
+            pe_latency: Duration::new(pe_latency_cycles as u64),
+            ready: VecDeque::new(),
+            tasks: Vec::new(),
+            completed: 0,
+            stats: Stats::new(),
+            busy_pe_cycles: 0,
+            last_busy_update: Cycle::ZERO,
+        }
+    }
+
+    /// Number of PEs.
+    pub fn pe_count(&self) -> usize {
+        self.n_pes
+    }
+
+    /// Submits a task with the engine's default per-step latency; it
+    /// joins the ready queue.
+    pub fn submit(&mut self, trace: TaskTrace) -> TaskId {
+        let latency = self.pe_latency;
+        self.submit_with_latency(trace, latency)
+    }
+
+    /// Submits a task that runs on the PE engine matching its
+    /// application (the multi-purpose PE picks the right functional
+    /// unit; paper Fig. 5 d lists FM, hash, KMC and pre-alignment
+    /// engines with distinct latencies). Lets one module co-run
+    /// different genome-analysis applications.
+    pub fn submit_for_app(&mut self, trace: TaskTrace) -> TaskId {
+        let latency = Duration::new(trace.app.pe_latency_cycles() as u64);
+        self.submit_with_latency(trace, latency)
+    }
+
+    fn submit_with_latency(&mut self, trace: TaskTrace, latency: Duration) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        let empty = trace.steps.is_empty();
+        self.tasks.push(TaskState {
+            trace,
+            latency,
+            cursor: 0,
+            outstanding: 0,
+            outstanding_posted: 0,
+            steps_done: empty,
+            retired: false,
+        });
+        if empty {
+            self.tasks[id.0 as usize].retired = true;
+            self.completed += 1;
+        } else {
+            self.ready.push_back(id);
+        }
+        self.stats.incr("engine.tasks_submitted");
+        id
+    }
+
+    /// Tasks retired so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Total tasks submitted.
+    pub fn submitted(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when every submitted task has retired.
+    pub fn all_done(&self) -> bool {
+        self.completed == self.tasks.len()
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// PE-busy cycle count (for utilisation and PE energy).
+    pub fn busy_pe_cycles(&self) -> u64 {
+        self.busy_pe_cycles
+    }
+
+    /// Advances the PEs to cycle `now`; returns the accesses issued.
+    pub fn tick(&mut self, now: Cycle) -> Vec<IssuedAccess> {
+        // Accumulate the busy-PE integral over the elapsed interval.
+        let elapsed = now.since(self.last_busy_update).as_u64();
+        self.busy_pe_cycles += elapsed * self.computing.len() as u64;
+        self.last_busy_update = now;
+
+        let mut issued = Vec::new();
+        loop {
+            // Finish every compute that is due.
+            while let Some(&std::cmp::Reverse((until, task))) = self.computing.peek() {
+                if until > now {
+                    break;
+                }
+                self.computing.pop();
+                self.finish_step(task, now, &mut issued);
+            }
+            // Assign ready tasks to free PEs.
+            let mut assigned = false;
+            while self.computing.len() < self.n_pes {
+                let Some(task) = self.ready.pop_front() else {
+                    break;
+                };
+                let until = now + self.tasks[task.0 as usize].latency;
+                self.computing.push(std::cmp::Reverse((until, task)));
+                assigned = true;
+            }
+            // Zero-latency engines (or immediate finishes) may cascade:
+            // keep going until nothing new happened this cycle.
+            if !assigned
+                || self
+                    .computing
+                    .peek()
+                    .map(|&std::cmp::Reverse((u, _))| u > now)
+                    .unwrap_or(true)
+            {
+                break;
+            }
+        }
+        issued
+    }
+
+    /// The cycle at which the engine next has internal work due
+    /// ([`Cycle::NEVER`] when only waiting on memory). Lets owning
+    /// systems skip dead cycles.
+    pub fn next_event(&self) -> Cycle {
+        if !self.ready.is_empty() {
+            return Cycle::ZERO; // work available immediately
+        }
+        self.computing
+            .peek()
+            .map(|&std::cmp::Reverse((u, _))| u)
+            .unwrap_or(Cycle::NEVER)
+    }
+
+    /// Executes the step the PE just finished computing for `task`:
+    /// emits its accesses and either parks the task (blocking step),
+    /// requeues it (posted step with more work) or retires it.
+    fn finish_step(&mut self, task: TaskId, _now: Cycle, issued: &mut Vec<IssuedAccess>) {
+        let t = &mut self.tasks[task.0 as usize];
+        debug_assert!(!t.steps_done && !t.retired);
+        let step_idx = t.cursor;
+        let step = &t.trace.steps[step_idx];
+        let blocking = step.wait_for_data && !step.accesses.is_empty();
+
+        for (i, access) in step.accesses.iter().enumerate() {
+            issued.push(IssuedAccess {
+                token: AccessToken {
+                    task,
+                    step: step_idx as u32,
+                    idx: i as u32,
+                },
+                access: *access,
+                blocking,
+            });
+        }
+        self.stats.add("engine.accesses_issued", step.accesses.len() as u64);
+
+        if blocking {
+            t.outstanding = step.accesses.len() as u32;
+            // Parked: in the incoming queue awaiting operands. It returns
+            // via on_data.
+        } else {
+            t.outstanding_posted += step.accesses.len() as u32;
+            t.cursor += 1;
+            if t.cursor >= t.trace.steps.len() {
+                t.steps_done = true;
+                self.try_retire(task);
+            } else {
+                // Continue on some PE: back into the ready queue (the same
+                // PE will usually grab it this very cycle if free).
+                self.ready.push_back(task);
+            }
+        }
+    }
+
+    /// Delivers returned data for `token`. Posted accesses are
+    /// acknowledged through the same path.
+    ///
+    /// # Panics
+    /// Panics when the token does not correspond to an in-flight access —
+    /// that is a wiring bug in the owning system.
+    pub fn on_data(&mut self, token: AccessToken, _now: Cycle) {
+        let t = &mut self.tasks[token.task.0 as usize];
+        assert!(!t.retired, "data for retired task {:?}", token.task);
+
+        let step = &t.trace.steps[token.step as usize];
+        if step.wait_for_data {
+            debug_assert_eq!(token.step as usize, t.cursor, "stale blocking token");
+            debug_assert!(t.outstanding > 0);
+            t.outstanding -= 1;
+            if t.outstanding == 0 {
+                t.cursor += 1;
+                if t.cursor >= t.trace.steps.len() {
+                    t.steps_done = true;
+                    self.try_retire(token.task);
+                } else {
+                    self.ready.push_back(token.task);
+                }
+            }
+        } else {
+            debug_assert!(t.outstanding_posted > 0);
+            t.outstanding_posted -= 1;
+            if t.steps_done {
+                self.try_retire(token.task);
+            }
+        }
+    }
+
+    fn try_retire(&mut self, task: TaskId) {
+        let t = &mut self.tasks[task.0 as usize];
+        if t.steps_done && t.outstanding == 0 && t.outstanding_posted == 0 && !t.retired {
+            t.retired = true;
+            self.completed += 1;
+            self.stats.incr("engine.tasks_completed");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beacon_genomics::trace::{AccessKind, AppKind, Region, Step};
+
+    fn read_access(off: u64) -> Access {
+        Access {
+            region: Region::FmIndex,
+            offset: off,
+            bytes: 32,
+            kind: AccessKind::Read,
+        }
+    }
+
+    fn chain_trace(steps: usize) -> TaskTrace {
+        TaskTrace::new(
+            AppKind::FmSeeding,
+            (0..steps)
+                .map(|i| Step::blocking(vec![read_access(i as u64 * 32)]))
+                .collect(),
+        )
+    }
+
+    fn posted_trace(steps: usize) -> TaskTrace {
+        TaskTrace::new(
+            AppKind::KmerCounting,
+            (0..steps)
+                .map(|i| Step::posted(vec![read_access(i as u64)]))
+                .collect(),
+        )
+    }
+
+    /// Runs the engine with an ideal zero-latency memory.
+    fn run_ideal(engine: &mut TaskEngine, max_cycles: u64) -> u64 {
+        for c in 0..max_cycles {
+            let now = Cycle::new(c);
+            let issued = engine.tick(now);
+            for a in issued {
+                engine.on_data(a.token, now);
+            }
+            if engine.all_done() {
+                return c;
+            }
+        }
+        panic!("engine did not drain");
+    }
+
+    #[test]
+    fn token_encode_decode_round_trip() {
+        let t = AccessToken {
+            task: TaskId(123456),
+            step: 789,
+            idx: 42,
+        };
+        assert_eq!(AccessToken::decode(t.encode()), t);
+    }
+
+    #[test]
+    fn single_task_completes_after_all_steps() {
+        let mut e = TaskEngine::new(1, 16);
+        e.submit(chain_trace(4));
+        let finished = run_ideal(&mut e, 10_000);
+        // 4 steps × 16 cycles compute, plus scheduling overhead cycles.
+        assert!(finished >= 4 * 16);
+        assert_eq!(e.completed(), 1);
+    }
+
+    #[test]
+    fn posted_steps_do_not_block() {
+        let mut e = TaskEngine::new(1, 10);
+        e.submit(posted_trace(5));
+        run_ideal(&mut e, 10_000);
+        assert_eq!(e.completed(), 1);
+        assert_eq!(e.stats().get("engine.accesses_issued"), 5);
+    }
+
+    #[test]
+    fn empty_trace_retires_immediately() {
+        let mut e = TaskEngine::new(2, 16);
+        e.submit(TaskTrace::new(AppKind::FmSeeding, vec![]));
+        assert!(e.all_done());
+        assert_eq!(e.completed(), 1);
+    }
+
+    #[test]
+    fn parallel_pes_overlap_tasks() {
+        let mut one = TaskEngine::new(1, 16);
+        let mut many = TaskEngine::new(8, 16);
+        for _ in 0..16 {
+            one.submit(chain_trace(4));
+            many.submit(chain_trace(4));
+        }
+        let t_one = run_ideal(&mut one, 100_000);
+        let t_many = run_ideal(&mut many, 100_000);
+        assert!(
+            t_many * 4 < t_one,
+            "8 PEs ({t_many}) not ≥4x faster than 1 PE ({t_one})"
+        );
+    }
+
+    #[test]
+    fn blocked_task_frees_its_pe() {
+        // One PE, two tasks: while task A waits for memory, task B must
+        // make progress (latency hiding).
+        let mut e = TaskEngine::new(1, 10);
+        let a = e.submit(chain_trace(1));
+        let b = e.submit(chain_trace(1));
+
+        // Tick until both tasks have issued their (single) access without
+        // returning any data: possible only if the PE switched tasks.
+        let mut issued_tasks = std::collections::HashSet::new();
+        for c in 0..200 {
+            for acc in e.tick(Cycle::new(c)) {
+                issued_tasks.insert(acc.token.task);
+            }
+            if issued_tasks.len() == 2 {
+                break;
+            }
+        }
+        assert!(issued_tasks.contains(&a) && issued_tasks.contains(&b));
+        assert_eq!(e.completed(), 0);
+    }
+
+    #[test]
+    fn multi_access_step_waits_for_all() {
+        let trace = TaskTrace::new(
+            AppKind::FmSeeding,
+            vec![Step::blocking(vec![read_access(0), read_access(64)])],
+        );
+        let mut e = TaskEngine::new(1, 4);
+        e.submit(trace);
+        let mut tokens = Vec::new();
+        for c in 0..100 {
+            tokens.extend(e.tick(Cycle::new(c)).into_iter().map(|a| a.token));
+            if !tokens.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(tokens.len(), 2);
+        e.on_data(tokens[0], Cycle::new(50));
+        assert_eq!(e.completed(), 0);
+        e.on_data(tokens[1], Cycle::new(51));
+        assert_eq!(e.completed(), 1);
+    }
+
+    #[test]
+    fn utilisation_counter_grows() {
+        let mut e = TaskEngine::new(2, 16);
+        e.submit(chain_trace(2));
+        run_ideal(&mut e, 10_000);
+        assert!(e.busy_pe_cycles() >= 32);
+    }
+
+    #[test]
+    fn per_app_latencies_coexist_on_one_engine() {
+        // Multi-purpose PEs: an FM task (16 cycles/step) and a
+        // pre-alignment task (82 cycles/step) run on the same module.
+        let mut e = TaskEngine::new(2, 16);
+        let fm = TaskTrace::new(AppKind::FmSeeding, vec![Step::blocking(vec![])]);
+        let pa = TaskTrace::new(AppKind::PreAlignment, vec![Step::blocking(vec![])]);
+        e.submit_for_app(fm);
+        e.submit_for_app(pa);
+        // Tick cycle by cycle: the FM task retires at 16, the
+        // pre-alignment task at 82.
+        let mut done_at = Vec::new();
+        for c in 0..200 {
+            let before = e.completed();
+            e.tick(Cycle::new(c));
+            if e.completed() > before {
+                done_at.push(c);
+            }
+            if e.all_done() {
+                break;
+            }
+        }
+        assert_eq!(done_at, vec![16, 82]);
+    }
+
+    #[test]
+    #[should_panic(expected = "retired task")]
+    fn data_for_retired_task_panics() {
+        let mut e = TaskEngine::new(1, 4);
+        e.submit(chain_trace(1));
+        let mut token = None;
+        for c in 0..100 {
+            if let Some(a) = e.tick(Cycle::new(c)).first() {
+                token = Some(a.token);
+                break;
+            }
+        }
+        let token = token.unwrap();
+        e.on_data(token, Cycle::new(60));
+        assert!(e.all_done());
+        e.on_data(token, Cycle::new(61)); // double delivery
+    }
+}

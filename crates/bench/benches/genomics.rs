@@ -1,0 +1,111 @@
+//! Micro-benches of the genomics kernels (functional layer).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use beacon_genomics::prelude::*;
+
+fn bench_fm_index(c: &mut Criterion) {
+    let genome = Genome::synthetic(GenomeId::Pt, 50_000, 42);
+    let index = FmIndex::build(genome.sequence());
+    let mut sampler = ReadSampler::new(&genome, 64, 0.01, 7);
+    let reads: Vec<Read> = sampler.take_reads(64);
+
+    let mut g = c.benchmark_group("fm_index");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(5));
+g.bench_function("build_50k", |b| {
+        b.iter(|| FmIndex::build(genome.sequence()))
+    });
+    g.bench_function("backward_search_64_reads", |b| {
+        b.iter(|| {
+            reads
+                .iter()
+                .map(|r| index.backward_search(r.bases()).count())
+                .sum::<u32>()
+        })
+    });
+    g.bench_function("trace_search_64_reads", |b| {
+        b.iter(|| {
+            reads
+                .iter()
+                .map(|r| index.trace_search(r.bases()).access_count())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_hash_index(c: &mut Criterion) {
+    let genome = Genome::synthetic(GenomeId::Pg, 50_000, 42);
+    let index = HashIndex::build(genome.sequence(), 12, 16);
+    let mut sampler = ReadSampler::new(&genome, 64, 0.01, 8);
+    let reads: Vec<Read> = sampler.take_reads(64);
+
+    let mut g = c.benchmark_group("hash_index");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(5));
+g.bench_function("build_50k", |b| {
+        b.iter(|| HashIndex::build(genome.sequence(), 12, 16))
+    });
+    g.bench_function("seed_64_reads", |b| {
+        b.iter(|| {
+            reads
+                .iter()
+                .map(|r| index.seed_read(r.bases(), 2).len())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_kmer_counting(c: &mut Criterion) {
+    let genome = Genome::synthetic(GenomeId::Human, 20_000, 42);
+    let mut sampler = ReadSampler::new(&genome, 100, 0.01, 9);
+    let reads: Vec<Read> = sampler.take_reads(128);
+
+    let mut g = c.benchmark_group("kmer_counting");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(5));
+g.bench_function("count_128_reads", |b| {
+        b.iter(|| {
+            let mut counter = KmerCounter::new(28, 1 << 18, 3, 1);
+            counter.count_reads(&reads);
+            counter.distinct_at_least(2)
+        })
+    });
+    g.finish();
+}
+
+fn bench_prealign(c: &mut Criterion) {
+    let genome = Genome::synthetic(GenomeId::Am, 20_000, 42);
+    let filter = PreAlignFilter::new(5);
+    let mut sampler = ReadSampler::new(&genome, 100, 0.02, 10);
+    let reads: Vec<Read> = sampler.take_reads(64);
+
+    let mut g = c.benchmark_group("prealign");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(5));
+g.bench_function("filter_64_candidates", |b| {
+        b.iter(|| {
+            reads
+                .iter()
+                .filter(|r| filter.filter(r.bases(), genome.sequence(), r.origin()).accept)
+                .count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    genomics,
+    bench_fm_index,
+    bench_hash_index,
+    bench_kmer_counting,
+    bench_prealign
+);
+criterion_main!(genomics);

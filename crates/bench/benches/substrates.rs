@@ -1,0 +1,174 @@
+//! Micro-benches of the simulation substrates: DRAM controller, CXL
+//! link/switch and the data packer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use beacon_cxl::prelude::*;
+use beacon_dram::prelude::*;
+use beacon_sim::prelude::*;
+
+fn dimm(mode: AccessMode) -> Dimm {
+    let mut cfg = DimmConfig::paper_ndp(mode);
+    cfg.refresh_enabled = false;
+    Dimm::new(cfg)
+}
+
+fn bench_dram_controller(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_controller");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(5));
+for (name, mode) in [
+        ("rank_lockstep", AccessMode::RankLockstep),
+        ("per_chip", AccessMode::PerChip),
+        ("coalesced_4", AccessMode::Coalesced { chips: 4 }),
+    ] {
+        g.bench_function(format!("{name}/1k_random_reads"), |b| {
+            b.iter(|| {
+                let mut d = dimm(mode);
+                let groups = d.groups_per_rank();
+                let mut engine = Engine::new();
+                let mut rng = SimRng::from_seed(7);
+                let mut issued = 0u32;
+                let mut now = 0u64;
+                while issued < 1000 {
+                    let coord = DramCoord {
+                        rank: rng.below(4) as u32,
+                        group: rng.below(groups as u64) as u32,
+                        bank: rng.below(16) as u32,
+                        row: rng.below(256),
+                        col: 0,
+                    };
+                    if d.enqueue(MemRequest::read(coord, 32)).is_ok() {
+                        issued += 1;
+                    } else {
+                        engine.run_for(&mut d, 16);
+                        now += 16;
+                    }
+                }
+                engine.run(&mut d);
+                let _ = now;
+                d.drain_completed().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cxl_link(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cxl_link");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(5));
+g.bench_function("x8/4k_small_messages", |b| {
+        b.iter(|| {
+            let mut link = Link::new(LinkParams::cxl_x8());
+            let mut delivered = 0;
+            let mut t = 0u64;
+            for i in 0..4096u64 {
+                let msg = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(0, 1), 32, i);
+                loop {
+                    match link.try_send(Bundle::single(msg), Cycle::new(t)) {
+                        Ok(()) => break,
+                        Err(_) => {
+                            t += 1;
+                            while link.deliver(Cycle::new(t)).is_some() {
+                                delivered += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            loop {
+                t += 1;
+                match link.deliver(Cycle::new(t)) {
+                    Some(_) => delivered += 1,
+                    None if link.is_idle() => break,
+                    None => {}
+                }
+            }
+            delivered
+        })
+    });
+    g.finish();
+}
+
+fn bench_packer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("data_packer");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(5));
+g.bench_function("pack_8k_fine_grained", |b| {
+        b.iter(|| {
+            let mut p = DataPacker::new(8);
+            let mut out = 0;
+            for i in 0..8192u64 {
+                let req = Message::read_req(
+                    NodeId::dimm(0, (i % 4) as u32),
+                    NodeId::dimm(0, ((i + 1) % 4) as u32),
+                    2,
+                    i,
+                );
+                p.push(Message::read_resp(&req), Cycle::new(i));
+                while p.pop_ready().is_some() {
+                    out += 1;
+                }
+            }
+            p.flush_all(Cycle::new(8192));
+            while p.pop_ready().is_some() {
+                out += 1;
+            }
+            out
+        })
+    });
+    g.finish();
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cxl_switch");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(5));
+g.bench_function("forward_4k_bundles", |b| {
+        b.iter(|| {
+            let mut sw = Switch::new(SwitchConfig::paper(0, 4));
+            let mut received = 0;
+            let mut t = 0u64;
+            for i in 0..4096u64 {
+                let msg = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(0, 2), 32, i);
+                loop {
+                    if sw
+                        .endpoint_send(1, Bundle::single(msg), Cycle::new(t))
+                        .is_ok()
+                    {
+                        break;
+                    }
+                    sw.tick(Cycle::new(t));
+                    while sw.endpoint_recv(3, Cycle::new(t)).is_some() {
+                        received += 1;
+                    }
+                    t += 1;
+                }
+            }
+            while !sw.is_idle() {
+                sw.tick(Cycle::new(t));
+                while sw.endpoint_recv(3, Cycle::new(t)).is_some() {
+                    received += 1;
+                }
+                t += 1;
+            }
+            received
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_dram_controller,
+    bench_cxl_link,
+    bench_packer,
+    bench_switch
+);
+criterion_main!(substrates);

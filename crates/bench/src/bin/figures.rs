@@ -1,0 +1,157 @@
+//! Regenerates every table and figure of the BEACON paper.
+//!
+//! ```text
+//! cargo run -p beacon-bench --bin figures --release -- [--all]
+//!     [--table1] [--table2] [--fig3] [--fig12] [--fig13] [--fig14]
+//!     [--fig15] [--fig16] [--fig17] [--quick]
+//! ```
+//!
+//! With no selector (or `--all`) everything runs. `--quick` switches to
+//! the smaller bench scale (useful for smoke-testing the harness).
+
+use std::time::Instant;
+
+use beacon_bench::{bench_scale, figures_scale, BENCH_PES, FIGURE_PES};
+use beacon_core::experiments::{fig12, fig13, fig14, fig15, fig16, fig17, fig3, tables};
+
+struct Selection {
+    table1: bool,
+    table2: bool,
+    fig3: bool,
+    fig12: bool,
+    fig13: bool,
+    fig14: bool,
+    fig15: bool,
+    fig16: bool,
+    fig17: bool,
+    quick: bool,
+}
+
+impl Selection {
+    fn parse(args: &[String]) -> Selection {
+        let mut sel = Selection {
+            table1: false,
+            table2: false,
+            fig3: false,
+            fig12: false,
+            fig13: false,
+            fig14: false,
+            fig15: false,
+            fig16: false,
+            fig17: false,
+            quick: false,
+        };
+        let mut any = false;
+        for a in args {
+            match a.as_str() {
+                "--table1" => {
+                    sel.table1 = true;
+                    any = true;
+                }
+                "--table2" => {
+                    sel.table2 = true;
+                    any = true;
+                }
+                "--fig3" => {
+                    sel.fig3 = true;
+                    any = true;
+                }
+                "--fig12" => {
+                    sel.fig12 = true;
+                    any = true;
+                }
+                "--fig13" => {
+                    sel.fig13 = true;
+                    any = true;
+                }
+                "--fig14" => {
+                    sel.fig14 = true;
+                    any = true;
+                }
+                "--fig15" => {
+                    sel.fig15 = true;
+                    any = true;
+                }
+                "--fig16" => {
+                    sel.fig16 = true;
+                    any = true;
+                }
+                "--fig17" => {
+                    sel.fig17 = true;
+                    any = true;
+                }
+                "--all" => {
+                    any = false;
+                }
+                "--quick" => sel.quick = true,
+                other => {
+                    eprintln!("unknown flag {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if !any {
+            sel.table1 = true;
+            sel.table2 = true;
+            sel.fig3 = true;
+            sel.fig12 = true;
+            sel.fig13 = true;
+            sel.fig14 = true;
+            sel.fig15 = true;
+            sel.fig16 = true;
+            sel.fig17 = true;
+        }
+        sel
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sel = Selection::parse(&args);
+    let scale = if sel.quick {
+        bench_scale()
+    } else {
+        figures_scale()
+    };
+    let pes = if sel.quick { BENCH_PES } else { FIGURE_PES };
+
+    println!("BEACON figure harness — scale: Pt={} bases, {} reads, {} PEs/module\n",
+        scale.pt_genome_len, scale.reads, pes);
+
+    let t0 = Instant::now();
+    if sel.table1 {
+        section("Table I", tables::table1);
+    }
+    if sel.table2 {
+        section("Table II", tables::table2);
+    }
+    if sel.fig3 {
+        section("Fig. 3", || fig3::run(&scale, pes).render());
+    }
+    if sel.fig12 {
+        section("Fig. 12", || fig12::run(&scale, pes).render());
+    }
+    if sel.fig13 {
+        section("Fig. 13", || fig13::run(&scale, pes).render());
+    }
+    if sel.fig14 {
+        section("Fig. 14", || fig14::run(&scale, pes).render());
+    }
+    if sel.fig15 {
+        section("Fig. 15", || fig15::run(&scale, pes).render());
+    }
+    if sel.fig16 {
+        section("Fig. 16", || fig16::run(&scale, pes).render());
+    }
+    if sel.fig17 {
+        section("Fig. 17", || fig17::run(&scale, pes).render());
+    }
+    println!("total harness time: {:?}", t0.elapsed());
+}
+
+fn section<F: FnOnce() -> String>(name: &str, f: F) {
+    let t = Instant::now();
+    println!("################ {name} ################");
+    println!("{}", f());
+    println!("({name} took {:?})\n", t.elapsed());
+}

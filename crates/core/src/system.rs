@@ -1,0 +1,1094 @@
+//! The BEACON system model: BEACON-D and BEACON-S (paper Fig. 4/5).
+//!
+//! One [`BeaconSystem`] instantiates the full pool: CXL switches with
+//! per-port links and an internal switch-bus, CXLG-DIMMs (BEACON-D's
+//! compute modules: NDP engine + fine-grained DIMM), unmodified
+//! CXL-DIMMs (the memory-expansion pool, rank-lock-step devices with a
+//! standard CXL.mem interface), the in-switch logic (BEACON-S's compute
+//! modules, and the switch MC + Atomic Engine in both variants) and a
+//! host root complex that forwards cross-switch and host-bias traffic.
+//!
+//! The optimisation toggles of [`crate::config::Optimizations`] map to
+//! mechanisms:
+//!
+//! * `data_packing` → [`DataPacker`]s on every NDP sender,
+//! * `mem_access_opt` → requests to unmodified DIMMs carry
+//!   `via_host = false` (device bias) instead of detouring off the host,
+//! * `placement_mapping` / `multi_chip_coalescing` → consumed by
+//!   [`crate::mmf::build_layout`] before the system is built,
+//! * `ideal_comm` → every link, bus and forwarding latency becomes free.
+
+use std::collections::VecDeque;
+
+use beacon_sim::component::Tick;
+use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::engine::Engine;
+use beacon_sim::stats::Stats;
+
+use beacon_accel::pending::PendingTable;
+use beacon_accel::result::RunResult;
+use beacon_accel::server::{DimmServer, ServiceOp};
+use beacon_accel::task::TaskEngine;
+use beacon_accel::translate::RegionMap;
+use beacon_cxl::bundle::Bundle;
+use beacon_cxl::message::{Message, MsgKind, NodeId};
+use beacon_cxl::packer::DataPacker;
+use beacon_cxl::switch::{Switch, SwitchConfig};
+use beacon_dram::address::DramCoord;
+use beacon_dram::module::{AccessMode, DimmConfig};
+use beacon_dram::params::TimingParams;
+use beacon_genomics::trace::{AccessKind, TaskTrace};
+
+use crate::config::{BeaconConfig, BeaconVariant};
+use crate::mmf::MemoryLayout;
+
+/// Service ids with this bit serve a remote request at a CXLG/unmodified
+/// DIMM (vs completing a local pending access).
+const SERVE_BIT: u64 = 1 << 60;
+/// Message tags with this bit are switch-logic atomic phase operations.
+const LOGIC_BIT: u64 = 1 << 59;
+
+#[derive(Debug, Clone, Copy)]
+struct ServeEntry {
+    requester: NodeId,
+    orig_tag: u64,
+    kind: MsgKind,
+    bytes: u32,
+    via_host: bool,
+    in_use: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AtomicPhase {
+    Read,
+    Write,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LogicServe {
+    requester: NodeId,
+    orig_tag: u64,
+    coord: DramCoord,
+    bytes: u32,
+    dimm: NodeId,
+    phase: AtomicPhase,
+    via_host: bool,
+    in_use: bool,
+}
+
+/// Sender-side egress: optional packer plus a retry buffer for
+/// back-pressured bundles.
+#[derive(Debug)]
+struct Egress {
+    packer: Option<DataPacker>,
+    queue: VecDeque<Bundle>,
+}
+
+impl Egress {
+    fn new(packing: bool, flush_age: u64) -> Self {
+        Egress {
+            packer: packing.then(|| DataPacker::new(flush_age)),
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn push(&mut self, msg: Message, now: Cycle) {
+        match &mut self.packer {
+            Some(p) => p.push(msg, now),
+            None => self.queue.push_back(Bundle::single(msg)),
+        }
+    }
+
+    /// Moves packer output into the retry queue.
+    fn collect(&mut self, now: Cycle) {
+        if let Some(p) = &mut self.packer {
+            p.tick(now);
+            while let Some(b) = p.pop_ready() {
+                self.queue.push_back(b);
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.packer.as_ref().map(DataPacker::is_idle).unwrap_or(true)
+    }
+
+    fn stats(&self) -> Option<&Stats> {
+        self.packer.as_ref().map(DataPacker::stats)
+    }
+}
+
+#[derive(Debug)]
+struct CxlgModule {
+    node: NodeId,
+    engine: TaskEngine,
+    server: DimmServer,
+    map_idx: usize,
+    pending: PendingTable,
+    serve: Vec<ServeEntry>,
+    free_serve: Vec<u32>,
+    egress: Egress,
+}
+
+#[derive(Debug)]
+struct UnmodDimm {
+    node: NodeId,
+    server: DimmServer,
+    serve: Vec<ServeEntry>,
+    free_serve: Vec<u32>,
+    /// Standard CXL.mem interface: no packer.
+    egress: Egress,
+}
+
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // few instances, arena-like ownership
+enum DimmSlot {
+    Cxlg(CxlgModule),
+    Unmodified(UnmodDimm),
+}
+
+#[derive(Debug)]
+struct LogicNode {
+    /// BEACON-S compute engine.
+    engine: Option<TaskEngine>,
+    map_idx: usize,
+    pending: PendingTable,
+    serve: Vec<LogicServe>,
+    free_serve: Vec<u32>,
+    egress: Egress,
+    /// Atomic-ALU results waiting to start their write phase.
+    alu_stage: VecDeque<(Cycle, u32)>,
+    stats: Stats,
+}
+
+#[derive(Debug)]
+struct SwitchNode {
+    fabric: Switch,
+    logic: LogicNode,
+    dimms: Vec<DimmSlot>,
+}
+
+/// The assembled BEACON-D / BEACON-S system.
+#[derive(Debug)]
+pub struct BeaconSystem {
+    cfg: BeaconConfig,
+    maps: Vec<RegionMap>,
+    switches: Vec<SwitchNode>,
+    host_stage: VecDeque<(Cycle, Bundle)>,
+    finished_at: Cycle,
+    rmw_alu_cycles: u64,
+}
+
+impl BeaconSystem {
+    /// Builds the system from a configuration and the memory layout
+    /// produced by [`crate::mmf::build_layout`].
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid or the layout's map
+    /// count does not match the number of compute modules.
+    pub fn new(cfg: BeaconConfig, layout: MemoryLayout) -> Self {
+        cfg.validate().expect("invalid configuration");
+        assert_eq!(
+            layout.maps.len(),
+            cfg.compute_modules() as usize,
+            "layout must have one map per compute module"
+        );
+
+        let mut switch_cfg = SwitchConfig {
+            index: 0,
+            dimm_slots: cfg.slots_per_switch(),
+            dimm_link: cfg.dimm_link,
+            uplink: cfg.uplink,
+            bus_bytes_per_cycle: cfg.switch_bus_bytes_per_cycle,
+            forward_latency: cfg.switch_latency,
+            atomic_intercept_from: cfg.cxlg_per_switch,
+        };
+        if cfg.opts.ideal_comm {
+            switch_cfg = switch_cfg.idealized();
+            switch_cfg.atomic_intercept_from = cfg.cxlg_per_switch;
+        }
+
+        let mut cxlg_cfg = DimmConfig::paper_ndp(layout.cxlg_mode);
+        cxlg_cfg.geometry = cfg.geometry;
+        cxlg_cfg.refresh_enabled = cfg.refresh_enabled;
+        cxlg_cfg.queue_depth = cfg.dimm_queue_depth;
+        // Unmodified CXL-DIMMs are commodity memory-expander devices: the
+        // CXL buffer chip drives each rank over its own internal channel,
+        // so they also get per-rank command issue (but no chip-select
+        // customisation and no chained fine-grained commands -- those are
+        // the CXLG modifications).
+        let mut unmod_cfg = DimmConfig::paper(AccessMode::RankLockstep);
+        unmod_cfg.per_rank_cmd_bus = true;
+        unmod_cfg.geometry = cfg.geometry;
+        unmod_cfg.refresh_enabled = cfg.refresh_enabled;
+        unmod_cfg.queue_depth = cfg.dimm_queue_depth;
+
+        let packing = cfg.opts.data_packing;
+        let flush_age = cfg.packer_flush_age;
+
+        let switches = (0..cfg.switches)
+            .map(|s| {
+                let mut sc = switch_cfg;
+                sc.index = s;
+                let dimms = (0..cfg.slots_per_switch())
+                    .map(|slot| {
+                        let node = NodeId::dimm(s, slot);
+                        if cfg.slot_is_cxlg(slot) {
+                            let map_idx = (s * cfg.cxlg_per_switch + slot) as usize;
+                            DimmSlot::Cxlg(CxlgModule {
+                                node,
+                                engine: TaskEngine::new(cfg.pes_per_module, cfg.pe_latency),
+                                server: DimmServer::new(cxlg_cfg),
+                                map_idx,
+                                pending: PendingTable::new(),
+                                serve: Vec::new(),
+                                free_serve: Vec::new(),
+                                egress: Egress::new(packing, flush_age),
+                            })
+                        } else {
+                            DimmSlot::Unmodified(UnmodDimm {
+                                node,
+                                server: DimmServer::new(unmod_cfg),
+                                serve: Vec::new(),
+                                free_serve: Vec::new(),
+                                egress: Egress::new(false, flush_age),
+                            })
+                        }
+                    })
+                    .collect();
+                let logic_engine = match cfg.variant {
+                    BeaconVariant::S => {
+                        Some(TaskEngine::new(cfg.pes_per_module, cfg.pe_latency))
+                    }
+                    BeaconVariant::D => None,
+                };
+                SwitchNode {
+                    fabric: Switch::new(sc),
+                    logic: LogicNode {
+                        engine: logic_engine,
+                        map_idx: s as usize,
+                        pending: PendingTable::new(),
+                        serve: Vec::new(),
+                        free_serve: Vec::new(),
+                        egress: Egress::new(packing, flush_age),
+                        alu_stage: VecDeque::new(),
+                        stats: Stats::new(),
+                    },
+                    dimms,
+                }
+            })
+            .collect();
+
+        BeaconSystem {
+            cfg,
+            maps: layout.maps,
+            switches,
+            host_stage: VecDeque::new(),
+            finished_at: Cycle::ZERO,
+            rmw_alu_cycles: 4,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BeaconConfig {
+        &self.cfg
+    }
+
+    /// Submits a task to compute module `module`.
+    pub fn submit_to(&mut self, module: usize, trace: TaskTrace) {
+        match self.cfg.variant {
+            BeaconVariant::D => {
+                let s = module / self.cfg.cxlg_per_switch as usize;
+                let d = module % self.cfg.cxlg_per_switch as usize;
+                match &mut self.switches[s].dimms[d] {
+                    DimmSlot::Cxlg(m) => {
+                        // Multi-purpose PEs: pick the engine (and its
+                        // latency) from the task's application.
+                        m.engine.submit_for_app(trace);
+                    }
+                    DimmSlot::Unmodified(_) => unreachable!("slot layout broken"),
+                }
+            }
+            BeaconVariant::S => {
+                self.switches[module]
+                    .logic
+                    .engine
+                    .as_mut()
+                    .expect("S has logic engines")
+                    .submit_for_app(trace);
+            }
+        }
+    }
+
+    /// Distributes tasks round-robin over the compute modules (the host's
+    /// task dispatch through the framework interface).
+    pub fn submit_round_robin<I: IntoIterator<Item = TaskTrace>>(&mut self, traces: I) {
+        let n = self.cfg.compute_modules() as usize;
+        for (i, t) in traces.into_iter().enumerate() {
+            self.submit_to(i % n, t);
+        }
+    }
+
+    /// Runs until the workload drains and returns the measurements.
+    ///
+    /// # Panics
+    /// Panics when the model deadlocks (cycle limit).
+    pub fn run(&mut self) -> RunResult {
+        let mut engine = Engine::new();
+        let outcome = engine.run(self);
+        self.finished_at = outcome.finished_at();
+        self.collect()
+    }
+
+    /// Assembles the measurement bundle after a run.
+    pub fn collect(&self) -> RunResult {
+        let mut dram = Stats::new();
+        let mut comm = Stats::new();
+        let mut eng = Stats::new();
+        let mut pe_busy = 0;
+        let mut tasks = 0;
+        let mut hists = Vec::new();
+        for sw in &self.switches {
+            comm.merge(&sw.fabric.merged_stats());
+            eng.merge(&sw.logic.stats);
+            if let Some(e) = &sw.logic.engine {
+                eng.merge(e.stats());
+                pe_busy += e.busy_pe_cycles();
+                tasks += e.completed();
+            }
+            if let Some(ps) = sw.logic.egress.stats() {
+                comm.merge(ps);
+            }
+            for d in &sw.dimms {
+                match d {
+                    DimmSlot::Cxlg(m) => {
+                        dram.merge(m.server.dimm().stats());
+                        eng.merge(m.engine.stats());
+                        eng.merge(m.server.stats());
+                        pe_busy += m.engine.busy_pe_cycles();
+                        tasks += m.engine.completed();
+                        hists.push(m.server.chip_histogram().clone());
+                        if let Some(ps) = m.egress.stats() {
+                            comm.merge(ps);
+                        }
+                    }
+                    DimmSlot::Unmodified(u) => {
+                        dram.merge(u.server.dimm().stats());
+                        eng.merge(u.server.stats());
+                        hists.push(u.server.chip_histogram().clone());
+                    }
+                }
+            }
+        }
+        let geometry = self.cfg.geometry;
+        RunResult {
+            cycles: self.finished_at.as_u64(),
+            tasks,
+            dram,
+            comm,
+            engine: eng,
+            pe_busy_cycles: pe_busy,
+            total_chips: (geometry.ranks * geometry.chips_per_rank) as u64
+                * self.cfg.total_dimms() as u64,
+            chip_histograms: hists,
+        }
+    }
+
+    /// Per-chip access histogram of the CXLG-DIMMs only (Fig. 13 data).
+    pub fn cxlg_chip_histogram(&self) -> Option<beacon_sim::stats::Histogram> {
+        let mut merged: Option<beacon_sim::stats::Histogram> = None;
+        for sw in &self.switches {
+            for d in &sw.dimms {
+                if let DimmSlot::Cxlg(m) = d {
+                    match &mut merged {
+                        Some(h) => h.merge(m.server.chip_histogram()),
+                        None => merged = Some(m.server.chip_histogram().clone()),
+                    }
+                }
+            }
+        }
+        merged
+    }
+
+    fn op_of(kind: AccessKind) -> (ServiceOp, MsgKind) {
+        match kind {
+            AccessKind::Read => (ServiceOp::Read, MsgKind::ReadReq),
+            AccessKind::Write => (ServiceOp::Write, MsgKind::WriteReq),
+            AccessKind::Rmw => (ServiceOp::Rmw, MsgKind::AtomicReq),
+        }
+    }
+
+    // ----- host root complex -------------------------------------------
+
+    fn pump_host(&mut self, now: Cycle) {
+        for s in 0..self.switches.len() {
+            while let Some(bundle) = self.switches[s].fabric.endpoint_recv(Switch::UPLINK, now)
+            {
+                let ready = now + Duration::new(self.cfg.host_latency);
+                self.host_stage.push_back((ready, bundle));
+            }
+        }
+        let mut rest = VecDeque::new();
+        while let Some((ready, mut bundle)) = self.host_stage.pop_front() {
+            if ready > now {
+                rest.push_back((ready, bundle));
+                continue;
+            }
+            for m in &mut bundle.messages {
+                *m = m.cleared_via_host();
+            }
+            let dst_switch = bundle.messages[0]
+                .dst
+                .switch()
+                .expect("pool destinations only") as usize;
+            match self.switches[dst_switch]
+                .fabric
+                .endpoint_send(Switch::UPLINK, bundle, now)
+            {
+                Ok(()) => {}
+                Err(e) => rest.push_back((ready, e.0)),
+            }
+        }
+        self.host_stage = rest;
+    }
+
+    // ----- engine access issue (shared by CXLG modules and S logic) ----
+
+    /// Translates and dispatches one engine access. Local segments go to
+    /// `local` (the module's own server), remote ones become messages in
+    /// `egress`. For the switch logic, `local` is `None` and same-switch
+    /// RMWs short-circuit into the logic serve table via `out_local_rmw`.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_access(
+        cfg: &BeaconConfig,
+        map: &RegionMap,
+        self_node: NodeId,
+        access: beacon_accel::task::IssuedAccess,
+        pending: &mut PendingTable,
+        mut local_server: Option<&mut DimmServer>,
+        egress: &mut Egress,
+        mut local_rmw: Option<&mut Vec<(u64, DramCoord, u32, NodeId)>>,
+        now: Cycle,
+    ) {
+        let segments = map.translate(&access.access);
+        let pid = pending.alloc(access.token, segments.len() as u32, access.blocking);
+        let (op, msg_kind) = Self::op_of(access.access.kind);
+        for seg in segments {
+            let seg_is_cxlg = matches!(seg.node, NodeId::Dimm { slot, .. } if cfg.slot_is_cxlg(slot));
+            if seg.node == self_node {
+                if let Some(server) = local_server.as_deref_mut() {
+                    server.request(pid, seg.coord, seg.bytes, op);
+                    continue;
+                }
+            }
+            // Same-switch RMW short-circuit for the S logic.
+            if access.access.kind == AccessKind::Rmw {
+                if let Some(rmws) = local_rmw.as_deref_mut() {
+                    if seg.node.switch() == self_node.switch() {
+                        rmws.push((pid, seg.coord, seg.bytes, seg.node));
+                        continue;
+                    }
+                }
+            }
+            let via_host = !cfg.opts.mem_access_opt && !seg_is_cxlg;
+            let msg = Message {
+                src: self_node,
+                dst: seg.node,
+                kind: msg_kind,
+                payload_bytes: seg.bytes,
+                tag: pid,
+                aux: seg.coord.pack(),
+                via_host,
+            };
+            egress.push(msg, now);
+        }
+    }
+
+    // ----- switch logic -------------------------------------------------
+
+    fn alloc_logic_serve(logic: &mut LogicNode, entry: LogicServe) -> u32 {
+        match logic.free_serve.pop() {
+            Some(i) => {
+                logic.serve[i as usize] = entry;
+                i
+            }
+            None => {
+                logic.serve.push(entry);
+                (logic.serve.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Issues the read phase of an atomic served by switch `s`'s logic.
+    fn logic_start_atomic(&mut self, s: usize, entry: LogicServe, now: Cycle) {
+        let via_host = entry.via_host;
+        let sidx = Self::alloc_logic_serve(&mut self.switches[s].logic, entry);
+        self.switches[s].logic.stats.incr("logic.atomics");
+        let msg = Message {
+            src: NodeId::SwitchLogic(s as u32),
+            dst: entry.dimm,
+            kind: MsgKind::ReadReq,
+            payload_bytes: entry.bytes,
+            tag: LOGIC_BIT | sidx as u64,
+            aux: entry.coord.pack(),
+            via_host,
+        };
+        self.switches[s].logic.egress.push(msg, now);
+    }
+
+    fn drive_logic(&mut self, s: usize, now: Cycle) {
+        // 1. Incoming bundles addressed to this logic.
+        while let Some(bundle) = self.switches[s].fabric.logic_recv() {
+            for msg in bundle.messages {
+                self.handle_logic_message(s, msg, now);
+            }
+        }
+
+        // 2. ALU stage: atomics whose read phase returned start writing.
+        while let Some(&(ready, sidx)) = self.switches[s].logic.alu_stage.front() {
+            if ready > now {
+                break;
+            }
+            self.switches[s].logic.alu_stage.pop_front();
+            let entry = self.switches[s].logic.serve[sidx as usize];
+            let msg = Message {
+                src: NodeId::SwitchLogic(s as u32),
+                dst: entry.dimm,
+                kind: MsgKind::WriteReq,
+                payload_bytes: entry.bytes,
+                tag: LOGIC_BIT | sidx as u64,
+                aux: entry.coord.pack(),
+                via_host: entry.via_host,
+            };
+            self.switches[s].logic.egress.push(msg, now);
+        }
+
+        // 3. The S-variant compute engine.
+        if self.switches[s].logic.engine.is_some() {
+            let issued = {
+                let e = self.switches[s].logic.engine.as_mut().expect("checked");
+                e.tick(now)
+            };
+            let self_node = NodeId::SwitchLogic(s as u32);
+            let mut local_rmws: Vec<(u64, DramCoord, u32, NodeId)> = Vec::new();
+            for ia in issued {
+                let map_idx = self.switches[s].logic.map_idx;
+                // Split borrows: clone nothing, work through indices.
+                let (maps, sw) = (&self.maps, &mut self.switches[s]);
+                Self::dispatch_access(
+                    &self.cfg,
+                    &maps[map_idx],
+                    self_node,
+                    ia,
+                    &mut sw.logic.pending,
+                    None,
+                    &mut sw.logic.egress,
+                    Some(&mut local_rmws),
+                    now,
+                );
+            }
+            for (pid, coord, bytes, dimm) in local_rmws {
+                let entry = LogicServe {
+                    requester: self_node,
+                    orig_tag: pid,
+                    coord,
+                    bytes,
+                    dimm,
+                    phase: AtomicPhase::Read,
+                    via_host: !self.cfg.opts.mem_access_opt,
+                    in_use: true,
+                };
+                self.logic_start_atomic(s, entry, now);
+            }
+        }
+
+        // 4. Pump egress onto the switch-bus.
+        self.switches[s].logic.egress.collect(now);
+        while let Some(bundle) = self.switches[s].logic.egress.queue.pop_front() {
+            self.switches[s].fabric.logic_send(bundle, now);
+        }
+    }
+
+    fn handle_logic_message(&mut self, s: usize, msg: Message, now: Cycle) {
+        match msg.kind {
+            MsgKind::AtomicReq => {
+                // Atomic intercepted for an unmodified DIMM of this switch.
+                let entry = LogicServe {
+                    requester: msg.src,
+                    orig_tag: msg.tag,
+                    coord: DramCoord::unpack(msg.aux),
+                    bytes: msg.payload_bytes,
+                    dimm: msg.dst,
+                    phase: AtomicPhase::Read,
+                    via_host: msg.via_host || !self.cfg.opts.mem_access_opt,
+                    in_use: true,
+                };
+                self.logic_start_atomic(s, entry, now);
+            }
+            MsgKind::ReadResp | MsgKind::Ack if msg.tag & LOGIC_BIT != 0 => {
+                let sidx = (msg.tag & !LOGIC_BIT) as u32;
+                let entry = self.switches[s].logic.serve[sidx as usize];
+                debug_assert!(entry.in_use);
+                match entry.phase {
+                    AtomicPhase::Read => {
+                        // Arithmetic in the Atomic Engine, then write back.
+                        self.switches[s].logic.serve[sidx as usize].phase = AtomicPhase::Write;
+                        let ready = now + Duration::new(self.rmw_alu_cycles);
+                        self.switches[s].logic.alu_stage.push_back((ready, sidx));
+                    }
+                    AtomicPhase::Write => {
+                        self.switches[s].logic.serve[sidx as usize].in_use = false;
+                        self.switches[s].logic.free_serve.push(sidx);
+                        let requester = entry.requester;
+                        if requester == NodeId::SwitchLogic(s as u32) {
+                            // Our own engine's RMW (BEACON-S local case).
+                            if let Some((token, _)) =
+                                self.switches[s].logic.pending.complete_one(entry.orig_tag)
+                            {
+                                if let Some(e) = self.switches[s].logic.engine.as_mut() {
+                                    e.on_data(token, now);
+                                }
+                            }
+                        } else {
+                            let ack = Message {
+                                src: NodeId::SwitchLogic(s as u32),
+                                dst: requester,
+                                kind: MsgKind::Ack,
+                                payload_bytes: 0,
+                                tag: entry.orig_tag,
+                                aux: 0,
+                                via_host: entry.via_host,
+                            };
+                            self.switches[s].logic.egress.push(ack, now);
+                        }
+                    }
+                }
+            }
+            MsgKind::ReadResp | MsgKind::Ack => {
+                // Response for the S-variant engine's plain access.
+                if let Some((token, _)) = self.switches[s].logic.pending.complete_one(msg.tag) {
+                    if let Some(e) = self.switches[s].logic.engine.as_mut() {
+                        e.on_data(token, now);
+                    }
+                }
+            }
+            other => {
+                debug_assert!(false, "unexpected {other:?} at switch logic");
+            }
+        }
+    }
+
+    // ----- DIMM slots ----------------------------------------------------
+
+    fn alloc_serve(serve: &mut Vec<ServeEntry>, free: &mut Vec<u32>, entry: ServeEntry) -> u32 {
+        match free.pop() {
+            Some(i) => {
+                serve[i as usize] = entry;
+                i
+            }
+            None => {
+                serve.push(entry);
+                (serve.len() - 1) as u32
+            }
+        }
+    }
+
+    fn drive_slot(&mut self, s: usize, slot: usize, now: Cycle) {
+        let port = self.switches[s].fabric.dimm_port(slot as u32);
+
+        // 1. Deliver incoming bundles.
+        while let Some(bundle) = self.switches[s].fabric.endpoint_recv(port, now) {
+            for msg in bundle.messages {
+                self.handle_slot_message(s, slot, msg, now);
+            }
+        }
+
+        // 2. CXLG engines issue accesses.
+        if let DimmSlot::Cxlg(_) = &self.switches[s].dimms[slot] {
+            let issued = match &mut self.switches[s].dimms[slot] {
+                DimmSlot::Cxlg(m) => m.engine.tick(now),
+                DimmSlot::Unmodified(_) => unreachable!(),
+            };
+            for ia in issued {
+                let (cfg, maps, sw) = (&self.cfg, &self.maps, &mut self.switches[s]);
+                match &mut sw.dimms[slot] {
+                    DimmSlot::Cxlg(m) => {
+                        Self::dispatch_access(
+                            cfg,
+                            &maps[m.map_idx],
+                            m.node,
+                            ia,
+                            &mut m.pending,
+                            Some(&mut m.server),
+                            &mut m.egress,
+                            None,
+                            now,
+                        );
+                    }
+                    DimmSlot::Unmodified(_) => unreachable!(),
+                }
+            }
+        }
+
+        // 3. Server progress + completions.
+        let (responses, completions) = match &mut self.switches[s].dimms[slot] {
+            DimmSlot::Cxlg(m) => {
+                m.server.tick(now);
+                Self::split_server_done(
+                    m.server.drain_done(),
+                    &mut m.serve,
+                    &mut m.free_serve,
+                    m.node,
+                    false,
+                )
+            }
+            DimmSlot::Unmodified(u) => {
+                u.server.tick(now);
+                Self::split_server_done(
+                    u.server.drain_done(),
+                    &mut u.serve,
+                    &mut u.free_serve,
+                    u.node,
+                    true,
+                )
+            }
+        };
+        for msg in responses {
+            match &mut self.switches[s].dimms[slot] {
+                DimmSlot::Cxlg(m) => m.egress.push(msg, now),
+                DimmSlot::Unmodified(u) => u.egress.push(msg, now),
+            }
+        }
+        for pid in completions {
+            if let DimmSlot::Cxlg(m) = &mut self.switches[s].dimms[slot] {
+                if let Some((token, _)) = m.pending.complete_one(pid) {
+                    m.engine.on_data(token, now);
+                }
+            }
+        }
+
+        // 4. Pump egress onto the port link (with back-pressure retry).
+        let sw = &mut self.switches[s];
+        let fabric = &mut sw.fabric;
+        match &mut sw.dimms[slot] {
+            DimmSlot::Cxlg(m) => {
+                m.egress.collect(now);
+                Self::pump_port(fabric, port, &mut m.egress, now);
+            }
+            DimmSlot::Unmodified(u) => {
+                u.egress.collect(now);
+                Self::pump_port(fabric, port, &mut u.egress, now);
+            }
+        }
+    }
+
+    fn pump_port(fabric: &mut Switch, port: usize, egress: &mut Egress, now: Cycle) {
+        while let Some(bundle) = egress.queue.pop_front() {
+            match fabric.endpoint_send(port, bundle, now) {
+                Ok(()) => {}
+                Err(e) => {
+                    egress.queue.push_front(e.0);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Splits finished server operations into response messages (for
+    /// remote serves) and local pending ids. Unmodified DIMMs inflate
+    /// read responses to whole 64 B lines (standard CXL.mem transfers).
+    fn split_server_done(
+        done: Vec<(u64, Cycle)>,
+        serve: &mut [ServeEntry],
+        free: &mut Vec<u32>,
+        node: NodeId,
+        inflate_lines: bool,
+    ) -> (Vec<Message>, Vec<u64>) {
+        let mut responses = Vec::new();
+        let mut completions = Vec::new();
+        for (id, _at) in done {
+            if id & SERVE_BIT != 0 {
+                let sidx = (id & !SERVE_BIT) as usize;
+                let entry = serve[sidx];
+                debug_assert!(entry.in_use);
+                serve[sidx].in_use = false;
+                free.push(sidx as u32);
+                let resp = match entry.kind {
+                    MsgKind::ReadReq => {
+                        let bytes = if inflate_lines {
+                            entry.bytes.div_ceil(64) * 64
+                        } else {
+                            entry.bytes
+                        };
+                        Message {
+                            src: node,
+                            dst: entry.requester,
+                            kind: MsgKind::ReadResp,
+                            payload_bytes: bytes,
+                            tag: entry.orig_tag,
+                            aux: 0,
+                            via_host: entry.via_host,
+                        }
+                    }
+                    _ => Message {
+                        src: node,
+                        dst: entry.requester,
+                        kind: MsgKind::Ack,
+                        payload_bytes: 0,
+                        tag: entry.orig_tag,
+                        aux: 0,
+                        via_host: entry.via_host,
+                    },
+                };
+                responses.push(resp);
+            } else {
+                completions.push(id);
+            }
+        }
+        (responses, completions)
+    }
+
+    fn handle_slot_message(&mut self, s: usize, slot: usize, msg: Message, now: Cycle) {
+        let _ = now;
+        match msg.kind {
+            MsgKind::ReadReq | MsgKind::WriteReq | MsgKind::AtomicReq => {
+                let coord = DramCoord::unpack(msg.aux);
+                let op = match msg.kind {
+                    MsgKind::ReadReq => ServiceOp::Read,
+                    MsgKind::WriteReq => ServiceOp::Write,
+                    MsgKind::AtomicReq => ServiceOp::Rmw,
+                    _ => unreachable!(),
+                };
+                let entry = ServeEntry {
+                    requester: msg.src,
+                    orig_tag: msg.tag,
+                    kind: msg.kind,
+                    bytes: msg.payload_bytes,
+                    via_host: msg.via_host,
+                    in_use: true,
+                };
+                match &mut self.switches[s].dimms[slot] {
+                    DimmSlot::Cxlg(m) => {
+                        let sidx = Self::alloc_serve(&mut m.serve, &mut m.free_serve, entry);
+                        m.server
+                            .request(SERVE_BIT | sidx as u64, coord, msg.payload_bytes, op);
+                    }
+                    DimmSlot::Unmodified(u) => {
+                        debug_assert!(
+                            msg.kind != MsgKind::AtomicReq,
+                            "atomics must be intercepted by the switch logic"
+                        );
+                        let sidx = Self::alloc_serve(&mut u.serve, &mut u.free_serve, entry);
+                        u.server
+                            .request(SERVE_BIT | sidx as u64, coord, msg.payload_bytes, op);
+                    }
+                }
+            }
+            MsgKind::ReadResp | MsgKind::Ack => match &mut self.switches[s].dimms[slot] {
+                DimmSlot::Cxlg(m) => {
+                    if let Some((token, _)) = m.pending.complete_one(msg.tag) {
+                        m.engine.on_data(token, now);
+                    }
+                }
+                DimmSlot::Unmodified(_) => {
+                    debug_assert!(false, "unmodified DIMM received a response");
+                }
+            },
+            MsgKind::Control => {}
+        }
+    }
+
+    /// The wall-clock seconds of the finished run at DDR4-1600 tCK.
+    pub fn seconds(&self) -> f64 {
+        self.finished_at
+            .to_seconds(TimingParams::ddr4_1600_22().tck_ps)
+    }
+}
+
+impl Tick for BeaconSystem {
+    fn tick(&mut self, now: Cycle) {
+        self.pump_host(now);
+        for s in 0..self.switches.len() {
+            self.switches[s].fabric.tick(now);
+            self.drive_logic(s, now);
+            for slot in 0..self.switches[s].dimms.len() {
+                self.drive_slot(s, slot, now);
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.host_stage.is_empty()
+            && self.switches.iter().all(|sw| {
+                sw.fabric.is_idle()
+                    && sw.logic.egress.is_idle()
+                    && sw.logic.alu_stage.is_empty()
+                    && sw.logic.pending.is_empty()
+                    && sw.logic.engine.as_ref().map(TaskEngine::all_done).unwrap_or(true)
+                    && sw.dimms.iter().all(|d| match d {
+                        DimmSlot::Cxlg(m) => {
+                            m.engine.all_done()
+                                && m.server.is_idle()
+                                && m.egress.is_idle()
+                                && m.pending.is_empty()
+                        }
+                        DimmSlot::Unmodified(u) => u.server.is_idle() && u.egress.is_idle(),
+                    })
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Optimizations;
+    use crate::mmf::{build_layout, LayoutSpec};
+    use beacon_genomics::genome::{Genome, GenomeId};
+    use beacon_genomics::prelude::FmIndex;
+    use beacon_genomics::reads::ReadSampler;
+    use beacon_genomics::trace::Region;
+
+    fn fm_workload(n: usize) -> (Vec<TaskTrace>, u64) {
+        let g = Genome::synthetic(GenomeId::Pt, 3000, 5);
+        let idx = FmIndex::build(g.sequence());
+        let mut sampler = ReadSampler::new(&g, 24, 0.0, 9);
+        let traces = (0..n)
+            .map(|_| idx.trace_search(sampler.next_read().bases()))
+            .collect();
+        (traces, idx.index_bytes())
+    }
+
+    fn small(cfg: &mut BeaconConfig) {
+        cfg.pes_per_module = 8;
+        cfg.refresh_enabled = false;
+    }
+
+    fn build(cfg: BeaconConfig, index_bytes: u64) -> BeaconSystem {
+        let specs = [LayoutSpec::shared_random(Region::FmIndex, index_bytes)];
+        let layout = build_layout(&cfg, &specs);
+        BeaconSystem::new(cfg, layout)
+    }
+
+    fn run_point(
+        variant: BeaconVariant,
+        opts: Optimizations,
+        traces: &[TaskTrace],
+        bytes: u64,
+    ) -> RunResult {
+        let app = beacon_genomics::trace::AppKind::FmSeeding;
+        let mut cfg = BeaconConfig::paper(variant, app).with_opts(opts);
+        small(&mut cfg);
+        let mut sys = build(cfg, bytes);
+        sys.submit_round_robin(traces.iter().cloned());
+        sys.run()
+    }
+
+    #[test]
+    fn beacon_d_vanilla_drains() {
+        let (traces, bytes) = fm_workload(16);
+        let r = run_point(BeaconVariant::D, Optimizations::vanilla(), &traces, bytes);
+        assert_eq!(r.tasks, 16);
+        assert!(r.cycles > 0);
+        assert!(r.dram.get("dram.cmd.read") > 0);
+        assert!(r.comm.get("cxl.flits") > 0);
+    }
+
+    #[test]
+    fn beacon_s_vanilla_drains() {
+        let (traces, bytes) = fm_workload(16);
+        let r = run_point(BeaconVariant::S, Optimizations::vanilla(), &traces, bytes);
+        assert_eq!(r.tasks, 16);
+        assert!(r.comm.get("cxl.flits") > 0);
+    }
+
+    #[test]
+    fn full_opts_beat_vanilla_on_d() {
+        let (traces, bytes) = fm_workload(24);
+        let app = beacon_genomics::trace::AppKind::FmSeeding;
+        let v = run_point(BeaconVariant::D, Optimizations::vanilla(), &traces, bytes);
+        let f = run_point(
+            BeaconVariant::D,
+            Optimizations::full(BeaconVariant::D, app),
+            &traces,
+            bytes,
+        );
+        assert!(
+            f.cycles < v.cycles,
+            "full ({}) should beat vanilla ({})",
+            f.cycles,
+            v.cycles
+        );
+    }
+
+    #[test]
+    fn mem_access_opt_removes_host_traffic() {
+        let (traces, bytes) = fm_workload(12);
+        let mut no_opt = Optimizations::vanilla();
+        no_opt.data_packing = true;
+        let mut with_opt = no_opt;
+        with_opt.mem_access_opt = true;
+        let a = run_point(BeaconVariant::S, no_opt, &traces, bytes);
+        let b = run_point(BeaconVariant::S, with_opt, &traces, bytes);
+        assert!(b.cycles < a.cycles, "device bias must help ({} vs {})", b.cycles, a.cycles);
+    }
+
+    #[test]
+    fn ideal_comm_is_fastest() {
+        let (traces, bytes) = fm_workload(16);
+        let app = beacon_genomics::trace::AppKind::FmSeeding;
+        let full = run_point(
+            BeaconVariant::D,
+            Optimizations::full(BeaconVariant::D, app),
+            &traces,
+            bytes,
+        );
+        let ideal = run_point(
+            BeaconVariant::D,
+            Optimizations::full_ideal(BeaconVariant::D, app),
+            &traces,
+            bytes,
+        );
+        assert!(ideal.cycles <= full.cycles);
+    }
+
+    #[test]
+    fn d_uses_cxlg_dram_under_placement() {
+        let (traces, bytes) = fm_workload(8);
+        let app = beacon_genomics::trace::AppKind::FmSeeding;
+        let mut cfg = BeaconConfig::paper_d(app)
+            .with_opts(Optimizations::full(BeaconVariant::D, app));
+        small(&mut cfg);
+        let mut sys = build(cfg, bytes);
+        sys.submit_round_robin(traces);
+        let r = sys.run();
+        // The FM index lives on the CXLG-DIMMs; their chip histograms are
+        // the only ones with traffic.
+        let hist = sys.cxlg_chip_histogram().unwrap();
+        assert!(hist.total() > 0);
+        assert_eq!(r.tasks, 8);
+    }
+
+    #[test]
+    fn kmer_atomics_reach_switch_logic_on_s() {
+        // k-mer counting on BEACON-S: RMWs are served by the switch PEs.
+        let g = Genome::synthetic(GenomeId::Human, 2000, 3);
+        let counter = beacon_genomics::kmer::KmerCounter::new(28, 1 << 16, 3, 7);
+        let mut sampler = ReadSampler::new(&g, 60, 0.01, 4);
+        let traces: Vec<TaskTrace> =
+            (0..8).map(|_| counter.trace_read(&sampler.next_read())).collect();
+
+        let app = beacon_genomics::trace::AppKind::KmerCounting;
+        let mut cfg = BeaconConfig::paper_s(app)
+            .with_opts(Optimizations::full(BeaconVariant::S, app));
+        small(&mut cfg);
+        let specs = [LayoutSpec::shared_random(Region::Bloom, 1 << 16)];
+        let layout = build_layout(&cfg, &specs);
+        let mut sys = BeaconSystem::new(cfg, layout);
+        sys.submit_round_robin(traces);
+        let r = sys.run();
+        assert_eq!(r.tasks, 8);
+        assert!(r.engine.get("logic.atomics") > 0);
+        // Both the read and write phase hit DRAM.
+        assert!(r.dram.get("dram.cmd.write") > 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! A serialised, bandwidth-limited, fixed-latency channel.
+//!
+//! One [`Link`] models one direction of a CXL channel (instantiate two for
+//! full duplex). Bundles serialise back to back at the configured
+//! bandwidth and arrive after the propagation latency; the sender sees
+//! back-pressure when the sender-side queue is full.
+
+use std::collections::VecDeque;
+
+use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::stats::Stats;
+
+use crate::bundle::Bundle;
+use crate::params::LinkParams;
+
+/// Error returned by [`Link::try_send`] when the sender queue is full;
+/// hands the bundle back for retry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError(pub Bundle);
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "link sender queue is full")
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// One direction of a CXL (or DDR-channel) link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    params: LinkParams,
+    /// Fractional cycle at which the serialiser becomes free.
+    busy_until: f64,
+    /// In-flight bundles, FIFO by arrival time (serialisation preserves
+    /// order): `(arrives_at, bundle)`.
+    in_flight: VecDeque<(Cycle, Bundle)>,
+    stats: Stats,
+}
+
+impl Link {
+    /// Creates an idle link.
+    ///
+    /// # Panics
+    /// Panics when the parameters are invalid.
+    pub fn new(params: LinkParams) -> Self {
+        params.validate().expect("invalid link params");
+        Link {
+            params,
+            busy_until: 0.0,
+            in_flight: VecDeque::new(),
+            stats: Stats::new(),
+        }
+    }
+
+    /// The link's parameters.
+    pub fn params(&self) -> &LinkParams {
+        &self.params
+    }
+
+    /// True when another bundle can be accepted at `now`.
+    pub fn can_send(&self, _now: Cycle) -> bool {
+        self.in_flight.len() < self.params.queue_depth
+    }
+
+    /// Sends a bundle; it will be delivered after serialisation and
+    /// propagation.
+    ///
+    /// # Errors
+    /// Hands the bundle back when the queue is full.
+    pub fn try_send(&mut self, bundle: Bundle, now: Cycle) -> Result<(), SendError> {
+        if !self.can_send(now) {
+            self.stats.incr("cxl.backpressure");
+            return Err(SendError(bundle));
+        }
+        let wire = bundle.wire_bytes_at(self.params.slot_bytes);
+        let start = self.busy_until.max(now.as_u64() as f64);
+        let ser = self.params.serialize_cycles(wire);
+        let done = start + ser;
+        self.busy_until = done;
+        let arrives = Cycle::new(done.ceil() as u64) + Duration::new(self.params.latency_cycles);
+
+        self.stats.incr("cxl.bundles");
+        self.stats.add("cxl.msgs", bundle.messages.len() as u64);
+        self.stats.add("cxl.flits", bundle.flits() as u64);
+        self.stats.add("cxl.wire_bytes", wire as u64);
+        self.stats.add("cxl.useful_bytes", bundle.useful_bytes() as u64);
+
+        self.in_flight.push_back((arrives, bundle));
+        Ok(())
+    }
+
+    /// Pops the next bundle that has arrived by `now`, if any.
+    pub fn deliver(&mut self, now: Cycle) -> Option<Bundle> {
+        match self.in_flight.front() {
+            Some((at, _)) if *at <= now => self.in_flight.pop_front().map(|(_, b)| b),
+            _ => None,
+        }
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// Traffic statistics (`cxl.flits`, `cxl.wire_bytes`, …).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Occupancy of the sender queue.
+    pub fn queued(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Message, NodeId};
+
+    fn resp(bytes: u32, tag: u64) -> Message {
+        let req = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(0, 1), bytes, tag);
+        Message::read_resp(&req)
+    }
+
+    #[test]
+    fn delivery_after_serialization_and_latency() {
+        let p = LinkParams {
+            bytes_per_cycle: 64.0,
+            latency_cycles: 10,
+            queue_depth: 4,
+            slot_bytes: 16,
+        };
+        let mut l = Link::new(p);
+        l.try_send(Bundle::single(resp(32, 1)), Cycle::ZERO).unwrap();
+        // 36 B useful -> 48 B wire / 64 Bpc -> 1 cycle + 10 latency = 11.
+        assert!(l.deliver(Cycle::new(10)).is_none());
+        assert!(l.deliver(Cycle::new(11)).is_some());
+        assert!(l.is_idle());
+    }
+
+    #[test]
+    fn bandwidth_serialises_back_to_back() {
+        let p = LinkParams {
+            bytes_per_cycle: 32.0, // 2 cycles per flit
+            latency_cycles: 0,
+            queue_depth: 8,
+            slot_bytes: 16,
+        };
+        let mut l = Link::new(p);
+        for i in 0..3 {
+            l.try_send(Bundle::single(resp(32, i)), Cycle::ZERO).unwrap();
+        }
+        // 48 B wire each at 32 Bpc: arrivals at 1.5, 3, 4.5 -> 2, 3, 5.
+        assert!(l.deliver(Cycle::new(1)).is_none());
+        assert!(l.deliver(Cycle::new(2)).is_some());
+        assert!(l.deliver(Cycle::new(3)).is_some());
+        assert!(l.deliver(Cycle::new(4)).is_none());
+        assert!(l.deliver(Cycle::new(5)).is_some());
+    }
+
+    #[test]
+    fn queue_full_backpressures() {
+        let p = LinkParams {
+            bytes_per_cycle: 1.0,
+            latency_cycles: 0,
+            queue_depth: 2,
+            slot_bytes: 16,
+        };
+        let mut l = Link::new(p);
+        l.try_send(Bundle::single(resp(32, 0)), Cycle::ZERO).unwrap();
+        l.try_send(Bundle::single(resp(32, 1)), Cycle::ZERO).unwrap();
+        let e = l.try_send(Bundle::single(resp(32, 2)), Cycle::ZERO);
+        assert!(e.is_err());
+        assert_eq!(l.stats().get("cxl.backpressure"), 1);
+    }
+
+    #[test]
+    fn stats_track_flits_and_efficiency_inputs() {
+        let mut l = Link::new(LinkParams::cxl_x8());
+        l.try_send(Bundle::single(resp(2, 0)), Cycle::ZERO).unwrap();
+        assert_eq!(l.stats().get("cxl.flits"), 1);
+        // 6 B useful -> one 16 B slot on the wire.
+        assert_eq!(l.stats().get("cxl.wire_bytes"), 16);
+        assert_eq!(l.stats().get("cxl.useful_bytes"), 6);
+    }
+
+    #[test]
+    fn ideal_link_delivers_within_one_cycle() {
+        let mut l = Link::new(LinkParams::ideal());
+        l.try_send(Bundle::single(resp(4096, 0)), Cycle::ZERO).unwrap();
+        assert!(l.deliver(Cycle::new(1)).is_some());
+    }
+
+    #[test]
+    fn later_send_starts_at_now() {
+        let p = LinkParams {
+            bytes_per_cycle: 64.0,
+            latency_cycles: 0,
+            queue_depth: 4,
+            slot_bytes: 16,
+        };
+        let mut l = Link::new(p);
+        l.try_send(Bundle::single(resp(32, 0)), Cycle::new(100)).unwrap();
+        assert!(l.deliver(Cycle::new(100)).is_none());
+        assert!(l.deliver(Cycle::new(101)).is_some());
+    }
+}

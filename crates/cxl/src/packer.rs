@@ -1,0 +1,231 @@
+//! The Data Packer (paper §IV-B, Fig. 6).
+//!
+//! Genome analysis moves fine-grained data (32 B FM-index buckets, single
+//! bits of Bloom filters) while CXL transfers 64 B flits. The Data Packer
+//! sits in the CXL interfaces and switch logic: it buffers outbound
+//! fine-grained messages per destination and emits them as shared-flit
+//! [`Bundle`]s, either when a flit fills up or when the oldest message
+//! exceeds a flush age.
+
+use std::collections::BTreeMap;
+
+use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::stats::Stats;
+
+use crate::bundle::Bundle;
+use crate::message::{Message, NodeId};
+use crate::params::FLIT_BYTES;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    msgs: Vec<Message>,
+    bytes: u32,
+    oldest: Cycle,
+}
+
+/// Packs fine-grained messages into shared flits per destination.
+#[derive(Debug, Clone)]
+pub struct DataPacker {
+    /// Maximum age of the oldest buffered message before a forced flush.
+    flush_age: Duration,
+    /// Target fill level in bytes (one flit by default).
+    fill_bytes: u32,
+    slots: BTreeMap<NodeId, Slot>,
+    ready: Vec<Bundle>,
+    stats: Stats,
+}
+
+impl DataPacker {
+    /// Creates a packer that flushes at one full flit or after
+    /// `flush_age_cycles`, whichever comes first.
+    pub fn new(flush_age_cycles: u64) -> Self {
+        DataPacker {
+            flush_age: Duration::new(flush_age_cycles),
+            fill_bytes: FLIT_BYTES,
+            slots: BTreeMap::new(),
+            ready: Vec::new(),
+            stats: Stats::new(),
+        }
+    }
+
+    /// Overrides the fill target (multiple flits per bundle).
+    pub fn with_fill_bytes(mut self, bytes: u32) -> Self {
+        assert!(bytes >= 1, "fill target must be positive");
+        self.fill_bytes = bytes;
+        self
+    }
+
+    /// Accepts an outbound message at `now`.
+    ///
+    /// Messages at or above the fill target bypass buffering entirely and
+    /// are emitted as their own bundle.
+    pub fn push(&mut self, msg: Message, now: Cycle) {
+        if msg.wire_bytes() >= self.fill_bytes {
+            self.stats.incr("packer.bypass");
+            self.ready.push(Bundle::single(msg));
+            return;
+        }
+        let slot = self.slots.entry(msg.dst).or_insert_with(|| Slot {
+            msgs: Vec::new(),
+            bytes: 0,
+            oldest: now,
+        });
+        if slot.msgs.is_empty() {
+            slot.oldest = now;
+        }
+        slot.bytes += msg.wire_bytes();
+        slot.msgs.push(msg);
+        self.stats.incr("packer.buffered");
+        if slot.bytes >= self.fill_bytes {
+            let full = std::mem::replace(
+                slot,
+                Slot {
+                    msgs: Vec::new(),
+                    bytes: 0,
+                    oldest: now,
+                },
+            );
+            self.stats.incr("packer.flush_full");
+            self.ready.push(Bundle::packed(full.msgs));
+        }
+    }
+
+    /// Flushes destinations whose oldest message has exceeded the flush
+    /// age. Call once per cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        let age = self.flush_age;
+        let expired: Vec<NodeId> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| !s.msgs.is_empty() && now.since(s.oldest) >= age)
+            .map(|(d, _)| *d)
+            .collect();
+        for dst in expired {
+            if let Some(slot) = self.slots.get_mut(&dst) {
+                let full = std::mem::replace(
+                    slot,
+                    Slot {
+                        msgs: Vec::new(),
+                        bytes: 0,
+                        oldest: now,
+                    },
+                );
+                self.stats.incr("packer.flush_age");
+                self.ready.push(Bundle::packed(full.msgs));
+            }
+        }
+    }
+
+    /// Forces out every buffered message (end of simulation drain).
+    pub fn flush_all(&mut self, _now: Cycle) {
+        let slots = std::mem::take(&mut self.slots);
+        for (_, slot) in slots {
+            if !slot.msgs.is_empty() {
+                self.ready.push(Bundle::packed(slot.msgs));
+            }
+        }
+    }
+
+    /// Pops the next ready bundle.
+    pub fn pop_ready(&mut self) -> Option<Bundle> {
+        if self.ready.is_empty() {
+            None
+        } else {
+            Some(self.ready.remove(0))
+        }
+    }
+
+    /// True when nothing is buffered or ready.
+    pub fn is_idle(&self) -> bool {
+        self.ready.is_empty() && self.slots.values().all(|s| s.msgs.is_empty())
+    }
+
+    /// Packer statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+/// Unpacks a bundle back into its messages (receive side).
+pub fn unpack(bundle: Bundle) -> Vec<Message> {
+    bundle.messages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(dst_slot: u32, tag: u64) -> Message {
+        // A 2-byte response heading for dimm(0, dst_slot).
+        let req = Message::read_req(NodeId::dimm(0, dst_slot), NodeId::dimm(0, 7), 2, tag);
+        Message::read_resp(&req)
+    }
+
+    #[test]
+    fn fills_one_flit_then_emits() {
+        let mut p = DataPacker::new(100);
+        // 6 B each on the wire; 11 messages cross 64 B.
+        for i in 0..10 {
+            p.push(small(1, i), Cycle::ZERO);
+            assert!(p.pop_ready().is_none());
+        }
+        p.push(small(1, 10), Cycle::ZERO);
+        let b = p.pop_ready().expect("flit filled");
+        assert_eq!(b.messages.len(), 11);
+        assert_eq!(b.flits(), 2); // 66 B -> 2 flits (spill)
+    }
+
+    #[test]
+    fn age_flush_releases_partial_bundles() {
+        let mut p = DataPacker::new(8);
+        p.push(small(1, 0), Cycle::ZERO);
+        p.tick(Cycle::new(7));
+        assert!(p.pop_ready().is_none());
+        p.tick(Cycle::new(8));
+        let b = p.pop_ready().expect("age flush");
+        assert_eq!(b.messages.len(), 1);
+    }
+
+    #[test]
+    fn destinations_are_packed_separately() {
+        let mut p = DataPacker::new(100);
+        p.push(small(1, 0), Cycle::ZERO);
+        p.push(small(2, 1), Cycle::ZERO);
+        p.flush_all(Cycle::ZERO);
+        let a = p.pop_ready().unwrap();
+        let b = p.pop_ready().unwrap();
+        assert_ne!(a.messages[0].dst, b.messages[0].dst);
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    fn large_messages_bypass() {
+        let mut p = DataPacker::new(100);
+        let req = Message::read_req(NodeId::Host, NodeId::dimm(0, 1), 64, 0);
+        let resp = Message::read_resp(&req);
+        p.push(resp, Cycle::ZERO);
+        assert!(p.pop_ready().is_some());
+        assert_eq!(p.stats().get("packer.bypass"), 1);
+    }
+
+    #[test]
+    fn unpack_returns_all_messages() {
+        let msgs: Vec<Message> = (0..5).map(|i| small(1, i)).collect();
+        let b = Bundle::packed(msgs.clone());
+        assert_eq!(unpack(b), msgs);
+    }
+
+    #[test]
+    fn packing_reduces_flits_versus_unpacked() {
+        let mut p = DataPacker::new(100);
+        for i in 0..8 {
+            p.push(small(1, i), Cycle::ZERO);
+        }
+        p.flush_all(Cycle::ZERO);
+        let packed_flits: u32 = std::iter::from_fn(|| p.pop_ready()).map(|b| b.flits()).sum();
+        let unpacked_flits: u32 = (0..8).map(|i| Bundle::single(small(1, i)).flits()).sum();
+        assert!(packed_flits < unpacked_flits);
+        assert_eq!(packed_flits, 1);
+        assert_eq!(unpacked_flits, 8);
+    }
+}

@@ -1,0 +1,420 @@
+//! The CXL switch: ports, routing, switch-bus and bus controller.
+//!
+//! A [`Switch`] owns the duplex links of its ports (port 0 is the host
+//! uplink, ports 1..=N are DIMM slots) plus the *Switch-Bus* added by
+//! BEACON (paper Fig. 5 a): an internal transport that routes traffic
+//! port-to-port — and to/from the in-switch logic — without a detour
+//! through the host. The bus controller is the bandwidth arbiter
+//! modelled by `bus_bytes_per_cycle`.
+
+use std::collections::VecDeque;
+
+use beacon_sim::component::Tick;
+use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::stats::Stats;
+use serde::{Deserialize, Serialize};
+
+use crate::bundle::Bundle;
+use crate::link::{Link, SendError};
+use crate::message::NodeId;
+use crate::params::LinkParams;
+
+/// Static configuration of a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchConfig {
+    /// This switch's index (matches `NodeId::SwitchLogic(idx)` and the
+    /// `switch_idx` of its DIMMs).
+    pub index: u32,
+    /// Number of downstream DIMM slots.
+    pub dimm_slots: u32,
+    /// Link parameters of each downstream DIMM port.
+    pub dimm_link: LinkParams,
+    /// Link parameters of the host uplink.
+    pub uplink: LinkParams,
+    /// Internal switch-bus bandwidth in bytes per cycle.
+    pub bus_bytes_per_cycle: f64,
+    /// Port-to-port forwarding latency in cycles.
+    pub forward_latency: u64,
+    /// Atomic requests addressed to local DIMM slots at or above this
+    /// index divert to the in-switch logic (the Atomic Engine serves
+    /// unmodified DIMMs; paper Fig. 7). `u32::MAX` disables interception.
+    pub atomic_intercept_from: u32,
+}
+
+impl SwitchConfig {
+    /// The paper's switch: 4 DIMM slots on x8 links, x16 uplink, an
+    /// internal bus matching the aggregate downstream bandwidth, ~25 ns
+    /// hop latency.
+    pub fn paper(index: u32, dimm_slots: u32) -> Self {
+        SwitchConfig {
+            index,
+            dimm_slots,
+            dimm_link: LinkParams::cxl_x8(),
+            uplink: LinkParams::cxl_x16(),
+            bus_bytes_per_cycle: 512.0,
+            forward_latency: 20,
+            atomic_intercept_from: u32::MAX,
+        }
+    }
+
+    /// Idealised communication variant: every link and the bus become
+    /// free and instantaneous.
+    pub fn idealized(mut self) -> Self {
+        self.dimm_link = LinkParams::ideal();
+        self.uplink = LinkParams::ideal();
+        self.bus_bytes_per_cycle = 1e12;
+        self.forward_latency = 0;
+        self
+    }
+}
+
+/// A CXL switch with `1 + dimm_slots` duplex ports and in-switch logic.
+#[derive(Debug, Clone)]
+pub struct Switch {
+    cfg: SwitchConfig,
+    /// `ingress[p]`: endpoint → switch direction of port `p`.
+    ingress: Vec<Link>,
+    /// `egress[p]`: switch → endpoint direction of port `p`.
+    egress: Vec<Link>,
+    /// Bundles routed and waiting for their egress link (or logic inbox):
+    /// `(ready_at, egress_port_or_logic, bundle)`.
+    staged: VecDeque<(Cycle, RouteTarget, Bundle)>,
+    /// Bundles addressed to this switch's internal logic.
+    logic_inbox: VecDeque<Bundle>,
+    bus_busy_until: f64,
+    stats: Stats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RouteTarget {
+    Port(usize),
+    Logic,
+}
+
+impl Switch {
+    /// Port index of the host uplink.
+    pub const UPLINK: usize = 0;
+
+    /// Builds an idle switch.
+    pub fn new(cfg: SwitchConfig) -> Self {
+        let ports = 1 + cfg.dimm_slots as usize;
+        let mut ingress = Vec::with_capacity(ports);
+        let mut egress = Vec::with_capacity(ports);
+        for p in 0..ports {
+            let params = if p == Self::UPLINK {
+                cfg.uplink
+            } else {
+                cfg.dimm_link
+            };
+            ingress.push(Link::new(params));
+            egress.push(Link::new(params));
+        }
+        Switch {
+            cfg,
+            ingress,
+            egress,
+            staged: VecDeque::new(),
+            logic_inbox: VecDeque::new(),
+            bus_busy_until: 0.0,
+            stats: Stats::new(),
+        }
+    }
+
+    /// This switch's configuration.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.cfg
+    }
+
+    /// Port index serving DIMM `slot`.
+    pub fn dimm_port(&self, slot: u32) -> usize {
+        assert!(slot < self.cfg.dimm_slots, "slot out of range");
+        1 + slot as usize
+    }
+
+    /// An endpoint attached to `port` sends a bundle toward the switch.
+    ///
+    /// # Errors
+    /// Hands the bundle back when the port's ingress link is saturated.
+    pub fn endpoint_send(
+        &mut self,
+        port: usize,
+        bundle: Bundle,
+        now: Cycle,
+    ) -> Result<(), SendError> {
+        self.ingress[port].try_send(bundle, now)
+    }
+
+    /// True when the endpoint on `port` could send at `now`.
+    pub fn endpoint_can_send(&self, port: usize, now: Cycle) -> bool {
+        self.ingress[port].can_send(now)
+    }
+
+    /// The endpoint attached to `port` receives the next arrived bundle.
+    pub fn endpoint_recv(&mut self, port: usize, now: Cycle) -> Option<Bundle> {
+        self.egress[port].deliver(now)
+    }
+
+    /// The in-switch logic injects a bundle onto the switch-bus.
+    pub fn logic_send(&mut self, bundle: Bundle, now: Cycle) {
+        let target = self.route(&bundle);
+        self.stage(target, bundle, now);
+    }
+
+    /// The in-switch logic receives the next bundle addressed to it.
+    pub fn logic_recv(&mut self) -> Option<Bundle> {
+        self.logic_inbox.pop_front()
+    }
+
+    /// Bundles waiting in the logic inbox.
+    pub fn logic_inbox_len(&self) -> usize {
+        self.logic_inbox.len()
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Merged statistics of every port link plus the switch itself.
+    pub fn merged_stats(&self) -> Stats {
+        let mut s = self.stats.clone();
+        for l in self.ingress.iter().chain(self.egress.iter()) {
+            s.merge(l.stats());
+        }
+        s
+    }
+
+    fn route(&self, bundle: &Bundle) -> RouteTarget {
+        // All messages in a bundle share a destination (packer invariant).
+        let dst = bundle.messages[0].dst;
+        debug_assert!(
+            bundle.messages.iter().all(|m| m.dst == dst),
+            "bundle with mixed destinations"
+        );
+        if bundle.messages[0].via_host {
+            // Host-bias: everything detours through the root port.
+            return RouteTarget::Port(Self::UPLINK);
+        }
+        if bundle.messages[0].kind == crate::message::MsgKind::AtomicReq {
+            if let NodeId::Dimm { switch_idx, slot } = dst {
+                if switch_idx == self.cfg.index && slot >= self.cfg.atomic_intercept_from {
+                    return RouteTarget::Logic;
+                }
+            }
+        }
+        match dst {
+            NodeId::SwitchLogic(s) if s == self.cfg.index => RouteTarget::Logic,
+            NodeId::Dimm { switch_idx, slot } if switch_idx == self.cfg.index => {
+                RouteTarget::Port(1 + slot as usize)
+            }
+            // Anything else (host, other switches' nodes) leaves via the
+            // uplink.
+            _ => RouteTarget::Port(Self::UPLINK),
+        }
+    }
+
+    fn stage(&mut self, target: RouteTarget, bundle: Bundle, now: Cycle) {
+        // Pay the switch-bus serialisation and hop latency.
+        let start = self.bus_busy_until.max(now.as_u64() as f64);
+        let ser = bundle.wire_bytes_at(16) as f64 / self.cfg.bus_bytes_per_cycle;
+        self.bus_busy_until = start + ser;
+        let ready =
+            Cycle::new((start + ser).ceil() as u64) + Duration::new(self.cfg.forward_latency);
+        self.stats.incr("switch.forwarded");
+        self.stats
+            .add("switch.bus_bytes", bundle.wire_bytes_at(16) as u64);
+        self.staged.push_back((ready, target, bundle));
+    }
+
+    fn pump_staged(&mut self, now: Cycle) {
+        // Try to move ready staged bundles onto their egress links; retry
+        // on back-pressure, preserving per-target order (head-of-line
+        // blocking is intentional — it is a real switch-bus effect).
+        let mut remaining = VecDeque::with_capacity(self.staged.len());
+        while let Some((ready, target, bundle)) = self.staged.pop_front() {
+            if ready > now {
+                remaining.push_back((ready, target, bundle));
+                continue;
+            }
+            match target {
+                RouteTarget::Logic => self.logic_inbox.push_back(bundle),
+                RouteTarget::Port(p) => match self.egress[p].try_send(bundle, now) {
+                    Ok(()) => {}
+                    Err(SendError(b)) => remaining.push_back((ready, target, b)),
+                },
+            }
+        }
+        self.staged = remaining;
+    }
+}
+
+impl Tick for Switch {
+    fn tick(&mut self, now: Cycle) {
+        // Ingest arrived bundles from every port and route them.
+        for port in 0..self.ingress.len() {
+            while let Some(bundle) = self.ingress[port].deliver(now) {
+                let target = self.route(&bundle);
+                self.stage(target, bundle, now);
+            }
+        }
+        self.pump_staged(now);
+    }
+
+    fn is_idle(&self) -> bool {
+        self.staged.is_empty()
+            && self.ingress.iter().all(Link::is_idle)
+            && self.egress.iter().all(Link::is_idle)
+            && self.logic_inbox.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+
+    fn run_until<F: FnMut(&mut Switch, Cycle) -> bool>(
+        sw: &mut Switch,
+        mut f: F,
+        max: u64,
+    ) -> Option<Cycle> {
+        for t in 0..max {
+            let now = Cycle::new(t);
+            sw.tick(now);
+            if f(sw, now) {
+                return Some(now);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn dimm_to_dimm_stays_inside_switch() {
+        let mut sw = Switch::new(SwitchConfig::paper(0, 4));
+        let msg = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(0, 2), 32, 1);
+        let port = sw.dimm_port(0);
+        sw.endpoint_send(port, Bundle::single(msg), Cycle::ZERO).unwrap();
+
+        let dst_port = sw.dimm_port(2);
+        let at = run_until(
+            &mut sw,
+            |s, now| s.endpoint_recv(dst_port, now).is_some(),
+            10_000,
+        );
+        assert!(at.is_some());
+        assert_eq!(sw.stats().get("switch.forwarded"), 1);
+    }
+
+    #[test]
+    fn logic_destination_lands_in_inbox() {
+        let mut sw = Switch::new(SwitchConfig::paper(3, 2));
+        let msg = Message::read_req(NodeId::dimm(3, 0), NodeId::SwitchLogic(3), 32, 2);
+        let port = sw.dimm_port(0);
+        sw.endpoint_send(port, Bundle::single(msg), Cycle::ZERO).unwrap();
+        let at = run_until(&mut sw, |s, _| s.logic_inbox_len() > 0, 10_000);
+        assert!(at.is_some());
+        assert!(sw.logic_recv().is_some());
+    }
+
+    #[test]
+    fn foreign_destination_leaves_via_uplink() {
+        let mut sw = Switch::new(SwitchConfig::paper(0, 2));
+        // Destination on another switch.
+        let msg = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(1, 0), 32, 3);
+        let port = sw.dimm_port(0);
+        sw.endpoint_send(port, Bundle::single(msg), Cycle::ZERO).unwrap();
+        let at = run_until(
+            &mut sw,
+            |s, now| s.endpoint_recv(Switch::UPLINK, now).is_some(),
+            10_000,
+        );
+        assert!(at.is_some());
+    }
+
+    #[test]
+    fn logic_send_reaches_dimm_port() {
+        let mut sw = Switch::new(SwitchConfig::paper(0, 2));
+        let msg = Message::read_req(NodeId::SwitchLogic(0), NodeId::dimm(0, 1), 32, 4);
+        sw.logic_send(Bundle::single(msg), Cycle::ZERO);
+        let p = sw.dimm_port(1);
+        let at = run_until(&mut sw, |s, now| s.endpoint_recv(p, now).is_some(), 10_000);
+        assert!(at.is_some());
+    }
+
+    #[test]
+    fn idealized_switch_is_fast() {
+        let mut fast = Switch::new(SwitchConfig::paper(0, 2).idealized());
+        let mut slow = Switch::new(SwitchConfig::paper(0, 2));
+        let msg = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(0, 1), 32, 5);
+        fast.endpoint_send(1, Bundle::single(msg), Cycle::ZERO).unwrap();
+        slow.endpoint_send(1, Bundle::single(msg), Cycle::ZERO).unwrap();
+        let tf = run_until(&mut fast, |s, now| s.endpoint_recv(2, now).is_some(), 10_000).unwrap();
+        let ts = run_until(&mut slow, |s, now| s.endpoint_recv(2, now).is_some(), 10_000).unwrap();
+        assert!(tf < ts);
+    }
+
+    #[test]
+    fn is_idle_after_drain() {
+        let mut sw = Switch::new(SwitchConfig::paper(0, 2));
+        assert!(sw.is_idle());
+        let msg = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(0, 1), 32, 6);
+        sw.endpoint_send(1, Bundle::single(msg), Cycle::ZERO).unwrap();
+        assert!(!sw.is_idle());
+        run_until(&mut sw, |s, now| s.endpoint_recv(2, now).is_some(), 10_000).unwrap();
+        assert!(sw.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "slot out of range")]
+    fn dimm_port_validates_slot() {
+        let sw = Switch::new(SwitchConfig::paper(0, 2));
+        let _ = sw.dimm_port(2);
+    }
+
+    #[test]
+    fn atomics_to_managed_slots_divert_to_logic() {
+        let mut cfg = SwitchConfig::paper(0, 4);
+        cfg.atomic_intercept_from = 2; // slots 2 and 3 are unmodified
+        let mut sw = Switch::new(cfg);
+
+        // Atomic to a managed (unmodified) slot lands in the logic inbox.
+        let to_unmod = Message::atomic_req(NodeId::dimm(0, 0), NodeId::dimm(0, 3), 1, 1);
+        sw.endpoint_send(1, Bundle::single(to_unmod), Cycle::ZERO).unwrap();
+        let hit = run_until(&mut sw, |s, _| s.logic_inbox_len() > 0, 10_000);
+        assert!(hit.is_some(), "atomic should divert to the switch logic");
+
+        // Atomic to a CXLG slot (below the threshold) goes to the DIMM port.
+        let to_cxlg = Message::atomic_req(NodeId::dimm(0, 0), NodeId::dimm(0, 1), 1, 2);
+        sw.endpoint_send(1, Bundle::single(to_cxlg), Cycle::ZERO).unwrap();
+        let p = sw.dimm_port(1);
+        let hit = run_until(&mut sw, |s, now| s.endpoint_recv(p, now).is_some(), 10_000);
+        assert!(hit.is_some(), "atomic to CXLG must reach the DIMM directly");
+    }
+
+    #[test]
+    fn via_host_bundles_always_go_up() {
+        let mut sw = Switch::new(SwitchConfig::paper(0, 2));
+        // Even a same-switch destination leaves via the uplink when the
+        // host-bias flag is set.
+        let msg = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(0, 1), 32, 3)
+            .routed_via_host(true);
+        sw.endpoint_send(1, Bundle::single(msg), Cycle::ZERO).unwrap();
+        let hit = run_until(
+            &mut sw,
+            |s, now| s.endpoint_recv(Switch::UPLINK, now).is_some(),
+            10_000,
+        );
+        assert!(hit.is_some());
+    }
+
+    #[test]
+    fn merged_stats_include_link_counters() {
+        let mut sw = Switch::new(SwitchConfig::paper(0, 2));
+        let msg = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(0, 1), 32, 4);
+        sw.endpoint_send(1, Bundle::single(msg), Cycle::ZERO).unwrap();
+        run_until(&mut sw, |s, now| s.endpoint_recv(2, now).is_some(), 10_000).unwrap();
+        let stats = sw.merged_stats();
+        assert!(stats.get("cxl.wire_bytes") > 0);
+        assert!(stats.get("switch.forwarded") > 0);
+    }
+}

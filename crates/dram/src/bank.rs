@@ -1,0 +1,280 @@
+//! The per-bank timing state machine.
+//!
+//! Each modelled bank (one per `(rank, chip-group, bank)` tuple) tracks its
+//! open row and the earliest cycles at which the next ACT / column / PRE
+//! command may legally issue. The rules implemented here are the DDR4
+//! same-bank constraints; cross-bank constraints (tRRD, tFAW, command bus,
+//! data bus) live in [`crate::module`].
+
+use beacon_sim::cycle::{Cycle, Duration};
+use serde::{Deserialize, Serialize};
+
+use crate::command::CmdKind;
+use crate::params::TimingParams;
+
+/// Timing state of one bank.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BankTimer {
+    open_row: Option<u64>,
+    /// Earliest cycle an ACT may issue.
+    act_allowed: Cycle,
+    /// Earliest cycle a READ/WRITE may issue.
+    col_allowed: Cycle,
+    /// Earliest cycle a PRE may issue.
+    pre_allowed: Cycle,
+}
+
+impl Default for BankTimer {
+    fn default() -> Self {
+        BankTimer::new()
+    }
+}
+
+impl BankTimer {
+    /// A fresh, precharged bank.
+    pub fn new() -> Self {
+        BankTimer {
+            open_row: None,
+            act_allowed: Cycle::ZERO,
+            col_allowed: Cycle::NEVER, // no row open: no column command legal
+            pre_allowed: Cycle::ZERO,
+        }
+    }
+
+    /// Currently open row, if any.
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// The command this bank needs next in order to serve an access to
+    /// `row`: a column command when the row is open, ACT when the bank is
+    /// precharged, PRE when another row is open.
+    pub fn next_cmd_for(&self, row: u64, kind: CmdKind) -> CmdKind {
+        debug_assert!(kind.is_column());
+        match self.open_row {
+            Some(open) if open == row => kind,
+            Some(_) => CmdKind::Precharge,
+            None => CmdKind::Activate,
+        }
+    }
+
+    /// True when `cmd` may legally issue at `now`.
+    pub fn can_issue(&self, cmd: CmdKind, now: Cycle) -> bool {
+        match cmd {
+            CmdKind::Activate => self.open_row.is_none() && now >= self.act_allowed,
+            CmdKind::Precharge => self.open_row.is_some() && now >= self.pre_allowed,
+            CmdKind::Read | CmdKind::Write => self.open_row.is_some() && now >= self.col_allowed,
+            CmdKind::Refresh => self.open_row.is_none() && now >= self.act_allowed,
+        }
+    }
+
+    /// Earliest cycle at which `cmd` could issue (for scheduler look-ahead).
+    pub fn earliest(&self, cmd: CmdKind) -> Cycle {
+        match cmd {
+            CmdKind::Activate | CmdKind::Refresh => {
+                if self.open_row.is_some() {
+                    Cycle::NEVER
+                } else {
+                    self.act_allowed
+                }
+            }
+            CmdKind::Precharge => {
+                if self.open_row.is_none() {
+                    Cycle::NEVER
+                } else {
+                    self.pre_allowed
+                }
+            }
+            CmdKind::Read | CmdKind::Write => {
+                if self.open_row.is_none() {
+                    Cycle::NEVER
+                } else {
+                    self.col_allowed
+                }
+            }
+        }
+    }
+
+    /// Applies `cmd` at `now`, updating the same-bank constraints.
+    ///
+    /// For column commands, returns the half-open data window
+    /// `(first_beat, after_last_beat)` on the data bus.
+    ///
+    /// # Panics
+    /// Panics (debug) when the command is not legal at `now`; the
+    /// controller must check [`BankTimer::can_issue`] first.
+    pub fn apply(
+        &mut self,
+        cmd: CmdKind,
+        row: u64,
+        now: Cycle,
+        t: &TimingParams,
+    ) -> Option<(Cycle, Cycle)> {
+        debug_assert!(self.can_issue(cmd, now), "illegal {cmd:?} at {now:?}");
+        match cmd {
+            CmdKind::Activate => {
+                self.open_row = Some(row);
+                self.col_allowed = now + Duration::new(t.trcd);
+                self.pre_allowed = now + Duration::new(t.tras);
+                self.act_allowed = now + Duration::new(t.trc());
+                None
+            }
+            CmdKind::Precharge => {
+                self.open_row = None;
+                self.col_allowed = Cycle::NEVER;
+                self.act_allowed = self.act_allowed.max(now + Duration::new(t.trp));
+                None
+            }
+            CmdKind::Read => self.apply_column_chain(CmdKind::Read, now, t, 1),
+            CmdKind::Write => self.apply_column_chain(CmdKind::Write, now, t, 1),
+            CmdKind::Refresh => {
+                // Handled at rank granularity by the module; at the bank we
+                // just push out the next ACT.
+                self.act_allowed = self.act_allowed.max(now + Duration::new(t.trfc));
+                None
+            }
+        }
+    }
+
+    /// Applies a chain of `n` back-to-back column bursts issued as one
+    /// command (custom on-DIMM memory controllers expand multi-burst
+    /// fine-grained reads internally; the chip still pays full data-bus
+    /// occupancy). Returns the data window covering all `n` bursts.
+    ///
+    /// # Panics
+    /// Panics (debug) when a column command is not legal at `now` or
+    /// `n == 0`.
+    pub fn apply_column_chain(
+        &mut self,
+        kind: CmdKind,
+        now: Cycle,
+        t: &TimingParams,
+        n: u64,
+    ) -> Option<(Cycle, Cycle)> {
+        debug_assert!(kind.is_column() && n > 0);
+        debug_assert!(self.can_issue(kind, now), "illegal {kind:?} at {now:?}");
+        let occupancy = Duration::new(t.tbl).saturating_mul(n);
+        match kind {
+            CmdKind::Read => {
+                let first = now + Duration::new(t.cl);
+                let end = first + occupancy;
+                self.col_allowed = now + Duration::new(t.tccd).saturating_mul(n.max(1));
+                self.pre_allowed = self
+                    .pre_allowed
+                    .max(now + Duration::new(t.tccd).saturating_mul(n - 1) + Duration::new(t.trtp));
+                Some((first, end))
+            }
+            CmdKind::Write => {
+                let first = now + Duration::new(t.cwl);
+                let end = first + occupancy;
+                self.col_allowed = now + Duration::new(t.tccd).saturating_mul(n.max(1));
+                self.pre_allowed = self.pre_allowed.max(end + Duration::new(t.twr));
+                Some((first, end))
+            }
+            _ => unreachable!("column chain on non-column command"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr4_1600_22()
+    }
+
+    #[test]
+    fn fresh_bank_needs_activate() {
+        let b = BankTimer::new();
+        assert_eq!(b.next_cmd_for(5, CmdKind::Read), CmdKind::Activate);
+        assert!(b.can_issue(CmdKind::Activate, Cycle::ZERO));
+        assert!(!b.can_issue(CmdKind::Read, Cycle::ZERO));
+        assert!(!b.can_issue(CmdKind::Precharge, Cycle::ZERO));
+    }
+
+    #[test]
+    fn read_after_activate_waits_trcd() {
+        let timing = t();
+        let mut b = BankTimer::new();
+        b.apply(CmdKind::Activate, 5, Cycle::ZERO, &timing);
+        assert_eq!(b.next_cmd_for(5, CmdKind::Read), CmdKind::Read);
+        assert!(!b.can_issue(CmdKind::Read, Cycle::new(timing.trcd - 1)));
+        assert!(b.can_issue(CmdKind::Read, Cycle::new(timing.trcd)));
+    }
+
+    #[test]
+    fn row_conflict_requires_precharge() {
+        let timing = t();
+        let mut b = BankTimer::new();
+        b.apply(CmdKind::Activate, 5, Cycle::ZERO, &timing);
+        assert_eq!(b.next_cmd_for(9, CmdKind::Read), CmdKind::Precharge);
+    }
+
+    #[test]
+    fn precharge_respects_tras() {
+        let timing = t();
+        let mut b = BankTimer::new();
+        b.apply(CmdKind::Activate, 5, Cycle::ZERO, &timing);
+        assert!(!b.can_issue(CmdKind::Precharge, Cycle::new(timing.tras - 1)));
+        assert!(b.can_issue(CmdKind::Precharge, Cycle::new(timing.tras)));
+    }
+
+    #[test]
+    fn read_data_window_is_cl_to_cl_plus_bl() {
+        let timing = t();
+        let mut b = BankTimer::new();
+        b.apply(CmdKind::Activate, 5, Cycle::ZERO, &timing);
+        let now = Cycle::new(timing.trcd);
+        let (start, end) = b.apply(CmdKind::Read, 5, now, &timing).unwrap();
+        assert_eq!(start, now + Duration::new(timing.cl));
+        assert_eq!(end - start, Duration::new(timing.tbl));
+    }
+
+    #[test]
+    fn consecutive_reads_spaced_by_tccd() {
+        let timing = t();
+        let mut b = BankTimer::new();
+        b.apply(CmdKind::Activate, 5, Cycle::ZERO, &timing);
+        let now = Cycle::new(timing.trcd);
+        b.apply(CmdKind::Read, 5, now, &timing);
+        assert!(!b.can_issue(CmdKind::Read, now + Duration::new(timing.tccd - 1)));
+        assert!(b.can_issue(CmdKind::Read, now + Duration::new(timing.tccd)));
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let timing = t();
+        let mut b = BankTimer::new();
+        b.apply(CmdKind::Activate, 5, Cycle::ZERO, &timing);
+        let now = Cycle::new(timing.trcd);
+        b.apply(CmdKind::Write, 5, now, &timing);
+        let burst_end = now + Duration::new(timing.cwl + timing.tbl);
+        let pre_ok = burst_end + Duration::new(timing.twr);
+        assert!(!b.can_issue(CmdKind::Precharge, Cycle::new(pre_ok.as_u64() - 1)));
+        assert!(b.can_issue(CmdKind::Precharge, pre_ok));
+    }
+
+    #[test]
+    fn activate_after_precharge_waits_trp() {
+        let timing = t();
+        let mut b = BankTimer::new();
+        b.apply(CmdKind::Activate, 5, Cycle::ZERO, &timing);
+        let pre_at = Cycle::new(timing.tras);
+        b.apply(CmdKind::Precharge, 0, pre_at, &timing);
+        assert!(!b.can_issue(CmdKind::Activate, pre_at + Duration::new(timing.trp - 1)));
+        // trc from the original ACT may dominate; check both constraints.
+        let ok = (pre_at + Duration::new(timing.trp)).max(Cycle::new(timing.trc()));
+        assert!(b.can_issue(CmdKind::Activate, ok));
+    }
+
+    #[test]
+    fn earliest_matches_can_issue_boundary() {
+        let timing = t();
+        let mut b = BankTimer::new();
+        b.apply(CmdKind::Activate, 1, Cycle::ZERO, &timing);
+        let e = b.earliest(CmdKind::Read);
+        assert!(!b.can_issue(CmdKind::Read, Cycle::new(e.as_u64() - 1)));
+        assert!(b.can_issue(CmdKind::Read, e));
+    }
+}

@@ -1,0 +1,860 @@
+//! The DIMM: ranks × chip groups × banks behind an FR-FCFS controller.
+//!
+//! One [`Dimm`] owns the bank timing state, the shared command bus, the
+//! per-chip-group data lanes and the request queue, and advances cycle by
+//! cycle. The chip-select organisation is captured by [`AccessMode`]:
+//!
+//! * [`AccessMode::RankLockstep`] — a conventional DIMM: one chip select
+//!   per rank, all 16 chips act together, every burst moves 64 B.
+//! * [`AccessMode::PerChip`] — MEDAL-style fine-grained access: each chip
+//!   is its own group, a burst moves 4 B and chips serve independent
+//!   requests concurrently (Fig. 11 b).
+//! * [`AccessMode::Coalesced`] — BEACON's multi-chip coalescing: a tunable
+//!   number of chips form a group (Fig. 11 c), trading access granularity
+//!   against per-chip load balance.
+
+use std::collections::VecDeque;
+
+use beacon_sim::component::Tick;
+use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::queue::QueueFullError;
+use beacon_sim::stats::{Histogram, Stats};
+use serde::{Deserialize, Serialize};
+
+use crate::bank::BankTimer;
+use crate::command::CmdKind;
+use crate::params::{DimmGeometry, TimingParams};
+use crate::request::{CompletedAccess, MemRequest, ReqId, ReqKind};
+
+/// Memory-controller scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// First-ready, first-come-first-served: row hits may issue ahead of
+    /// older row misses (the default, as in Ramulator).
+    FrFcfs,
+    /// Strict in-order service of the oldest request.
+    Fcfs,
+}
+
+/// Chip-select organisation of a DIMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessMode {
+    /// Conventional: all chips of a rank in lock-step (one group).
+    RankLockstep,
+    /// One chip-select per chip (MEDAL-style fine-grained access).
+    PerChip,
+    /// Chips grouped `chips` at a time (BEACON multi-chip coalescing).
+    Coalesced {
+        /// Chips per group; must divide the chips per rank.
+        chips: u32,
+    },
+}
+
+impl AccessMode {
+    /// Chips driven together by one chip select.
+    pub fn chips_per_group(&self, geometry: &DimmGeometry) -> u32 {
+        match *self {
+            AccessMode::RankLockstep => geometry.chips_per_rank,
+            AccessMode::PerChip => 1,
+            AccessMode::Coalesced { chips } => chips,
+        }
+    }
+
+    /// Number of independently addressable chip groups per rank.
+    ///
+    /// # Panics
+    /// Panics when the group size does not divide the chips per rank.
+    pub fn group_count(&self, geometry: &DimmGeometry) -> u32 {
+        let per = self.chips_per_group(geometry);
+        assert!(
+            per > 0 && geometry.chips_per_rank.is_multiple_of(per),
+            "group size {per} must divide chips per rank {}",
+            geometry.chips_per_rank
+        );
+        geometry.chips_per_rank / per
+    }
+
+    /// Bytes moved by one burst of one group.
+    pub fn burst_bytes(&self, geometry: &DimmGeometry) -> u32 {
+        self.chips_per_group(geometry) * geometry.burst_bytes_per_chip()
+    }
+}
+
+/// Static configuration of a [`Dimm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DimmConfig {
+    /// Physical organisation.
+    pub geometry: DimmGeometry,
+    /// Timing grade.
+    pub timing: TimingParams,
+    /// Chip-select organisation.
+    pub access_mode: AccessMode,
+    /// Controller request-queue depth.
+    pub queue_depth: usize,
+    /// Whether periodic refresh is modelled.
+    pub refresh_enabled: bool,
+    /// NDP-customized DIMMs re-drive each rank's command/address bus from
+    /// the on-DIMM logic, giving one command slot per rank per cycle.
+    /// Commodity CXL memory expanders also qualify (their buffer chip has
+    /// an internal channel per rank); only bare DDR-DIMMs on a host
+    /// channel share one C/A bus.
+    pub per_rank_cmd_bus: bool,
+    /// Custom on-DIMM memory controllers expand a multi-burst fine-grained
+    /// access into back-to-back column bursts with a single command
+    /// (CXLG/MEDAL customisation).
+    pub chained_columns: bool,
+    /// Request scheduling policy.
+    pub policy: SchedPolicy,
+}
+
+impl DimmConfig {
+    /// The paper's DIMM with a given access mode: DDR4-1600 22-22-22,
+    /// 64 GB, queue depth 32, refresh on.
+    pub fn paper(access_mode: AccessMode) -> Self {
+        DimmConfig {
+            geometry: DimmGeometry::ddr4_8gb_x4(),
+            timing: TimingParams::ddr4_1600_22(),
+            access_mode,
+            queue_depth: 32,
+            refresh_enabled: true,
+            per_rank_cmd_bus: false,
+            chained_columns: false,
+            policy: SchedPolicy::FrFcfs,
+        }
+    }
+
+    /// The paper's DIMM as customized by an NDP design (per-rank command
+    /// buses and chained fine-grained column commands driven by the
+    /// on-DIMM logic).
+    pub fn paper_ndp(access_mode: AccessMode) -> Self {
+        let mut cfg = DimmConfig::paper(access_mode);
+        cfg.per_rank_cmd_bus = true;
+        cfg.chained_columns = true;
+        cfg
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    id: ReqId,
+    req: MemRequest,
+    enqueued_at: Cycle,
+    bursts_done: u32,
+    bursts_total: u32,
+    last_data_end: Cycle,
+}
+
+/// A cycle-accurate model of one DIMM (devices + controller front-end).
+#[derive(Debug, Clone)]
+pub struct Dimm {
+    cfg: DimmConfig,
+    groups_per_rank: u32,
+    /// `[rank][group][bank]`, flattened.
+    banks: Vec<BankTimer>,
+    /// Age-ordered request queue (explicitly bounded by `cfg.queue_depth`).
+    queue: VecDeque<Pending>,
+    completed: Vec<CompletedAccess>,
+    /// Data-lane occupancy per `(rank, chip group)`. The NDP module sits
+    /// on the DIMM and wires each rank independently, so ranks do not
+    /// share data lanes (this is where DIMM-NDP's intra-DIMM bandwidth
+    /// advantage comes from).
+    data_bus_free: Vec<Cycle>,
+    /// One entry per command bus (per rank when `per_rank_cmd_bus`,
+    /// otherwise a single shared bus).
+    cmd_bus_free: Vec<Cycle>,
+    /// Sliding window of the last four ACT cycles per `(rank, group)`.
+    /// tFAW is a per-device power constraint: chips that activate
+    /// independently (fine-grained chip select) each get their own
+    /// four-activate window — a key advantage of per-chip access.
+    act_window: Vec<VecDeque<Cycle>>,
+    /// Last ACT per `(rank, group)` (tRRD, same per-device reasoning).
+    last_act: Vec<Cycle>,
+    /// Next refresh deadline per rank.
+    refresh_due: Vec<Cycle>,
+    /// Rank unusable until this cycle (refreshing).
+    rank_busy: Vec<Cycle>,
+    next_id: u64,
+    stats: Stats,
+    chip_hist: Histogram,
+    ticked_cycles: u64,
+}
+
+impl Dimm {
+    /// Builds a DIMM from its configuration.
+    ///
+    /// # Panics
+    /// Panics when the geometry or timing parameters are inconsistent.
+    pub fn new(cfg: DimmConfig) -> Self {
+        cfg.geometry.validate().expect("invalid geometry");
+        cfg.timing.validate().expect("invalid timing");
+        let groups = cfg.access_mode.group_count(&cfg.geometry);
+        let nbanks = (cfg.geometry.ranks * groups * cfg.geometry.banks) as usize;
+        let chips = (cfg.geometry.ranks * cfg.geometry.chips_per_rank) as usize;
+        Dimm {
+            cfg,
+            groups_per_rank: groups,
+            banks: vec![BankTimer::new(); nbanks],
+            queue: VecDeque::with_capacity(cfg.queue_depth),
+            completed: Vec::new(),
+            data_bus_free: vec![Cycle::ZERO; (cfg.geometry.ranks * groups) as usize],
+            cmd_bus_free: vec![
+                Cycle::ZERO;
+                if cfg.per_rank_cmd_bus {
+                    cfg.geometry.ranks as usize
+                } else {
+                    1
+                }
+            ],
+            act_window: vec![
+                VecDeque::with_capacity(4);
+                (cfg.geometry.ranks * groups) as usize
+            ],
+            last_act: vec![Cycle::ZERO; (cfg.geometry.ranks * groups) as usize],
+            refresh_due: vec![Cycle::new(cfg.timing.trefi); cfg.geometry.ranks as usize],
+            rank_busy: vec![Cycle::ZERO; cfg.geometry.ranks as usize],
+            next_id: 0,
+            stats: Stats::new(),
+            chip_hist: Histogram::new(chips),
+            ticked_cycles: 0,
+        }
+    }
+
+    /// This DIMM's configuration.
+    pub fn config(&self) -> &DimmConfig {
+        &self.cfg
+    }
+
+    /// Chip groups per rank under the configured access mode.
+    pub fn groups_per_rank(&self) -> u32 {
+        self.groups_per_rank
+    }
+
+    /// Free request-queue slots (for caller-side back-pressure checks).
+    pub fn queue_free(&self) -> usize {
+        self.cfg.queue_depth - self.queue.len()
+    }
+
+    /// Enqueues a request, returning its id.
+    ///
+    /// # Errors
+    /// Hands the request back when the controller queue is full.
+    ///
+    /// # Panics
+    /// Panics when the coordinate is outside the configured geometry or
+    /// the request is empty — both are wiring bugs in the caller, not
+    /// runtime conditions.
+    pub fn enqueue(&mut self, req: MemRequest) -> Result<ReqId, QueueFullError<MemRequest>> {
+        let g = &self.cfg.geometry;
+        assert!(req.coord.rank < g.ranks, "rank out of range");
+        assert!(req.coord.group < self.groups_per_rank, "group out of range");
+        assert!(req.coord.bank < g.banks, "bank out of range");
+        assert!(req.coord.row < g.rows, "row out of range");
+        assert!(req.coord.col < g.cols_per_row(), "column out of range");
+        assert!(req.bytes > 0, "empty request");
+
+        if self.queue.len() >= self.cfg.queue_depth {
+            return Err(QueueFullError(req));
+        }
+        let burst_bytes = self.cfg.access_mode.burst_bytes(&self.cfg.geometry);
+        let bursts = req.bytes.div_ceil(burst_bytes).max(1);
+        let id = ReqId(self.next_id);
+        self.queue.push_back(Pending {
+            id,
+            req,
+            enqueued_at: self.now_hint(),
+            bursts_done: 0,
+            bursts_total: bursts,
+            last_data_end: Cycle::ZERO,
+        });
+        self.next_id += 1;
+        self.stats.incr(match req.kind {
+            ReqKind::Read => "dram.req.read",
+            ReqKind::Write => "dram.req.write",
+        });
+        Ok(id)
+    }
+
+    fn now_hint(&self) -> Cycle {
+        Cycle::new(self.ticked_cycles)
+    }
+
+    /// Removes and returns every finished access.
+    pub fn drain_completed(&mut self) -> Vec<CompletedAccess> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Statistics registry (command counts, row hits/misses, …).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Per-chip access histogram: bursts served by each physical chip.
+    pub fn chip_histogram(&self) -> &Histogram {
+        &self.chip_hist
+    }
+
+    /// Cycles this DIMM has been ticked (for background-energy accounting).
+    pub fn ticked_cycles(&self) -> u64 {
+        self.ticked_cycles
+    }
+
+    fn bank_index(&self, rank: u32, group: u32, bank: u32) -> usize {
+        ((rank * self.groups_per_rank + group) * self.cfg.geometry.banks + bank) as usize
+    }
+
+    fn lane_index(&self, rank: u32, group: u32) -> usize {
+        (rank * self.groups_per_rank + group) as usize
+    }
+
+    fn record_chip_access(&mut self, rank: u32, group: u32) {
+        let chips_per_group = self.cfg.access_mode.chips_per_group(&self.cfg.geometry);
+        let base = rank * self.cfg.geometry.chips_per_rank + group * chips_per_group;
+        for c in 0..chips_per_group {
+            self.chip_hist.record((base + c) as usize, 1);
+        }
+    }
+
+    fn maybe_refresh(&mut self, now: Cycle) {
+        if !self.cfg.refresh_enabled {
+            return;
+        }
+        for rank in 0..self.cfg.geometry.ranks {
+            if now < self.refresh_due[rank as usize] || now < self.rank_busy[rank as usize] {
+                continue;
+            }
+            // Close every open row in the rank (auto-precharge) and hold the
+            // rank busy for tRFC.
+            let t = self.cfg.timing;
+            for group in 0..self.groups_per_rank {
+                for bank in 0..self.cfg.geometry.banks {
+                    let idx = self.bank_index(rank, group, bank);
+                    if self.banks[idx].open_row().is_some() {
+                        // Model the forced precharge as resetting the bank;
+                        // its cost is folded into tRFC.
+                        self.banks[idx] = BankTimer::new();
+                    }
+                    // Push next-activate beyond the refresh window.
+                    let _ = &self.banks[idx];
+                }
+            }
+            self.rank_busy[rank as usize] = now + Duration::new(t.trfc);
+            self.refresh_due[rank as usize] = now + Duration::new(t.trefi);
+            self.stats.incr("dram.cmd.refresh");
+            self.stats.add(
+                "dram.refresh_chips",
+                self.cfg.geometry.chips_per_rank as u64,
+            );
+        }
+    }
+
+    fn retire_finished(&mut self, now: Cycle) {
+        // Sweep the queue for requests whose final data beat has left the
+        // bus; they retire out of order with respect to queue age.
+        let mut i = 0;
+        while i < self.queue.len() {
+            let p = &self.queue[i];
+            if p.bursts_done == p.bursts_total && p.last_data_end <= now {
+                let done = self.queue.remove(i).expect("index valid");
+                self.completed.push(CompletedAccess {
+                    id: done.id,
+                    request: done.req,
+                    finished_at: done.last_data_end,
+                    enqueued_at: done.enqueued_at,
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// True when an ACT to `(rank, group)` would violate tRRD or tFAW at
+    /// `now` (per-device windows).
+    fn act_blocked(&self, rank: u32, group: u32, now: Cycle) -> bool {
+        let t = &self.cfg.timing;
+        let r = self.lane_index(rank, group);
+        if now < self.last_act[r] + Duration::new(t.trrd) && self.last_act[r] != Cycle::ZERO {
+            return true;
+        }
+        let w = &self.act_window[r];
+        if w.len() == 4 {
+            if let Some(&oldest) = w.front() {
+                if now < oldest + Duration::new(t.tfaw) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn note_act(&mut self, rank: u32, group: u32, now: Cycle) {
+        let r = self.lane_index(rank, group);
+        self.last_act[r] = now;
+        let w = &mut self.act_window[r];
+        if w.len() == 4 {
+            w.pop_front();
+        }
+        w.push_back(now);
+    }
+
+    fn cmd_bus_index(&self, rank: u32) -> usize {
+        if self.cfg.per_rank_cmd_bus {
+            rank as usize
+        } else {
+            0
+        }
+    }
+
+    /// FR-FCFS issue: one command per cycle per command bus.
+    fn issue_one(&mut self, now: Cycle) {
+        let t = self.cfg.timing;
+        let chips_per_group = self.cfg.access_mode.chips_per_group(&self.cfg.geometry) as u64;
+
+        // Pass 1 (row hits first): oldest request whose column command can
+        // issue right now with a free data lane. Under FCFS only the
+        // oldest outstanding request may issue at all.
+        let fcfs_limit = match self.cfg.policy {
+            SchedPolicy::FrFcfs => usize::MAX,
+            SchedPolicy::Fcfs => {
+                match self
+                    .queue
+                    .iter()
+                    .position(|p| p.bursts_done < p.bursts_total)
+                {
+                    Some(i) => i + 1,
+                    None => 0,
+                }
+            }
+        };
+        let mut chosen: Option<(usize, CmdKind)> = None;
+        for (qidx, p) in self.queue.iter().enumerate().take(fcfs_limit) {
+            if p.bursts_done == p.bursts_total {
+                continue;
+            }
+            let c = p.req.coord;
+            if now < self.rank_busy[c.rank as usize]
+                || now < self.cmd_bus_free[self.cmd_bus_index(c.rank)]
+            {
+                continue;
+            }
+            let col_kind = match p.req.kind {
+                ReqKind::Read => CmdKind::Read,
+                ReqKind::Write => CmdKind::Write,
+            };
+            let bidx = self.bank_index(c.rank, c.group, c.bank);
+            let bank = &self.banks[bidx];
+            if bank.next_cmd_for(c.row, col_kind) == col_kind && bank.can_issue(col_kind, now) {
+                // Data lane must be free when the burst starts.
+                let lead = match p.req.kind {
+                    ReqKind::Read => t.cl,
+                    ReqKind::Write => t.cwl,
+                };
+                let start = now + Duration::new(lead);
+                if self.data_bus_free[self.lane_index(c.rank, c.group)] <= start {
+                    chosen = Some((qidx, col_kind));
+                    break;
+                }
+            }
+        }
+
+        // Pass 2: oldest request that needs an ACT or PRE it can issue now.
+        if chosen.is_none() {
+            for (qidx, p) in self.queue.iter().enumerate().take(fcfs_limit) {
+                if p.bursts_done == p.bursts_total {
+                    continue;
+                }
+                let c = p.req.coord;
+                if now < self.rank_busy[c.rank as usize]
+                    || now < self.cmd_bus_free[self.cmd_bus_index(c.rank)]
+                {
+                    continue;
+                }
+                let col_kind = match p.req.kind {
+                    ReqKind::Read => CmdKind::Read,
+                    ReqKind::Write => CmdKind::Write,
+                };
+                let bidx = self.bank_index(c.rank, c.group, c.bank);
+                let need = self.banks[bidx].next_cmd_for(c.row, col_kind);
+                if need.is_column() {
+                    continue; // column handled in pass 1
+                }
+                if need == CmdKind::Activate && self.act_blocked(c.rank, c.group, now) {
+                    continue;
+                }
+                if self.banks[bidx].can_issue(need, now) {
+                    chosen = Some((qidx, need));
+                    break;
+                }
+            }
+        }
+
+        let Some((qidx, kind)) = chosen else {
+            return;
+        };
+
+        let (coord, req_kind) = {
+            let p = &self.queue[qidx];
+            (p.req.coord, p.req.kind)
+        };
+        let bidx = self.bank_index(coord.rank, coord.group, coord.bank);
+        let window = self.banks[bidx].apply(kind, coord.row, now, &t);
+        let cbus = self.cmd_bus_index(coord.rank);
+        self.cmd_bus_free[cbus] = now + Duration::new(1);
+
+        match kind {
+            CmdKind::Activate => {
+                self.note_act(coord.rank, coord.group, now);
+                self.stats.incr("dram.cmd.act");
+                self.stats.add("dram.act_chips", chips_per_group);
+                self.stats.incr("dram.row_miss");
+            }
+            CmdKind::Precharge => {
+                self.stats.incr("dram.cmd.pre");
+                self.stats.add("dram.pre_chips", chips_per_group);
+                self.stats.incr("dram.row_conflict");
+            }
+            CmdKind::Read | CmdKind::Write => {
+                let (_start, end) = window.expect("column command has data window");
+                let lane = self.lane_index(coord.rank, coord.group);
+                let cols = self.cfg.geometry.cols_per_row();
+                let chained = {
+                    let p = &self.queue[qidx];
+                    if self.cfg.chained_columns {
+                        // Custom MC: expand the remaining same-row bursts
+                        // into one chained command (clamped at row end).
+                        let left = (p.bursts_total - p.bursts_done) as u64;
+                        let room = (cols - p.req.coord.col) as u64;
+                        left.min(room).max(1)
+                    } else {
+                        1
+                    }
+                };
+                // Recompute the data window for the chain length.
+                let end = if chained > 1 {
+                    let bidx2 = self.bank_index(coord.rank, coord.group, coord.bank);
+                    // First burst already applied; extend by the remaining
+                    // occupancy directly.
+                    let extra =
+                        beacon_sim::cycle::Duration::new(t.tbl).saturating_mul(chained - 1);
+                    let _ = bidx2;
+                    end + extra
+                } else {
+                    end
+                };
+                self.data_bus_free[lane] = end;
+                {
+                    let p = &mut self.queue[qidx];
+                    p.bursts_done += chained as u32;
+                    p.last_data_end = end;
+                    p.req.coord.col = (p.req.coord.col + chained as u32) % cols;
+                }
+                match req_kind {
+                    ReqKind::Read => {
+                        self.stats.incr("dram.cmd.read");
+                        self.stats.add("dram.rd_burst_chips", chips_per_group * chained);
+                    }
+                    ReqKind::Write => {
+                        self.stats.incr("dram.cmd.write");
+                        self.stats.add("dram.wr_burst_chips", chips_per_group * chained);
+                    }
+                }
+                self.stats.incr("dram.row_hit");
+                for _ in 0..chained {
+                    self.record_chip_access(coord.rank, coord.group);
+                }
+            }
+            CmdKind::Refresh => unreachable!("refresh issued by maybe_refresh"),
+        }
+    }
+}
+
+impl Tick for Dimm {
+    fn tick(&mut self, now: Cycle) {
+        self.ticked_cycles = now.as_u64() + 1;
+        self.maybe_refresh(now);
+        // One command slot per command bus per cycle.
+        for _ in 0..self.cmd_bus_free.len() {
+            self.issue_one(now);
+        }
+        self.retire_finished(now);
+    }
+
+    fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::DramCoord;
+    use beacon_sim::engine::Engine;
+
+    fn dimm(mode: AccessMode) -> Dimm {
+        let mut cfg = DimmConfig::paper(mode);
+        cfg.refresh_enabled = false;
+        Dimm::new(cfg)
+    }
+
+    fn coord(rank: u32, group: u32, bank: u32, row: u64, col: u32) -> DramCoord {
+        DramCoord {
+            rank,
+            group,
+            bank,
+            row,
+            col,
+        }
+    }
+
+    #[test]
+    fn single_read_latency_is_trcd_cl_bl() {
+        let mut d = dimm(AccessMode::RankLockstep);
+        let t = d.config().timing;
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 64)).unwrap();
+        let mut e = Engine::new();
+        e.run(&mut d);
+        let done = d.drain_completed();
+        assert_eq!(done.len(), 1);
+        // ACT at 0, RD at tRCD, data ends at tRCD+CL+BL.
+        assert_eq!(done[0].finished_at.as_u64(), t.trcd + t.cl + t.tbl);
+    }
+
+    #[test]
+    fn fine_grained_32b_needs_8_bursts_on_one_chip() {
+        let mut d = dimm(AccessMode::PerChip);
+        let t = d.config().timing;
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 32)).unwrap();
+        let mut e = Engine::new();
+        e.run(&mut d);
+        let done = d.drain_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(d.stats().get("dram.cmd.read"), 8);
+        // 8 bursts spaced tCCD apart: last read at tRCD + 7*tCCD.
+        assert_eq!(
+            done[0].finished_at.as_u64(),
+            t.trcd + 7 * t.tccd + t.cl + t.tbl
+        );
+    }
+
+    #[test]
+    fn coalesced_8_chips_32b_single_burst() {
+        let mut d = dimm(AccessMode::Coalesced { chips: 8 });
+        d.enqueue(MemRequest::read(coord(0, 1, 0, 10, 0), 32)).unwrap();
+        let mut e = Engine::new();
+        e.run(&mut d);
+        assert_eq!(d.stats().get("dram.cmd.read"), 1);
+        // 8 chips touched once.
+        assert_eq!(d.chip_histogram().total(), 8);
+    }
+
+    #[test]
+    fn row_hit_skips_activate() {
+        let mut d = dimm(AccessMode::RankLockstep);
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 64)).unwrap();
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 1), 64)).unwrap();
+        let mut e = Engine::new();
+        e.run(&mut d);
+        assert_eq!(d.stats().get("dram.cmd.act"), 1);
+        assert_eq!(d.stats().get("dram.cmd.read"), 2);
+    }
+
+    #[test]
+    fn row_conflict_precharges() {
+        let mut d = dimm(AccessMode::RankLockstep);
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 64)).unwrap();
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 11, 0), 64)).unwrap();
+        let mut e = Engine::new();
+        e.run(&mut d);
+        assert_eq!(d.stats().get("dram.cmd.act"), 2);
+        assert_eq!(d.stats().get("dram.cmd.pre"), 1);
+    }
+
+    #[test]
+    fn per_chip_groups_serve_in_parallel() {
+        // Two requests to different chips should overlap; total time is far
+        // less than 2x the single-request latency.
+        let mut d = dimm(AccessMode::PerChip);
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 32)).unwrap();
+        d.enqueue(MemRequest::read(coord(0, 1, 1, 10, 0), 32)).unwrap();
+        let mut e = Engine::new();
+        let out = e.run(&mut d);
+        let serial_estimate = 2 * (22 + 7 * 4 + 22 + 4);
+        assert!(out.finished_at().as_u64() < serial_estimate as u64);
+        let done = d.drain_completed();
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn writes_complete() {
+        let mut d = dimm(AccessMode::RankLockstep);
+        d.enqueue(MemRequest::write(coord(0, 0, 2, 5, 0), 64)).unwrap();
+        let mut e = Engine::new();
+        e.run(&mut d);
+        let done = d.drain_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(d.stats().get("dram.cmd.write"), 1);
+    }
+
+    #[test]
+    fn queue_full_returns_request() {
+        let mut cfg = DimmConfig::paper(AccessMode::RankLockstep);
+        cfg.queue_depth = 2;
+        cfg.refresh_enabled = false;
+        let mut d = Dimm::new(cfg);
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 1, 0), 64)).unwrap();
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 2, 0), 64)).unwrap();
+        let err = d.enqueue(MemRequest::read(coord(0, 0, 0, 3, 0), 64));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn refresh_fires_periodically() {
+        let mut cfg = DimmConfig::paper(AccessMode::RankLockstep);
+        cfg.refresh_enabled = true;
+        let mut d = Dimm::new(cfg);
+        let mut e = Engine::new();
+        // Run past two refresh intervals with an occasional request to keep
+        // the model non-idle.
+        let trefi = d.config().timing.trefi;
+        e.run_for(&mut d, 2 * trefi + 10);
+        assert!(d.stats().get("dram.cmd.refresh") >= d.config().geometry.ranks as u64);
+    }
+
+    #[test]
+    fn chip_histogram_records_lockstep_rank() {
+        let mut d = dimm(AccessMode::RankLockstep);
+        d.enqueue(MemRequest::read(coord(1, 0, 0, 10, 0), 64)).unwrap();
+        let mut e = Engine::new();
+        e.run(&mut d);
+        // One burst × 16 chips of rank 1.
+        assert_eq!(d.chip_histogram().total(), 16);
+        assert_eq!(d.chip_histogram().bucket(16), 1); // first chip of rank 1
+        assert_eq!(d.chip_histogram().bucket(0), 0); // rank 0 untouched
+    }
+
+    #[test]
+    #[should_panic(expected = "group out of range")]
+    fn enqueue_validates_group() {
+        let mut d = dimm(AccessMode::RankLockstep);
+        let _ = d.enqueue(MemRequest::read(coord(0, 5, 0, 0, 0), 64));
+    }
+
+    #[test]
+    fn frfcfs_beats_fcfs_on_mixed_row_traffic() {
+        // Two streams: row hits to an open row interleaved with misses to
+        // other rows. FR-FCFS issues the hits while the misses activate.
+        let run_with = |policy: SchedPolicy| -> u64 {
+            let mut cfg = DimmConfig::paper(AccessMode::RankLockstep);
+            cfg.refresh_enabled = false;
+            cfg.policy = policy;
+            let mut d = Dimm::new(cfg);
+            let mut e = Engine::new();
+            let mut total = 0u32;
+            while total < 64 {
+                let even = total.is_multiple_of(2);
+                let row = if even { 7 } else { 100 + total as u64 };
+                let bank = if even { 0 } else { 1 + (total % 8) };
+                match d.enqueue(MemRequest::read(coord(0, 0, bank, row, 0), 64)) {
+                    Ok(_) => total += 1,
+                    Err(_) => e.run_for(&mut d, 4),
+                }
+            }
+            e.run(&mut d).finished_at().as_u64()
+        };
+        let frfcfs = run_with(SchedPolicy::FrFcfs);
+        let fcfs = run_with(SchedPolicy::Fcfs);
+        assert!(
+            frfcfs <= fcfs,
+            "FR-FCFS ({frfcfs}) must not lose to FCFS ({fcfs})"
+        );
+    }
+
+    #[test]
+    fn fcfs_preserves_completion_order() {
+        let mut cfg = DimmConfig::paper(AccessMode::RankLockstep);
+        cfg.refresh_enabled = false;
+        cfg.policy = SchedPolicy::Fcfs;
+        let mut d = Dimm::new(cfg);
+        let ids: Vec<_> = (0..8)
+            .map(|i| {
+                d.enqueue(MemRequest::read(coord(0, 0, i % 4, 10 + i as u64, 0), 64))
+                    .unwrap()
+            })
+            .collect();
+        Engine::new().run(&mut d);
+        let done = d.drain_completed();
+        let order: Vec<_> = done.iter().map(|c| c.id).collect();
+        assert_eq!(order, ids, "FCFS must retire strictly in order");
+    }
+
+    #[test]
+    fn per_device_tfaw_lets_fine_grained_activate_faster() {
+        // Random row misses on many chips: per-chip CS has one tFAW
+        // window per chip, lock-step has one per rank, so the fine-grained
+        // DIMM sustains a much higher activate rate.
+        let run_random = |mode: AccessMode| -> u64 {
+            let mut cfg = DimmConfig::paper_ndp(mode);
+            cfg.refresh_enabled = false;
+            cfg.queue_depth = 64;
+            let mut d = Dimm::new(cfg);
+            let groups = d.groups_per_rank();
+            let mut e = Engine::new();
+            let mut issued = 0u32;
+            let mut seed = 0x9E3779B97F4A7C15u64;
+            while issued < 512 {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let c = coord(
+                    (seed >> 60) as u32 % 4,
+                    ((seed >> 40) % groups as u64) as u32,
+                    ((seed >> 20) % 16) as u32,
+                    seed % 512,
+                    0,
+                );
+                match d.enqueue(MemRequest::read(c, 4)) {
+                    Ok(_) => issued += 1,
+                    Err(_) => e.run_for(&mut d, 8),
+                }
+            }
+            e.run(&mut d).finished_at().as_u64()
+        };
+        let lockstep = run_random(AccessMode::RankLockstep);
+        let fine = run_random(AccessMode::PerChip);
+        assert!(
+            (fine as f64) * 1.5 < lockstep as f64,
+            "per-chip ({fine}) should be >=1.5x faster than lock-step ({lockstep}) on random activates"
+        );
+    }
+
+    #[test]
+    fn chained_columns_cut_command_count() {
+        // A 32 B fine-grained read is 8 bursts; the custom MC issues them
+        // as one chained command, a stock controller as eight.
+        let mut chained_cfg = DimmConfig::paper_ndp(AccessMode::PerChip);
+        chained_cfg.refresh_enabled = false;
+        let mut stock_cfg = DimmConfig::paper(AccessMode::PerChip);
+        stock_cfg.refresh_enabled = false;
+
+        for (cfg, expected_reads) in [(chained_cfg, 1u64), (stock_cfg, 8u64)] {
+            let mut d = Dimm::new(cfg);
+            d.enqueue(MemRequest::read(coord(0, 0, 0, 3, 0), 32)).unwrap();
+            Engine::new().run(&mut d);
+            assert_eq!(d.stats().get("dram.cmd.read"), expected_reads);
+            // Same data volume either way.
+            assert_eq!(d.stats().get("dram.rd_burst_chips"), 8);
+        }
+    }
+
+    #[test]
+    fn latency_includes_queueing() {
+        let mut d = dimm(AccessMode::RankLockstep);
+        for i in 0..4 {
+            d.enqueue(MemRequest::read(coord(0, 0, 0, 10 + i, 0), 64)).unwrap();
+        }
+        let mut e = Engine::new();
+        e.run(&mut d);
+        let done = d.drain_completed();
+        assert_eq!(done.len(), 4);
+        let mut latencies: Vec<u64> = done.iter().map(|c| c.latency().as_u64()).collect();
+        latencies.sort_unstable();
+        assert!(latencies[3] > latencies[0]);
+    }
+}

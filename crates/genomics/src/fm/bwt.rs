@@ -1,0 +1,85 @@
+//! Burrows–Wheeler transform from a suffix array.
+
+use crate::sequence::PackedSeq;
+
+/// The BWT of `text` + sentinel, as 2-bit codes with the sentinel position
+/// reported separately (it has no 2-bit code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bwt {
+    /// `bwt[i]` is the 2-bit code of the symbol preceding suffix `sa[i]`;
+    /// the entry at `sentinel_pos` is a placeholder (0) and must be
+    /// skipped by rank queries.
+    pub codes: Vec<u8>,
+    /// Index whose BWT symbol is the sentinel.
+    pub sentinel_pos: usize,
+}
+
+/// Computes the BWT from a text and its suffix array (as produced by
+/// [`crate::fm::suffix_array`]).
+///
+/// # Panics
+/// Panics when `sa.len() != text.len() + 1`.
+pub fn bwt_from_sa(text: &PackedSeq, sa: &[u32]) -> Bwt {
+    assert_eq!(sa.len(), text.len() + 1, "suffix array length mismatch");
+    let n = sa.len();
+    let mut codes = vec![0u8; n];
+    let mut sentinel_pos = usize::MAX;
+    for (i, &s) in sa.iter().enumerate() {
+        if s == 0 {
+            sentinel_pos = i; // predecessor of suffix 0 is the sentinel
+        } else {
+            codes[i] = text.get(s as usize - 1).code();
+        }
+    }
+    debug_assert!(sentinel_pos != usize::MAX);
+    Bwt {
+        codes,
+        sentinel_pos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fm::suffix_array;
+
+    #[test]
+    fn bwt_of_known_string() {
+        // text = "ACGT": suffixes of ACGT$ sorted: $, ACGT$, CGT$, GT$, T$
+        // predecessors:                        T,  $(0),  A,    C,   G
+        let s: PackedSeq = "ACGT".parse().unwrap();
+        let sa = suffix_array(&s);
+        let bwt = bwt_from_sa(&s, &sa);
+        assert_eq!(bwt.sentinel_pos, 1);
+        // codes: T, _, A, C, G = 3, _, 0, 1, 2
+        assert_eq!(bwt.codes[0], 3);
+        assert_eq!(bwt.codes[2], 0);
+        assert_eq!(bwt.codes[3], 1);
+        assert_eq!(bwt.codes[4], 2);
+    }
+
+    #[test]
+    fn bwt_is_permutation_of_text_plus_sentinel() {
+        let s: PackedSeq = "GATTACA".parse().unwrap();
+        let sa = suffix_array(&s);
+        let bwt = bwt_from_sa(&s, &sa);
+        let mut text_counts = [0usize; 4];
+        for b in s.iter() {
+            text_counts[b.code() as usize] += 1;
+        }
+        let mut bwt_counts = [0usize; 4];
+        for (i, &c) in bwt.codes.iter().enumerate() {
+            if i != bwt.sentinel_pos {
+                bwt_counts[c as usize] += 1;
+            }
+        }
+        assert_eq!(text_counts, bwt_counts);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_sa_length_panics() {
+        let s: PackedSeq = "ACGT".parse().unwrap();
+        let _ = bwt_from_sa(&s, &[0, 1, 2]);
+    }
+}

@@ -1,0 +1,21 @@
+//! FM-index based DNA seeding (the BWA-MEM kernel).
+//!
+//! The index is laid out the way MEDAL and BEACON store it in DRAM: the
+//! Burrows–Wheeler transform is checkpointed every 64 symbols into 32 B
+//! *Occ buckets* — 16 B of running counts plus 16 B of 2-bit packed BWT
+//! text — so that one backward-search boundary update costs exactly one
+//! fine-grained 32 B read. Those 32 B reads at data-dependent random
+//! offsets are the access pattern the whole accelerator line of work
+//! optimises.
+
+mod bwt;
+mod occ;
+mod sa;
+mod sais;
+mod search;
+
+pub use bwt::bwt_from_sa;
+pub use occ::{OccTable, BUCKET_BYTES, BUCKET_SYMBOLS};
+pub use sa::suffix_array;
+pub use sais::{suffix_array_fast, suffix_array_sais};
+pub use search::{FmIndex, SaRange};

@@ -1,0 +1,131 @@
+//! Suffix-array construction (prefix-doubling, O(n log² n)).
+//!
+//! The input alphabet is the 2-bit DNA code; a sentinel smaller than every
+//! base is appended internally, so the returned array has `len + 1`
+//! entries and `sa[0]` is always the sentinel suffix.
+
+use crate::sequence::PackedSeq;
+
+/// Builds the suffix array of `text` + sentinel.
+///
+/// Returns `sa` with `text.len() + 1` entries; `sa[i]` is the start
+/// position of the `i`-th smallest suffix (the sentinel suffix, position
+/// `text.len()`, sorts first).
+///
+/// # Panics
+/// Panics when the text exceeds `u32::MAX - 1` symbols.
+pub fn suffix_array(text: &PackedSeq) -> Vec<u32> {
+    let n = text.len() + 1;
+    assert!(n <= u32::MAX as usize, "text too long for u32 suffix array");
+
+    // Initial ranks: sentinel 0, bases 1..=4.
+    let mut rank: Vec<u32> = (0..n)
+        .map(|i| {
+            if i == text.len() {
+                0
+            } else {
+                text.get(i).code() as u32 + 1
+            }
+        })
+        .collect();
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut tmp: Vec<u32> = vec![0; n];
+
+    let mut k = 1usize;
+    while k < n {
+        let key = |i: u32| -> (u32, u32) {
+            let i = i as usize;
+            let second = if i + k < n { rank[i + k] + 1 } else { 0 };
+            (rank[i], second)
+        };
+        sa.sort_unstable_by_key(|&i| key(i));
+
+        tmp[sa[0] as usize] = 0;
+        for w in 1..n {
+            let prev = sa[w - 1];
+            let cur = sa[w];
+            tmp[cur as usize] = tmp[prev as usize] + u32::from(key(prev) != key(cur));
+        }
+        std::mem::swap(&mut rank, &mut tmp);
+        if rank[sa[n - 1] as usize] as usize == n - 1 {
+            break; // all ranks distinct
+        }
+        k *= 2;
+    }
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Base;
+    use crate::genome::{Genome, GenomeId};
+
+    fn naive_sa(text: &PackedSeq) -> Vec<u32> {
+        let n = text.len();
+        let codes: Vec<u8> = (0..n).map(|i| text.get(i).code() + 1).collect();
+        let mut suffixes: Vec<u32> = (0..=n as u32).collect();
+        suffixes.sort_by(|&a, &b| {
+            let sa = &codes[a as usize..];
+            let sb = &codes[b as usize..];
+            sa.cmp(sb)
+        });
+        suffixes
+    }
+
+    #[test]
+    fn matches_naive_on_small_strings() {
+        for text in ["A", "ACGT", "AAAA", "GATTACA", "ACGTACGTACGT", "TTTTTTAC"] {
+            let s: PackedSeq = text.parse().unwrap();
+            assert_eq!(suffix_array(&s), naive_sa(&s), "text {text}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_genome() {
+        let g = Genome::synthetic(GenomeId::Pt, 500, 7);
+        assert_eq!(suffix_array(g.sequence()), naive_sa(g.sequence()));
+    }
+
+    #[test]
+    fn sentinel_suffix_sorts_first() {
+        let s: PackedSeq = "CGTA".parse().unwrap();
+        let sa = suffix_array(&s);
+        assert_eq!(sa[0] as usize, s.len());
+    }
+
+    #[test]
+    fn is_a_permutation() {
+        let g = Genome::synthetic(GenomeId::Human, 1000, 3);
+        let sa = suffix_array(g.sequence());
+        let mut seen = vec![false; sa.len()];
+        for &i in &sa {
+            assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn suffixes_are_sorted() {
+        let g = Genome::synthetic(GenomeId::Pg, 300, 5);
+        let text = g.sequence();
+        let sa = suffix_array(text);
+        let suffix_codes = |start: u32| -> Vec<u8> {
+            (start as usize..text.len()).map(|i| text.get(i).code()).collect()
+        };
+        for w in 1..sa.len() {
+            let a = suffix_codes(sa[w - 1]);
+            let b = suffix_codes(sa[w]);
+            assert!(a <= b, "order violated at {w}");
+        }
+    }
+
+    #[test]
+    fn single_base_text() {
+        let mut s = PackedSeq::new();
+        s.push(Base::G);
+        let sa = suffix_array(&s);
+        assert_eq!(sa, vec![1, 0]);
+    }
+}

@@ -1,0 +1,232 @@
+//! SA-IS: linear-time suffix-array construction by induced sorting.
+//!
+//! The prefix-doubling builder in [`crate::fm::suffix_array`] is
+//! O(n log² n); for genome-scale references the induced-sorting algorithm
+//! of Nong, Zhang and Chan (2009) builds the suffix array in O(n). Both
+//! produce identical arrays (property-tested against each other), and
+//! [`suffix_array_fast`] picks SA-IS for large inputs.
+
+use crate::sequence::PackedSeq;
+
+/// Builds the suffix array of `text` + sentinel in O(n) via SA-IS.
+///
+/// Returns the same array as [`crate::fm::suffix_array`]: `text.len()+1`
+/// entries with the sentinel suffix first.
+///
+/// # Panics
+/// Panics when the text exceeds `u32::MAX - 2` symbols.
+pub fn suffix_array_sais(text: &PackedSeq) -> Vec<u32> {
+    assert!(
+        text.len() < (u32::MAX - 1) as usize,
+        "text too long for u32 suffix array"
+    );
+    // Symbols 1..=4 plus terminal sentinel 0.
+    let mut s: Vec<u32> = Vec::with_capacity(text.len() + 1);
+    s.extend((0..text.len()).map(|i| text.get(i).code() as u32 + 1));
+    s.push(0);
+    let sa = sais(&s, 5);
+    sa.into_iter().map(|x| x as u32).collect()
+}
+
+/// Drop-in replacement for [`crate::fm::suffix_array`] that switches to
+/// SA-IS above a size threshold.
+pub fn suffix_array_fast(text: &PackedSeq) -> Vec<u32> {
+    if text.len() >= 1 << 14 {
+        suffix_array_sais(text)
+    } else {
+        super::suffix_array(text)
+    }
+}
+
+/// Core SA-IS over an integer string whose last symbol is the unique
+/// minimum (the sentinel). `sigma` is the alphabet size.
+fn sais(s: &[u32], sigma: usize) -> Vec<usize> {
+    let n = s.len();
+    debug_assert!(n >= 1);
+    if n == 1 {
+        return vec![0];
+    }
+
+    // Classify suffixes: S-type (true) or L-type (false).
+    let mut is_s = vec![false; n];
+    is_s[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+    }
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+
+    // Bucket boundaries by symbol.
+    let mut bucket_sizes = vec![0usize; sigma];
+    for &c in s {
+        bucket_sizes[c as usize] += 1;
+    }
+    let bucket_heads = |sizes: &[usize]| -> Vec<usize> {
+        let mut heads = vec![0usize; sigma];
+        let mut sum = 0;
+        for (h, &sz) in heads.iter_mut().zip(sizes) {
+            *h = sum;
+            sum += sz;
+        }
+        heads
+    };
+    let bucket_tails = |sizes: &[usize]| -> Vec<usize> {
+        let mut tails = vec![0usize; sigma];
+        let mut sum = 0;
+        for (t, &sz) in tails.iter_mut().zip(sizes) {
+            sum += sz;
+            *t = sum;
+        }
+        tails
+    };
+
+    const EMPTY: usize = usize::MAX;
+
+    // Induced sort given a set of LMS positions (in order).
+    let induce = |lms: &[usize]| -> Vec<usize> {
+        let mut sa = vec![EMPTY; n];
+        // 1. Place LMS suffixes at their buckets' tails.
+        let mut tails = bucket_tails(&bucket_sizes);
+        for &p in lms.iter().rev() {
+            let c = s[p] as usize;
+            tails[c] -= 1;
+            sa[tails[c]] = p;
+        }
+        // 2. Induce L-type from left to right.
+        let mut heads = bucket_heads(&bucket_sizes);
+        for i in 0..n {
+            let p = sa[i];
+            if p != EMPTY && p > 0 && !is_s[p - 1] {
+                let c = s[p - 1] as usize;
+                sa[heads[c]] = p - 1;
+                heads[c] += 1;
+            }
+        }
+        // 3. Induce S-type from right to left (clearing LMS slots first is
+        // implicit: S-type placement overwrites them).
+        let mut tails = bucket_tails(&bucket_sizes);
+        for i in (0..n).rev() {
+            let p = sa[i];
+            if p != EMPTY && p > 0 && is_s[p - 1] {
+                let c = s[p - 1] as usize;
+                tails[c] -= 1;
+                sa[tails[c]] = p - 1;
+            }
+        }
+        sa
+    };
+
+    // First pass: approximate order of LMS suffixes.
+    let lms_positions: Vec<usize> = (0..n).filter(|&i| is_lms(i)).collect();
+    let sa1 = induce(&lms_positions);
+
+    // Extract LMS suffixes in SA order and name their LMS substrings.
+    let sorted_lms: Vec<usize> = sa1.iter().copied().filter(|&p| is_lms(p)).collect();
+    let mut names = vec![EMPTY; n];
+    let mut current = 0usize;
+    let mut prev: Option<usize> = None;
+    for &p in &sorted_lms {
+        if let Some(q) = prev {
+            if !lms_substrings_equal(s, &is_s, q, p) {
+                current += 1;
+            }
+        }
+        names[p] = current;
+        prev = Some(p);
+    }
+    let num_names = current + 1;
+
+    // Order LMS suffixes exactly.
+    let ordered_lms: Vec<usize> = if num_names == sorted_lms.len() {
+        sorted_lms
+    } else {
+        // Recurse on the reduced string of LMS names (in text order).
+        let reduced: Vec<u32> = lms_positions.iter().map(|&p| names[p] as u32).collect();
+        let sa_reduced = sais(&reduced, num_names);
+        sa_reduced.into_iter().map(|r| lms_positions[r]).collect()
+    };
+
+    induce(&ordered_lms)
+}
+
+/// Compares the LMS substrings starting at `a` and `b`.
+fn lms_substrings_equal(s: &[u32], is_s: &[bool], a: usize, b: usize) -> bool {
+    let n = s.len();
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+    let mut i = 0;
+    loop {
+        let pa = a + i;
+        let pb = b + i;
+        if pa >= n || pb >= n {
+            return false;
+        }
+        if s[pa] != s[pb] || is_s[pa] != is_s[pb] {
+            return false;
+        }
+        if i > 0 && (is_lms(pa) || is_lms(pb)) {
+            return is_lms(pa) && is_lms(pb);
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fm::suffix_array;
+    use crate::genome::{Genome, GenomeId};
+
+    #[test]
+    fn matches_doubling_on_small_strings() {
+        for text in [
+            "A", "AC", "CA", "AAAA", "ACGT", "GATTACA", "ACGTACGTACGT", "TTTTTTAC",
+            "ABRACADABRA".replace(['B', 'R', 'D'], "G").as_str(),
+            "CCCCCCCCCC",
+        ] {
+            let s: PackedSeq = text.parse().unwrap();
+            assert_eq!(suffix_array_sais(&s), suffix_array(&s), "text {text}");
+        }
+    }
+
+    #[test]
+    fn matches_doubling_on_genomes() {
+        for (id, len, seed) in [
+            (GenomeId::Pt, 5_000, 7),
+            (GenomeId::Human, 12_345, 11),
+            (GenomeId::Nf, 2_222, 3),
+        ] {
+            let g = Genome::synthetic(id, len, seed);
+            assert_eq!(
+                suffix_array_sais(g.sequence()),
+                suffix_array(g.sequence()),
+                "genome {id:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_builder_dispatches_both_ways() {
+        let small = Genome::synthetic(GenomeId::Pt, 500, 1);
+        let large = Genome::synthetic(GenomeId::Pt, 20_000, 1);
+        assert_eq!(
+            suffix_array_fast(small.sequence()),
+            suffix_array(small.sequence())
+        );
+        assert_eq!(
+            suffix_array_fast(large.sequence()),
+            suffix_array(large.sequence())
+        );
+    }
+
+    #[test]
+    fn sentinel_first_and_permutation() {
+        let g = Genome::synthetic(GenomeId::Ss, 3000, 5);
+        let sa = suffix_array_sais(g.sequence());
+        assert_eq!(sa.len(), g.len() + 1);
+        assert_eq!(sa[0] as usize, g.len());
+        let mut seen = vec![false; sa.len()];
+        for &i in &sa {
+            assert!(!seen[i as usize], "duplicate {i}");
+            seen[i as usize] = true;
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! FASTA/FASTQ input and output.
+//!
+//! Lets the library run on real sequencing data instead of the built-in
+//! synthetic genomes. Bases outside `ACGT` (e.g. `N`) are handled by the
+//! common genomics convention of substituting a deterministic base, so
+//! downstream 2-bit structures stay valid; the substitution count is
+//! reported.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::alphabet::Base;
+use crate::reads::Read;
+use crate::sequence::PackedSeq;
+
+/// One FASTA record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header line without the leading `>`.
+    pub id: String,
+    /// The sequence.
+    pub seq: PackedSeq,
+    /// Number of non-ACGT characters substituted during parsing.
+    pub substituted: usize,
+}
+
+/// One FASTQ record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Header line without the leading `@`.
+    pub id: String,
+    /// The read bases.
+    pub bases: Vec<Base>,
+    /// Phred quality string (kept verbatim).
+    pub quality: String,
+    /// Number of non-ACGT characters substituted during parsing.
+    pub substituted: usize,
+}
+
+/// Parse error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Substitutes a non-ACGT character deterministically (by its byte
+/// value), the convention genome indexes use for ambiguity codes.
+fn base_or_substitute(c: u8, substituted: &mut usize) -> Base {
+    match Base::from_ascii(c) {
+        Some(b) => b,
+        None => {
+            *substituted += 1;
+            Base::from_code(c % 4)
+        }
+    }
+}
+
+/// Reads every record of a FASTA stream.
+///
+/// # Errors
+/// Returns a [`ParseError`] on malformed input (sequence before the
+/// first header, empty records) or the underlying I/O error message.
+pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, ParseError> {
+    let mut records = Vec::new();
+    let mut current: Option<FastaRecord> = None;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| err(lineno, e.to_string()))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some(done) = current.take() {
+                if done.seq.is_empty() {
+                    return Err(err(lineno, format!("record '{}' has no sequence", done.id)));
+                }
+                records.push(done);
+            }
+            current = Some(FastaRecord {
+                id: header.trim().to_owned(),
+                seq: PackedSeq::new(),
+                substituted: 0,
+            });
+        } else {
+            let rec = current
+                .as_mut()
+                .ok_or_else(|| err(lineno, "sequence data before first '>' header"))?;
+            for &c in line.as_bytes() {
+                let b = base_or_substitute(c, &mut rec.substituted);
+                rec.seq.push(b);
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        if done.seq.is_empty() {
+            return Err(err(0, format!("record '{}' has no sequence", done.id)));
+        }
+        records.push(done);
+    }
+    Ok(records)
+}
+
+/// Writes records as FASTA with 70-column wrapping.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_fasta<W: Write>(mut writer: W, records: &[FastaRecord]) -> std::io::Result<()> {
+    for rec in records {
+        writeln!(writer, ">{}", rec.id)?;
+        let text = rec.seq.to_string();
+        for chunk in text.as_bytes().chunks(70) {
+            writer.write_all(chunk)?;
+            writeln!(writer)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads every record of a FASTQ stream.
+///
+/// # Errors
+/// Returns a [`ParseError`] on malformed input (bad header markers,
+/// quality/sequence length mismatch, truncated records).
+pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<FastqRecord>, ParseError> {
+    let mut lines = reader.lines().enumerate();
+    let mut records = Vec::new();
+
+    while let Some((idx, line)) = lines.next() {
+        let lineno = idx + 1;
+        let header = line.map_err(|e| err(lineno, e.to_string()))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            continue;
+        }
+        let id = header
+            .strip_prefix('@')
+            .ok_or_else(|| err(lineno, "expected '@' header"))?
+            .trim()
+            .to_owned();
+
+        let (sidx, seq_line) = lines
+            .next()
+            .ok_or_else(|| err(lineno, "truncated record: missing sequence"))?;
+        let seq_line = seq_line.map_err(|e| err(sidx + 1, e.to_string()))?;
+        let mut substituted = 0;
+        let bases: Vec<Base> = seq_line
+            .trim_end()
+            .bytes()
+            .map(|c| base_or_substitute(c, &mut substituted))
+            .collect();
+
+        let (pidx, plus) = lines
+            .next()
+            .ok_or_else(|| err(lineno, "truncated record: missing '+' line"))?;
+        let plus = plus.map_err(|e| err(pidx + 1, e.to_string()))?;
+        if !plus.starts_with('+') {
+            return Err(err(pidx + 1, "expected '+' separator"));
+        }
+
+        let (qidx, quality) = lines
+            .next()
+            .ok_or_else(|| err(lineno, "truncated record: missing quality"))?;
+        let quality = quality.map_err(|e| err(qidx + 1, e.to_string()))?;
+        let quality = quality.trim_end().to_owned();
+        if quality.len() != bases.len() {
+            return Err(err(
+                qidx + 1,
+                format!(
+                    "quality length {} != sequence length {}",
+                    quality.len(),
+                    bases.len()
+                ),
+            ));
+        }
+
+        records.push(FastqRecord {
+            id,
+            bases,
+            quality,
+            substituted,
+        });
+    }
+    Ok(records)
+}
+
+/// Writes records as FASTQ.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_fastq<W: Write>(mut writer: W, records: &[FastqRecord]) -> std::io::Result<()> {
+    for rec in records {
+        writeln!(writer, "@{}", rec.id)?;
+        for b in &rec.bases {
+            write!(writer, "{b}")?;
+        }
+        writeln!(writer)?;
+        writeln!(writer, "+")?;
+        writeln!(writer, "{}", rec.quality)?;
+    }
+    Ok(())
+}
+
+/// Converts reads sampled by the built-in simulator into FASTQ records
+/// (constant quality), e.g. to hand a synthetic workload to external
+/// tools.
+pub fn reads_to_fastq(reads: &[Read]) -> Vec<FastqRecord> {
+    reads
+        .iter()
+        .enumerate()
+        .map(|(i, r)| FastqRecord {
+            id: format!("read_{i} pos={}", r.origin()),
+            bases: r.bases().to_vec(),
+            quality: "I".repeat(r.len()),
+            substituted: 0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn fasta_round_trip() {
+        let input = ">chr1 test\nACGTACGT\nTTGG\n>chr2\nCCCC\n";
+        let records = read_fasta(Cursor::new(input)).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "chr1 test");
+        assert_eq!(records[0].seq.to_string(), "ACGTACGTTTGG");
+        assert_eq!(records[1].seq.to_string(), "CCCC");
+
+        let mut out = Vec::new();
+        write_fasta(&mut out, &records).unwrap();
+        let reparsed = read_fasta(Cursor::new(out)).unwrap();
+        assert_eq!(reparsed, records);
+    }
+
+    #[test]
+    fn fasta_wraps_long_lines() {
+        let seq: String = "ACGT".repeat(50); // 200 bases
+        let records = read_fasta(Cursor::new(format!(">x\n{seq}\n"))).unwrap();
+        let mut out = Vec::new();
+        write_fasta(&mut out, &records).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.lines().skip(1).all(|l| l.len() <= 70));
+    }
+
+    #[test]
+    fn fasta_substitutes_ambiguity_codes() {
+        let records = read_fasta(Cursor::new(">x\nACGNNT\n")).unwrap();
+        assert_eq!(records[0].substituted, 2);
+        assert_eq!(records[0].seq.len(), 6);
+    }
+
+    #[test]
+    fn fasta_rejects_headerless_sequence() {
+        let e = read_fasta(Cursor::new("ACGT\n")).unwrap_err();
+        assert!(e.message.contains("before first"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn fasta_rejects_empty_record() {
+        assert!(read_fasta(Cursor::new(">x\n>y\nACGT\n")).is_err());
+        assert!(read_fasta(Cursor::new(">x\nACGT\n>y\n")).is_err());
+    }
+
+    #[test]
+    fn fastq_round_trip() {
+        let input = "@r1\nACGT\n+\nIIII\n@r2 extra\nTT\n+r2\nJJ\n";
+        let records = read_fastq(Cursor::new(input)).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "r1");
+        assert_eq!(records[1].quality, "JJ");
+
+        let mut out = Vec::new();
+        write_fastq(&mut out, &records).unwrap();
+        let reparsed = read_fastq(Cursor::new(out)).unwrap();
+        assert_eq!(reparsed.len(), 2);
+        assert_eq!(reparsed[0].bases, records[0].bases);
+    }
+
+    #[test]
+    fn fastq_validates_quality_length() {
+        let e = read_fastq(Cursor::new("@r\nACGT\n+\nII\n")).unwrap_err();
+        assert!(e.message.contains("quality length"));
+    }
+
+    #[test]
+    fn fastq_rejects_bad_markers() {
+        assert!(read_fastq(Cursor::new("r1\nACGT\n+\nIIII\n")).is_err());
+        assert!(read_fastq(Cursor::new("@r1\nACGT\nX\nIIII\n")).is_err());
+        assert!(read_fastq(Cursor::new("@r1\nACGT\n")).is_err());
+    }
+
+    #[test]
+    fn reads_export_as_fastq() {
+        use crate::genome::{Genome, GenomeId};
+        use crate::reads::ReadSampler;
+        let g = Genome::synthetic(GenomeId::Pt, 2000, 1);
+        let reads = ReadSampler::new(&g, 50, 0.0, 2).take_reads(3);
+        let records = reads_to_fastq(&reads);
+        assert_eq!(records.len(), 3);
+        assert!(records[0].id.starts_with("read_0"));
+        assert_eq!(records[0].quality.len(), 50);
+    }
+}

@@ -1,0 +1,12 @@
+//! k-mer counting (the BFCounter/NEST kernel).
+//!
+//! Counting is done with a counting Bloom filter: each k-mer increments
+//! `h` byte-wide counters at hash-derived positions. Those increments are
+//! the random read-modify-write accesses BEACON's atomic engines exist
+//! for (paper §IV-B ⑨).
+
+mod bloom;
+mod counter;
+
+pub use bloom::CountingBloom;
+pub use counter::{canonical_kmers, KmerCounter};

@@ -1,0 +1,65 @@
+//! # beacon-genomics — genome-analysis kernels with access-trace generation
+//!
+//! Functional Rust implementations of the four applications BEACON
+//! accelerates, each able to emit the *dependency-chained memory-access
+//! trace* its hardware execution would produce:
+//!
+//! * **FM-index based DNA seeding** ([`fm`]) — suffix array, BWT and a
+//!   checkpointed Occ structure laid out in 32 B buckets so that every
+//!   backward-search step reads exactly two fine-grained buckets (the
+//!   access pattern MEDAL and BEACON are built around).
+//! * **Hash-index based DNA seeding** ([`hash_index`]) — a k-mer seed
+//!   table whose candidate-location lists are stored contiguously
+//!   (row-level spatial locality, paper §IV-C principle 2).
+//! * **k-mer counting** ([`kmer`]) — a counting Bloom filter à la
+//!   BFCounter/NEST, with both the multi-pass (NEST) and single-pass
+//!   (BEACON-S) strategies.
+//! * **DNA pre-alignment** ([`prealign`]) — a Shouji-style sliding-window
+//!   bit-parallel filter.
+//!
+//! Synthetic genomes ([`genome`]) substitute for the paper's NCBI
+//! datasets (see DESIGN.md §1): they preserve the *relative* sizes of the
+//! five genomes and the repeat structure that drives seeding behaviour.
+//!
+//! ```
+//! use beacon_genomics::prelude::*;
+//!
+//! let genome = Genome::synthetic(GenomeId::Pt, 10_000, 42);
+//! let index = FmIndex::build(genome.sequence());
+//! let reads = ReadSampler::new(&genome, 64, 0.01, 7).take_reads(5);
+//! for read in &reads {
+//!     let hits = index.backward_search(read.bases());
+//!     let trace = index.trace_search(read.bases());
+//!     assert!(!trace.steps.is_empty());
+//!     let _ = hits; // SA range (possibly empty under sequencing errors)
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod alphabet;
+pub mod fm;
+pub mod genome;
+pub mod hash_index;
+pub mod io;
+pub mod kmer;
+pub mod prealign;
+pub mod reads;
+pub mod sequence;
+pub mod trace;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::align::{banded_align, Alignment};
+    pub use crate::alphabet::Base;
+    pub use crate::io::{read_fasta, read_fastq, write_fasta, write_fastq};
+    pub use crate::fm::FmIndex;
+    pub use crate::genome::{Genome, GenomeId};
+    pub use crate::hash_index::HashIndex;
+    pub use crate::kmer::{CountingBloom, KmerCounter};
+    pub use crate::prealign::PreAlignFilter;
+    pub use crate::reads::{Read, ReadSampler};
+    pub use crate::sequence::PackedSeq;
+    pub use crate::trace::{Access, AccessKind, AppKind, Region, Step, TaskTrace};
+}

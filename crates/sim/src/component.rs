@@ -1,0 +1,27 @@
+//! The component abstraction: anything that advances cycle by cycle.
+
+use crate::cycle::Cycle;
+
+/// A simulated hardware component advanced by the engine once per cycle.
+///
+/// Implementations must be *monotone*: `tick` is called with strictly
+/// increasing `now` values and must never look into the future.
+///
+/// ```
+/// use beacon_sim::component::Tick;
+/// use beacon_sim::cycle::Cycle;
+///
+/// struct Counter(u64);
+/// impl Tick for Counter {
+///     fn tick(&mut self, _now: Cycle) { self.0 += 1; }
+///     fn is_idle(&self) -> bool { self.0 >= 10 }
+/// }
+/// ```
+pub trait Tick {
+    /// Advances the component to cycle `now`.
+    fn tick(&mut self, now: Cycle);
+
+    /// True when the component holds no in-flight work. The engine stops
+    /// once every component reports idle and no external work remains.
+    fn is_idle(&self) -> bool;
+}

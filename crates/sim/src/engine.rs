@@ -1,0 +1,197 @@
+//! A minimal tick-driven execution engine.
+//!
+//! The BEACON system models are single large components internally wired
+//! together (queues between sub-blocks), so the engine's job is merely to
+//! drive the top-level `tick`, detect quiescence and guard against
+//! deadlocked models with a cycle limit.
+
+use crate::component::Tick;
+use crate::cycle::Cycle;
+
+/// Outcome of running a model to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The model drained: every component reported idle.
+    Drained {
+        /// Cycle at which the model first reported idle.
+        finished_at: Cycle,
+    },
+    /// The cycle limit was hit before the model drained — almost always a
+    /// deadlock or starvation bug in the wiring.
+    LimitReached {
+        /// The limit that was hit.
+        limit: Cycle,
+    },
+}
+
+impl RunOutcome {
+    /// Completion cycle.
+    ///
+    /// # Panics
+    /// Panics when the run hit the cycle limit; callers that tolerate
+    /// truncated runs should match on the enum instead.
+    pub fn finished_at(self) -> Cycle {
+        match self {
+            RunOutcome::Drained { finished_at } => finished_at,
+            RunOutcome::LimitReached { limit } => {
+                panic!("simulation did not drain within {limit:?}")
+            }
+        }
+    }
+
+    /// True when the model drained before the limit.
+    pub fn drained(self) -> bool {
+        matches!(self, RunOutcome::Drained { .. })
+    }
+}
+
+/// Drives a [`Tick`] component until it reports idle.
+///
+/// ```
+/// use beacon_sim::prelude::*;
+/// use beacon_sim::engine::RunOutcome;
+///
+/// struct Delay { remaining: u64 }
+/// impl Tick for Delay {
+///     fn tick(&mut self, _now: Cycle) {
+///         self.remaining = self.remaining.saturating_sub(1);
+///     }
+///     fn is_idle(&self) -> bool { self.remaining == 0 }
+/// }
+///
+/// let mut engine = Engine::new();
+/// let outcome = engine.run(&mut Delay { remaining: 100 });
+/// assert_eq!(outcome.finished_at(), Cycle::new(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    now: Cycle,
+    limit: Cycle,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Default cycle limit: generous enough for every experiment in the
+    /// repository while still catching deadlocks in finite time.
+    pub const DEFAULT_LIMIT: u64 = 20_000_000_000;
+
+    /// Creates an engine starting at cycle zero with the default limit.
+    pub fn new() -> Self {
+        Engine {
+            now: Cycle::ZERO,
+            limit: Cycle::new(Self::DEFAULT_LIMIT),
+        }
+    }
+
+    /// Replaces the deadlock-guard cycle limit.
+    pub fn with_limit(mut self, limit: u64) -> Self {
+        self.limit = Cycle::new(limit);
+        self
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Runs `model` until it reports idle or the limit is reached.
+    pub fn run<T: Tick + ?Sized>(&mut self, model: &mut T) -> RunOutcome {
+        while !model.is_idle() {
+            if self.now >= self.limit {
+                return RunOutcome::LimitReached { limit: self.limit };
+            }
+            model.tick(self.now);
+            self.now = self.now.next();
+        }
+        RunOutcome::Drained {
+            finished_at: self.now,
+        }
+    }
+
+    /// Runs `model` for exactly `cycles` additional cycles (regardless of
+    /// idleness); useful for warm-up phases and open-loop experiments.
+    pub fn run_for<T: Tick + ?Sized>(&mut self, model: &mut T, cycles: u64) {
+        let end = self.now + crate::cycle::Duration::new(cycles);
+        while self.now < end {
+            model.tick(self.now);
+            self.now = self.now.next();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Countdown {
+        n: u64,
+    }
+
+    impl Tick for Countdown {
+        fn tick(&mut self, _now: Cycle) {
+            self.n = self.n.saturating_sub(1);
+        }
+        fn is_idle(&self) -> bool {
+            self.n == 0
+        }
+    }
+
+    struct NeverIdle;
+
+    impl Tick for NeverIdle {
+        fn tick(&mut self, _now: Cycle) {}
+        fn is_idle(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn drains_at_expected_cycle() {
+        let mut e = Engine::new();
+        let out = e.run(&mut Countdown { n: 7 });
+        assert_eq!(out.finished_at(), Cycle::new(7));
+    }
+
+    #[test]
+    fn already_idle_model_finishes_immediately() {
+        let mut e = Engine::new();
+        let out = e.run(&mut Countdown { n: 0 });
+        assert_eq!(out.finished_at(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn limit_guards_against_deadlock() {
+        let mut e = Engine::new().with_limit(50);
+        let out = e.run(&mut NeverIdle);
+        assert!(!out.drained());
+    }
+
+    #[test]
+    #[should_panic(expected = "did not drain")]
+    fn finished_at_panics_on_limit() {
+        let mut e = Engine::new().with_limit(5);
+        e.run(&mut NeverIdle).finished_at();
+    }
+
+    #[test]
+    fn run_for_advances_exactly() {
+        let mut e = Engine::new();
+        let mut m = Countdown { n: 1000 };
+        e.run_for(&mut m, 10);
+        assert_eq!(e.now(), Cycle::new(10));
+        assert_eq!(m.n, 990);
+    }
+
+    #[test]
+    fn successive_runs_continue_time() {
+        let mut e = Engine::new();
+        e.run(&mut Countdown { n: 5 });
+        let out = e.run(&mut Countdown { n: 5 });
+        assert_eq!(out.finished_at(), Cycle::new(10));
+    }
+}

@@ -1,0 +1,41 @@
+//! # beacon-sim — cycle-level simulation kernel
+//!
+//! This crate provides the shared machinery that the BEACON simulator stack
+//! is built on: a strongly-typed [`cycle::Cycle`] time base, bounded queues with
+//! back-pressure ([`queue::BoundedQueue`]), a statistics registry
+//! ([`stats::Stats`]), deterministic random-number helpers ([`rng`]) and a
+//! simple tick-driven execution [`engine`].
+//!
+//! All of the hardware models in `beacon-dram`, `beacon-cxl`,
+//! `beacon-accel` and `beacon-core` advance in units of one **DRAM bus
+//! cycle** (tCK). Components implement [`component::Tick`] and are advanced
+//! by an [`engine::Engine`] until the modelled workload drains.
+//!
+//! ```
+//! use beacon_sim::prelude::*;
+//!
+//! let mut q: BoundedQueue<u32> = BoundedQueue::new(2);
+//! assert!(q.try_push(1).is_ok());
+//! assert!(q.try_push(2).is_ok());
+//! assert!(q.try_push(3).is_err()); // back-pressure
+//! assert_eq!(q.pop(), Some(1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod component;
+pub mod cycle;
+pub mod engine;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::component::Tick;
+    pub use crate::cycle::{Cycle, Duration};
+    pub use crate::engine::Engine;
+    pub use crate::queue::BoundedQueue;
+    pub use crate::rng::SimRng;
+    pub use crate::stats::{Histogram, Stats};
+}

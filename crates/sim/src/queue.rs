@@ -1,0 +1,211 @@
+//! Bounded FIFO queues with back-pressure.
+//!
+//! Hardware buffers are finite; every queue in the BEACON models is a
+//! [`BoundedQueue`] so that structural hazards (full buffers) propagate
+//! back-pressure exactly as they would in the modelled hardware.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Error returned by [`BoundedQueue::try_push`] when the queue is full.
+///
+/// The rejected element is handed back so the caller can retry next cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFullError<T>(pub T);
+
+impl<T> fmt::Display for QueueFullError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "queue is full")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for QueueFullError<T> {}
+
+/// A bounded FIFO queue modelling a hardware buffer.
+///
+/// ```
+/// use beacon_sim::queue::BoundedQueue;
+/// let mut q = BoundedQueue::new(1);
+/// q.try_push('a').unwrap();
+/// let back = q.try_push('b').unwrap_err().0;
+/// assert_eq!(back, 'b');
+/// assert_eq!(q.pop(), Some('a'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    /// High-water mark: the largest occupancy ever observed.
+    peak: usize,
+    total_pushed: u64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue with the given capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a zero-entry buffer cannot exist in
+    /// hardware and always deadlocks the model.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            peak: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Attempts to append `item`; hands it back inside
+    /// [`QueueFullError`] when the queue is at capacity.
+    pub fn try_push(&mut self, item: T) -> Result<(), QueueFullError<T>> {
+        if self.items.len() >= self.capacity {
+            return Err(QueueFullError(item));
+        }
+        self.items.push_back(item);
+        self.peak = self.peak.max(self.items.len());
+        self.total_pushed += 1;
+        Ok(())
+    }
+
+    /// Removes and returns the oldest element.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest element without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Number of queued elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when another push would fail.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Remaining free slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Largest occupancy ever observed (for sizing studies).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Total number of elements ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Iterates over queued elements from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes and returns the first element matching `pred`, preserving the
+    /// order of the others. Used by schedulers that may issue out of order
+    /// (e.g. FR-FCFS picking row hits ahead of older row misses).
+    pub fn pop_first_matching<F>(&mut self, pred: F) -> Option<T>
+    where
+        F: FnMut(&T) -> bool,
+    {
+        let idx = self.items.iter().position(pred)?;
+        self.items.remove(idx)
+    }
+
+    /// Drains every queued element.
+    pub fn drain_all(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.items.drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_to_full_queue_returns_item() {
+        let mut q = BoundedQueue::new(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        assert!(q.is_full());
+        let e = q.try_push("c").unwrap_err();
+        assert_eq!(e.0, "c");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        q.pop();
+        q.pop();
+        assert_eq!(q.peak(), 3);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_first_matching_preserves_order_of_rest() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.pop_first_matching(|&x| x == 2), Some(2));
+        let rest: Vec<_> = q.drain_all().collect();
+        assert_eq!(rest, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn pop_first_matching_misses_return_none() {
+        let mut q = BoundedQueue::new(2);
+        q.try_push(7).unwrap();
+        assert_eq!(q.pop_first_matching(|&x| x == 9), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn free_and_capacity_are_consistent() {
+        let mut q = BoundedQueue::new(3);
+        assert_eq!(q.free(), 3);
+        q.try_push(0u8).unwrap();
+        assert_eq!(q.free(), 2);
+        assert_eq!(q.capacity(), 3);
+        assert_eq!(q.total_pushed(), 1);
+    }
+}

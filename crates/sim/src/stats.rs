@@ -1,0 +1,322 @@
+//! Statistics collection: named counters and histograms.
+//!
+//! Every simulated component owns (or shares) a [`Stats`] registry. The
+//! registry is deliberately string-keyed: experiments print whichever subset
+//! of counters a figure needs, and ad-hoc counters can be added deep inside a
+//! model without threading new struct fields through the stack.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A registry of named counters and histograms.
+///
+/// ```
+/// use beacon_sim::stats::Stats;
+/// let mut s = Stats::new();
+/// s.add("dram.read", 2);
+/// s.add("dram.read", 3);
+/// assert_eq!(s.get("dram.read"), 5);
+/// assert_eq!(s.get("dram.write"), 0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+    values: BTreeMap<String, f64>,
+}
+
+impl Stats {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Adds `amount` to counter `key`, creating it at zero if absent.
+    pub fn add(&mut self, key: &str, amount: u64) {
+        if amount == 0 {
+            return;
+        }
+        match self.counters.get_mut(key) {
+            Some(v) => *v += amount,
+            None => {
+                self.counters.insert(key.to_owned(), amount);
+            }
+        }
+    }
+
+    /// Increments counter `key` by one.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Current value of counter `key` (zero when never touched).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Adds `amount` to the floating-point accumulator `key` (used for
+    /// energy in picojoules, which overflows integer granularity).
+    pub fn add_f64(&mut self, key: &str, amount: f64) {
+        *self.values.entry(key.to_owned()).or_insert(0.0) += amount;
+    }
+
+    /// Current value of float accumulator `key` (zero when never touched).
+    pub fn get_f64(&self, key: &str) -> f64 {
+        self.values.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of every float accumulator whose key starts with `prefix`.
+    pub fn sum_f64_prefix(&self, prefix: &str) -> f64 {
+        self.values
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Sum of every counter whose key starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Iterates over `(key, value)` counter pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over `(key, value)` float pairs in key order.
+    pub fn iter_f64(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another registry into this one (summing matching keys).
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.values {
+            *self.values.entry(k.clone()).or_insert(0.0) += v;
+        }
+    }
+
+    /// Removes every counter and accumulator.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.values.clear();
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k:50} {v}")?;
+        }
+        for (k, v) in &self.values {
+            writeln!(f, "{k:50} {v:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Used for e.g. per-chip access distributions (Fig. 13) and request-latency
+/// distributions.
+///
+/// ```
+/// use beacon_sim::stats::Histogram;
+/// let mut h = Histogram::new(4);
+/// h.record(0, 10);
+/// h.record(3, 2);
+/// assert_eq!(h.bucket(0), 10);
+/// assert_eq!(h.total(), 12);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n` buckets, all zero.
+    pub fn new(n: usize) -> Self {
+        Histogram {
+            buckets: vec![0; n],
+        }
+    }
+
+    /// Adds `amount` to bucket `idx`.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of range: in the BEACON models a bucket
+    /// index is a physical resource index (a DRAM chip, a PE) and an
+    /// out-of-range index is a wiring bug, not a data condition.
+    pub fn record(&mut self, idx: usize, amount: u64) {
+        self.buckets[idx] += amount;
+    }
+
+    /// Value of bucket `idx`.
+    pub fn bucket(&self, idx: usize) -> u64 {
+        self.buckets[idx]
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True when the histogram has no buckets.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Sum over all buckets.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Largest bucket value.
+    pub fn max(&self) -> u64 {
+        self.buckets.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Smallest bucket value.
+    pub fn min(&self) -> u64 {
+        self.buckets.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Arithmetic mean of bucket values.
+    pub fn mean(&self) -> f64 {
+        if self.buckets.is_empty() {
+            return 0.0;
+        }
+        self.total() as f64 / self.buckets.len() as f64
+    }
+
+    /// Population coefficient of variation (σ/μ) of the bucket values — the
+    /// imbalance metric used for the multi-chip-coalescing study.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .buckets
+            .iter()
+            .map(|&b| {
+                let d = b as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.buckets.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// Read-only view of the raw buckets.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Merges another histogram of identical shape into this one.
+    ///
+    /// # Panics
+    /// Panics when the bucket counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.buckets.len(), other.buckets.len());
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.incr("a");
+        s.add("a", 4);
+        assert_eq!(s.get("a"), 5);
+        assert_eq!(s.get("missing"), 0);
+    }
+
+    #[test]
+    fn float_accumulators_work() {
+        let mut s = Stats::new();
+        s.add_f64("energy.dram", 1.5);
+        s.add_f64("energy.dram", 2.5);
+        s.add_f64("energy.comm", 1.0);
+        assert_eq!(s.get_f64("energy.dram"), 4.0);
+        assert_eq!(s.sum_f64_prefix("energy."), 5.0);
+    }
+
+    #[test]
+    fn merge_sums_matching_keys() {
+        let mut a = Stats::new();
+        a.add("x", 1);
+        let mut b = Stats::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn prefix_sum_counts_only_matches() {
+        let mut s = Stats::new();
+        s.add("dram.read", 2);
+        s.add("dram.write", 3);
+        s.add("cxl.flit", 7);
+        assert_eq!(s.sum_prefix("dram."), 5);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new(4);
+        h.record(0, 2);
+        h.record(1, 4);
+        h.record(2, 6);
+        h.record(3, 8);
+        assert_eq!(h.total(), 20);
+        assert_eq!(h.mean(), 5.0);
+        assert_eq!(h.max(), 8);
+        assert_eq!(h.min(), 2);
+        assert!(h.coefficient_of_variation() > 0.0);
+    }
+
+    #[test]
+    fn balanced_histogram_has_zero_cv() {
+        let mut h = Histogram::new(3);
+        for i in 0..3 {
+            h.record(i, 5);
+        }
+        assert_eq!(h.coefficient_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_bucketwise() {
+        let mut a = Histogram::new(2);
+        a.record(0, 1);
+        let mut b = Histogram::new(2);
+        b.record(1, 2);
+        a.merge(&b);
+        assert_eq!(a.buckets(), &[1, 2]);
+    }
+
+    #[test]
+    fn display_renders_all_counters() {
+        let mut s = Stats::new();
+        s.add("z", 1);
+        s.add_f64("e", 2.0);
+        let text = s.to_string();
+        assert!(text.contains('z'));
+        assert!(text.contains('e'));
+    }
+}

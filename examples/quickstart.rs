@@ -1,0 +1,67 @@
+//! Quickstart: index a genome, run FM-index seeding on BEACON-D, and
+//! compare against the CPU baseline.
+//!
+//! ```text
+//! cargo run -p beacon-core --example quickstart --release
+//! ```
+
+use beacon_accel::cpu_model::{CpuModel, WorkloadSummary};
+use beacon_core::prelude::*;
+use beacon_genomics::prelude::*;
+use beacon_genomics::trace::Region;
+
+fn main() {
+    // 1. A synthetic reference genome (stands in for an NCBI assembly)
+    //    and an FM-index over it.
+    let genome = Genome::synthetic(GenomeId::Pt, 100_000, 42);
+    let index = FmIndex::build(genome.sequence());
+    println!(
+        "genome {}: {} bases, FM-index {} KiB ({} Occ buckets of 32 B)",
+        genome.id().label(),
+        genome.len(),
+        index.index_bytes() / 1024,
+        index.index_bytes() / 32,
+    );
+
+    // 2. Sample sequencing reads and derive each read's hardware task
+    //    trace (the dependency chain of fine-grained Occ-bucket reads).
+    let mut sampler = ReadSampler::new(&genome, 64, 0.01, 7);
+    let reads = sampler.take_reads(1024);
+    let traces: Vec<TaskTrace> = reads
+        .iter()
+        .map(|r| index.trace_search(r.bases()))
+        .collect();
+    let found = reads
+        .iter()
+        .filter(|r| !index.backward_search(r.bases()).is_empty())
+        .count();
+    println!("{} reads sampled; {found} match the reference exactly", reads.len());
+
+    // 3. Build the fully-optimised BEACON-D system and run the workload.
+    let app = AppKind::FmSeeding;
+    let cfg = BeaconConfig::paper(BeaconVariant::D, app)
+        .with_opts(Optimizations::full(BeaconVariant::D, app));
+    let layout = build_layout(
+        &cfg,
+        &[LayoutSpec::shared_random(Region::FmIndex, index.index_bytes())],
+    );
+    let mut system = BeaconSystem::new(cfg, layout);
+    system.submit_round_robin(traces.iter().cloned());
+    let result = system.run();
+
+    // 4. Compare against the 48-thread CPU roofline and report energy.
+    let cpu = CpuModel::default().run(&WorkloadSummary::from_traces(&traces));
+    let energy = EnergyModel::beacon(cfg.total_pes()).breakdown(&result);
+
+    println!("\nBEACON-D ({} PEs over {} CXLG-DIMMs):", cfg.total_pes(), cfg.compute_modules());
+    println!("  {} tasks in {} DRAM cycles ({:.2} µs)", result.tasks, result.cycles,
+        result.seconds(1250) * 1e6);
+    println!("  speedup vs 48-thread CPU: {:.0}x", cpu.dram_cycles as f64 / result.cycles as f64);
+    println!("  energy: {:.2} µJ ({:.1}% communication, {:.1}% computation)",
+        energy.total_joules() * 1e6,
+        energy.comm_share() * 100.0,
+        energy.compute_share() * 100.0);
+    println!("  CPU energy: {:.2} µJ ({:.0}x reduction)",
+        cpu.energy_joules * 1e6,
+        cpu.energy_joules / energy.total_joules());
+}

@@ -1,0 +1,128 @@
+//! Bandwidth-regime shape checks against the paper's headline claims.
+//!
+//! These run a mid-size workload (large enough that task-level
+//! parallelism hides latency and the bandwidth effects the paper is
+//! about dominate). The full-size numbers are produced by
+//! `cargo run -p beacon-bench --bin figures --release` and recorded in
+//! EXPERIMENTS.md.
+
+use beacon_core::config::{BeaconVariant, Optimizations};
+use beacon_core::experiments::common::{
+    fm_workload, kmer_workload, run_beacon, run_cpu, run_medal, run_nest, WorkloadScale,
+};
+use beacon_genomics::genome::GenomeId;
+
+const PES: usize = 64;
+
+fn saturation_scale() -> WorkloadScale {
+    WorkloadScale {
+        pt_genome_len: 100_000,
+        reads: 1024,
+        read_len: 64,
+        error_rate: 0.01,
+        kmer_k: 28,
+        kmer_reads: 128,
+        cbf_bytes: 128 * 1024,
+        seed: 42,
+    }
+}
+
+#[test]
+fn fm_seeding_headline_shape() {
+    let scale = saturation_scale();
+    let w = fm_workload(GenomeId::Pt, &scale);
+    let cpu = run_cpu(&w);
+    let medal = run_medal(&w, false, PES);
+
+    let vanilla = run_beacon(BeaconVariant::D, Optimizations::vanilla(), &w, PES);
+    let full_d = run_beacon(
+        BeaconVariant::D,
+        Optimizations::full(BeaconVariant::D, w.app),
+        &w,
+        PES,
+    );
+    let ideal_d = run_beacon(
+        BeaconVariant::D,
+        Optimizations::full_ideal(BeaconVariant::D, w.app),
+        &w,
+        PES,
+    );
+    let full_s = run_beacon(
+        BeaconVariant::S,
+        Optimizations::full(BeaconVariant::S, w.app),
+        &w,
+        PES,
+    );
+
+    // Who wins, in order: BEACON-D ≥ BEACON-S > MEDAL (paper: 4.36x / 2.42x).
+    assert!(
+        full_d.cycles < medal.cycles,
+        "D {} must beat MEDAL {}",
+        full_d.cycles,
+        medal.cycles
+    );
+    assert!(full_s.cycles < medal.cycles);
+    let d_vs_medal = medal.cycles as f64 / full_d.cycles as f64;
+    assert!(
+        d_vs_medal > 2.0,
+        "D vs MEDAL should be a multiple (paper 4.36x), got {d_vs_medal:.2}x"
+    );
+
+    // The optimisations collectively pay (paper: 2.21x for D).
+    let gain = vanilla.cycles as f64 / full_d.cycles as f64;
+    assert!(gain > 1.5, "optimisation gain {gain:.2}x too small");
+
+    // Communication is no longer the bottleneck: a large fraction of
+    // idealized performance even at this reduced scale (the full-scale
+    // figures run reaches ~95%+; paper 96.5%).
+    let pct = ideal_d.cycles as f64 / full_d.cycles as f64;
+    assert!(pct > 0.65, "only {:.1}% of ideal", pct * 100.0);
+
+    // NDP crushes the CPU baseline (paper 525x; scaled runs land lower
+    // but still orders of magnitude).
+    let vs_cpu = cpu.dram_cycles as f64 / full_d.cycles as f64;
+    assert!(vs_cpu > 20.0, "only {vs_cpu:.0}x vs CPU");
+}
+
+#[test]
+fn kmer_counting_headline_shape() {
+    let scale = saturation_scale();
+    let w = kmer_workload(&scale);
+    let cpu = run_cpu(&w);
+    let nest = run_nest(&w, scale.cbf_bytes, false, PES);
+
+    let full_d = run_beacon(
+        BeaconVariant::D,
+        Optimizations::full(BeaconVariant::D, w.app),
+        &w,
+        PES,
+    );
+    let full_s = run_beacon(
+        BeaconVariant::S,
+        Optimizations::full(BeaconVariant::S, w.app),
+        &w,
+        PES,
+    );
+
+    // Both designs beat NEST (paper: 5.19x and 6.19x).
+    assert!(full_d.cycles < nest.cycles, "D {} vs NEST {}", full_d.cycles, nest.cycles);
+    assert!(full_s.cycles < nest.cycles, "S {} vs NEST {}", full_s.cycles, nest.cycles);
+
+    // And the CPU (paper: 443x / 528x).
+    assert!(cpu.dram_cycles as f64 / full_d.cycles as f64 > 10.0);
+    assert!(cpu.dram_cycles as f64 / full_s.cycles as f64 > 10.0);
+}
+
+#[test]
+fn medal_is_communication_bound() {
+    // Fig. 3: idealized communication speeds MEDAL up by a large factor
+    // (paper average 4.36x).
+    let scale = saturation_scale();
+    let w = fm_workload(GenomeId::Pt, &scale);
+    let real = run_medal(&w, false, PES);
+    let ideal = run_medal(&w, true, PES);
+    // At this reduced scale MEDAL is only partly saturated; the full
+    // figures run (EXPERIMENTS.md) shows the ~4x of the paper.
+    let gain = real.cycles as f64 / ideal.cycles as f64;
+    assert!(gain > 1.4, "MEDAL ideal-comm gain {gain:.2}x too small");
+}

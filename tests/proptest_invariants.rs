@@ -1,0 +1,257 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use beacon_accel::translate::{Placement, RegionMap};
+use beacon_cxl::bundle::Bundle;
+use beacon_cxl::message::{Message, NodeId};
+use beacon_cxl::packer::{unpack, DataPacker};
+use beacon_dram::address::{DramCoord, Interleave};
+use beacon_dram::bank::BankTimer;
+use beacon_dram::command::CmdKind;
+use beacon_dram::params::{DimmGeometry, TimingParams};
+use beacon_genomics::alphabet::Base;
+use beacon_genomics::kmer::CountingBloom;
+use beacon_genomics::prelude::FmIndex;
+use beacon_genomics::sequence::PackedSeq;
+use beacon_genomics::trace::{Access, AccessKind, Region};
+use beacon_sim::cycle::Cycle;
+
+fn arb_bases(max_len: usize) -> impl Strategy<Value = Vec<Base>> {
+    prop::collection::vec(0u8..4, 1..max_len).prop_map(|codes| {
+        codes.into_iter().map(Base::from_code).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- sequences ----------------------------------------------------
+
+    #[test]
+    fn packed_seq_round_trips(bases in arb_bases(512)) {
+        let seq: PackedSeq = bases.iter().copied().collect();
+        prop_assert_eq!(seq.len(), bases.len());
+        for (i, &b) in bases.iter().enumerate() {
+            prop_assert_eq!(seq.get(i), b);
+        }
+    }
+
+    #[test]
+    fn reverse_complement_is_involution(bases in arb_bases(256)) {
+        let seq: PackedSeq = bases.iter().copied().collect();
+        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    // ---- FM-index -----------------------------------------------------
+
+    #[test]
+    fn backward_search_counts_match_naive(
+        text in arb_bases(300),
+        pattern in arb_bases(8),
+    ) {
+        let seq: PackedSeq = text.iter().copied().collect();
+        let index = FmIndex::build(&seq);
+        let naive = if pattern.len() > text.len() {
+            0
+        } else {
+            (0..=text.len() - pattern.len())
+                .filter(|&i| (0..pattern.len()).all(|j| text[i + j] == pattern[j]))
+                .count() as u32
+        };
+        prop_assert_eq!(index.backward_search(&pattern).count(), naive);
+    }
+
+    #[test]
+    fn locate_positions_are_true_matches(text in arb_bases(300), start in 0usize..250) {
+        prop_assume!(text.len() >= 16);
+        let start = start % (text.len() - 8);
+        let pattern: Vec<Base> = text[start..start + 8].to_vec();
+        let seq: PackedSeq = text.iter().copied().collect();
+        let index = FmIndex::build(&seq);
+        let range = index.backward_search(&pattern);
+        for pos in index.locate(range, 512) {
+            let pos = pos as usize;
+            prop_assert!(pos + 8 <= text.len());
+            prop_assert_eq!(&text[pos..pos + 8], &pattern[..]);
+        }
+    }
+
+    #[test]
+    fn sais_equals_prefix_doubling(text in arb_bases(400)) {
+        let seq: PackedSeq = text.iter().copied().collect();
+        prop_assert_eq!(
+            beacon_genomics::fm::suffix_array_sais(&seq),
+            beacon_genomics::fm::suffix_array(&seq)
+        );
+    }
+
+    // ---- address mapping ----------------------------------------------
+
+    #[test]
+    fn interleave_decodes_are_injective(
+        scheme_idx in 0usize..4,
+        blocks in prop::collection::hash_set(0u64..100_000, 1..200),
+    ) {
+        let g = DimmGeometry::sim_scaled();
+        let (scheme, granule) = match scheme_idx {
+            0 => (Interleave::RankLevel { line_bytes: 64 }, 64),
+            1 => (Interleave::ChipLevel { block_bytes: 32, groups: 16 }, 32),
+            2 => (Interleave::ChipLevel { block_bytes: 32, groups: 4 }, 32),
+            _ => (Interleave::RowMajor { groups: 1 }, 1024),
+        };
+        let mut seen = std::collections::HashSet::new();
+        for &b in &blocks {
+            let c = scheme.decode(&g, b * granule);
+            prop_assert!(
+                seen.insert((c.rank, c.group, c.bank, c.row, c.col)),
+                "collision at block {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn translation_preserves_bytes_and_stays_sparse_safe(
+        offset in 0u64..1_000_000,
+        bytes in 1u32..512,
+    ) {
+        let g = DimmGeometry::sim_scaled();
+        let mut map = RegionMap::new(g);
+        map.place(
+            Region::FmIndex,
+            Placement::striped(
+                vec![NodeId::dimm(0, 0), NodeId::dimm(0, 1)],
+                512,
+                0,
+                Interleave::ChipLevel { block_bytes: 32, groups: 16 },
+            )
+            .with_row_offset(3)
+            .with_sparse_rows(64),
+        );
+        let access = Access { region: Region::FmIndex, offset, bytes, kind: AccessKind::Read };
+        let segs = map.translate(&access);
+        let total: u64 = segs.iter().map(|s| s.bytes as u64).sum();
+        prop_assert_eq!(total, bytes as u64);
+        for s in &segs {
+            prop_assert!(s.coord.row < g.rows);
+            prop_assert!(s.coord.col < g.cols_per_row());
+            prop_assert!(s.coord.group < 16);
+        }
+    }
+
+    #[test]
+    fn coord_pack_unpack_round_trips(
+        rank in 0u32..4, group in 0u32..16, bank in 0u32..16,
+        row in 0u64..(1 << 17), col in 0u32..128,
+    ) {
+        let c = DramCoord { rank, group, bank, row, col };
+        prop_assert_eq!(DramCoord::unpack(c.pack()), c);
+    }
+
+    // ---- bank FSM -----------------------------------------------------
+
+    #[test]
+    fn bank_fsm_never_allows_illegal_sequences(cmds in prop::collection::vec(0u8..3, 1..64)) {
+        // Drive the bank with an arbitrary command mix, only issuing when
+        // the FSM says legal; the FSM must stay consistent (no panics,
+        // open_row only set between ACT and PRE).
+        let t = TimingParams::ddr4_1600_22();
+        let mut bank = BankTimer::new();
+        let mut now = Cycle::ZERO;
+        for c in cmds {
+            let cmd = match c {
+                0 => CmdKind::Activate,
+                1 => CmdKind::Read,
+                _ => CmdKind::Precharge,
+            };
+            // advance until legal or give up after a bounded wait
+            for _ in 0..200 {
+                if bank.can_issue(cmd, now) {
+                    bank.apply(cmd, 7, now, &t);
+                    match cmd {
+                        CmdKind::Activate => prop_assert_eq!(bank.open_row(), Some(7)),
+                        CmdKind::Precharge => prop_assert_eq!(bank.open_row(), None),
+                        _ => {}
+                    }
+                    break;
+                }
+                now = now.next();
+            }
+            now = now.next();
+        }
+    }
+
+    // ---- data packer ----------------------------------------------------
+
+    #[test]
+    fn packer_preserves_every_message(payloads in prop::collection::vec(1u32..48, 1..64)) {
+        let mut packer = DataPacker::new(4);
+        let mut sent = Vec::new();
+        for (i, &p) in payloads.iter().enumerate() {
+            let req = Message::read_req(NodeId::dimm(0, (i % 3) as u32), NodeId::dimm(1, 0), p, i as u64);
+            let resp = Message::read_resp(&req);
+            sent.push(resp);
+            packer.push(resp, Cycle::new(i as u64));
+        }
+        packer.flush_all(Cycle::new(payloads.len() as u64));
+        let mut received = Vec::new();
+        while let Some(bundle) = packer.pop_ready() {
+            // All messages of a bundle share a destination.
+            let dst = bundle.messages[0].dst;
+            prop_assert!(bundle.messages.iter().all(|m| m.dst == dst));
+            received.extend(unpack(bundle));
+        }
+        received.sort_by_key(|m| m.tag);
+        sent.sort_by_key(|m| m.tag);
+        prop_assert_eq!(received, sent);
+    }
+
+    #[test]
+    fn bundle_wire_bytes_cover_useful_bytes(
+        payloads in prop::collection::vec(1u32..100, 1..16),
+        granule in prop::sample::select(vec![1u32, 8, 16, 64]),
+    ) {
+        let msgs: Vec<Message> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let req = Message::read_req(NodeId::Host, NodeId::dimm(0, 0), p, i as u64);
+                Message::read_resp(&req)
+            })
+            .collect();
+        let bundle = Bundle::packed(msgs);
+        prop_assert!(bundle.wire_bytes_at(granule) >= bundle.useful_bytes());
+        prop_assert_eq!(bundle.wire_bytes_at(granule) % granule, 0);
+    }
+
+    // ---- counting Bloom filter ------------------------------------------
+
+    #[test]
+    fn bloom_estimate_upper_bounds_truth(keys in prop::collection::vec(0u64..512, 1..200)) {
+        let mut cbf = CountingBloom::new(1 << 12, 3, 9);
+        let mut truth = std::collections::HashMap::new();
+        for &k in &keys {
+            cbf.insert(k);
+            *truth.entry(k).or_insert(0u32) += 1;
+        }
+        for (&k, &count) in &truth {
+            prop_assert!(u32::from(cbf.estimate(k)) >= count.min(255));
+        }
+    }
+
+    #[test]
+    fn bloom_merge_commutes(a in prop::collection::vec(0u64..256, 0..64),
+                            b in prop::collection::vec(0u64..256, 0..64)) {
+        let mut x = CountingBloom::new(1 << 10, 3, 5);
+        let mut y = CountingBloom::new(1 << 10, 3, 5);
+        for &k in &a { x.insert(k); }
+        for &k in &b { y.insert(k); }
+        let mut xy = x.clone();
+        xy.merge(&y);
+        let mut yx = y.clone();
+        yx.merge(&x);
+        for k in 0..256u64 {
+            prop_assert_eq!(xy.estimate(k), yx.estimate(k));
+        }
+    }
+}
