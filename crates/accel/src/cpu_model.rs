@@ -133,8 +133,7 @@ impl CpuModel {
 
         // Compute roof.
         let cps = Self::cycles_per_step(w.app);
-        let compute_seconds =
-            (w.steps as f64 * cps) / (self.threads as f64 * self.freq_ghz * 1e9);
+        let compute_seconds = (w.steps as f64 * cps) / (self.threads as f64 * self.freq_ghz * 1e9);
 
         let seconds = mem_seconds.max(compute_seconds);
         let energy = seconds * (self.package_watts + self.dram_watts);

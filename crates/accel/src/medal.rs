@@ -288,8 +288,12 @@ impl Medal {
 
         Medal {
             modules,
-            up: (0..cfg.channels).map(|_| Link::new(cfg.channel_link)).collect(),
-            down: (0..cfg.channels).map(|_| Link::new(cfg.channel_link)).collect(),
+            up: (0..cfg.channels)
+                .map(|_| Link::new(cfg.channel_link))
+                .collect(),
+            down: (0..cfg.channels)
+                .map(|_| Link::new(cfg.channel_link))
+                .collect(),
             host_stage: VecDeque::new(),
             finished_at: Cycle::ZERO,
             cfg,
@@ -387,7 +391,9 @@ impl Medal {
                 let (op, msg_kind) = Self::op_of(ia.access.kind);
                 for seg in segments {
                     if seg.node == self.modules[mi].node {
-                        self.modules[mi].server.request(pid, seg.coord, seg.bytes, op);
+                        self.modules[mi]
+                            .server
+                            .request(pid, seg.coord, seg.bytes, op);
                     } else {
                         let src = self.modules[mi].node;
                         let msg = Message {
@@ -482,9 +488,12 @@ impl Medal {
                     _ => unreachable!(),
                 };
                 let coord = DramCoord::unpack(msg.aux);
-                self.modules[mi]
-                    .server
-                    .request(SERVE_BIT | sid as u64, coord, msg.payload_bytes, op);
+                self.modules[mi].server.request(
+                    SERVE_BIT | sid as u64,
+                    coord,
+                    msg.payload_bytes,
+                    op,
+                );
             }
             MsgKind::ReadResp | MsgKind::Ack => {
                 if let Some((token, _)) = self.modules[mi].pending.complete_one(msg.tag) {

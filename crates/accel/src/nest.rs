@@ -233,11 +233,7 @@ mod tests {
     fn merge_trace_covers_whole_cbf() {
         let cbf = 10_000;
         let nest = Nest::new(small_cfg(cbf));
-        let total: u64 = nest
-            .merge_traces()
-            .iter()
-            .map(TaskTrace::total_bytes)
-            .sum();
+        let total: u64 = nest.merge_traces().iter().map(TaskTrace::total_bytes).sum();
         assert_eq!(total, cbf);
     }
 

@@ -101,6 +101,12 @@ impl DimmServer {
         &self.dimm
     }
 
+    /// Sets the track label the underlying DIMM's trace events are
+    /// emitted under.
+    pub fn set_trace_id(&mut self, id: impl Into<String>) {
+        self.dimm.set_trace_id(id);
+    }
+
     /// Server statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
@@ -171,7 +177,8 @@ impl Tick for DimmServer {
                 PHASE_RMW_READ => {
                     // Atomic engine: arithmetic, then the write phase.
                     self.stats.incr("server.atomic_ops");
-                    let ready = c.finished_at + beacon_sim::cycle::Duration::new(self.rmw_alu_cycles);
+                    let ready =
+                        c.finished_at + beacon_sim::cycle::Duration::new(self.rmw_alu_cycles);
                     self.rmw_stage.push_back((
                         ready,
                         ServiceReq {

@@ -13,14 +13,13 @@ use std::collections::VecDeque;
 
 use beacon_sim::cycle::{Cycle, Duration};
 use beacon_sim::stats::Stats;
+use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 use serde::{Deserialize, Serialize};
 
 use beacon_genomics::trace::{Access, TaskTrace};
 
 /// Identifier of a task within one [`TaskEngine`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TaskId(pub u32);
 
 /// Matches a returned datum to the access that requested it.
@@ -40,7 +39,9 @@ pub struct AccessToken {
 impl AccessToken {
     /// Packs the token into a `u64` tag.
     pub fn encode(&self) -> u64 {
-        ((self.task.0 as u64) << 32) | ((self.step as u64 & 0xFFFF) << 16) | (self.idx as u64 & 0xFFFF)
+        ((self.task.0 as u64) << 32)
+            | ((self.step as u64 & 0xFFFF) << 16)
+            | (self.idx as u64 & 0xFFFF)
     }
 
     /// Unpacks a token from a `u64` tag.
@@ -103,6 +104,8 @@ pub struct TaskEngine {
     /// Integral of busy-PE count over time (utilisation / PE energy).
     busy_pe_cycles: u64,
     last_busy_update: Cycle,
+    /// Trace-track label; `None` falls back to `"engine"`.
+    trace_id: Option<Box<str>>,
 }
 
 impl TaskEngine {
@@ -123,6 +126,21 @@ impl TaskEngine {
             stats: Stats::new(),
             busy_pe_cycles: 0,
             last_busy_update: Cycle::ZERO,
+            trace_id: None,
+        }
+    }
+
+    /// Sets the track label this engine's trace events are emitted under.
+    pub fn set_trace_id(&mut self, id: impl Into<String>) {
+        self.trace_id = Some(id.into().into_boxed_str());
+    }
+
+    fn trace_task(&self, now: Cycle, level: TraceLevel, name: &'static str, arg: u64) {
+        if trace::enabled(level) {
+            trace::emit(
+                self.trace_id.as_deref().unwrap_or("engine"),
+                TraceEvent::instant(now.as_u64(), level, TraceCategory::Accel, name, arg),
+            );
         }
     }
 
@@ -167,6 +185,12 @@ impl TaskEngine {
             self.ready.push_back(id);
         }
         self.stats.incr("engine.tasks_submitted");
+        self.trace_task(
+            self.last_busy_update,
+            TraceLevel::Task,
+            "task.submit",
+            id.0 as u64,
+        );
         id
     }
 
@@ -193,6 +217,16 @@ impl TaskEngine {
     /// PE-busy cycle count (for utilisation and PE energy).
     pub fn busy_pe_cycles(&self) -> u64 {
         self.busy_pe_cycles
+    }
+
+    /// Number of PEs currently computing a step.
+    pub fn busy_pes(&self) -> usize {
+        self.computing.len()
+    }
+
+    /// Tasks in the out-going (ready-for-a-PE) queue.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
     }
 
     /// Advances the PEs to cycle `now`; returns the accesses issued.
@@ -253,7 +287,7 @@ impl TaskEngine {
     /// Executes the step the PE just finished computing for `task`:
     /// emits its accesses and either parks the task (blocking step),
     /// requeues it (posted step with more work) or retires it.
-    fn finish_step(&mut self, task: TaskId, _now: Cycle, issued: &mut Vec<IssuedAccess>) {
+    fn finish_step(&mut self, task: TaskId, now: Cycle, issued: &mut Vec<IssuedAccess>) {
         let t = &mut self.tasks[task.0 as usize];
         debug_assert!(!t.steps_done && !t.retired);
         let step_idx = t.cursor;
@@ -271,7 +305,20 @@ impl TaskEngine {
                 blocking,
             });
         }
-        self.stats.add("engine.accesses_issued", step.accesses.len() as u64);
+        self.stats
+            .add("engine.accesses_issued", step.accesses.len() as u64);
+        if trace::enabled(TraceLevel::Flit) {
+            trace::emit(
+                self.trace_id.as_deref().unwrap_or("engine"),
+                TraceEvent::instant(
+                    now.as_u64(),
+                    TraceLevel::Flit,
+                    TraceCategory::Accel,
+                    "task.step",
+                    step.accesses.len() as u64,
+                ),
+            );
+        }
 
         if blocking {
             t.outstanding = step.accesses.len() as u32;
@@ -282,7 +329,7 @@ impl TaskEngine {
             t.cursor += 1;
             if t.cursor >= t.trace.steps.len() {
                 t.steps_done = true;
-                self.try_retire(task);
+                self.try_retire(task, now);
             } else {
                 // Continue on some PE: back into the ready queue (the same
                 // PE will usually grab it this very cycle if free).
@@ -297,7 +344,7 @@ impl TaskEngine {
     /// # Panics
     /// Panics when the token does not correspond to an in-flight access —
     /// that is a wiring bug in the owning system.
-    pub fn on_data(&mut self, token: AccessToken, _now: Cycle) {
+    pub fn on_data(&mut self, token: AccessToken, now: Cycle) {
         let t = &mut self.tasks[token.task.0 as usize];
         assert!(!t.retired, "data for retired task {:?}", token.task);
 
@@ -310,7 +357,7 @@ impl TaskEngine {
                 t.cursor += 1;
                 if t.cursor >= t.trace.steps.len() {
                     t.steps_done = true;
-                    self.try_retire(token.task);
+                    self.try_retire(token.task, now);
                 } else {
                     self.ready.push_back(token.task);
                 }
@@ -319,17 +366,18 @@ impl TaskEngine {
             debug_assert!(t.outstanding_posted > 0);
             t.outstanding_posted -= 1;
             if t.steps_done {
-                self.try_retire(token.task);
+                self.try_retire(token.task, now);
             }
         }
     }
 
-    fn try_retire(&mut self, task: TaskId) {
+    fn try_retire(&mut self, task: TaskId, now: Cycle) {
         let t = &mut self.tasks[task.0 as usize];
         if t.steps_done && t.outstanding == 0 && t.outstanding_posted == 0 && !t.retired {
             t.retired = true;
             self.completed += 1;
             self.stats.incr("engine.tasks_completed");
+            self.trace_task(now, TraceLevel::Task, "task.retire", task.0 as u64);
         }
     }
 }

@@ -245,7 +245,12 @@ mod tests {
         let mut map = RegionMap::new(geometry());
         map.place(
             Region::Bloom,
-            Placement::striped(homes.clone(), 4096, 0, Interleave::RankLevel { line_bytes: 64 }),
+            Placement::striped(
+                homes.clone(),
+                4096,
+                0,
+                Interleave::RankLevel { line_bytes: 64 },
+            ),
         );
         let a = map.translate(&access(Region::Bloom, 0, 1));
         let b = map.translate(&access(Region::Bloom, 4096, 1));
@@ -266,7 +271,11 @@ mod tests {
         let mut map = RegionMap::new(geometry());
         map.place(
             Region::CandidateLists,
-            Placement::single(NodeId::dimm(0, 0), 0, Interleave::RankLevel { line_bytes: 64 }),
+            Placement::single(
+                NodeId::dimm(0, 0),
+                0,
+                Interleave::RankLevel { line_bytes: 64 },
+            ),
         );
         // 256 B starting at 32: splits 32 + 64 + 64 + 64 + 32.
         let segs = map.translate(&access(Region::CandidateLists, 32, 256));
@@ -314,7 +323,12 @@ mod tests {
         let mut map = RegionMap::new(geometry());
         map.place(
             Region::Reference,
-            Placement::striped(homes.clone(), 128, 0, Interleave::RankLevel { line_bytes: 64 }),
+            Placement::striped(
+                homes.clone(),
+                128,
+                0,
+                Interleave::RankLevel { line_bytes: 64 },
+            ),
         );
         // 128 B starting at 64 crosses the stripe boundary at 128.
         let segs = map.translate(&access(Region::Reference, 64, 128));

@@ -58,8 +58,7 @@ fn bench_link_width(c: &mut Criterion) {
         let w2 = w.clone();
         g.bench_function(name, move |b| {
             b.iter(|| {
-                let mut cfg =
-                    BeaconConfig::paper_d(w2.app).with_opts(Optimizations::vanilla());
+                let mut cfg = BeaconConfig::paper_d(w2.app).with_opts(Optimizations::vanilla());
                 cfg.dimm_link = link;
                 cfg.pes_per_module = BENCH_PES;
                 cfg.refresh_enabled = false;

@@ -8,8 +8,10 @@ use std::time::Duration;
 use beacon_bench::{bench_scale, BENCH_PES};
 use beacon_core::config::{BeaconVariant, Optimizations};
 use beacon_core::experiments::{
-    common::{fm_workload, hash_workload, kmer_workload, prealign_workload, run_beacon,
-             run_medal, run_nest},
+    common::{
+        fm_workload, hash_workload, kmer_workload, prealign_workload, run_beacon, run_medal,
+        run_nest,
+    },
     fig13,
 };
 use beacon_genomics::genome::GenomeId;

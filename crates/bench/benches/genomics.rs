@@ -15,7 +15,7 @@ fn bench_fm_index(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_secs(1));
     g.measurement_time(Duration::from_secs(5));
-g.bench_function("build_50k", |b| {
+    g.bench_function("build_50k", |b| {
         b.iter(|| FmIndex::build(genome.sequence()))
     });
     g.bench_function("backward_search_64_reads", |b| {
@@ -47,7 +47,7 @@ fn bench_hash_index(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_secs(1));
     g.measurement_time(Duration::from_secs(5));
-g.bench_function("build_50k", |b| {
+    g.bench_function("build_50k", |b| {
         b.iter(|| HashIndex::build(genome.sequence(), 12, 16))
     });
     g.bench_function("seed_64_reads", |b| {
@@ -70,7 +70,7 @@ fn bench_kmer_counting(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_secs(1));
     g.measurement_time(Duration::from_secs(5));
-g.bench_function("count_128_reads", |b| {
+    g.bench_function("count_128_reads", |b| {
         b.iter(|| {
             let mut counter = KmerCounter::new(28, 1 << 18, 3, 1);
             counter.count_reads(&reads);
@@ -90,11 +90,15 @@ fn bench_prealign(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_secs(1));
     g.measurement_time(Duration::from_secs(5));
-g.bench_function("filter_64_candidates", |b| {
+    g.bench_function("filter_64_candidates", |b| {
         b.iter(|| {
             reads
                 .iter()
-                .filter(|r| filter.filter(r.bases(), genome.sequence(), r.origin()).accept)
+                .filter(|r| {
+                    filter
+                        .filter(r.bases(), genome.sequence(), r.origin())
+                        .accept
+                })
                 .count()
         })
     });

@@ -19,7 +19,7 @@ fn bench_dram_controller(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_secs(1));
     g.measurement_time(Duration::from_secs(5));
-for (name, mode) in [
+    for (name, mode) in [
         ("rank_lockstep", AccessMode::RankLockstep),
         ("per_chip", AccessMode::PerChip),
         ("coalesced_4", AccessMode::Coalesced { chips: 4 }),
@@ -61,7 +61,7 @@ fn bench_cxl_link(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_secs(1));
     g.measurement_time(Duration::from_secs(5));
-g.bench_function("x8/4k_small_messages", |b| {
+    g.bench_function("x8/4k_small_messages", |b| {
         b.iter(|| {
             let mut link = Link::new(LinkParams::cxl_x8());
             let mut delivered = 0;
@@ -99,7 +99,7 @@ fn bench_packer(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_secs(1));
     g.measurement_time(Duration::from_secs(5));
-g.bench_function("pack_8k_fine_grained", |b| {
+    g.bench_function("pack_8k_fine_grained", |b| {
         b.iter(|| {
             let mut p = DataPacker::new(8);
             let mut out = 0;
@@ -130,7 +130,7 @@ fn bench_switch(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_secs(1));
     g.measurement_time(Duration::from_secs(5));
-g.bench_function("forward_4k_bundles", |b| {
+    g.bench_function("forward_4k_bundles", |b| {
         b.iter(|| {
             let mut sw = Switch::new(SwitchConfig::paper(0, 4));
             let mut received = 0;

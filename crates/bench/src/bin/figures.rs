@@ -4,17 +4,35 @@
 //! cargo run -p beacon-bench --bin figures --release -- [--all]
 //!     [--table1] [--table2] [--fig3] [--fig12] [--fig13] [--fig14]
 //!     [--fig15] [--fig16] [--fig17] [--quick]
+//!     [--trace <out.json>] [--metrics <out.jsonl|out.csv>] [--progress]
 //! ```
 //!
 //! With no selector (or `--all`) everything runs. `--quick` switches to
 //! the smaller bench scale (useful for smoke-testing the harness).
+//! `--trace` records a Chrome-trace-event JSON of every simulated run
+//! (open in `chrome://tracing` or Perfetto), `--metrics` samples gauge
+//! time-series to JSON-lines (or CSV when the path ends in `.csv`) and
+//! `--progress` prints periodic simulation-rate lines to stderr.
 
 use std::time::Instant;
 
 use beacon_bench::{bench_scale, figures_scale, BENCH_PES, FIGURE_PES};
 use beacon_core::experiments::{fig12, fig13, fig14, fig15, fig16, fig17, fig3, tables};
+use beacon_core::obs::{self, ObsConfig, DEFAULT_STALL_WINDOW};
+use beacon_sim::trace::{self, TraceBuffer, TraceLevel};
 
+/// Cycles between metrics samples (quick scale).
+const METRICS_EVERY_QUICK: u64 = 4_096;
+/// Cycles between metrics samples (full figure scale).
+const METRICS_EVERY_FULL: u64 = 8_192;
+/// Cycles between progress lines.
+const PROGRESS_EVERY: u64 = 20_000_000;
+/// Trace ring-buffer capacity in events.
+const TRACE_CAPACITY: usize = 1 << 20;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Selection {
+    help: bool,
     table1: bool,
     table2: bool,
     fig3: bool,
@@ -25,11 +43,39 @@ struct Selection {
     fig16: bool,
     fig17: bool,
     quick: bool,
+    trace: Option<String>,
+    metrics: Option<String>,
+    progress: bool,
+}
+
+fn usage() -> String {
+    "usage: figures [flags]\n\
+     \n\
+     section selectors (default: all):\n\
+     \x20 --all              run every table and figure\n\
+     \x20 --table1           Table I  (per-application speedups)\n\
+     \x20 --table2           Table II (configuration summary)\n\
+     \x20 --fig3             Fig. 3   (motivation: host-centric vs NDP)\n\
+     \x20 --fig12            Fig. 12  (speedup ladder)\n\
+     \x20 --fig13            Fig. 13  (per-chip access balance)\n\
+     \x20 --fig14            Fig. 14  (communication breakdown)\n\
+     \x20 --fig15            Fig. 15  (scalability)\n\
+     \x20 --fig16            Fig. 16  (energy)\n\
+     \x20 --fig17            Fig. 17  (sensitivity)\n\
+     \n\
+     options:\n\
+     \x20 --quick            small bench scale (smoke test)\n\
+     \x20 --trace <path>     write a Chrome-trace-event JSON of the runs\n\
+     \x20 --metrics <path>   write gauge time-series (.csv -> CSV, else JSONL)\n\
+     \x20 --progress         print periodic simulation-rate lines to stderr\n\
+     \x20 --help             show this message\n"
+        .to_owned()
 }
 
 impl Selection {
-    fn parse(args: &[String]) -> Selection {
+    fn parse(args: &[String]) -> Result<Selection, String> {
         let mut sel = Selection {
+            help: false,
             table1: false,
             table2: false,
             fig3: false,
@@ -40,10 +86,15 @@ impl Selection {
             fig16: false,
             fig17: false,
             quick: false,
+            trace: None,
+            metrics: None,
+            progress: false,
         };
         let mut any = false;
-        for a in args {
-            match a.as_str() {
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--help" | "-h" => sel.help = true,
                 "--table1" => {
                     sel.table1 = true;
                     any = true;
@@ -84,11 +135,20 @@ impl Selection {
                     any = false;
                 }
                 "--quick" => sel.quick = true,
-                other => {
-                    eprintln!("unknown flag {other}");
-                    std::process::exit(2);
+                "--progress" => sel.progress = true,
+                "--trace" => {
+                    i += 1;
+                    let path = args.get(i).ok_or("--trace needs a file path")?;
+                    sel.trace = Some(path.clone());
                 }
+                "--metrics" => {
+                    i += 1;
+                    let path = args.get(i).ok_or("--metrics needs a file path")?;
+                    sel.metrics = Some(path.clone());
+                }
+                other => return Err(format!("unknown flag {other}")),
             }
+            i += 1;
         }
         if !any {
             sel.table1 = true;
@@ -101,13 +161,24 @@ impl Selection {
             sel.fig16 = true;
             sel.fig17 = true;
         }
-        sel
+        Ok(sel)
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let sel = Selection::parse(&args);
+    let sel = match Selection::parse(&args) {
+        Ok(sel) => sel,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprint!("{}", usage());
+            std::process::exit(2);
+        }
+    };
+    if sel.help {
+        print!("{}", usage());
+        return;
+    }
     let scale = if sel.quick {
         bench_scale()
     } else {
@@ -115,8 +186,29 @@ fn main() {
     };
     let pes = if sel.quick { BENCH_PES } else { FIGURE_PES };
 
-    println!("BEACON figure harness — scale: Pt={} bases, {} reads, {} PEs/module\n",
-        scale.pt_genome_len, scale.reads, pes);
+    if sel.trace.is_some() {
+        trace::install(TraceBuffer::new(TraceLevel::Command, TRACE_CAPACITY));
+    }
+    if sel.metrics.is_some() || sel.progress {
+        obs::install(ObsConfig {
+            metrics_every: if sel.metrics.is_some() {
+                if sel.quick {
+                    METRICS_EVERY_QUICK
+                } else {
+                    METRICS_EVERY_FULL
+                }
+            } else {
+                0
+            },
+            progress_every: if sel.progress { PROGRESS_EVERY } else { 0 },
+            stall_window: DEFAULT_STALL_WINDOW,
+        });
+    }
+
+    println!(
+        "BEACON figure harness — scale: Pt={} bases, {} reads, {} PEs/module\n",
+        scale.pt_genome_len, scale.reads, pes
+    );
 
     let t0 = Instant::now();
     if sel.table1 {
@@ -147,6 +239,36 @@ fn main() {
         section("Fig. 17", || fig17::run(&scale, pes).render());
     }
     println!("total harness time: {:?}", t0.elapsed());
+
+    if let Some(path) = &sel.trace {
+        let buf = trace::uninstall().expect("trace buffer was installed");
+        if buf.dropped() > 0 {
+            eprintln!(
+                "trace: ring buffer evicted {} oldest events (kept {})",
+                buf.dropped(),
+                buf.len()
+            );
+        }
+        write_or_die(path, &buf.to_chrome_json());
+        println!("trace: {} events -> {path}", buf.len());
+    }
+    if let Some(path) = &sel.metrics {
+        let series = obs::take().expect("metrics were installed");
+        let body = if path.ends_with(".csv") {
+            series.to_csv()
+        } else {
+            series.to_jsonl()
+        };
+        write_or_die(path, &body);
+        println!("metrics: {} samples -> {path}", series.len());
+    }
+}
+
+fn write_or_die(path: &str, body: &str) {
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
 }
 
 fn section<F: FnOnce() -> String>(name: &str, f: F) {
@@ -154,4 +276,89 @@ fn section<F: FnOnce() -> String>(name: &str, f: F) {
     println!("################ {name} ################");
     println!("{}", f());
     println!("({name} took {:?})\n", t.elapsed());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_selects_everything() {
+        let sel = Selection::parse(&[]).unwrap();
+        assert!(sel.table1 && sel.table2 && sel.fig3 && sel.fig12);
+        assert!(sel.fig13 && sel.fig14 && sel.fig15 && sel.fig16 && sel.fig17);
+        assert!(!sel.quick && !sel.progress);
+        assert_eq!(sel.trace, None);
+        assert_eq!(sel.metrics, None);
+    }
+
+    #[test]
+    fn single_selector_disables_the_rest() {
+        let sel = Selection::parse(&args(&["--fig12", "--quick"])).unwrap();
+        assert!(sel.fig12 && sel.quick);
+        assert!(!sel.table1 && !sel.fig3 && !sel.fig17);
+    }
+
+    #[test]
+    fn observability_flags_take_values() {
+        let sel = Selection::parse(&args(&[
+            "--fig12",
+            "--trace",
+            "/tmp/t.json",
+            "--metrics",
+            "/tmp/m.csv",
+            "--progress",
+        ]))
+        .unwrap();
+        assert_eq!(sel.trace.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(sel.metrics.as_deref(), Some("/tmp/m.csv"));
+        assert!(sel.progress);
+    }
+
+    #[test]
+    fn missing_flag_value_is_an_error() {
+        assert!(Selection::parse(&args(&["--trace"])).is_err());
+        assert!(Selection::parse(&args(&["--fig12", "--metrics"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let err = Selection::parse(&args(&["--fig99"])).unwrap_err();
+        assert!(err.contains("--fig99"));
+    }
+
+    #[test]
+    fn help_flag_parses_alongside_others() {
+        let sel = Selection::parse(&args(&["--help"])).unwrap();
+        assert!(sel.help);
+        assert!(Selection::parse(&args(&["-h"])).unwrap().help);
+    }
+
+    #[test]
+    fn usage_mentions_every_flag() {
+        let u = usage();
+        for flag in [
+            "--all",
+            "--table1",
+            "--table2",
+            "--fig3",
+            "--fig12",
+            "--fig13",
+            "--fig14",
+            "--fig15",
+            "--fig16",
+            "--fig17",
+            "--quick",
+            "--trace",
+            "--metrics",
+            "--progress",
+            "--help",
+        ] {
+            assert!(u.contains(flag), "usage must list {flag}");
+        }
+    }
 }

@@ -95,7 +95,8 @@ impl FreeList {
                 .iter()
                 .position(|&(rs, _)| rs > tail_start)
                 .unwrap_or(self.ranges.len());
-            self.ranges.insert(insert_at, (tail_start, s + l - tail_start));
+            self.ranges
+                .insert(insert_at, (tail_start, s + l - tail_start));
         }
     }
 

@@ -67,8 +67,7 @@ impl Optimizations {
             data_packing: true,
             mem_access_opt: true,
             placement_mapping: true,
-            multi_chip_coalescing: if variant == BeaconVariant::D && app == AppKind::FmSeeding
-            {
+            multi_chip_coalescing: if variant == BeaconVariant::D && app == AppKind::FmSeeding {
                 Some(4)
             } else {
                 None
@@ -346,7 +345,10 @@ mod tests {
     #[test]
     fn full_matches_ladder_top() {
         let pts = Optimizations::ladder(BeaconVariant::D, AppKind::FmSeeding);
-        assert_eq!(pts.last().unwrap().1, Optimizations::full(BeaconVariant::D, AppKind::FmSeeding));
+        assert_eq!(
+            pts.last().unwrap().1,
+            Optimizations::full(BeaconVariant::D, AppKind::FmSeeding)
+        );
     }
 
     #[test]

@@ -139,12 +139,8 @@ impl EnergyModel {
 
     /// Computes the breakdown of a run.
     pub fn breakdown(&self, result: &RunResult) -> EnergyBreakdown {
-        let dram = DramEnergy::from_stats(
-            &result.dram,
-            &self.dram,
-            result.total_chips,
-            result.cycles,
-        );
+        let dram =
+            DramEnergy::from_stats(&result.dram, &self.dram, result.total_chips, result.cycles);
 
         let wire_bytes = result.comm.get("cxl.wire_bytes") as f64;
         let bus_bytes = result.comm.get("switch.bus_bytes") as f64;

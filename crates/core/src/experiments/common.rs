@@ -140,15 +140,17 @@ pub fn kmer_workload(scale: &WorkloadScale) -> AppWorkload {
     let len = GenomeId::Human.scaled_len(scale.pt_genome_len);
     let genome = Genome::synthetic(GenomeId::Human, len, scale.seed);
     let counter = KmerCounter::new(scale.kmer_k, scale.cbf_bytes as usize, 3, scale.seed ^ 3);
-    let mut sampler =
-        ReadSampler::new(&genome, scale.read_len, scale.error_rate, scale.seed ^ 4);
+    let mut sampler = ReadSampler::new(&genome, scale.read_len, scale.error_rate, scale.seed ^ 4);
     let traces: Vec<TaskTrace> = (0..scale.kmer_reads)
         .map(|_| counter.trace_read(&sampler.next_read()))
         .collect();
     AppWorkload {
         app: AppKind::KmerCounting,
         traces,
-        layout: vec![LayoutSpec::shared_random_writable(Region::Bloom, scale.cbf_bytes)],
+        layout: vec![LayoutSpec::shared_random_writable(
+            Region::Bloom,
+            scale.cbf_bytes,
+        )],
         medal: vec![RegionSpec::random(Region::Bloom, scale.cbf_bytes)],
     }
 }

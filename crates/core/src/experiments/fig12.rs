@@ -107,11 +107,23 @@ mod tests {
         // Both designs beat the CPU baseline even at the tiny test scale
         // (the latency-dominated regime; bench scale shows the 100x+
         // figures — see EXPERIMENTS.md).
-        assert!(d.full().speedup_vs_cpu > 2.0, "D vs CPU {:.1}", d.full().speedup_vs_cpu);
-        assert!(s.full().speedup_vs_cpu > 1.0, "S vs CPU {:.1}", s.full().speedup_vs_cpu);
+        assert!(
+            d.full().speedup_vs_cpu > 2.0,
+            "D vs CPU {:.1}",
+            d.full().speedup_vs_cpu
+        );
+        assert!(
+            s.full().speedup_vs_cpu > 1.0,
+            "S vs CPU {:.1}",
+            s.full().speedup_vs_cpu
+        );
 
         // The optimisation ladder improves on vanilla for D (paper: 2.2x).
-        assert!(d.optimisation_gain() > 1.2, "D gain {:.3}", d.optimisation_gain());
+        assert!(
+            d.optimisation_gain() > 1.2,
+            "D gain {:.3}",
+            d.optimisation_gain()
+        );
 
         // BEACON-D beats MEDAL with all optimisations (paper: 4.36x).
         assert!(

@@ -46,7 +46,11 @@ impl Fig13 {
             );
             let mean = h.mean().max(1e-9);
             for (i, &b) in h.buckets().iter().enumerate() {
-                t.row(&[i.to_string(), b.to_string(), format!("{:.3}", b as f64 / mean)]);
+                t.row(&[
+                    i.to_string(),
+                    b.to_string(),
+                    format!("{:.3}", b as f64 / mean),
+                ]);
             }
             out.push_str(&t.render());
             out.push_str(&format!(

@@ -90,8 +90,16 @@ mod tests {
         let d = &fig.d[0];
         let s = &fig.s[0];
         assert_eq!(d.points.len(), 4, "no coalescing step for hash seeding");
-        assert!(d.full().speedup_vs_cpu > 1.5, "D {:.2}", d.full().speedup_vs_cpu);
-        assert!(s.full().speedup_vs_cpu > 1.0, "S {:.2}", s.full().speedup_vs_cpu);
+        assert!(
+            d.full().speedup_vs_cpu > 1.5,
+            "D {:.2}",
+            d.full().speedup_vs_cpu
+        );
+        assert!(
+            s.full().speedup_vs_cpu > 1.0,
+            "S {:.2}",
+            s.full().speedup_vs_cpu
+        );
         // Hash seeding is coarse-grained; D and S should land close
         // (paper: 4.70x vs 4.57x over MEDAL).
         let ratio = d.full().cycles as f64 / s.full().cycles as f64;

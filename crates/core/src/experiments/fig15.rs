@@ -87,8 +87,16 @@ mod tests {
         );
 
         // Both designs beat the CPU; full designs beat NEST.
-        assert!(fig.d.full().speedup_vs_cpu > 1.0, "D {:.2}", fig.d.full().speedup_vs_cpu);
-        assert!(fig.s.full().speedup_vs_cpu > 1.0, "S {:.2}", fig.s.full().speedup_vs_cpu);
+        assert!(
+            fig.d.full().speedup_vs_cpu > 1.0,
+            "D {:.2}",
+            fig.d.full().speedup_vs_cpu
+        );
+        assert!(
+            fig.s.full().speedup_vs_cpu > 1.0,
+            "S {:.2}",
+            fig.s.full().speedup_vs_cpu
+        );
         assert!(
             fig.s.full().speedup_vs_baseline > 1.0,
             "S vs NEST {:.2}",

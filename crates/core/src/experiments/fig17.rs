@@ -8,7 +8,9 @@ use beacon_genomics::genome::GenomeId;
 use crate::config::BeaconVariant;
 use crate::report::{fmt_pct, Table};
 
-use super::common::{fm_workload, hash_workload, kmer_workload, run_cpu, run_medal, run_nest, WorkloadScale};
+use super::common::{
+    fm_workload, hash_workload, kmer_workload, run_cpu, run_medal, run_nest, WorkloadScale,
+};
 use super::ladder::{run_ladder, LadderResult};
 use crate::energy::{EnergyModel, PeHardware};
 

@@ -107,8 +107,7 @@ pub fn run_ladder(
 
     let full = points.last().expect("ladder non-empty");
     let pct_of_ideal_perf = (ideal.cycles as f64 / full.cycles as f64).min(1.0);
-    let pct_of_ideal_energy =
-        (ideal_energy.total_pj() / full.energy.total_pj()).min(1.0);
+    let pct_of_ideal_energy = (ideal_energy.total_pj() / full.energy.total_pj()).min(1.0);
 
     LadderResult {
         variant,
@@ -204,15 +203,7 @@ mod tests {
         let cpu = run_cpu(&w);
         let medal = run_medal(&w, false, 8);
         let medal_energy = EnergyModel::ddr_baseline(PeHardware::MEDAL, 32).breakdown(&medal);
-        let l = run_ladder(
-            BeaconVariant::D,
-            "Pt",
-            &w,
-            &cpu,
-            &medal,
-            &medal_energy,
-            8,
-        );
+        let l = run_ladder(BeaconVariant::D, "Pt", &w, &cpu, &medal, &medal_energy, 8);
         assert_eq!(l.points.len(), 5);
         assert!(l.full().speedup_vs_cpu > 1.0, "NDP must beat the CPU");
         assert!(

@@ -23,7 +23,7 @@ pub mod ladder;
 pub mod tables;
 
 pub use common::{
-    fm_workload, hash_workload, kmer_workload, prealign_workload, run_beacon, run_cpu,
-    run_medal, run_nest, AppWorkload, WorkloadScale,
+    fm_workload, hash_workload, kmer_workload, prealign_workload, run_beacon, run_cpu, run_medal,
+    run_nest, AppWorkload, WorkloadScale,
 };
 pub use ladder::{geomean, render_ladders, LadderPoint, LadderResult};

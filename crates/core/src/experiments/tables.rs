@@ -16,7 +16,10 @@ pub fn table1() -> String {
 
     let mut out = String::new();
     let mut cpu = Table::new("Table I — CPU baseline", &["parameter", "value"]);
-    cpu.row(&["processor".into(), "2x Xeon E5-2680 v3, 48 threads @ 2.5 GHz".into()]);
+    cpu.row(&[
+        "processor".into(),
+        "2x Xeon E5-2680 v3, 48 threads @ 2.5 GHz".into(),
+    ]);
     cpu.row(&["memory".into(), "4x DDR4-1600 channels, 32 MB LLC".into()]);
     out.push_str(&cpu.render());
 
@@ -54,10 +57,7 @@ pub fn table1() -> String {
         "ranks / chips per rank".into(),
         format!("{} / {}", geom.ranks, geom.chips_per_rank),
     ]);
-    dimm.row(&[
-        "bank groups / banks".into(),
-        format!("4 / {}", geom.banks),
-    ]);
+    dimm.row(&["bank groups / banks".into(), format!("4 / {}", geom.banks)]);
     dimm.row(&[
         "speed / timing".into(),
         format!("DDR4-1600 / {}-{}-{}", t.cl, t.trcd, t.trp),
@@ -84,7 +84,12 @@ pub fn table1() -> String {
 pub fn table2() -> String {
     let mut t = Table::new(
         "Table II — hardware overhead of the PE in different architectures (28 nm)",
-        &["architecture", "area (um^2)", "dynamic power (mW)", "leakage power (uW)"],
+        &[
+            "architecture",
+            "area (um^2)",
+            "dynamic power (mW)",
+            "leakage power (uW)",
+        ],
     );
     for hw in PeHardware::TABLE2 {
         t.row(&[

@@ -36,6 +36,7 @@ pub mod config;
 pub mod energy;
 pub mod experiments;
 pub mod mmf;
+pub mod obs;
 pub mod report;
 pub mod system;
 
@@ -45,5 +46,6 @@ pub mod prelude {
     pub use crate::config::{BeaconConfig, BeaconVariant, Optimizations};
     pub use crate::energy::{EnergyBreakdown, EnergyModel};
     pub use crate::mmf::{build_layout, LayoutSpec, MemoryLayout};
+    pub use crate::obs::ObsConfig;
     pub use crate::system::BeaconSystem;
 }

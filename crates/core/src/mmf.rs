@@ -208,8 +208,7 @@ pub fn build_layout(cfg: &BeaconConfig, specs: &[LayoutSpec]) -> MemoryLayout {
                 BeaconVariant::D => {
                     let homes = cfg.cxlg_nodes();
                     let per_node = per_node_bytes(spec.bytes, cfg.opt_stripe_bytes, homes.len());
-                    let base_row =
-                        cursors.reserve(&geometry, &homes, per_node, SPARSE_ROW_WINDOW);
+                    let base_row = cursors.reserve(&geometry, &homes, per_node, SPARSE_ROW_WINDOW);
                     Placement::striped(
                         homes,
                         cfg.opt_stripe_bytes,
@@ -225,8 +224,7 @@ pub fn build_layout(cfg: &BeaconConfig, specs: &[LayoutSpec]) -> MemoryLayout {
                 BeaconVariant::S => {
                     let homes = cfg.all_dimm_nodes();
                     let per_node = per_node_bytes(spec.bytes, 64, homes.len());
-                    let base_row =
-                        cursors.reserve(&geometry, &homes, per_node, SPARSE_ROW_WINDOW);
+                    let base_row = cursors.reserve(&geometry, &homes, per_node, SPARSE_ROW_WINDOW);
                     Placement::striped(homes, 64, 0, Interleave::RankLevel { line_bytes: 64 })
                         .with_row_offset(base_row)
                         .with_sparse_rows(SPARSE_ROW_WINDOW)
@@ -443,7 +441,7 @@ mod tests {
             .with_opts(Optimizations::full(BeaconVariant::S, AppKind::FmSeeding));
         let layout = build_layout(&cfg, &specs());
         assert_eq!(layout.cxlg_mode, AccessMode::PerChip); // irrelevant: no CXLG
-        // Read-only: replicated per switch over that switch's 4 DIMMs.
+                                                           // Read-only: replicated per switch over that switch's 4 DIMMs.
         let p = layout.maps[0].placement(Region::FmIndex).unwrap();
         assert_eq!(p.homes.len(), 4);
         assert!(p.homes.iter().all(|n| n.switch() == Some(0)));

@@ -20,7 +20,9 @@
 
 use std::collections::VecDeque;
 
-use beacon_sim::component::Tick;
+use std::fmt::Write as _;
+
+use beacon_sim::component::{Probe, Tick};
 use beacon_sim::cycle::{Cycle, Duration};
 use beacon_sim::engine::Engine;
 use beacon_sim::stats::Stats;
@@ -110,7 +112,12 @@ impl Egress {
     }
 
     fn is_idle(&self) -> bool {
-        self.queue.is_empty() && self.packer.as_ref().map(DataPacker::is_idle).unwrap_or(true)
+        self.queue.is_empty()
+            && self
+                .packer
+                .as_ref()
+                .map(DataPacker::is_idle)
+                .unwrap_or(true)
     }
 
     fn stats(&self) -> Option<&Stats> {
@@ -226,7 +233,7 @@ impl BeaconSystem {
         let packing = cfg.opts.data_packing;
         let flush_age = cfg.packer_flush_age;
 
-        let switches = (0..cfg.switches)
+        let mut switches: Vec<SwitchNode> = (0..cfg.switches)
             .map(|s| {
                 let mut sc = switch_cfg;
                 sc.index = s;
@@ -257,9 +264,7 @@ impl BeaconSystem {
                     })
                     .collect();
                 let logic_engine = match cfg.variant {
-                    BeaconVariant::S => {
-                        Some(TaskEngine::new(cfg.pes_per_module, cfg.pe_latency))
-                    }
+                    BeaconVariant::S => Some(TaskEngine::new(cfg.pes_per_module, cfg.pe_latency)),
                     BeaconVariant::D => None,
                 };
                 SwitchNode {
@@ -278,6 +283,32 @@ impl BeaconSystem {
                 }
             })
             .collect();
+
+        // Label every component's trace track with its place in the
+        // topology so exported traces read `sw0.dimm2.dram` rather than a
+        // pile of identical `dram` rows.
+        for (s, sw) in switches.iter_mut().enumerate() {
+            if let Some(e) = sw.logic.engine.as_mut() {
+                e.set_trace_id(format!("sw{s}.logic.engine"));
+            }
+            if let Some(p) = sw.logic.egress.packer.as_mut() {
+                p.set_trace_id(format!("sw{s}.logic.packer"));
+            }
+            for (slot, d) in sw.dimms.iter_mut().enumerate() {
+                match d {
+                    DimmSlot::Cxlg(m) => {
+                        m.engine.set_trace_id(format!("sw{s}.dimm{slot}.engine"));
+                        m.server.set_trace_id(format!("sw{s}.dimm{slot}.dram"));
+                        if let Some(p) = m.egress.packer.as_mut() {
+                            p.set_trace_id(format!("sw{s}.dimm{slot}.packer"));
+                        }
+                    }
+                    DimmSlot::Unmodified(u) => {
+                        u.server.set_trace_id(format!("sw{s}.dimm{slot}.dram"));
+                    }
+                }
+            }
+        }
 
         BeaconSystem {
             cfg,
@@ -335,7 +366,7 @@ impl BeaconSystem {
     /// Panics when the model deadlocks (cycle limit).
     pub fn run(&mut self) -> RunResult {
         let mut engine = Engine::new();
-        let outcome = engine.run(self);
+        let outcome = crate::obs::drive(&mut engine, self);
         self.finished_at = outcome.finished_at();
         self.collect()
     }
@@ -422,8 +453,7 @@ impl BeaconSystem {
 
     fn pump_host(&mut self, now: Cycle) {
         for s in 0..self.switches.len() {
-            while let Some(bundle) = self.switches[s].fabric.endpoint_recv(Switch::UPLINK, now)
-            {
+            while let Some(bundle) = self.switches[s].fabric.endpoint_recv(Switch::UPLINK, now) {
                 let ready = now + Duration::new(self.cfg.host_latency);
                 self.host_stage.push_back((ready, bundle));
             }
@@ -474,7 +504,8 @@ impl BeaconSystem {
         let pid = pending.alloc(access.token, segments.len() as u32, access.blocking);
         let (op, msg_kind) = Self::op_of(access.access.kind);
         for seg in segments {
-            let seg_is_cxlg = matches!(seg.node, NodeId::Dimm { slot, .. } if cfg.slot_is_cxlg(slot));
+            let seg_is_cxlg =
+                matches!(seg.node, NodeId::Dimm { slot, .. } if cfg.slot_is_cxlg(slot));
             if seg.node == self_node {
                 if let Some(server) = local_server.as_deref_mut() {
                     server.request(pid, seg.coord, seg.bytes, op);
@@ -924,7 +955,12 @@ impl Tick for BeaconSystem {
                     && sw.logic.egress.is_idle()
                     && sw.logic.alu_stage.is_empty()
                     && sw.logic.pending.is_empty()
-                    && sw.logic.engine.as_ref().map(TaskEngine::all_done).unwrap_or(true)
+                    && sw
+                        .logic
+                        .engine
+                        .as_ref()
+                        .map(TaskEngine::all_done)
+                        .unwrap_or(true)
                     && sw.dimms.iter().all(|d| match d {
                         DimmSlot::Cxlg(m) => {
                             m.engine.all_done()
@@ -935,6 +971,138 @@ impl Tick for BeaconSystem {
                         DimmSlot::Unmodified(u) => u.server.is_idle() && u.egress.is_idle(),
                     })
             })
+    }
+}
+
+impl Probe for BeaconSystem {
+    /// Useful work only: forwarded bundles, issued accesses, retired
+    /// tasks and DRAM data/row commands. Refresh is deliberately
+    /// excluded — a refreshing but otherwise wedged pool must still trip
+    /// the stall detector.
+    fn progress_counter(&self) -> u64 {
+        let dram_cmds =
+            |s: &Stats| s.get("dram.cmd.read") + s.get("dram.cmd.write") + s.get("dram.cmd.act");
+        let mut n = 0u64;
+        for sw in &self.switches {
+            n += sw.fabric.stats().get("switch.forwarded");
+            if let Some(e) = &sw.logic.engine {
+                n += e.completed() as u64 + e.stats().get("engine.accesses_issued");
+            }
+            for d in &sw.dimms {
+                match d {
+                    DimmSlot::Cxlg(m) => {
+                        n += m.engine.completed() as u64
+                            + m.engine.stats().get("engine.accesses_issued")
+                            + dram_cmds(m.server.dimm().stats());
+                    }
+                    DimmSlot::Unmodified(u) => {
+                        n += dram_cmds(u.server.dimm().stats());
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    fn gauges(&self, out: &mut Vec<(String, f64)>) {
+        let mut dram_queue = 0usize;
+        let mut dram_backlog = 0usize;
+        let mut link_occupancy = 0usize;
+        let mut switch_staged = 0usize;
+        let mut pe_busy = 0usize;
+        let mut tasks_ready = 0usize;
+        let mut pending = 0usize;
+        let mut tasks_completed = 0usize;
+        for sw in &self.switches {
+            link_occupancy += sw.fabric.link_occupancy();
+            switch_staged += sw.fabric.staged_len() + sw.fabric.logic_inbox_len();
+            pending += sw.logic.pending.in_flight();
+            if let Some(e) = &sw.logic.engine {
+                pe_busy += e.busy_pes();
+                tasks_ready += e.ready_len();
+                tasks_completed += e.completed();
+            }
+            for d in &sw.dimms {
+                match d {
+                    DimmSlot::Cxlg(m) => {
+                        dram_queue += m.server.dimm().queue_len();
+                        dram_backlog += m.server.backlog_len();
+                        pending += m.pending.in_flight();
+                        pe_busy += m.engine.busy_pes();
+                        tasks_ready += m.engine.ready_len();
+                        tasks_completed += m.engine.completed();
+                    }
+                    DimmSlot::Unmodified(u) => {
+                        dram_queue += u.server.dimm().queue_len();
+                        dram_backlog += u.server.backlog_len();
+                    }
+                }
+            }
+        }
+        out.push(("dram.queue".to_owned(), dram_queue as f64));
+        out.push(("dram.backlog".to_owned(), dram_backlog as f64));
+        out.push(("cxl.link_occupancy".to_owned(), link_occupancy as f64));
+        out.push(("switch.staged".to_owned(), switch_staged as f64));
+        out.push(("accel.pe_busy".to_owned(), pe_busy as f64));
+        out.push(("accel.ready".to_owned(), tasks_ready as f64));
+        out.push(("accel.pending".to_owned(), pending as f64));
+        out.push(("tasks.completed".to_owned(), tasks_completed as f64));
+        out.push(("host.staged".to_owned(), self.host_stage.len() as f64));
+    }
+
+    fn state_snapshot(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "host_stage: {}", self.host_stage.len());
+        for (i, sw) in self.switches.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "switch {i}: staged={} inbox={} links={}",
+                sw.fabric.staged_len(),
+                sw.fabric.logic_inbox_len(),
+                sw.fabric.link_occupancy(),
+            );
+            if let Some(e) = &sw.logic.engine {
+                let _ = writeln!(
+                    s,
+                    "  logic: tasks {}/{} busy={} ready={} pending={} egress={}",
+                    e.completed(),
+                    e.submitted(),
+                    e.busy_pes(),
+                    e.ready_len(),
+                    sw.logic.pending.in_flight(),
+                    sw.logic.egress.queue.len(),
+                );
+            }
+            for (slot, d) in sw.dimms.iter().enumerate() {
+                match d {
+                    DimmSlot::Cxlg(m) => {
+                        let _ = writeln!(
+                            s,
+                            "  dimm {slot} (cxlg): tasks {}/{} busy={} ready={} \
+                             pending={} backlog={} queue={} egress={}",
+                            m.engine.completed(),
+                            m.engine.submitted(),
+                            m.engine.busy_pes(),
+                            m.engine.ready_len(),
+                            m.pending.in_flight(),
+                            m.server.backlog_len(),
+                            m.server.dimm().queue_len(),
+                            m.egress.queue.len(),
+                        );
+                    }
+                    DimmSlot::Unmodified(u) => {
+                        let _ = writeln!(
+                            s,
+                            "  dimm {slot} (unmod): backlog={} queue={} egress={}",
+                            u.server.backlog_len(),
+                            u.server.dimm().queue_len(),
+                            u.egress.queue.len(),
+                        );
+                    }
+                }
+            }
+        }
+        s
     }
 }
 
@@ -1029,7 +1197,12 @@ mod tests {
         with_opt.mem_access_opt = true;
         let a = run_point(BeaconVariant::S, no_opt, &traces, bytes);
         let b = run_point(BeaconVariant::S, with_opt, &traces, bytes);
-        assert!(b.cycles < a.cycles, "device bias must help ({} vs {})", b.cycles, a.cycles);
+        assert!(
+            b.cycles < a.cycles,
+            "device bias must help ({} vs {})",
+            b.cycles,
+            a.cycles
+        );
     }
 
     #[test]
@@ -1055,8 +1228,8 @@ mod tests {
     fn d_uses_cxlg_dram_under_placement() {
         let (traces, bytes) = fm_workload(8);
         let app = beacon_genomics::trace::AppKind::FmSeeding;
-        let mut cfg = BeaconConfig::paper_d(app)
-            .with_opts(Optimizations::full(BeaconVariant::D, app));
+        let mut cfg =
+            BeaconConfig::paper_d(app).with_opts(Optimizations::full(BeaconVariant::D, app));
         small(&mut cfg);
         let mut sys = build(cfg, bytes);
         sys.submit_round_robin(traces);
@@ -1074,12 +1247,13 @@ mod tests {
         let g = Genome::synthetic(GenomeId::Human, 2000, 3);
         let counter = beacon_genomics::kmer::KmerCounter::new(28, 1 << 16, 3, 7);
         let mut sampler = ReadSampler::new(&g, 60, 0.01, 4);
-        let traces: Vec<TaskTrace> =
-            (0..8).map(|_| counter.trace_read(&sampler.next_read())).collect();
+        let traces: Vec<TaskTrace> = (0..8)
+            .map(|_| counter.trace_read(&sampler.next_read()))
+            .collect();
 
         let app = beacon_genomics::trace::AppKind::KmerCounting;
-        let mut cfg = BeaconConfig::paper_s(app)
-            .with_opts(Optimizations::full(BeaconVariant::S, app));
+        let mut cfg =
+            BeaconConfig::paper_s(app).with_opts(Optimizations::full(BeaconVariant::S, app));
         small(&mut cfg);
         let specs = [LayoutSpec::shared_random(Region::Bloom, 1 << 16)];
         let layout = build_layout(&cfg, &specs);

@@ -9,6 +9,7 @@ use std::collections::VecDeque;
 
 use beacon_sim::cycle::{Cycle, Duration};
 use beacon_sim::stats::Stats;
+use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 
 use crate::bundle::Bundle;
 use crate::params::LinkParams;
@@ -36,6 +37,8 @@ pub struct Link {
     /// order): `(arrives_at, bundle)`.
     in_flight: VecDeque<(Cycle, Bundle)>,
     stats: Stats,
+    /// Trace-track label; `None` falls back to `"cxl.link"`.
+    trace_id: Option<Box<str>>,
 }
 
 impl Link {
@@ -50,7 +53,13 @@ impl Link {
             busy_until: 0.0,
             in_flight: VecDeque::new(),
             stats: Stats::new(),
+            trace_id: None,
         }
+    }
+
+    /// Sets the track label this link's trace events are emitted under.
+    pub fn set_trace_id(&mut self, id: impl Into<String>) {
+        self.trace_id = Some(id.into().into_boxed_str());
     }
 
     /// The link's parameters.
@@ -71,6 +80,18 @@ impl Link {
     pub fn try_send(&mut self, bundle: Bundle, now: Cycle) -> Result<(), SendError> {
         if !self.can_send(now) {
             self.stats.incr("cxl.backpressure");
+            if trace::enabled(TraceLevel::Flit) {
+                trace::emit(
+                    self.trace_id.as_deref().unwrap_or("cxl.link"),
+                    TraceEvent::instant(
+                        now.as_u64(),
+                        TraceLevel::Flit,
+                        TraceCategory::Cxl,
+                        "cxl.backpressure",
+                        self.in_flight.len() as u64,
+                    ),
+                );
+            }
             return Err(SendError(bundle));
         }
         let wire = bundle.wire_bytes_at(self.params.slot_bytes);
@@ -84,7 +105,22 @@ impl Link {
         self.stats.add("cxl.msgs", bundle.messages.len() as u64);
         self.stats.add("cxl.flits", bundle.flits() as u64);
         self.stats.add("cxl.wire_bytes", wire as u64);
-        self.stats.add("cxl.useful_bytes", bundle.useful_bytes() as u64);
+        self.stats
+            .add("cxl.useful_bytes", bundle.useful_bytes() as u64);
+
+        if trace::enabled(TraceLevel::Flit) {
+            trace::emit(
+                self.trace_id.as_deref().unwrap_or("cxl.link"),
+                TraceEvent::span(
+                    now.as_u64(),
+                    arrives.since(now).as_u64().max(1),
+                    TraceLevel::Flit,
+                    TraceCategory::Cxl,
+                    "cxl.send",
+                    wire as u64,
+                ),
+            );
+        }
 
         self.in_flight.push_back((arrives, bundle));
         Ok(())
@@ -93,7 +129,24 @@ impl Link {
     /// Pops the next bundle that has arrived by `now`, if any.
     pub fn deliver(&mut self, now: Cycle) -> Option<Bundle> {
         match self.in_flight.front() {
-            Some((at, _)) if *at <= now => self.in_flight.pop_front().map(|(_, b)| b),
+            Some((at, _)) if *at <= now => {
+                let bundle = self.in_flight.pop_front().map(|(_, b)| b);
+                if let Some(b) = &bundle {
+                    if trace::enabled(TraceLevel::Flit) {
+                        trace::emit(
+                            self.trace_id.as_deref().unwrap_or("cxl.link"),
+                            TraceEvent::instant(
+                                now.as_u64(),
+                                TraceLevel::Flit,
+                                TraceCategory::Cxl,
+                                "cxl.recv",
+                                b.messages.len() as u64,
+                            ),
+                        );
+                    }
+                }
+                bundle
+            }
             _ => None,
         }
     }
@@ -133,7 +186,8 @@ mod tests {
             slot_bytes: 16,
         };
         let mut l = Link::new(p);
-        l.try_send(Bundle::single(resp(32, 1)), Cycle::ZERO).unwrap();
+        l.try_send(Bundle::single(resp(32, 1)), Cycle::ZERO)
+            .unwrap();
         // 36 B useful -> 48 B wire / 64 Bpc -> 1 cycle + 10 latency = 11.
         assert!(l.deliver(Cycle::new(10)).is_none());
         assert!(l.deliver(Cycle::new(11)).is_some());
@@ -150,7 +204,8 @@ mod tests {
         };
         let mut l = Link::new(p);
         for i in 0..3 {
-            l.try_send(Bundle::single(resp(32, i)), Cycle::ZERO).unwrap();
+            l.try_send(Bundle::single(resp(32, i)), Cycle::ZERO)
+                .unwrap();
         }
         // 48 B wire each at 32 Bpc: arrivals at 1.5, 3, 4.5 -> 2, 3, 5.
         assert!(l.deliver(Cycle::new(1)).is_none());
@@ -169,8 +224,10 @@ mod tests {
             slot_bytes: 16,
         };
         let mut l = Link::new(p);
-        l.try_send(Bundle::single(resp(32, 0)), Cycle::ZERO).unwrap();
-        l.try_send(Bundle::single(resp(32, 1)), Cycle::ZERO).unwrap();
+        l.try_send(Bundle::single(resp(32, 0)), Cycle::ZERO)
+            .unwrap();
+        l.try_send(Bundle::single(resp(32, 1)), Cycle::ZERO)
+            .unwrap();
         let e = l.try_send(Bundle::single(resp(32, 2)), Cycle::ZERO);
         assert!(e.is_err());
         assert_eq!(l.stats().get("cxl.backpressure"), 1);
@@ -189,7 +246,8 @@ mod tests {
     #[test]
     fn ideal_link_delivers_within_one_cycle() {
         let mut l = Link::new(LinkParams::ideal());
-        l.try_send(Bundle::single(resp(4096, 0)), Cycle::ZERO).unwrap();
+        l.try_send(Bundle::single(resp(4096, 0)), Cycle::ZERO)
+            .unwrap();
         assert!(l.deliver(Cycle::new(1)).is_some());
     }
 
@@ -202,7 +260,8 @@ mod tests {
             slot_bytes: 16,
         };
         let mut l = Link::new(p);
-        l.try_send(Bundle::single(resp(32, 0)), Cycle::new(100)).unwrap();
+        l.try_send(Bundle::single(resp(32, 0)), Cycle::new(100))
+            .unwrap();
         assert!(l.deliver(Cycle::new(100)).is_none());
         assert!(l.deliver(Cycle::new(101)).is_some());
     }

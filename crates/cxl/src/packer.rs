@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 
 use beacon_sim::cycle::{Cycle, Duration};
 use beacon_sim::stats::Stats;
+use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 
 use crate::bundle::Bundle;
 use crate::message::{Message, NodeId};
@@ -33,6 +34,8 @@ pub struct DataPacker {
     slots: BTreeMap<NodeId, Slot>,
     ready: Vec<Bundle>,
     stats: Stats,
+    /// Trace-track label; `None` falls back to `"packer"`.
+    trace_id: Option<Box<str>>,
 }
 
 impl DataPacker {
@@ -45,6 +48,27 @@ impl DataPacker {
             slots: BTreeMap::new(),
             ready: Vec::new(),
             stats: Stats::new(),
+            trace_id: None,
+        }
+    }
+
+    /// Sets the track label this packer's trace events are emitted under.
+    pub fn set_trace_id(&mut self, id: impl Into<String>) {
+        self.trace_id = Some(id.into().into_boxed_str());
+    }
+
+    fn trace_flush(&self, now: Cycle, name: &'static str, msgs: u64) {
+        if trace::enabled(TraceLevel::Flit) {
+            trace::emit(
+                self.trace_id.as_deref().unwrap_or("packer"),
+                TraceEvent::instant(
+                    now.as_u64(),
+                    TraceLevel::Flit,
+                    TraceCategory::Packer,
+                    name,
+                    msgs,
+                ),
+            );
         }
     }
 
@@ -62,6 +86,7 @@ impl DataPacker {
     pub fn push(&mut self, msg: Message, now: Cycle) {
         if msg.wire_bytes() >= self.fill_bytes {
             self.stats.incr("packer.bypass");
+            self.trace_flush(now, "packer.bypass", 1);
             self.ready.push(Bundle::single(msg));
             return;
         }
@@ -86,6 +111,7 @@ impl DataPacker {
                 },
             );
             self.stats.incr("packer.flush_full");
+            self.trace_flush(now, "packer.flush_full", full.msgs.len() as u64);
             self.ready.push(Bundle::packed(full.msgs));
         }
     }
@@ -111,6 +137,7 @@ impl DataPacker {
                     },
                 );
                 self.stats.incr("packer.flush_age");
+                self.trace_flush(now, "packer.flush_age", full.msgs.len() as u64);
                 self.ready.push(Bundle::packed(full.msgs));
             }
         }
@@ -222,7 +249,9 @@ mod tests {
             p.push(small(1, i), Cycle::ZERO);
         }
         p.flush_all(Cycle::ZERO);
-        let packed_flits: u32 = std::iter::from_fn(|| p.pop_ready()).map(|b| b.flits()).sum();
+        let packed_flits: u32 = std::iter::from_fn(|| p.pop_ready())
+            .map(|b| b.flits())
+            .sum();
         let unpacked_flits: u32 = (0..8).map(|i| Bundle::single(small(1, i)).flits()).sum();
         assert!(packed_flits < unpacked_flits);
         assert_eq!(packed_flits, 1);

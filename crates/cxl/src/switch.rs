@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use beacon_sim::component::Tick;
 use beacon_sim::cycle::{Cycle, Duration};
 use beacon_sim::stats::Stats;
+use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 use serde::{Deserialize, Serialize};
 
 use crate::bundle::Bundle;
@@ -83,6 +84,8 @@ pub struct Switch {
     logic_inbox: VecDeque<Bundle>,
     bus_busy_until: f64,
     stats: Stats,
+    /// Trace-track label for switch-bus arbitration events.
+    track: String,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,8 +109,12 @@ impl Switch {
             } else {
                 cfg.dimm_link
             };
-            ingress.push(Link::new(params));
-            egress.push(Link::new(params));
+            let mut inl = Link::new(params);
+            inl.set_trace_id(format!("switch{}.port{}.in", cfg.index, p));
+            let mut outl = Link::new(params);
+            outl.set_trace_id(format!("switch{}.port{}.out", cfg.index, p));
+            ingress.push(inl);
+            egress.push(outl);
         }
         Switch {
             cfg,
@@ -117,6 +124,7 @@ impl Switch {
             logic_inbox: VecDeque::new(),
             bus_busy_until: 0.0,
             stats: Stats::new(),
+            track: format!("switch{}", cfg.index),
         }
     }
 
@@ -170,6 +178,21 @@ impl Switch {
         self.logic_inbox.len()
     }
 
+    /// Bundles routed but still waiting for their egress link.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Total sender-queue occupancy across every port link (both
+    /// directions) — a gauge of how loaded the switch fabric is.
+    pub fn link_occupancy(&self) -> usize {
+        self.ingress
+            .iter()
+            .chain(self.egress.iter())
+            .map(Link::queued)
+            .sum()
+    }
+
     /// Traffic statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
@@ -215,14 +238,27 @@ impl Switch {
 
     fn stage(&mut self, target: RouteTarget, bundle: Bundle, now: Cycle) {
         // Pay the switch-bus serialisation and hop latency.
+        let wire = bundle.wire_bytes_at(16);
         let start = self.bus_busy_until.max(now.as_u64() as f64);
-        let ser = bundle.wire_bytes_at(16) as f64 / self.cfg.bus_bytes_per_cycle;
+        let ser = wire as f64 / self.cfg.bus_bytes_per_cycle;
         self.bus_busy_until = start + ser;
         let ready =
             Cycle::new((start + ser).ceil() as u64) + Duration::new(self.cfg.forward_latency);
         self.stats.incr("switch.forwarded");
-        self.stats
-            .add("switch.bus_bytes", bundle.wire_bytes_at(16) as u64);
+        self.stats.add("switch.bus_bytes", wire as u64);
+        if trace::enabled(TraceLevel::Flit) {
+            trace::emit(
+                &self.track,
+                TraceEvent::span(
+                    now.as_u64(),
+                    ready.since(now).as_u64().max(1),
+                    TraceLevel::Flit,
+                    TraceCategory::Switch,
+                    "switch.bus",
+                    wire as u64,
+                ),
+            );
+        }
         self.staged.push_back((ready, target, bundle));
     }
 
@@ -293,7 +329,8 @@ mod tests {
         let mut sw = Switch::new(SwitchConfig::paper(0, 4));
         let msg = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(0, 2), 32, 1);
         let port = sw.dimm_port(0);
-        sw.endpoint_send(port, Bundle::single(msg), Cycle::ZERO).unwrap();
+        sw.endpoint_send(port, Bundle::single(msg), Cycle::ZERO)
+            .unwrap();
 
         let dst_port = sw.dimm_port(2);
         let at = run_until(
@@ -310,7 +347,8 @@ mod tests {
         let mut sw = Switch::new(SwitchConfig::paper(3, 2));
         let msg = Message::read_req(NodeId::dimm(3, 0), NodeId::SwitchLogic(3), 32, 2);
         let port = sw.dimm_port(0);
-        sw.endpoint_send(port, Bundle::single(msg), Cycle::ZERO).unwrap();
+        sw.endpoint_send(port, Bundle::single(msg), Cycle::ZERO)
+            .unwrap();
         let at = run_until(&mut sw, |s, _| s.logic_inbox_len() > 0, 10_000);
         assert!(at.is_some());
         assert!(sw.logic_recv().is_some());
@@ -322,7 +360,8 @@ mod tests {
         // Destination on another switch.
         let msg = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(1, 0), 32, 3);
         let port = sw.dimm_port(0);
-        sw.endpoint_send(port, Bundle::single(msg), Cycle::ZERO).unwrap();
+        sw.endpoint_send(port, Bundle::single(msg), Cycle::ZERO)
+            .unwrap();
         let at = run_until(
             &mut sw,
             |s, now| s.endpoint_recv(Switch::UPLINK, now).is_some(),
@@ -346,10 +385,22 @@ mod tests {
         let mut fast = Switch::new(SwitchConfig::paper(0, 2).idealized());
         let mut slow = Switch::new(SwitchConfig::paper(0, 2));
         let msg = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(0, 1), 32, 5);
-        fast.endpoint_send(1, Bundle::single(msg), Cycle::ZERO).unwrap();
-        slow.endpoint_send(1, Bundle::single(msg), Cycle::ZERO).unwrap();
-        let tf = run_until(&mut fast, |s, now| s.endpoint_recv(2, now).is_some(), 10_000).unwrap();
-        let ts = run_until(&mut slow, |s, now| s.endpoint_recv(2, now).is_some(), 10_000).unwrap();
+        fast.endpoint_send(1, Bundle::single(msg), Cycle::ZERO)
+            .unwrap();
+        slow.endpoint_send(1, Bundle::single(msg), Cycle::ZERO)
+            .unwrap();
+        let tf = run_until(
+            &mut fast,
+            |s, now| s.endpoint_recv(2, now).is_some(),
+            10_000,
+        )
+        .unwrap();
+        let ts = run_until(
+            &mut slow,
+            |s, now| s.endpoint_recv(2, now).is_some(),
+            10_000,
+        )
+        .unwrap();
         assert!(tf < ts);
     }
 
@@ -358,7 +409,8 @@ mod tests {
         let mut sw = Switch::new(SwitchConfig::paper(0, 2));
         assert!(sw.is_idle());
         let msg = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(0, 1), 32, 6);
-        sw.endpoint_send(1, Bundle::single(msg), Cycle::ZERO).unwrap();
+        sw.endpoint_send(1, Bundle::single(msg), Cycle::ZERO)
+            .unwrap();
         assert!(!sw.is_idle());
         run_until(&mut sw, |s, now| s.endpoint_recv(2, now).is_some(), 10_000).unwrap();
         assert!(sw.is_idle());
@@ -379,13 +431,15 @@ mod tests {
 
         // Atomic to a managed (unmodified) slot lands in the logic inbox.
         let to_unmod = Message::atomic_req(NodeId::dimm(0, 0), NodeId::dimm(0, 3), 1, 1);
-        sw.endpoint_send(1, Bundle::single(to_unmod), Cycle::ZERO).unwrap();
+        sw.endpoint_send(1, Bundle::single(to_unmod), Cycle::ZERO)
+            .unwrap();
         let hit = run_until(&mut sw, |s, _| s.logic_inbox_len() > 0, 10_000);
         assert!(hit.is_some(), "atomic should divert to the switch logic");
 
         // Atomic to a CXLG slot (below the threshold) goes to the DIMM port.
         let to_cxlg = Message::atomic_req(NodeId::dimm(0, 0), NodeId::dimm(0, 1), 1, 2);
-        sw.endpoint_send(1, Bundle::single(to_cxlg), Cycle::ZERO).unwrap();
+        sw.endpoint_send(1, Bundle::single(to_cxlg), Cycle::ZERO)
+            .unwrap();
         let p = sw.dimm_port(1);
         let hit = run_until(&mut sw, |s, now| s.endpoint_recv(p, now).is_some(), 10_000);
         assert!(hit.is_some(), "atomic to CXLG must reach the DIMM directly");
@@ -396,9 +450,10 @@ mod tests {
         let mut sw = Switch::new(SwitchConfig::paper(0, 2));
         // Even a same-switch destination leaves via the uplink when the
         // host-bias flag is set.
-        let msg = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(0, 1), 32, 3)
-            .routed_via_host(true);
-        sw.endpoint_send(1, Bundle::single(msg), Cycle::ZERO).unwrap();
+        let msg =
+            Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(0, 1), 32, 3).routed_via_host(true);
+        sw.endpoint_send(1, Bundle::single(msg), Cycle::ZERO)
+            .unwrap();
         let hit = run_until(
             &mut sw,
             |s, now| s.endpoint_recv(Switch::UPLINK, now).is_some(),
@@ -411,7 +466,8 @@ mod tests {
     fn merged_stats_include_link_counters() {
         let mut sw = Switch::new(SwitchConfig::paper(0, 2));
         let msg = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(0, 1), 32, 4);
-        sw.endpoint_send(1, Bundle::single(msg), Cycle::ZERO).unwrap();
+        sw.endpoint_send(1, Bundle::single(msg), Cycle::ZERO)
+            .unwrap();
         run_until(&mut sw, |s, now| s.endpoint_recv(2, now).is_some(), 10_000).unwrap();
         let stats = sw.merged_stats();
         assert!(stats.get("cxl.wire_bytes") > 0);

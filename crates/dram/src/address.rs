@@ -127,8 +127,7 @@ impl Interleave {
                 let rest = line / geometry.ranks as u64;
                 let bank = rest % geometry.banks as u64;
                 let rest = rest / geometry.banks as u64;
-                let lines_per_row =
-                    (geometry.cols_per_row() as u64) / bursts_per_line.max(1);
+                let lines_per_row = (geometry.cols_per_row() as u64) / bursts_per_line.max(1);
                 let col_base = (rest % lines_per_row) * bursts_per_line;
                 let row = rest / lines_per_row;
 
@@ -146,8 +145,7 @@ impl Interleave {
             } => {
                 let block_bytes = block_bytes as u64;
                 let chips_per_group = geometry.chips_per_rank / groups;
-                let group_burst_bytes =
-                    (chips_per_group * geometry.burst_bytes_per_chip()) as u64;
+                let group_burst_bytes = (chips_per_group * geometry.burst_bytes_per_chip()) as u64;
                 debug_assert!(block_bytes.is_multiple_of(group_burst_bytes));
                 let bursts_per_block = block_bytes / group_burst_bytes;
 
@@ -179,8 +177,7 @@ impl Interleave {
             }
             Interleave::RowMajor { groups } => {
                 let chips_per_group = geometry.chips_per_rank / groups;
-                let group_burst_bytes =
-                    (chips_per_group * geometry.burst_bytes_per_chip()) as u64;
+                let group_burst_bytes = (chips_per_group * geometry.burst_bytes_per_chip()) as u64;
                 let row_bytes = group_burst_bytes * geometry.cols_per_row() as u64;
 
                 let row_linear = addr / row_bytes;
@@ -344,10 +341,16 @@ mod tests {
         assert_eq!(granule, 4096);
         let a = s.decode(&g, 0);
         let b = s.decode(&g, granule - 32);
-        assert_eq!((a.rank, a.group, a.bank, a.row), (b.rank, b.group, b.bank, b.row));
+        assert_eq!(
+            (a.rank, a.group, a.bank, a.row),
+            (b.rank, b.group, b.bank, b.row)
+        );
         assert!(b.col > a.col);
         let c = s.decode(&g, granule);
-        assert_ne!((a.rank, a.group, a.bank, a.row), (c.rank, c.group, c.bank, c.row));
+        assert_ne!(
+            (a.rank, a.group, a.bank, a.row),
+            (c.rank, c.group, c.bank, c.row)
+        );
         // Consecutive rows rotate chip groups first (bulk streams engage
         // every chip).
         assert_eq!(c.group, 1);

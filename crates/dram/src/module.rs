@@ -19,6 +19,7 @@ use beacon_sim::component::Tick;
 use beacon_sim::cycle::{Cycle, Duration};
 use beacon_sim::queue::QueueFullError;
 use beacon_sim::stats::{Histogram, Stats};
+use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 use serde::{Deserialize, Serialize};
 
 use crate::bank::BankTimer;
@@ -177,6 +178,8 @@ pub struct Dimm {
     stats: Stats,
     chip_hist: Histogram,
     ticked_cycles: u64,
+    /// Trace-track label; `None` falls back to `"dram"`.
+    trace_id: Option<Box<str>>,
 }
 
 impl Dimm {
@@ -205,10 +208,7 @@ impl Dimm {
                     1
                 }
             ],
-            act_window: vec![
-                VecDeque::with_capacity(4);
-                (cfg.geometry.ranks * groups) as usize
-            ],
+            act_window: vec![VecDeque::with_capacity(4); (cfg.geometry.ranks * groups) as usize],
             last_act: vec![Cycle::ZERO; (cfg.geometry.ranks * groups) as usize],
             refresh_due: vec![Cycle::new(cfg.timing.trefi); cfg.geometry.ranks as usize],
             rank_busy: vec![Cycle::ZERO; cfg.geometry.ranks as usize],
@@ -216,7 +216,18 @@ impl Dimm {
             stats: Stats::new(),
             chip_hist: Histogram::new(chips),
             ticked_cycles: 0,
+            trace_id: None,
         }
+    }
+
+    /// Sets the track label this DIMM's trace events are emitted under.
+    pub fn set_trace_id(&mut self, id: impl Into<String>) {
+        self.trace_id = Some(id.into().into_boxed_str());
+    }
+
+    /// Requests currently in the controller queue (an occupancy gauge).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 
     /// This DIMM's configuration.
@@ -344,6 +355,19 @@ impl Dimm {
                 "dram.refresh_chips",
                 self.cfg.geometry.chips_per_rank as u64,
             );
+            if trace::enabled(TraceLevel::Command) {
+                trace::emit(
+                    self.trace_id.as_deref().unwrap_or("dram"),
+                    TraceEvent::span(
+                        now.as_u64(),
+                        t.trfc,
+                        TraceLevel::Command,
+                        TraceCategory::Dram,
+                        "dram.refresh",
+                        rank as u64,
+                    ),
+                );
+            }
         }
     }
 
@@ -506,11 +530,37 @@ impl Dimm {
                 self.stats.incr("dram.cmd.act");
                 self.stats.add("dram.act_chips", chips_per_group);
                 self.stats.incr("dram.row_miss");
+                if trace::enabled(TraceLevel::Command) {
+                    trace::emit(
+                        self.trace_id.as_deref().unwrap_or("dram"),
+                        TraceEvent::span(
+                            now.as_u64(),
+                            t.trcd,
+                            TraceLevel::Command,
+                            TraceCategory::Dram,
+                            "dram.act",
+                            coord.bank as u64,
+                        ),
+                    );
+                }
             }
             CmdKind::Precharge => {
                 self.stats.incr("dram.cmd.pre");
                 self.stats.add("dram.pre_chips", chips_per_group);
                 self.stats.incr("dram.row_conflict");
+                if trace::enabled(TraceLevel::Command) {
+                    trace::emit(
+                        self.trace_id.as_deref().unwrap_or("dram"),
+                        TraceEvent::span(
+                            now.as_u64(),
+                            t.trp,
+                            TraceLevel::Command,
+                            TraceCategory::Dram,
+                            "dram.pre",
+                            coord.bank as u64,
+                        ),
+                    );
+                }
             }
             CmdKind::Read | CmdKind::Write => {
                 let (_start, end) = window.expect("column command has data window");
@@ -533,8 +583,7 @@ impl Dimm {
                     let bidx2 = self.bank_index(coord.rank, coord.group, coord.bank);
                     // First burst already applied; extend by the remaining
                     // occupancy directly.
-                    let extra =
-                        beacon_sim::cycle::Duration::new(t.tbl).saturating_mul(chained - 1);
+                    let extra = beacon_sim::cycle::Duration::new(t.tbl).saturating_mul(chained - 1);
                     let _ = bidx2;
                     end + extra
                 } else {
@@ -550,16 +599,34 @@ impl Dimm {
                 match req_kind {
                     ReqKind::Read => {
                         self.stats.incr("dram.cmd.read");
-                        self.stats.add("dram.rd_burst_chips", chips_per_group * chained);
+                        self.stats
+                            .add("dram.rd_burst_chips", chips_per_group * chained);
                     }
                     ReqKind::Write => {
                         self.stats.incr("dram.cmd.write");
-                        self.stats.add("dram.wr_burst_chips", chips_per_group * chained);
+                        self.stats
+                            .add("dram.wr_burst_chips", chips_per_group * chained);
                     }
                 }
                 self.stats.incr("dram.row_hit");
                 for _ in 0..chained {
                     self.record_chip_access(coord.rank, coord.group);
+                }
+                if trace::enabled(TraceLevel::Command) {
+                    trace::emit(
+                        self.trace_id.as_deref().unwrap_or("dram"),
+                        TraceEvent::span(
+                            now.as_u64(),
+                            end.since(now).as_u64().max(1),
+                            TraceLevel::Command,
+                            TraceCategory::Dram,
+                            match req_kind {
+                                ReqKind::Read => "dram.rd",
+                                ReqKind::Write => "dram.wr",
+                            },
+                            chained,
+                        ),
+                    );
                 }
             }
             CmdKind::Refresh => unreachable!("refresh issued by maybe_refresh"),
@@ -609,7 +676,8 @@ mod tests {
     fn single_read_latency_is_trcd_cl_bl() {
         let mut d = dimm(AccessMode::RankLockstep);
         let t = d.config().timing;
-        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 64)).unwrap();
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 64))
+            .unwrap();
         let mut e = Engine::new();
         e.run(&mut d);
         let done = d.drain_completed();
@@ -622,7 +690,8 @@ mod tests {
     fn fine_grained_32b_needs_8_bursts_on_one_chip() {
         let mut d = dimm(AccessMode::PerChip);
         let t = d.config().timing;
-        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 32)).unwrap();
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 32))
+            .unwrap();
         let mut e = Engine::new();
         e.run(&mut d);
         let done = d.drain_completed();
@@ -638,7 +707,8 @@ mod tests {
     #[test]
     fn coalesced_8_chips_32b_single_burst() {
         let mut d = dimm(AccessMode::Coalesced { chips: 8 });
-        d.enqueue(MemRequest::read(coord(0, 1, 0, 10, 0), 32)).unwrap();
+        d.enqueue(MemRequest::read(coord(0, 1, 0, 10, 0), 32))
+            .unwrap();
         let mut e = Engine::new();
         e.run(&mut d);
         assert_eq!(d.stats().get("dram.cmd.read"), 1);
@@ -649,8 +719,10 @@ mod tests {
     #[test]
     fn row_hit_skips_activate() {
         let mut d = dimm(AccessMode::RankLockstep);
-        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 64)).unwrap();
-        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 1), 64)).unwrap();
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 64))
+            .unwrap();
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 1), 64))
+            .unwrap();
         let mut e = Engine::new();
         e.run(&mut d);
         assert_eq!(d.stats().get("dram.cmd.act"), 1);
@@ -660,8 +732,10 @@ mod tests {
     #[test]
     fn row_conflict_precharges() {
         let mut d = dimm(AccessMode::RankLockstep);
-        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 64)).unwrap();
-        d.enqueue(MemRequest::read(coord(0, 0, 0, 11, 0), 64)).unwrap();
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 64))
+            .unwrap();
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 11, 0), 64))
+            .unwrap();
         let mut e = Engine::new();
         e.run(&mut d);
         assert_eq!(d.stats().get("dram.cmd.act"), 2);
@@ -673,8 +747,10 @@ mod tests {
         // Two requests to different chips should overlap; total time is far
         // less than 2x the single-request latency.
         let mut d = dimm(AccessMode::PerChip);
-        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 32)).unwrap();
-        d.enqueue(MemRequest::read(coord(0, 1, 1, 10, 0), 32)).unwrap();
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 32))
+            .unwrap();
+        d.enqueue(MemRequest::read(coord(0, 1, 1, 10, 0), 32))
+            .unwrap();
         let mut e = Engine::new();
         let out = e.run(&mut d);
         let serial_estimate = 2 * (22 + 7 * 4 + 22 + 4);
@@ -686,7 +762,8 @@ mod tests {
     #[test]
     fn writes_complete() {
         let mut d = dimm(AccessMode::RankLockstep);
-        d.enqueue(MemRequest::write(coord(0, 0, 2, 5, 0), 64)).unwrap();
+        d.enqueue(MemRequest::write(coord(0, 0, 2, 5, 0), 64))
+            .unwrap();
         let mut e = Engine::new();
         e.run(&mut d);
         let done = d.drain_completed();
@@ -700,8 +777,10 @@ mod tests {
         cfg.queue_depth = 2;
         cfg.refresh_enabled = false;
         let mut d = Dimm::new(cfg);
-        d.enqueue(MemRequest::read(coord(0, 0, 0, 1, 0), 64)).unwrap();
-        d.enqueue(MemRequest::read(coord(0, 0, 0, 2, 0), 64)).unwrap();
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 1, 0), 64))
+            .unwrap();
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 2, 0), 64))
+            .unwrap();
         let err = d.enqueue(MemRequest::read(coord(0, 0, 0, 3, 0), 64));
         assert!(err.is_err());
     }
@@ -722,7 +801,8 @@ mod tests {
     #[test]
     fn chip_histogram_records_lockstep_rank() {
         let mut d = dimm(AccessMode::RankLockstep);
-        d.enqueue(MemRequest::read(coord(1, 0, 0, 10, 0), 64)).unwrap();
+        d.enqueue(MemRequest::read(coord(1, 0, 0, 10, 0), 64))
+            .unwrap();
         let mut e = Engine::new();
         e.run(&mut d);
         // One burst × 16 chips of rank 1.
@@ -835,7 +915,8 @@ mod tests {
 
         for (cfg, expected_reads) in [(chained_cfg, 1u64), (stock_cfg, 8u64)] {
             let mut d = Dimm::new(cfg);
-            d.enqueue(MemRequest::read(coord(0, 0, 0, 3, 0), 32)).unwrap();
+            d.enqueue(MemRequest::read(coord(0, 0, 0, 3, 0), 32))
+                .unwrap();
             Engine::new().run(&mut d);
             assert_eq!(d.stats().get("dram.cmd.read"), expected_reads);
             // Same data volume either way.
@@ -847,7 +928,8 @@ mod tests {
     fn latency_includes_queueing() {
         let mut d = dimm(AccessMode::RankLockstep);
         for i in 0..4 {
-            d.enqueue(MemRequest::read(coord(0, 0, 0, 10 + i, 0), 64)).unwrap();
+            d.enqueue(MemRequest::read(coord(0, 0, 0, 10 + i, 0), 64))
+                .unwrap();
         }
         let mut e = Engine::new();
         e.run(&mut d);

@@ -179,7 +179,10 @@ impl DimmGeometry {
         if self.ranks == 0 || self.chips_per_rank == 0 || self.banks == 0 || self.rows == 0 {
             return Err("geometry dimensions must be positive".into());
         }
-        if !self.row_bytes_per_chip.is_multiple_of(self.burst_bytes_per_chip()) {
+        if !self
+            .row_bytes_per_chip
+            .is_multiple_of(self.burst_bytes_per_chip())
+        {
             return Err("row size must be a whole number of bursts".into());
         }
         Ok(())

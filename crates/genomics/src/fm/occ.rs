@@ -173,7 +173,10 @@ mod tests {
             for i in (0..=bwt.codes.len()).step_by(37) {
                 assert_eq!(occ.occ(c, i), naive_occ(&bwt, c, i));
             }
-            assert_eq!(occ.occ(c, bwt.codes.len()), naive_occ(&bwt, c, bwt.codes.len()));
+            assert_eq!(
+                occ.occ(c, bwt.codes.len()),
+                naive_occ(&bwt, c, bwt.codes.len())
+            );
         }
     }
 

@@ -112,7 +112,9 @@ mod tests {
         let text = g.sequence();
         let sa = suffix_array(text);
         let suffix_codes = |start: u32| -> Vec<u8> {
-            (start as usize..text.len()).map(|i| text.get(i).code()).collect()
+            (start as usize..text.len())
+                .map(|i| text.get(i).code())
+                .collect()
         };
         for w in 1..sa.len() {
             let a = suffix_codes(sa[w - 1]);

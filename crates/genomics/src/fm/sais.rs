@@ -178,7 +178,14 @@ mod tests {
     #[test]
     fn matches_doubling_on_small_strings() {
         for text in [
-            "A", "AC", "CA", "AAAA", "ACGT", "GATTACA", "ACGTACGTACGT", "TTTTTTAC",
+            "A",
+            "AC",
+            "CA",
+            "AAAA",
+            "ACGT",
+            "GATTACA",
+            "ACGTACGTACGT",
+            "TTTTTTAC",
             "ABRACADABRA".replace(['B', 'R', 'D'], "G").as_str(),
             "CCCCCCCCCC",
         ] {

@@ -19,7 +19,6 @@ use beacon_sim::rng::SimRng;
 use crate::alphabet::Base;
 use crate::sequence::PackedSeq;
 
-
 /// The five evaluation genomes of the paper plus the human-like k-mer
 /// counting dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]

@@ -104,6 +104,11 @@ impl HashIndex {
         self.k
     }
 
+    /// Length of the indexed text in bases.
+    pub fn text_len(&self) -> usize {
+        self.text_len
+    }
+
     /// Size of the header region in bytes.
     pub fn header_bytes(&self) -> u64 {
         self.headers.len() as u64 * HEADER_BYTES as u64
@@ -141,10 +146,7 @@ impl HashIndex {
             }
             s += self.k;
         }
-        let mut out: Vec<(u32, u32)> = votes
-            .into_iter()
-            .filter(|&(_, v)| v >= min_votes)
-            .collect();
+        let mut out: Vec<(u32, u32)> = votes.into_iter().filter(|&(_, v)| v >= min_votes).collect();
         out.sort_unstable();
         out
     }
@@ -156,10 +158,7 @@ impl HashIndex {
         let mut steps = Vec::new();
         let mut s = 0;
         while s + self.k <= read.len() {
-            let b = Self::bucket_of_kmer(
-                Self::pack_slice(&read[s..s + self.k]),
-                self.bucket_bits,
-            );
+            let b = Self::bucket_of_kmer(Self::pack_slice(&read[s..s + self.k]), self.bucket_bits);
             let (off, cnt) = self.headers[b];
             steps.push(Step::blocking(vec![Access::read(
                 Region::HashTable,

@@ -57,10 +57,7 @@ impl CountingBloom {
         let h1 = key
             .wrapping_add(self.seed)
             .wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let h2 = key
-            .rotate_left(31)
-            .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
-            | 1; // odd, so strides cover the table
+        let h2 = key.rotate_left(31).wrapping_mul(0xC2B2_AE3D_27D4_EB4F) | 1; // odd, so strides cover the table
         (0..self.h as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
     }
 

@@ -53,10 +53,10 @@ pub mod trace;
 pub mod prelude {
     pub use crate::align::{banded_align, Alignment};
     pub use crate::alphabet::Base;
-    pub use crate::io::{read_fasta, read_fastq, write_fasta, write_fastq};
     pub use crate::fm::FmIndex;
     pub use crate::genome::{Genome, GenomeId};
     pub use crate::hash_index::HashIndex;
+    pub use crate::io::{read_fasta, read_fastq, write_fasta, write_fastq};
     pub use crate::kmer::{CountingBloom, KmerCounter};
     pub use crate::prealign::PreAlignFilter;
     pub use crate::reads::{Read, ReadSampler};

@@ -25,3 +25,32 @@ pub trait Tick {
     /// once every component reports idle and no external work remains.
     fn is_idle(&self) -> bool;
 }
+
+/// Read-only observability surface of a model, consumed by the engine's
+/// instrumented run loop (`Engine::run_instrumented`).
+///
+/// Every method has a default implementation, so any model can opt in
+/// with `impl Probe for M {}` and refine incrementally. Implementations
+/// must not mutate model state — probing a run must leave its simulated
+/// behaviour bit-identical.
+pub trait Probe {
+    /// A monotonically non-decreasing count of useful work performed
+    /// (commands issued, tasks retired, flits forwarded, ...). The stall
+    /// detector watches this counter: if it does not advance for a whole
+    /// window the run is declared stalled. Components whose activity
+    /// should *not* count as forward progress (e.g. DRAM refresh) must be
+    /// excluded, or a livelocked model will look alive forever.
+    fn progress_counter(&self) -> u64 {
+        0
+    }
+
+    /// Appends current gauge readings (`(name, value)` pairs: queue
+    /// depths, busy counts, occupancies) to `out` for the metrics
+    /// sampler.
+    fn gauges(&self, _out: &mut Vec<(String, f64)>) {}
+
+    /// A human-readable dump of internal state for stall diagnostics.
+    fn state_snapshot(&self) -> String {
+        String::new()
+    }
+}

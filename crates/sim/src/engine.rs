@@ -5,8 +5,8 @@
 //! drive the top-level `tick`, detect quiescence and guard against
 //! deadlocked models with a cycle limit.
 
-use crate::component::Tick;
-use crate::cycle::Cycle;
+use crate::component::{Probe, Tick};
+use crate::cycle::{Cycle, Duration};
 
 /// Outcome of running a model to completion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,19 +22,34 @@ pub enum RunOutcome {
         /// The limit that was hit.
         limit: Cycle,
     },
+    /// The stall detector fired: the model was not idle but made no
+    /// forward progress for a whole stall window (see
+    /// [`EngineHooks::stall_window`]).
+    Stalled {
+        /// Cycle at which the stall was detected.
+        at: Cycle,
+        /// Last cycle at which the progress counter advanced.
+        last_progress_at: Cycle,
+    },
 }
 
 impl RunOutcome {
     /// Completion cycle.
     ///
     /// # Panics
-    /// Panics when the run hit the cycle limit; callers that tolerate
-    /// truncated runs should match on the enum instead.
+    /// Panics when the run hit the cycle limit or stalled; callers that
+    /// tolerate truncated runs should match on the enum instead.
     pub fn finished_at(self) -> Cycle {
         match self {
             RunOutcome::Drained { finished_at } => finished_at,
             RunOutcome::LimitReached { limit } => {
                 panic!("simulation did not drain within {limit:?}")
+            }
+            RunOutcome::Stalled {
+                at,
+                last_progress_at,
+            } => {
+                panic!("simulation stalled at {at:?} (no progress since {last_progress_at:?})")
             }
         }
     }
@@ -43,6 +58,68 @@ impl RunOutcome {
     pub fn drained(self) -> bool {
         matches!(self, RunOutcome::Drained { .. })
     }
+}
+
+/// Progress report passed to [`EngineHooks::on_progress`].
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    /// Current simulation time.
+    pub now: Cycle,
+    /// Cycles simulated since this run started.
+    pub cycles: u64,
+    /// The model's progress counter (events retired so far).
+    pub events: u64,
+    /// Wall-clock seconds since this run started.
+    pub wall_secs: f64,
+    /// Simulated cycles per wall-clock second since the run started.
+    pub cycles_per_sec: f64,
+}
+
+/// Diagnostic report passed to [`EngineHooks::on_stall`].
+#[derive(Debug, Clone)]
+pub struct StallReport {
+    /// Cycle at which the stall was detected.
+    pub at: Cycle,
+    /// Last cycle at which the progress counter advanced.
+    pub last_progress_at: Cycle,
+    /// The stuck progress-counter value.
+    pub events: u64,
+    /// The model's [`Probe::state_snapshot`] at detection time.
+    pub snapshot: String,
+}
+
+/// Boxed progress callback.
+pub type ProgressFn<'a> = Box<dyn FnMut(&Progress) + 'a>;
+/// Boxed metrics-sampling callback.
+pub type SampleFn<'a> = Box<dyn FnMut(Cycle, &dyn Probe) + 'a>;
+/// Boxed stall callback.
+pub type StallFn<'a> = Box<dyn FnMut(&StallReport) + 'a>;
+
+/// Observer hooks for [`Engine::run_instrumented`].
+///
+/// Each hook is independent and fires only when both its cadence field
+/// is non-zero and its callback is set, so a default-constructed
+/// `EngineHooks` makes `run_instrumented` behave exactly like
+/// [`Engine::run`]. Callbacks only *read* the model (via [`Probe`]), so
+/// enabling them never changes simulated behaviour.
+#[derive(Default)]
+pub struct EngineHooks<'a> {
+    /// Invoke `on_progress` every this many cycles (0 = never).
+    pub progress_every: u64,
+    /// Periodic progress callback (cycles, events, wall-clock rate).
+    pub on_progress: Option<ProgressFn<'a>>,
+    /// Invoke `on_sample` every this many cycles (0 = never). When set,
+    /// a sample is also taken at run start and once after the run ends,
+    /// so any finished run yields at least two samples.
+    pub sample_every: u64,
+    /// Metrics-sampling callback; reads gauges via [`Probe::gauges`].
+    pub on_sample: Option<SampleFn<'a>>,
+    /// Declare a stall after this many cycles without progress-counter
+    /// movement (0 = stall detection off).
+    pub stall_window: u64,
+    /// Stall callback, invoked once with a diagnostic snapshot right
+    /// before `run_instrumented` returns [`RunOutcome::Stalled`].
+    pub on_stall: Option<StallFn<'a>>,
 }
 
 /// Drives a [`Tick`] component until it reports idle.
@@ -115,12 +192,136 @@ impl Engine {
 
     /// Runs `model` for exactly `cycles` additional cycles (regardless of
     /// idleness); useful for warm-up phases and open-loop experiments.
+    /// Like [`Engine::run`], never advances past the deadlock-guard
+    /// limit.
     pub fn run_for<T: Tick + ?Sized>(&mut self, model: &mut T, cycles: u64) {
-        let end = self.now + crate::cycle::Duration::new(cycles);
+        let end = (self.now + Duration::new(cycles)).min(self.limit);
         while self.now < end {
             model.tick(self.now);
             self.now = self.now.next();
         }
+    }
+
+    /// Runs `model` until it reports idle, like [`Engine::run`], while
+    /// driving the observer `hooks` (periodic progress reports, metrics
+    /// sampling, stall detection).
+    ///
+    /// With default hooks this is behaviourally identical to
+    /// [`Engine::run`]; the hooks only read the model through [`Probe`],
+    /// so simulated results are bit-identical whether or not observers
+    /// are attached.
+    pub fn run_instrumented<T: Tick + Probe>(
+        &mut self,
+        model: &mut T,
+        hooks: &mut EngineHooks<'_>,
+    ) -> RunOutcome {
+        let started_at = self.now;
+        let wall_start = std::time::Instant::now();
+
+        let progress_every = match hooks.on_progress {
+            Some(_) => hooks.progress_every,
+            None => 0,
+        };
+        let sample_every = match hooks.on_sample {
+            Some(_) => hooks.sample_every,
+            None => 0,
+        };
+        // Stall detection is active with or without a callback.
+        let stall_window = hooks.stall_window;
+
+        let mut next_progress = if progress_every > 0 {
+            started_at + Duration::new(progress_every)
+        } else {
+            Cycle::NEVER
+        };
+        let mut next_sample = if sample_every > 0 {
+            started_at + Duration::new(sample_every)
+        } else {
+            Cycle::NEVER
+        };
+        let mut next_stall_check = if stall_window > 0 {
+            started_at + Duration::new(stall_window)
+        } else {
+            Cycle::NEVER
+        };
+
+        if sample_every > 0 {
+            if let Some(cb) = hooks.on_sample.as_mut() {
+                cb(self.now, &*model);
+            }
+        }
+        let mut last_progress_count = model.progress_counter();
+        let mut last_progress_at = self.now;
+
+        let outcome = loop {
+            if model.is_idle() {
+                break RunOutcome::Drained {
+                    finished_at: self.now,
+                };
+            }
+            if self.now >= self.limit {
+                break RunOutcome::LimitReached { limit: self.limit };
+            }
+
+            model.tick(self.now);
+            self.now = self.now.next();
+
+            if self.now >= next_sample {
+                if let Some(cb) = hooks.on_sample.as_mut() {
+                    cb(self.now, &*model);
+                }
+                next_sample = self.now + Duration::new(sample_every);
+            }
+            if self.now >= next_progress {
+                let events = model.progress_counter();
+                let cycles = self.now.since(started_at).as_u64();
+                let wall_secs = wall_start.elapsed().as_secs_f64();
+                let report = Progress {
+                    now: self.now,
+                    cycles,
+                    events,
+                    wall_secs,
+                    cycles_per_sec: if wall_secs > 0.0 {
+                        cycles as f64 / wall_secs
+                    } else {
+                        0.0
+                    },
+                };
+                if let Some(cb) = hooks.on_progress.as_mut() {
+                    cb(&report);
+                }
+                next_progress = self.now + Duration::new(progress_every);
+            }
+            if self.now >= next_stall_check {
+                let count = model.progress_counter();
+                if count > last_progress_count {
+                    last_progress_count = count;
+                    last_progress_at = self.now;
+                } else {
+                    let report = StallReport {
+                        at: self.now,
+                        last_progress_at,
+                        events: count,
+                        snapshot: model.state_snapshot(),
+                    };
+                    if let Some(cb) = hooks.on_stall.as_mut() {
+                        cb(&report);
+                    }
+                    break RunOutcome::Stalled {
+                        at: self.now,
+                        last_progress_at,
+                    };
+                }
+                next_stall_check = self.now + Duration::new(stall_window);
+            }
+        };
+
+        if sample_every > 0 {
+            if let Some(cb) = hooks.on_sample.as_mut() {
+                cb(self.now, &*model);
+            }
+        }
+        outcome
     }
 }
 
@@ -141,12 +342,24 @@ mod tests {
         }
     }
 
+    impl Probe for Countdown {
+        fn progress_counter(&self) -> u64 {
+            u64::MAX - self.n // grows as the countdown shrinks
+        }
+    }
+
     struct NeverIdle;
 
     impl Tick for NeverIdle {
         fn tick(&mut self, _now: Cycle) {}
         fn is_idle(&self) -> bool {
             false
+        }
+    }
+
+    impl Probe for NeverIdle {
+        fn state_snapshot(&self) -> String {
+            "stuck".to_string()
         }
     }
 
@@ -185,6 +398,114 @@ mod tests {
         e.run_for(&mut m, 10);
         assert_eq!(e.now(), Cycle::new(10));
         assert_eq!(m.n, 990);
+    }
+
+    #[test]
+    fn run_for_respects_limit() {
+        let mut e = Engine::new().with_limit(5);
+        e.run_for(&mut NeverIdle, 100);
+        assert_eq!(e.now(), Cycle::new(5));
+        // Further calls stay clamped at the limit.
+        e.run_for(&mut NeverIdle, 100);
+        assert_eq!(e.now(), Cycle::new(5));
+    }
+
+    #[test]
+    fn instrumented_default_hooks_match_plain_run() {
+        let mut plain = Engine::new();
+        let plain_out = plain.run(&mut Countdown { n: 64 });
+        let mut inst = Engine::new();
+        let inst_out = inst.run_instrumented(&mut Countdown { n: 64 }, &mut EngineHooks::default());
+        assert_eq!(plain_out, inst_out);
+        assert_eq!(plain.now(), inst.now());
+    }
+
+    #[test]
+    fn instrumented_samples_at_cadence_and_ends() {
+        let mut cycles_sampled: Vec<u64> = Vec::new();
+        {
+            let mut hooks = EngineHooks {
+                sample_every: 10,
+                on_sample: Some(Box::new(|now: Cycle, _probe: &dyn Probe| {
+                    cycles_sampled.push(now.as_u64());
+                })),
+                ..EngineHooks::default()
+            };
+            let mut e = Engine::new();
+            let out = e.run_instrumented(&mut Countdown { n: 35 }, &mut hooks);
+            assert!(out.drained());
+        }
+        assert_eq!(cycles_sampled, vec![0, 10, 20, 30, 35]);
+    }
+
+    #[test]
+    fn instrumented_reports_progress() {
+        let mut reports: Vec<(u64, u64)> = Vec::new();
+        {
+            let mut hooks = EngineHooks {
+                progress_every: 25,
+                on_progress: Some(Box::new(|p: &Progress| {
+                    reports.push((p.cycles, p.events));
+                })),
+                ..EngineHooks::default()
+            };
+            let mut e = Engine::new();
+            e.run_instrumented(&mut Countdown { n: 100 }, &mut hooks);
+        }
+        assert_eq!(reports.len(), 4); // at cycles 25, 50, 75 and 100
+        assert!(reports.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(reports.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn stall_detector_fires_with_snapshot() {
+        let mut snapshots: Vec<String> = Vec::new();
+        let outcome = {
+            let mut hooks = EngineHooks {
+                stall_window: 10,
+                on_stall: Some(Box::new(|r: &StallReport| {
+                    snapshots.push(r.snapshot.clone());
+                })),
+                ..EngineHooks::default()
+            };
+            let mut e = Engine::new();
+            e.run_instrumented(&mut NeverIdle, &mut hooks)
+        };
+        match outcome {
+            RunOutcome::Stalled {
+                at,
+                last_progress_at,
+            } => {
+                assert_eq!(at, Cycle::new(10));
+                assert_eq!(last_progress_at, Cycle::ZERO);
+            }
+            other => panic!("expected a stall, got {other:?}"),
+        }
+        assert_eq!(snapshots, vec!["stuck".to_string()]);
+    }
+
+    #[test]
+    fn stall_detector_ignores_progressing_models() {
+        // Countdown's progress counter advances every tick, so even a
+        // tiny window never fires.
+        let mut hooks = EngineHooks {
+            stall_window: 3,
+            ..EngineHooks::default()
+        };
+        let mut e = Engine::new();
+        let out = e.run_instrumented(&mut Countdown { n: 50 }, &mut hooks);
+        assert_eq!(out.finished_at(), Cycle::new(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "stalled")]
+    fn finished_at_panics_on_stall() {
+        let mut hooks = EngineHooks {
+            stall_window: 4,
+            ..EngineHooks::default()
+        };
+        let mut e = Engine::new();
+        e.run_instrumented(&mut NeverIdle, &mut hooks).finished_at();
     }
 
     #[test]

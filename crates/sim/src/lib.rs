@@ -26,16 +26,20 @@
 pub mod component;
 pub mod cycle;
 pub mod engine;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
-    pub use crate::component::Tick;
+    pub use crate::component::{Probe, Tick};
     pub use crate::cycle::{Cycle, Duration};
-    pub use crate::engine::Engine;
+    pub use crate::engine::{Engine, EngineHooks};
+    pub use crate::metrics::{MetricsSample, MetricsSeries};
     pub use crate::queue::BoundedQueue;
     pub use crate::rng::SimRng;
     pub use crate::stats::{Histogram, Stats};
+    pub use crate::trace::{TraceBuffer, TraceCategory, TraceEvent, TraceLevel};
 }

@@ -216,6 +216,32 @@ impl Histogram {
         var.sqrt() / mean
     }
 
+    /// Nearest-rank percentile of the bucket *values* (`p` in `0..=100`,
+    /// clamped): the smallest bucket value such that at least `p`% of
+    /// buckets are `<=` it. `p = 0` returns the minimum, `p = 100` the
+    /// maximum; an empty histogram returns zero.
+    ///
+    /// ```
+    /// use beacon_sim::stats::Histogram;
+    /// let mut h = Histogram::new(4);
+    /// for (i, v) in [2u64, 4, 6, 8].into_iter().enumerate() {
+    ///     h.record(i, v);
+    /// }
+    /// assert_eq!(h.percentile(50.0), 4);
+    /// assert_eq!(h.percentile(95.0), 8);
+    /// ```
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.buckets.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.buckets.clone();
+        sorted.sort_unstable();
+        let p = p.clamp(0.0, 100.0);
+        let n = sorted.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        sorted[rank.clamp(1, n) - 1]
+    }
+
     /// Read-only view of the raw buckets.
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
@@ -298,6 +324,48 @@ mod tests {
             h.record(i, 5);
         }
         assert_eq!(h.coefficient_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut h = Histogram::new(4);
+        for (i, v) in [8u64, 2, 6, 4].into_iter().enumerate() {
+            h.record(i, v); // order must not matter
+        }
+        assert_eq!(h.percentile(0.0), 2);
+        assert_eq!(h.percentile(25.0), 2);
+        assert_eq!(h.percentile(50.0), 4);
+        assert_eq!(h.percentile(75.0), 6);
+        assert_eq!(h.percentile(76.0), 8);
+        assert_eq!(h.percentile(95.0), 8);
+        assert_eq!(h.percentile(100.0), 8);
+    }
+
+    #[test]
+    fn percentile_degenerate_cases() {
+        assert_eq!(Histogram::new(0).percentile(50.0), 0);
+        let mut single = Histogram::new(1);
+        single.record(0, 9);
+        assert_eq!(single.percentile(0.0), 9);
+        assert_eq!(single.percentile(100.0), 9);
+        // Out-of-range p clamps instead of panicking.
+        assert_eq!(single.percentile(-5.0), 9);
+        assert_eq!(single.percentile(400.0), 9);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p() {
+        let mut h = Histogram::new(17);
+        for i in 0..17 {
+            h.record(i, (i as u64 * 37) % 13);
+        }
+        let mut last = h.percentile(0.0);
+        for p in 1..=100 {
+            let v = h.percentile(p as f64);
+            assert!(v >= last, "percentile must be monotone (p={p})");
+            last = v;
+        }
+        assert_eq!(h.percentile(100.0), h.max());
     }
 
     #[test]

@@ -1,0 +1,629 @@
+//! Cycle-stamped structured event tracing.
+//!
+//! Model components emit [`TraceEvent`]s (task lifecycle, DRAM command
+//! issue, CXL flit traffic, switch-bus arbitration, packer flushes) into
+//! a thread-local ring buffer installed with [`install`]. Each event
+//! carries a [`TraceLevel`]; the installed buffer's level filters what is
+//! recorded, and [`enabled`] lets emit sites skip argument construction
+//! entirely when tracing is off — a single thread-local load — so the
+//! instrumentation is near-zero cost for untraced runs.
+//!
+//! The buffer exports the Chrome trace-event JSON format via
+//! [`TraceBuffer::to_chrome_json`]; the output opens directly in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`. Every
+//! distinct track string (e.g. `sw0.dimm3.dram`) becomes one named
+//! timeline row.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Verbosity of a trace event, coarsest first.
+///
+/// A buffer installed at level `L` records every event whose level is
+/// `<= L`; [`TraceLevel::Off`] records nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Tracing disabled.
+    Off,
+    /// Task lifecycle: submit, retire.
+    Task,
+    /// Per-transfer traffic: flits, bus grants, packer flushes, PE steps.
+    Flit,
+    /// Individual DRAM commands (ACT/PRE/RD/WR/REF).
+    Command,
+}
+
+/// Subsystem that produced an event; becomes the Chrome `cat` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceCategory {
+    /// Engine/system-level events.
+    Engine,
+    /// Task-engine (PE) events.
+    Accel,
+    /// DRAM command events.
+    Dram,
+    /// CXL link events.
+    Cxl,
+    /// Switch-internal events.
+    Switch,
+    /// Data-packer events.
+    Packer,
+}
+
+impl TraceCategory {
+    /// Stable lower-case name used in the exported JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceCategory::Engine => "engine",
+            TraceCategory::Accel => "accel",
+            TraceCategory::Dram => "dram",
+            TraceCategory::Cxl => "cxl",
+            TraceCategory::Switch => "switch",
+            TraceCategory::Packer => "packer",
+        }
+    }
+}
+
+/// One structured trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle at which the event starts.
+    pub cycle: u64,
+    /// Duration in cycles; `0` marks an instant event.
+    pub dur: u64,
+    /// Verbosity level this event is recorded at.
+    pub level: TraceLevel,
+    /// Producing subsystem.
+    pub category: TraceCategory,
+    /// Short static event name, e.g. `"dram.act"`.
+    pub name: &'static str,
+    /// One free-form numeric argument (bytes, ids, queue depths, ...).
+    pub arg: u64,
+}
+
+impl TraceEvent {
+    /// An instantaneous event.
+    pub fn instant(
+        cycle: u64,
+        level: TraceLevel,
+        category: TraceCategory,
+        name: &'static str,
+        arg: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            dur: 0,
+            level,
+            category,
+            name,
+            arg,
+        }
+    }
+
+    /// An event spanning `dur` cycles starting at `cycle`.
+    pub fn span(
+        cycle: u64,
+        dur: u64,
+        level: TraceLevel,
+        category: TraceCategory,
+        name: &'static str,
+        arg: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            dur,
+            level,
+            category,
+            name,
+            arg,
+        }
+    }
+}
+
+/// Fixed-capacity ring of trace events with interned track names.
+///
+/// When full, the oldest events are evicted so the buffer always holds
+/// the newest `capacity` records; [`TraceBuffer::dropped`] counts the
+/// evictions.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    level: TraceLevel,
+    capacity: usize,
+    events: VecDeque<(u32, TraceEvent)>,
+    tracks: Vec<String>,
+    track_index: BTreeMap<String, u32>,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer recording events up to `level`, holding at most
+    /// `capacity` events.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn new(level: TraceLevel, capacity: usize) -> TraceBuffer {
+        assert!(capacity > 0, "trace buffer capacity must be positive");
+        TraceBuffer {
+            level,
+            capacity,
+            events: VecDeque::new(),
+            tracks: Vec::new(),
+            track_index: BTreeMap::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The level this buffer records at.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted so far to make room for newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Distinct track names seen, in first-use order.
+    pub fn tracks(&self) -> &[String] {
+        &self.tracks
+    }
+
+    /// Records `event` on `track`, evicting the oldest event when full.
+    /// Events above the buffer's level are ignored.
+    pub fn record(&mut self, track: &str, event: TraceEvent) {
+        if event.level > self.level || event.level == TraceLevel::Off {
+            return;
+        }
+        let track_id = match self.track_index.get(track) {
+            Some(&id) => id,
+            None => {
+                let id = self.tracks.len() as u32;
+                self.tracks.push(track.to_owned());
+                self.track_index.insert(track.to_owned(), id);
+                id
+            }
+        };
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((track_id, event));
+    }
+
+    /// Buffered events oldest-first, with their track names.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TraceEvent)> {
+        self.events
+            .iter()
+            .map(|(id, ev)| (self.tracks[*id as usize].as_str(), ev))
+    }
+
+    /// Number of buffered events in `category`.
+    pub fn count_category(&self, category: TraceCategory) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| e.category == category)
+            .count()
+    }
+
+    /// Serializes the buffer as Chrome trace-event JSON
+    /// (`{"traceEvents": [...]}`), loadable in Perfetto. One cycle maps
+    /// to one microsecond of trace time; tracks become named threads of
+    /// process 0.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.tracks.len() * 96 + self.events.len() * 112);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        for (tid, name) in self.tracks.iter().enumerate() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"ph\":\"M\",\"pid\":0,\"tid\":");
+            out.push_str(&tid.to_string());
+            out.push_str(",\"name\":\"thread_name\",\"args\":{\"name\":\"");
+            push_escaped(&mut out, name);
+            out.push_str("\"}}");
+        }
+        for (tid, ev) in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            if ev.dur > 0 {
+                out.push_str("{\"ph\":\"X\",\"dur\":");
+                out.push_str(&ev.dur.to_string());
+            } else {
+                out.push_str("{\"ph\":\"i\",\"s\":\"t\"");
+            }
+            out.push_str(",\"pid\":0,\"tid\":");
+            out.push_str(&tid.to_string());
+            out.push_str(",\"ts\":");
+            out.push_str(&ev.cycle.to_string());
+            out.push_str(",\"cat\":\"");
+            out.push_str(ev.category.as_str());
+            out.push_str("\",\"name\":\"");
+            push_escaped(&mut out, ev.name);
+            out.push_str("\",\"args\":{\"v\":");
+            out.push_str(&ev.arg.to_string());
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+thread_local! {
+    static LEVEL: Cell<TraceLevel> = const { Cell::new(TraceLevel::Off) };
+    static SINK: RefCell<Option<TraceBuffer>> = const { RefCell::new(None) };
+}
+
+/// Installs `buffer` as this thread's trace sink, returning the previous
+/// one. Subsequent [`emit`] calls on this thread record into it.
+pub fn install(buffer: TraceBuffer) -> Option<TraceBuffer> {
+    LEVEL.with(|l| l.set(buffer.level));
+    SINK.with(|s| s.borrow_mut().replace(buffer))
+}
+
+/// Removes and returns this thread's trace sink, disabling tracing.
+pub fn uninstall() -> Option<TraceBuffer> {
+    LEVEL.with(|l| l.set(TraceLevel::Off));
+    SINK.with(|s| s.borrow_mut().take())
+}
+
+/// `true` when events at `level` would currently be recorded. Emit
+/// sites guard on this so a disabled trace costs one thread-local load.
+#[inline]
+pub fn enabled(level: TraceLevel) -> bool {
+    level != TraceLevel::Off && LEVEL.with(|l| l.get()) >= level
+}
+
+/// Records `event` on `track` into the installed sink, if any.
+pub fn emit(track: &str, event: TraceEvent) {
+    SINK.with(|s| {
+        if let Some(buf) = s.borrow_mut().as_mut() {
+            buf.record(track, event);
+        }
+    });
+}
+
+/// Validates that `text` is one well-formed JSON value.
+///
+/// A dependency-free recursive-descent checker (the offline build bans
+/// `serde_json`); used by the exporter's tests and by external harnesses
+/// to sanity-check written trace/metrics files.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_literal(b, pos, "true"),
+        Some(b'f') => parse_literal(b, pos, "false"),
+        Some(b'n') => parse_literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!(
+            "unexpected byte {c:#04x} at offset {pos}",
+            pos = *pos
+        )),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at offset {pos}", pos = *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at offset {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => {
+                                    return Err(format!(
+                                        "bad \\u escape at offset {pos}",
+                                        pos = *pos
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}", pos = *pos)),
+                }
+            }
+            c if c < 0x20 => {
+                return Err(format!(
+                    "raw control byte in string at offset {pos}",
+                    pos = *pos
+                ))
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_digits = eat_digits(b, pos);
+    if int_digits == 0 {
+        return Err(format!("malformed number at offset {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if eat_digits(b, pos) == 0 {
+            return Err(format!("malformed fraction at offset {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if eat_digits(b, pos) == 0 {
+            return Err(format!("malformed exponent at offset {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
+    let start = *pos;
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    *pos - start
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at offset {pos}", pos = *pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ev(cycle: u64, level: TraceLevel) -> TraceEvent {
+        TraceEvent::instant(cycle, level, TraceCategory::Engine, "test.ev", cycle)
+    }
+
+    #[test]
+    fn level_order_matches_verbosity() {
+        assert!(TraceLevel::Off < TraceLevel::Task);
+        assert!(TraceLevel::Task < TraceLevel::Flit);
+        assert!(TraceLevel::Flit < TraceLevel::Command);
+    }
+
+    #[test]
+    fn buffer_filters_by_level() {
+        let mut buf = TraceBuffer::new(TraceLevel::Task, 16);
+        buf.record("a", ev(1, TraceLevel::Task));
+        buf.record("a", ev(2, TraceLevel::Flit));
+        buf.record("a", ev(3, TraceLevel::Command));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.iter().next().unwrap().1.cycle, 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut buf = TraceBuffer::new(TraceLevel::Command, 3);
+        for c in 0..10 {
+            buf.record("a", ev(c, TraceLevel::Task));
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 7);
+        let cycles: Vec<u64> = buf.iter().map(|(_, e)| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn tracks_are_interned_once() {
+        let mut buf = TraceBuffer::new(TraceLevel::Command, 8);
+        buf.record("x", ev(0, TraceLevel::Task));
+        buf.record("y", ev(1, TraceLevel::Task));
+        buf.record("x", ev(2, TraceLevel::Task));
+        assert_eq!(buf.tracks(), &["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn thread_local_round_trip() {
+        assert!(!enabled(TraceLevel::Task));
+        emit("a", ev(1, TraceLevel::Task)); // no sink: dropped silently
+        assert!(install(TraceBuffer::new(TraceLevel::Flit, 16)).is_none());
+        assert!(enabled(TraceLevel::Task));
+        assert!(enabled(TraceLevel::Flit));
+        assert!(!enabled(TraceLevel::Command));
+        emit("a", ev(2, TraceLevel::Task));
+        emit("a", ev(3, TraceLevel::Command)); // above sink level
+        let buf = uninstall().expect("sink was installed");
+        assert!(!enabled(TraceLevel::Task));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.iter().next().unwrap().1.cycle, 2);
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_complete() {
+        let mut buf = TraceBuffer::new(TraceLevel::Command, 16);
+        buf.record("sw0.dram", ev(5, TraceLevel::Command));
+        buf.record(
+            "sw0.\"quoted\"\\track",
+            TraceEvent::span(10, 4, TraceLevel::Flit, TraceCategory::Cxl, "cxl.send", 68),
+        );
+        let json = buf.to_chrome_json();
+        validate_json(&json).expect("exporter output must be valid JSON");
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"cat\":\"cxl\""));
+        assert!(json.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn empty_buffer_exports_valid_json() {
+        let buf = TraceBuffer::new(TraceLevel::Command, 4);
+        let json = buf.to_chrome_json();
+        validate_json(&json).expect("empty export must be valid JSON");
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        for bad in [
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "01x",
+            "{} trailing",
+            "{\"a\":\"\\q\"}",
+        ] {
+            assert!(
+                validate_json(bad).is_err(),
+                "accepted malformed input: {bad}"
+            );
+        }
+        for good in [
+            "{}",
+            "[]",
+            "{\"a\":[1,2.5,-3e2,true,false,null,\"s\\n\"]}",
+            "42",
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("rejected {good}: {e}"));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn eviction_preserves_newest_in_cycle_order(
+            capacity in 1usize..48,
+            deltas in prop::collection::vec(0u64..4, 0..160),
+        ) {
+            let mut buf = TraceBuffer::new(TraceLevel::Command, capacity);
+            let mut cycles = Vec::new();
+            let mut cycle = 0u64;
+            for d in deltas {
+                cycle += d;
+                cycles.push(cycle);
+                buf.record("t", ev(cycle, TraceLevel::Task));
+            }
+            let keep = cycles.len().min(capacity);
+            let expect: Vec<u64> = cycles[cycles.len() - keep..].to_vec();
+            let got: Vec<u64> = buf.iter().map(|(_, e)| e.cycle).collect();
+            prop_assert_eq!(got, expect);
+            prop_assert_eq!(buf.dropped() as usize, cycles.len() - keep);
+        }
+    }
+}

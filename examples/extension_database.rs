@@ -21,7 +21,12 @@ use beacon_sim::rng::SimRng;
 
 /// One probe batch: walk `probes` hash buckets, each with a header read
 /// and a tuple-list scan whose length follows the join's skew.
-fn probe_trace(rng: &mut SimRng, table_bytes: u64, tuple_region_bytes: u64, probes: usize) -> TaskTrace {
+fn probe_trace(
+    rng: &mut SimRng,
+    table_bytes: u64,
+    tuple_region_bytes: u64,
+    probes: usize,
+) -> TaskTrace {
     let mut steps = Vec::with_capacity(probes * 2);
     for _ in 0..probes {
         // Bucket header: 16 B at a hash-random offset.
@@ -80,15 +85,23 @@ fn main() {
     );
 
     println!("database hash-join probe on BEACON (paper §V extension):");
-    println!("  {} probe batches, {} probes total", workload.traces.len(), total_probes);
+    println!(
+        "  {} probe batches, {} probes total",
+        workload.traces.len(),
+        total_probes
+    );
     println!("  CPU roofline: {:>9} cycles", cpu.dram_cycles);
-    println!("  BEACON-D:     {:>9} cycles ({:.0}x, {:.1} probes/kilocycle)",
+    println!(
+        "  BEACON-D:     {:>9} cycles ({:.0}x, {:.1} probes/kilocycle)",
         d.cycles,
         cpu.dram_cycles as f64 / d.cycles as f64,
-        total_probes as f64 * 1000.0 / d.cycles as f64);
-    println!("  BEACON-S:     {:>9} cycles ({:.0}x)",
+        total_probes as f64 * 1000.0 / d.cycles as f64
+    );
+    println!(
+        "  BEACON-S:     {:>9} cycles ({:.0}x)",
         s.cycles,
-        cpu.dram_cycles as f64 / s.cycles as f64);
+        cpu.dram_cycles as f64 / s.cycles as f64
+    );
     println!("\nNo accelerator change was needed: the probe maps onto the");
     println!("hash-probe PE and the same placement/packing machinery.");
 }

@@ -7,7 +7,9 @@
 //! ```
 
 use beacon_core::config::{BeaconVariant, Optimizations};
-use beacon_core::experiments::common::{kmer_workload, run_beacon, run_cpu, run_nest, WorkloadScale};
+use beacon_core::experiments::common::{
+    kmer_workload, run_beacon, run_cpu, run_nest, WorkloadScale,
+};
 use beacon_genomics::kmer::{canonical_kmers, KmerCounter};
 use beacon_genomics::prelude::*;
 
@@ -72,11 +74,24 @@ fn main() {
     multi.single_pass_kmer = false;
     let s_multi = run_beacon(BeaconVariant::S, multi, &w, pes);
 
-    println!("\n{} reads of k-mer counting (k=28, CBF {} KiB):", scale.kmer_reads, scale.cbf_bytes / 1024);
-    println!("  CPU (BFCounter roofline):    {:>9} cycles", cpu.dram_cycles);
+    println!(
+        "\n{} reads of k-mer counting (k=28, CBF {} KiB):",
+        scale.kmer_reads,
+        scale.cbf_bytes / 1024
+    );
+    println!(
+        "  CPU (BFCounter roofline):    {:>9} cycles",
+        cpu.dram_cycles
+    );
     println!("  NEST (multi-pass):           {:>9} cycles", nest.cycles);
-    println!("  BEACON-S (multi-pass):       {:>9} cycles", s_multi.cycles);
-    println!("  BEACON-S (single-pass):      {:>9} cycles", s_single.cycles);
+    println!(
+        "  BEACON-S (multi-pass):       {:>9} cycles",
+        s_multi.cycles
+    );
+    println!(
+        "  BEACON-S (single-pass):      {:>9} cycles",
+        s_single.cycles
+    );
     println!("  BEACON-D:                    {:>9} cycles", d.cycles);
     println!(
         "  single-pass gain on S: {:.2}x   BEACON-S vs NEST: {:.2}x   atomic RMWs: {}",

@@ -28,7 +28,11 @@ fn describe(cfg: &BeaconConfig, specs: &[LayoutSpec], label: &str) {
                 .iter()
                 .map(|n| match n {
                     beacon_cxl::message::NodeId::Dimm { switch_idx, slot } => {
-                        let kind = if cfg.slot_is_cxlg(*slot) { "CXLG" } else { "CXL" };
+                        let kind = if cfg.slot_is_cxlg(*slot) {
+                            "CXLG"
+                        } else {
+                            "CXL"
+                        };
                         format!("{kind}[{switch_idx}.{slot}]")
                     }
                     other => format!("{other:?}"),
@@ -50,7 +54,13 @@ fn describe(cfg: &BeaconConfig, specs: &[LayoutSpec], label: &str) {
         // Shared placements repeat per module; show module 0 and the last
         // module only (enough to see per-switch replication).
         if mi == 0 && layout.maps.len() > 2 {
-            t.row(&["...".into(), "...".into(), "...".into(), "...".into(), "...".into()]);
+            t.row(&[
+                "...".into(),
+                "...".into(),
+                "...".into(),
+                "...".into(),
+                "...".into(),
+            ]);
         }
         if mi == 0 && layout.maps.len() > 2 {
             // jump to the last module
@@ -58,10 +68,7 @@ fn describe(cfg: &BeaconConfig, specs: &[LayoutSpec], label: &str) {
         }
     }
     println!("{}", t.render());
-    println!(
-        "CXLG chip-select mode: {:?}\n",
-        layout.cxlg_mode
-    );
+    println!("CXLG chip-select mode: {:?}\n", layout.cxlg_mode);
 }
 
 fn main() {
@@ -76,16 +83,18 @@ fn main() {
 
     // Vanilla: the host's locality-blind pool striping.
     let vanilla = BeaconConfig::paper_d(app).with_opts(Optimizations::vanilla());
-    describe(&vanilla, &specs, "CXL-vanilla (locality-blind pool striping)");
+    describe(
+        &vanilla,
+        &specs,
+        "CXL-vanilla (locality-blind pool striping)",
+    );
 
     // Full placement on BEACON-D: hot structures into CXLG-DIMMs.
-    let full_d =
-        BeaconConfig::paper_d(app).with_opts(Optimizations::full(BeaconVariant::D, app));
+    let full_d = BeaconConfig::paper_d(app).with_opts(Optimizations::full(BeaconVariant::D, app));
     describe(&full_d, &specs, "architecture- and data-aware placement");
 
     // BEACON-S: everything on unmodified pool DIMMs.
-    let full_s =
-        BeaconConfig::paper_s(app).with_opts(Optimizations::full(BeaconVariant::S, app));
+    let full_s = BeaconConfig::paper_s(app).with_opts(Optimizations::full(BeaconVariant::S, app));
     describe(&full_s, &specs, "architecture- and data-aware placement");
 
     // Allocation / de-allocation (paper §IV-C): the framework manages the

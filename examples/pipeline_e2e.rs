@@ -94,7 +94,10 @@ fn main() {
     let workload = AppWorkload {
         app: AppKind::FmSeeding,
         traces: seed_traces,
-        layout: vec![LayoutSpec::shared_random(Region::FmIndex, index.index_bytes())],
+        layout: vec![LayoutSpec::shared_random(
+            Region::FmIndex,
+            index.index_bytes(),
+        )],
         medal: vec![],
     };
     let run = beacon_core::experiments::common::run_beacon(

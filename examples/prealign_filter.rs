@@ -24,7 +24,10 @@ fn main() {
     let mut decoy_rejected = 0;
     for _ in 0..n {
         let read = sampler.next_read();
-        if filter.filter(read.bases(), genome.sequence(), read.origin()).accept {
+        if filter
+            .filter(read.bases(), genome.sequence(), read.origin())
+            .accept
+        {
             true_accepted += 1;
         }
         let decoy = rng.index(genome.len() - 100);
@@ -64,8 +67,14 @@ fn main() {
     );
     println!("\n{} candidates filtered on hardware:", w.traces.len());
     println!("  CPU (Shouji roofline): {:>9} cycles", cpu.dram_cycles);
-    println!("  BEACON-D:              {:>9} cycles ({:.0}x)", d.cycles,
-        cpu.dram_cycles as f64 / d.cycles as f64);
-    println!("  BEACON-S:              {:>9} cycles ({:.0}x)", s.cycles,
-        cpu.dram_cycles as f64 / s.cycles as f64);
+    println!(
+        "  BEACON-D:              {:>9} cycles ({:.0}x)",
+        d.cycles,
+        cpu.dram_cycles as f64 / d.cycles as f64
+    );
+    println!(
+        "  BEACON-S:              {:>9} cycles ({:.0}x)",
+        s.cycles,
+        cpu.dram_cycles as f64 / s.cycles as f64
+    );
 }

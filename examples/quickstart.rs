@@ -35,7 +35,10 @@ fn main() {
         .iter()
         .filter(|r| !index.backward_search(r.bases()).is_empty())
         .count();
-    println!("{} reads sampled; {found} match the reference exactly", reads.len());
+    println!(
+        "{} reads sampled; {found} match the reference exactly",
+        reads.len()
+    );
 
     // 3. Build the fully-optimised BEACON-D system and run the workload.
     let app = AppKind::FmSeeding;
@@ -43,7 +46,10 @@ fn main() {
         .with_opts(Optimizations::full(BeaconVariant::D, app));
     let layout = build_layout(
         &cfg,
-        &[LayoutSpec::shared_random(Region::FmIndex, index.index_bytes())],
+        &[LayoutSpec::shared_random(
+            Region::FmIndex,
+            index.index_bytes(),
+        )],
     );
     let mut system = BeaconSystem::new(cfg, layout);
     system.submit_round_robin(traces.iter().cloned());
@@ -53,15 +59,30 @@ fn main() {
     let cpu = CpuModel::default().run(&WorkloadSummary::from_traces(&traces));
     let energy = EnergyModel::beacon(cfg.total_pes()).breakdown(&result);
 
-    println!("\nBEACON-D ({} PEs over {} CXLG-DIMMs):", cfg.total_pes(), cfg.compute_modules());
-    println!("  {} tasks in {} DRAM cycles ({:.2} µs)", result.tasks, result.cycles,
-        result.seconds(1250) * 1e6);
-    println!("  speedup vs 48-thread CPU: {:.0}x", cpu.dram_cycles as f64 / result.cycles as f64);
-    println!("  energy: {:.2} µJ ({:.1}% communication, {:.1}% computation)",
+    println!(
+        "\nBEACON-D ({} PEs over {} CXLG-DIMMs):",
+        cfg.total_pes(),
+        cfg.compute_modules()
+    );
+    println!(
+        "  {} tasks in {} DRAM cycles ({:.2} µs)",
+        result.tasks,
+        result.cycles,
+        result.seconds(1250) * 1e6
+    );
+    println!(
+        "  speedup vs 48-thread CPU: {:.0}x",
+        cpu.dram_cycles as f64 / result.cycles as f64
+    );
+    println!(
+        "  energy: {:.2} µJ ({:.1}% communication, {:.1}% computation)",
         energy.total_joules() * 1e6,
         energy.comm_share() * 100.0,
-        energy.compute_share() * 100.0);
-    println!("  CPU energy: {:.2} µJ ({:.0}x reduction)",
+        energy.compute_share() * 100.0
+    );
+    println!(
+        "  CPU energy: {:.2} µJ ({:.0}x reduction)",
         cpu.energy_joules * 1e6,
-        cpu.energy_joules / energy.total_joules());
+        cpu.energy_joules / energy.total_joules()
+    );
 }

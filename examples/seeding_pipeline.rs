@@ -17,7 +17,14 @@ fn run_app(name: &str, scale: &WorkloadScale, pes: usize, build: &dyn Fn(GenomeI
     let _ = scale;
     let mut t = Table::new(
         format!("{name} across the five genomes"),
-        &["genome", "CPU", "MEDAL", "BEACON-D", "BEACON-S", "D vs MEDAL"],
+        &[
+            "genome",
+            "CPU",
+            "MEDAL",
+            "BEACON-D",
+            "BEACON-S",
+            "D vs MEDAL",
+        ],
     );
     for g in GenomeId::FIVE {
         let w = build(g);

@@ -4,8 +4,8 @@
 use beacon_core::config::{BeaconConfig, BeaconVariant, Optimizations};
 use beacon_core::energy::EnergyModel;
 use beacon_core::experiments::common::{
-    fm_workload, hash_workload, kmer_workload, prealign_workload, run_beacon, run_cpu,
-    run_medal, run_nest, AppWorkload, WorkloadScale,
+    fm_workload, hash_workload, kmer_workload, prealign_workload, run_beacon, run_cpu, run_medal,
+    run_nest, AppWorkload, WorkloadScale,
 };
 use beacon_core::mmf::{build_layout, LayoutSpec};
 use beacon_core::system::BeaconSystem;
@@ -74,8 +74,7 @@ fn idealized_communication_never_loses_badly() {
     for w in all_workloads() {
         for variant in [BeaconVariant::D, BeaconVariant::S] {
             let real = run_beacon(variant, Optimizations::full(variant, w.app), &w, PES);
-            let ideal =
-                run_beacon(variant, Optimizations::full_ideal(variant, w.app), &w, PES);
+            let ideal = run_beacon(variant, Optimizations::full_ideal(variant, w.app), &w, PES);
             assert!(
                 (ideal.cycles as f64) < real.cycles as f64 * 1.08,
                 "{variant:?} {:?}: ideal {} vs real {}",
@@ -229,7 +228,12 @@ fn host_bias_costs_more_than_device_bias() {
     with_opt.mem_access_opt = true;
     let a = run_beacon(BeaconVariant::S, no_opt, &w, PES);
     let b = run_beacon(BeaconVariant::S, with_opt, &w, PES);
-    assert!(b.cycles < a.cycles, "device bias {} vs host bias {}", b.cycles, a.cycles);
+    assert!(
+        b.cycles < a.cycles,
+        "device bias {} vs host bias {}",
+        b.cycles,
+        a.cycles
+    );
     // And strictly less traffic on the wire.
     assert!(b.comm.get("cxl.wire_bytes") < a.comm.get("cxl.wire_bytes"));
 }
@@ -264,8 +268,7 @@ fn multi_app_colocation_drains_and_is_no_slower_than_serial() {
     let fm = fm_workload(GenomeId::Pt, &scale());
     let pa = prealign_workload(GenomeId::Pt, &scale());
     let app = AppKind::FmSeeding;
-    let mut cfg = BeaconConfig::paper_d(app)
-        .with_opts(Optimizations::full(BeaconVariant::D, app));
+    let mut cfg = BeaconConfig::paper_d(app).with_opts(Optimizations::full(BeaconVariant::D, app));
     cfg.pes_per_module = PES;
     cfg.refresh_enabled = false;
     let mut specs = fm.layout.clone();

@@ -1,0 +1,134 @@
+//! End-to-end observability: tracing, metrics sampling and determinism
+//! of a full BEACON-D run.
+
+use beacon_core::config::{BeaconConfig, BeaconVariant, Optimizations};
+use beacon_core::mmf::{build_layout, LayoutSpec};
+use beacon_core::obs::{self, ObsConfig, DEFAULT_STALL_WINDOW};
+use beacon_core::system::BeaconSystem;
+use beacon_genomics::genome::{Genome, GenomeId};
+use beacon_genomics::prelude::FmIndex;
+use beacon_genomics::reads::ReadSampler;
+use beacon_genomics::trace::{AppKind, Region, TaskTrace};
+use beacon_sim::trace::{self, validate_json, TraceBuffer, TraceCategory, TraceLevel};
+
+fn workload(n: usize) -> (Vec<TaskTrace>, u64) {
+    let g = Genome::synthetic(GenomeId::Pt, 3000, 5);
+    let idx = FmIndex::build(g.sequence());
+    let mut sampler = ReadSampler::new(&g, 24, 0.0, 9);
+    let traces = (0..n)
+        .map(|_| idx.trace_search(sampler.next_read().bases()))
+        .collect();
+    (traces, idx.index_bytes())
+}
+
+fn run_d(traces: &[TaskTrace], index_bytes: u64) -> u64 {
+    let app = AppKind::FmSeeding;
+    let mut cfg = BeaconConfig::paper(BeaconVariant::D, app)
+        .with_opts(Optimizations::full(BeaconVariant::D, app));
+    cfg.pes_per_module = 8;
+    cfg.refresh_enabled = false;
+    let specs = [LayoutSpec::shared_random(Region::FmIndex, index_bytes)];
+    let layout = build_layout(&cfg, &specs);
+    let mut sys = BeaconSystem::new(cfg, layout);
+    sys.submit_round_robin(traces.iter().cloned());
+    sys.run().cycles
+}
+
+#[test]
+fn traced_run_covers_every_layer_and_exports_valid_json() {
+    let (traces, bytes) = workload(12);
+
+    // Reference run with tracing disabled.
+    let plain_cycles = run_d(&traces, bytes);
+
+    trace::install(TraceBuffer::new(TraceLevel::Command, 1 << 20));
+    let traced_cycles = run_d(&traces, bytes);
+    let buf = trace::uninstall().expect("buffer installed");
+
+    // Tracing must be an observer: bit-identical timing.
+    assert_eq!(traced_cycles, plain_cycles);
+
+    // Events from the DRAM, CXL and accelerator layers all present.
+    assert!(
+        buf.count_category(TraceCategory::Dram) > 0,
+        "no DRAM events"
+    );
+    assert!(buf.count_category(TraceCategory::Cxl) > 0, "no CXL events");
+    assert!(
+        buf.count_category(TraceCategory::Accel) > 0,
+        "no accel events"
+    );
+    assert!(
+        buf.count_category(TraceCategory::Switch) > 0,
+        "no switch events"
+    );
+
+    let json = buf.to_chrome_json();
+    validate_json(&json).expect("chrome trace must be valid JSON");
+    assert!(json.contains("\"traceEvents\":["));
+    // Topology-labelled tracks, not anonymous defaults.
+    assert!(json.contains("sw0.dimm0.dram"));
+}
+
+#[test]
+fn task_level_tracing_drops_flit_noise() {
+    let (traces, bytes) = workload(8);
+    trace::install(TraceBuffer::new(TraceLevel::Task, 1 << 20));
+    run_d(&traces, bytes);
+    let buf = trace::uninstall().expect("buffer installed");
+    // Task lifecycle events survive; DRAM commands (Command level) do not.
+    assert!(buf.count_category(TraceCategory::Accel) > 0);
+    assert_eq!(buf.count_category(TraceCategory::Dram), 0);
+}
+
+#[test]
+fn metrics_series_samples_the_run() {
+    let (traces, bytes) = workload(12);
+    obs::install(ObsConfig {
+        metrics_every: 2_048,
+        progress_every: 0,
+        stall_window: DEFAULT_STALL_WINDOW,
+    });
+    run_d(&traces, bytes);
+    let series = obs::take().expect("metrics installed");
+
+    assert!(series.len() >= 2, "start + end samples at minimum");
+    let first = &series.samples()[0];
+    assert_eq!(first.cycle, 0);
+    let keys: Vec<&str> = first.values.iter().map(|(k, _)| k.as_str()).collect();
+    for key in [
+        "dram.queue",
+        "cxl.link_occupancy",
+        "accel.pe_busy",
+        "tasks.completed",
+        "events",
+    ] {
+        assert!(keys.contains(&key), "missing gauge {key}");
+    }
+    // All work retired by the final sample.
+    let last = series.samples().last().unwrap();
+    let completed = last
+        .values
+        .iter()
+        .find(|(k, _)| k == "tasks.completed")
+        .map(|(_, v)| *v)
+        .unwrap();
+    assert_eq!(completed, 12.0);
+
+    for line in series.to_jsonl().lines() {
+        validate_json(line).expect("every JSONL line must be valid JSON");
+    }
+    assert!(series.to_csv().starts_with("run,cycle,"));
+}
+
+#[test]
+fn observability_off_leaves_results_untouched() {
+    let (traces, bytes) = workload(8);
+    let a = run_d(&traces, bytes);
+    let b = run_d(&traces, bytes);
+    assert_eq!(a, b, "runs must be deterministic");
+    assert!(
+        obs::take().is_none(),
+        "nothing installed, nothing collected"
+    );
+}

@@ -105,8 +105,18 @@ fn kmer_counting_headline_shape() {
     );
 
     // Both designs beat NEST (paper: 5.19x and 6.19x).
-    assert!(full_d.cycles < nest.cycles, "D {} vs NEST {}", full_d.cycles, nest.cycles);
-    assert!(full_s.cycles < nest.cycles, "S {} vs NEST {}", full_s.cycles, nest.cycles);
+    assert!(
+        full_d.cycles < nest.cycles,
+        "D {} vs NEST {}",
+        full_d.cycles,
+        nest.cycles
+    );
+    assert!(
+        full_s.cycles < nest.cycles,
+        "S {} vs NEST {}",
+        full_s.cycles,
+        nest.cycles
+    );
 
     // And the CPU (paper: 443x / 528x).
     assert!(cpu.dram_cycles as f64 / full_d.cycles as f64 > 10.0);

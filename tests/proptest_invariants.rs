@@ -18,9 +18,8 @@ use beacon_genomics::trace::{Access, AccessKind, Region};
 use beacon_sim::cycle::Cycle;
 
 fn arb_bases(max_len: usize) -> impl Strategy<Value = Vec<Base>> {
-    prop::collection::vec(0u8..4, 1..max_len).prop_map(|codes| {
-        codes.into_iter().map(Base::from_code).collect()
-    })
+    prop::collection::vec(0u8..4, 1..max_len)
+        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
 }
 
 proptest! {
