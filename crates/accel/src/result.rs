@@ -4,7 +4,9 @@
 //! model in `beacon-core` turns the counters into joules and the
 //! experiment drivers into figures.
 
-use beacon_sim::stats::{Histogram, Stats};
+use std::fmt::Write as _;
+
+use beacon_sim::stats::{Fnv64, Histogram, Stats};
 use serde::{Deserialize, Serialize};
 
 /// Counters and outcomes of one full system run.
@@ -43,6 +45,117 @@ impl RunResult {
         self.cycles as f64 * tck_ps as f64 * 1e-12
     }
 
+    /// A stable FNV-1a digest over every field — cycles, task count,
+    /// every per-component counter and energy accumulator, the PE busy
+    /// integral and all chip histograms.
+    ///
+    /// Two runs digest equal iff they are observationally identical, so
+    /// equivalence tests (sequential vs parallel, golden seed pins)
+    /// compare one `u64`. When digests differ, [`RunResult::diff`]
+    /// locates the first divergent quantity.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.cycles);
+        h.write_u64(self.tasks as u64);
+        h.write_str("dram");
+        self.dram.digest_into(&mut h);
+        h.write_str("comm");
+        self.comm.digest_into(&mut h);
+        h.write_str("engine");
+        self.engine.digest_into(&mut h);
+        h.write_u64(self.pe_busy_cycles);
+        h.write_u64(self.total_chips);
+        h.write_u64(self.chip_histograms.len() as u64);
+        for hist in &self.chip_histograms {
+            hist.digest_into(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Structured diff against another result: a report naming every
+    /// divergent scalar, counter, accumulator and histogram bucket (the
+    /// first divergence per component group leads). Returns `None` when
+    /// the results are identical.
+    pub fn diff(&self, other: &RunResult) -> Option<String> {
+        let mut out = String::new();
+        let mut scalar = |name: &str, a: u64, b: u64| {
+            if a != b {
+                let _ = writeln!(out, "{name}: {a} != {b}");
+            }
+        };
+        scalar("cycles", self.cycles, other.cycles);
+        scalar("tasks", self.tasks as u64, other.tasks as u64);
+        scalar("pe_busy_cycles", self.pe_busy_cycles, other.pe_busy_cycles);
+        scalar("total_chips", self.total_chips, other.total_chips);
+        for (group, a, b) in [
+            ("dram", &self.dram, &other.dram),
+            ("comm", &self.comm, &other.comm),
+            ("engine", &self.engine, &other.engine),
+        ] {
+            Self::diff_stats(group, a, b, &mut out);
+        }
+        if self.chip_histograms.len() != other.chip_histograms.len() {
+            let _ = writeln!(
+                out,
+                "chip_histograms: {} DIMMs != {} DIMMs",
+                self.chip_histograms.len(),
+                other.chip_histograms.len()
+            );
+        } else {
+            for (i, (a, b)) in self
+                .chip_histograms
+                .iter()
+                .zip(&other.chip_histograms)
+                .enumerate()
+            {
+                if a.buckets() != b.buckets() {
+                    let chip = a
+                        .buckets()
+                        .iter()
+                        .zip(b.buckets())
+                        .position(|(x, y)| x != y)
+                        .unwrap_or(0);
+                    let _ = writeln!(
+                        out,
+                        "chip_histograms[{i}] chip {chip}: {} != {}",
+                        a.buckets().get(chip).copied().unwrap_or(0),
+                        b.buckets().get(chip).copied().unwrap_or(0),
+                    );
+                }
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    fn diff_stats(group: &str, a: &Stats, b: &Stats, out: &mut String) {
+        let keys: std::collections::BTreeSet<&str> = a
+            .iter()
+            .map(|(k, _)| k)
+            .chain(b.iter().map(|(k, _)| k))
+            .collect();
+        for k in keys {
+            let (x, y) = (a.get(k), b.get(k));
+            if x != y {
+                let _ = writeln!(out, "{group}.{k}: {x} != {y}");
+            }
+        }
+        let fkeys: std::collections::BTreeSet<&str> = a
+            .iter_f64()
+            .map(|(k, _)| k)
+            .chain(b.iter_f64().map(|(k, _)| k))
+            .collect();
+        for k in fkeys {
+            let (x, y) = (a.get_f64(k), b.get_f64(k));
+            if x.to_bits() != y.to_bits() {
+                let _ = writeln!(out, "{group}.{k}: {x} != {y}");
+            }
+        }
+    }
+
     /// Merged per-chip histogram across all DIMMs.
     pub fn merged_chip_histogram(&self) -> Option<Histogram> {
         let mut it = self.chip_histograms.iter();
@@ -75,6 +188,62 @@ mod tests {
         };
         assert_eq!(r.throughput(), 5.0);
         assert!((r.seconds(1250) - 1.25e-5).abs() < 1e-18);
+    }
+
+    fn sample() -> RunResult {
+        let mut dram = Stats::new();
+        dram.add("dram.reads", 42);
+        let mut engine = Stats::new();
+        engine.add_f64("engine.util", 0.5);
+        let mut hist = Histogram::new(4);
+        hist.record(2, 1);
+        RunResult {
+            cycles: 10_000,
+            tasks: 50,
+            dram,
+            comm: Stats::new(),
+            engine,
+            pe_busy_cycles: 123,
+            total_chips: 8,
+            chip_histograms: vec![hist],
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.digest(), b.digest());
+        assert!(a.diff(&b).is_none());
+
+        let mut c = sample();
+        c.dram.incr("dram.reads");
+        assert_ne!(a.digest(), c.digest());
+
+        let mut d = sample();
+        d.chip_histograms[0].record(3, 1);
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn diff_names_the_divergent_counter() {
+        let a = sample();
+        let mut b = sample();
+        b.cycles += 1;
+        b.dram.incr("dram.reads");
+        b.engine.add_f64("engine.util", 0.25);
+        b.chip_histograms[0].record(1, 1);
+        let report = a.diff(&b).expect("divergent");
+        assert!(report.contains("cycles: 10000 != 10001"), "{report}");
+        assert!(report.contains("dram.dram.reads: 42 != 43"), "{report}");
+        assert!(
+            report.contains("engine.engine.util: 0.5 != 0.75"),
+            "{report}"
+        );
+        assert!(
+            report.contains("chip_histograms[0] chip 1: 0 != 1"),
+            "{report}"
+        );
     }
 
     #[test]

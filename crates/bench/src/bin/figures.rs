@@ -3,12 +3,15 @@
 //! ```text
 //! cargo run -p beacon-bench --bin figures --release -- [--all]
 //!     [--table1] [--table2] [--fig3] [--fig12] [--fig13] [--fig14]
-//!     [--fig15] [--fig16] [--fig17] [--quick]
+//!     [--fig15] [--fig16] [--fig17] [--quick] [--threads <n>]
 //!     [--trace <out.json>] [--metrics <out.jsonl|out.csv>] [--progress]
 //! ```
 //!
 //! With no selector (or `--all`) everything runs. `--quick` switches to
 //! the smaller bench scale (useful for smoke-testing the harness).
+//! `--threads <n>` runs every BEACON system on the deterministic
+//! epoch-parallel engine with `n` worker threads — results are
+//! bit-identical to the default sequential engine, just faster.
 //! `--trace` records a Chrome-trace-event JSON of every simulated run
 //! (open in `chrome://tracing` or Perfetto), `--metrics` samples gauge
 //! time-series to JSON-lines (or CSV when the path ends in `.csv`) and
@@ -43,6 +46,7 @@ struct Selection {
     fig16: bool,
     fig17: bool,
     quick: bool,
+    threads: usize,
     trace: Option<String>,
     metrics: Option<String>,
     progress: bool,
@@ -65,6 +69,7 @@ fn usage() -> String {
      \n\
      options:\n\
      \x20 --quick            small bench scale (smoke test)\n\
+     \x20 --threads <n>      deterministic parallel engine with n workers\n\
      \x20 --trace <path>     write a Chrome-trace-event JSON of the runs\n\
      \x20 --metrics <path>   write gauge time-series (.csv -> CSV, else JSONL)\n\
      \x20 --progress         print periodic simulation-rate lines to stderr\n\
@@ -86,6 +91,7 @@ impl Selection {
             fig16: false,
             fig17: false,
             quick: false,
+            threads: 1,
             trace: None,
             metrics: None,
             progress: false,
@@ -135,6 +141,14 @@ impl Selection {
                     any = false;
                 }
                 "--quick" => sel.quick = true,
+                "--threads" => {
+                    i += 1;
+                    let n = args.get(i).ok_or("--threads needs a worker count")?;
+                    sel.threads =
+                        n.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                            format!("--threads needs a positive integer, got {n}")
+                        })?;
+                }
                 "--progress" => sel.progress = true,
                 "--trace" => {
                     i += 1;
@@ -185,6 +199,7 @@ fn main() {
         figures_scale()
     };
     let pes = if sel.quick { BENCH_PES } else { FIGURE_PES };
+    beacon_core::parallel::set_threads(sel.threads);
 
     if sel.trace.is_some() {
         trace::install(TraceBuffer::new(TraceLevel::Command, TRACE_CAPACITY));
@@ -206,8 +221,8 @@ fn main() {
     }
 
     println!(
-        "BEACON figure harness — scale: Pt={} bases, {} reads, {} PEs/module\n",
-        scale.pt_genome_len, scale.reads, pes
+        "BEACON figure harness — scale: Pt={} bases, {} reads, {} PEs/module, {} sim thread(s)\n",
+        scale.pt_genome_len, scale.reads, pes, sel.threads
     );
 
     let t0 = Instant::now();
@@ -301,6 +316,16 @@ mod tests {
         let sel = Selection::parse(&args(&["--fig12", "--quick"])).unwrap();
         assert!(sel.fig12 && sel.quick);
         assert!(!sel.table1 && !sel.fig3 && !sel.fig17);
+        assert_eq!(sel.threads, 1);
+    }
+
+    #[test]
+    fn threads_flag_takes_a_count() {
+        let sel = Selection::parse(&args(&["--fig12", "--threads", "4"])).unwrap();
+        assert_eq!(sel.threads, 4);
+        assert!(Selection::parse(&args(&["--threads"])).is_err());
+        assert!(Selection::parse(&args(&["--threads", "0"])).is_err());
+        assert!(Selection::parse(&args(&["--threads", "lots"])).is_err());
     }
 
     #[test]
@@ -353,6 +378,7 @@ mod tests {
             "--fig16",
             "--fig17",
             "--quick",
+            "--threads",
             "--trace",
             "--metrics",
             "--progress",

@@ -37,6 +37,7 @@ pub mod energy;
 pub mod experiments;
 pub mod mmf;
 pub mod obs;
+pub mod parallel;
 pub mod report;
 pub mod system;
 
@@ -47,5 +48,6 @@ pub mod prelude {
     pub use crate::energy::{EnergyBreakdown, EnergyModel};
     pub use crate::mmf::{build_layout, LayoutSpec, MemoryLayout};
     pub use crate::obs::ObsConfig;
+    pub use crate::parallel::{set_threads, threads};
     pub use crate::system::BeaconSystem;
 }

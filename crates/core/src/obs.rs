@@ -78,6 +78,26 @@ pub fn active() -> bool {
     STATE.with(|s| s.borrow().is_some())
 }
 
+/// The installed configuration and the index the next driven run will
+/// get, without mutating either. The parallel driver mirrors [`drive`]
+/// with this plus [`commit`].
+pub(crate) fn snapshot() -> Option<(ObsConfig, u32)> {
+    STATE.with(|s| s.borrow().as_ref().map(|st| (st.cfg, st.runs)))
+}
+
+/// Records one finished run: bumps the run index and appends the
+/// samples it collected to the thread-local series.
+pub(crate) fn commit(samples: Vec<MetricsSample>) {
+    STATE.with(|s| {
+        if let Some(st) = s.borrow_mut().as_mut() {
+            st.runs += 1;
+            for sample in samples {
+                st.series.push(sample);
+            }
+        }
+    });
+}
+
 /// Runs `model` to completion on `engine`, honouring the installed
 /// [`ObsConfig`] (if any). Samples land in the thread-local series for
 /// [`take`]; progress and stall reports go to stderr.
@@ -139,7 +159,7 @@ pub fn drive<T: Tick + Probe>(engine: &mut Engine, model: &mut T) -> RunOutcome 
     outcome
 }
 
-fn report_stall(r: &StallReport) {
+pub(crate) fn report_stall(r: &StallReport) {
     eprintln!(
         "[beacon] STALL at cycle {} (no progress since {}, {} events):\n{}",
         r.at.as_u64(),

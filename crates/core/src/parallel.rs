@@ -1,0 +1,432 @@
+//! Deterministic parallel execution of a [`BeaconSystem`].
+//!
+//! The pool is sharded per switch: one [`PoolShard`] owns a
+//! `SwitchNode` (fabric + in-switch logic + the DIMMs behind it) and
+//! advances it independently on a worker thread. Everything a shard
+//! exchanges with the rest of the pool crosses the host root complex,
+//! whose forwarding latency (`cfg.host_latency`) is therefore the
+//! model's *lookahead*: traffic leaving a shard during the epoch
+//! `[t0, t0 + E)` cannot influence any shard before `t0 + E` as long as
+//! `E <= host_latency`. The epoch engine uses exactly `E =
+//! host_latency`, so every barrier fully drains the hub.
+//!
+//! At each barrier the [`HostHub`] collects the shards' uplink egress
+//! and merges it with [`canonical_merge`] into the order the sequential
+//! `pump_host` would have observed — by arrival cycle, then source
+//! switch index, then per-source FIFO sequence — making the run
+//! **bit-identical** to [`BeaconSystem::run`] for any thread count and
+//! any OS schedule. The conformance suite in `tests/differential.rs`
+//! holds that contract down to the digest of every counter and the
+//! canonicalised trace stream.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+
+use beacon_accel::result::RunResult;
+use beacon_accel::translate::RegionMap;
+use beacon_cxl::bundle::Bundle;
+use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::engine::Progress;
+use beacon_sim::metrics::MetricsSample;
+use beacon_sim::parallel::{EpochHub, EpochShard, ParallelEngine, ParallelHooks};
+
+use crate::config::BeaconConfig;
+use crate::obs;
+use crate::system::{BeaconSystem, GaugeAcc, SwitchNode, SysCtx};
+
+thread_local! {
+    /// Ambient worker-thread count consulted by [`BeaconSystem::run`].
+    static THREADS: Cell<usize> = const { Cell::new(1) };
+}
+
+/// Sets the ambient worker-thread count for subsequent
+/// [`BeaconSystem::run`] calls on this thread. `1` (the default)
+/// selects the sequential reference engine.
+///
+/// # Panics
+/// Panics when `n` is zero.
+pub fn set_threads(n: usize) {
+    assert!(n > 0, "need at least one thread");
+    THREADS.with(|t| t.set(n));
+}
+
+/// The ambient worker-thread count installed by [`set_threads`].
+pub fn threads() -> usize {
+    THREADS.with(|t| t.get())
+}
+
+/// One host-bound bundle drained from a shard's uplink: `(arrival cycle
+/// at the uplink endpoint, source switch index, per-source drain
+/// sequence, payload)`.
+pub type HubEntry = (Cycle, u32, u64, Bundle);
+
+/// Sorts hub entries into the canonical host-forwarding order:
+/// arrival cycle, then source switch index, then per-source FIFO
+/// sequence. This is a total order (source + sequence are unique), and
+/// it equals the order the sequential `pump_host` stages traffic in —
+/// per cycle it drains switch 0's uplink to exhaustion, then switch
+/// 1's, and each uplink pops in FIFO order. Exposed so the conformance
+/// suite can shuffle entries and assert the merge is permutation
+/// independent.
+pub fn canonical_merge(entries: &mut [HubEntry]) {
+    entries.sort_unstable_by_key(|e| (e.0, e.1, e.2));
+}
+
+/// One switch subtree plus its epoch-exchange buffers.
+pub(crate) struct PoolShard<'a> {
+    cfg: &'a BeaconConfig,
+    maps: &'a [RegionMap],
+    rmw_alu_cycles: u64,
+    pub(crate) node: SwitchNode,
+    /// Next cycle this shard will simulate.
+    pos: Cycle,
+    /// Host-forwarded deliveries scheduled into this shard, ready-ordered:
+    /// `(ready cycle, bundle)`.
+    pub(crate) inbox: VecDeque<(Cycle, Bundle)>,
+    /// Uplink egress drained this epoch, awaiting hub collection.
+    outbox: Vec<HubEntry>,
+    /// Monotone per-shard drain counter (the FIFO tiebreaker).
+    seq: u64,
+    index: u32,
+}
+
+impl<'a> PoolShard<'a> {
+    /// The context is built from the shard's own borrows (`'a`, not
+    /// `'_`), so callers can keep mutating `node` while holding it.
+    fn ctx(&self) -> SysCtx<'a> {
+        SysCtx {
+            cfg: self.cfg,
+            maps: self.maps,
+            rmw_alu_cycles: self.rmw_alu_cycles,
+        }
+    }
+}
+
+impl EpochShard for PoolShard<'_> {
+    fn advance(&mut self, to: Cycle) {
+        while self.pos < to {
+            if self.inbox.is_empty() && self.node.subtree_idle() {
+                return; // pause — resumable if the hub delivers more
+            }
+            let now = self.pos;
+            // 1. Drain our own uplink egress, exactly what the
+            //    sequential pump_host would pop at `now` (the egress is
+            //    drained every cycle, so arrivals surface the cycle
+            //    they complete).
+            while let Some((arrival, bundle)) = self.node.uplink_recv_before(now.next()) {
+                self.outbox.push((arrival, self.index, self.seq, bundle));
+                self.seq += 1;
+            }
+            // 2. Inject host deliveries due by `now`. On ingress
+            //    back-pressure the head blocks the rest of the queue —
+            //    the sequential scan behaves identically, because a
+            //    full uplink ingress stays full for the remainder of
+            //    that cycle's host_stage sweep.
+            while let Some(&(ready, _)) = self.inbox.front() {
+                if ready > now {
+                    break;
+                }
+                let (ready, bundle) = self.inbox.pop_front().expect("checked front");
+                match self.node.uplink_send(bundle, now) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        self.inbox.push_front((ready, e.0));
+                        break;
+                    }
+                }
+            }
+            // 3. The per-switch slice of the sequential tick.
+            self.node.tick_cycle(self.ctx(), now);
+            self.pos = now.next();
+        }
+    }
+
+    fn finish_to(&mut self, to: Cycle) {
+        // Only reached when quiescent: no egress to drain, no inbox to
+        // inject. Background state (DRAM refresh) still advances
+        // exactly as the sequential engine's idle-subtree ticks do.
+        while self.pos < to {
+            self.node.tick_cycle(self.ctx(), self.pos);
+            self.pos = self.pos.next();
+        }
+    }
+
+    fn position(&self) -> Cycle {
+        self.pos
+    }
+
+    fn quiescent(&self) -> bool {
+        // The outbox needs no check: the hub empties every outbox
+        // before the engine's drained test runs.
+        self.inbox.is_empty() && self.node.subtree_idle()
+    }
+
+    fn progress(&self) -> u64 {
+        self.node.progress_counter()
+    }
+
+    fn snapshot(&self) -> String {
+        let mut s = String::new();
+        self.node.snapshot_into(&mut s);
+        s
+    }
+}
+
+/// The host root complex as an epoch hub: collects uplink egress at
+/// every barrier, merges it canonically and schedules each bundle into
+/// its destination shard `host_latency` cycles after arrival.
+pub(crate) struct HostHub {
+    latency: Duration,
+    /// Undelivered forwarded traffic in canonical order:
+    /// `(ready cycle, destination switch, bundle)`. Non-empty after an
+    /// exchange only when the horizon was clamped by the cycle limit.
+    pending: VecDeque<(Cycle, u32, Bundle)>,
+}
+
+impl HostHub {
+    pub(crate) fn new(host_latency: u64) -> Self {
+        HostHub {
+            latency: Duration::new(host_latency),
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+impl<'a> EpochHub<PoolShard<'a>> for HostHub {
+    fn exchange(&mut self, shards: &mut [PoolShard<'a>], horizon: Cycle) -> bool {
+        let mut collected: Vec<HubEntry> = Vec::new();
+        for shard in shards.iter_mut() {
+            collected.append(&mut shard.outbox);
+        }
+        canonical_merge(&mut collected);
+        // Append keeps `pending` canonically ordered: retained entries
+        // arrived in an earlier epoch, so their ready cycles precede
+        // every new one.
+        for (arrival, _src, _seq, mut bundle) in collected {
+            for m in &mut bundle.messages {
+                *m = m.cleared_via_host();
+            }
+            let dst = bundle.messages[0]
+                .dst
+                .switch()
+                .expect("pool destinations only");
+            self.pending
+                .push_back((arrival + self.latency, dst, bundle));
+        }
+        while let Some(&(ready, _, _)) = self.pending.front() {
+            if ready >= horizon {
+                break;
+            }
+            let (ready, dst, bundle) = self.pending.pop_front().expect("checked front");
+            shards[dst as usize].inbox.push_back((ready, bundle));
+        }
+        !self.pending.is_empty()
+    }
+}
+
+impl BeaconSystem {
+    /// Runs until the workload drains on `threads` worker threads and
+    /// returns measurements **bit-identical** to [`BeaconSystem::run`]:
+    /// same `RunResult` digest, same per-component stats, same
+    /// canonicalised trace stream, for any thread count.
+    ///
+    /// Metrics sampling and progress reporting fire at epoch barriers
+    /// (every `host_latency` cycles) rather than exact cycles, and the
+    /// `host.staged` gauge counts hub deliveries staged at the shards —
+    /// equivalent in spirit but not sample-for-sample identical to the
+    /// sequential observer output.
+    ///
+    /// # Panics
+    /// Panics when `threads` is zero, when `host_latency` is zero (the
+    /// epoch scheme's lookahead would vanish) or when the model
+    /// deadlocks (cycle limit / stall).
+    pub fn run_parallel(&mut self, threads: usize) -> RunResult {
+        assert!(threads > 0, "need at least one thread");
+        assert!(
+            self.cfg.host_latency >= 1,
+            "parallel runs need host_latency >= 1 for a non-zero lookahead"
+        );
+        assert!(
+            self.host_stage.is_empty(),
+            "runs start with an empty host stage"
+        );
+        let cfg = self.cfg;
+        let maps = std::mem::take(&mut self.maps);
+        let rmw_alu_cycles = self.rmw_alu_cycles;
+        let mut shards: Vec<PoolShard<'_>> = std::mem::take(&mut self.switches)
+            .into_iter()
+            .enumerate()
+            .map(|(i, node)| PoolShard {
+                cfg: &cfg,
+                maps: &maps,
+                rmw_alu_cycles,
+                node,
+                pos: Cycle::ZERO,
+                inbox: VecDeque::new(),
+                outbox: Vec::new(),
+                seq: 0,
+                index: i as u32,
+            })
+            .collect();
+        let mut hub = HostHub::new(cfg.host_latency);
+        let engine = ParallelEngine::new(cfg.host_latency, threads);
+
+        // Mirror obs::drive at barrier granularity.
+        let installed = obs::snapshot();
+        let mut samples: Vec<MetricsSample> = Vec::new();
+        let mut hooks: ParallelHooks<'_, PoolShard<'_>> = ParallelHooks {
+            on_stall: Some(Box::new(obs::report_stall)),
+            ..ParallelHooks::default()
+        };
+        match installed {
+            None => hooks.stall_window = obs::DEFAULT_STALL_WINDOW,
+            Some((ocfg, run)) => {
+                hooks.stall_window = ocfg.stall_window;
+                if ocfg.metrics_every > 0 {
+                    hooks.sample_every = ocfg.metrics_every;
+                    let samples = &mut samples;
+                    hooks.on_sample =
+                        Some(Box::new(move |now: Cycle, shards: &[PoolShard<'_>]| {
+                            let mut acc = GaugeAcc::default();
+                            let mut staged = 0usize;
+                            for sh in shards {
+                                sh.node.accumulate_gauges(&mut acc);
+                                staged += sh.inbox.len();
+                            }
+                            let mut values = Vec::new();
+                            acc.push_into(staged, &mut values);
+                            let events: u64 =
+                                shards.iter().map(|sh| sh.node.progress_counter()).sum();
+                            values.push(("events".to_owned(), events as f64));
+                            samples.push(MetricsSample {
+                                run,
+                                cycle: now.as_u64(),
+                                values,
+                            });
+                        }));
+                }
+                if ocfg.progress_every > 0 {
+                    hooks.progress_every = ocfg.progress_every;
+                    hooks.on_progress = Some(Box::new(move |p: &Progress| {
+                        eprintln!(
+                            "[beacon run {run}] cycle {} | {} events | {:.1} Mcyc/s",
+                            p.now.as_u64(),
+                            p.events,
+                            p.cycles_per_sec / 1e6,
+                        );
+                    }));
+                }
+            }
+        }
+
+        let outcome = engine.run_instrumented(&mut shards, &mut hub, &mut hooks);
+        drop(hooks);
+
+        self.switches = shards.into_iter().map(|s| s.node).collect();
+        self.maps = maps;
+        if installed.is_some() {
+            obs::commit(samples);
+        }
+        self.finished_at = outcome.finished_at();
+        self.collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BeaconVariant, Optimizations};
+    use crate::mmf::{build_layout, LayoutSpec};
+    use beacon_genomics::genome::{Genome, GenomeId};
+    use beacon_genomics::prelude::FmIndex;
+    use beacon_genomics::reads::ReadSampler;
+    use beacon_genomics::trace::{AppKind, Region, TaskTrace};
+
+    fn fm_workload(n: usize) -> (Vec<TaskTrace>, u64) {
+        let g = Genome::synthetic(GenomeId::Pt, 3000, 5);
+        let idx = FmIndex::build(g.sequence());
+        let mut sampler = ReadSampler::new(&g, 24, 0.0, 9);
+        let traces = (0..n)
+            .map(|_| idx.trace_search(sampler.next_read().bases()))
+            .collect();
+        (traces, idx.index_bytes())
+    }
+
+    fn build(variant: BeaconVariant, traces: &[TaskTrace], bytes: u64) -> BeaconSystem {
+        let app = AppKind::FmSeeding;
+        let mut cfg =
+            BeaconConfig::paper(variant, app).with_opts(Optimizations::full(variant, app));
+        cfg.pes_per_module = 8;
+        let layout = build_layout(&cfg, &[LayoutSpec::shared_random(Region::FmIndex, bytes)]);
+        let mut sys = BeaconSystem::new(cfg, layout);
+        sys.submit_round_robin(traces.iter().cloned());
+        sys
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        let (traces, bytes) = fm_workload(16);
+        let reference = build(BeaconVariant::D, &traces, bytes).run();
+        for threads in [1, 2, 4] {
+            let got = build(BeaconVariant::D, &traces, bytes).run_parallel(threads);
+            assert_eq!(
+                got.digest(),
+                reference.digest(),
+                "diverged at {threads} threads:\n{}",
+                got.diff(&reference).unwrap_or_default()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_on_switch_logic_variant() {
+        let (traces, bytes) = fm_workload(12);
+        let reference = build(BeaconVariant::S, &traces, bytes).run();
+        let got = build(BeaconVariant::S, &traces, bytes).run_parallel(4);
+        assert_eq!(
+            got.digest(),
+            reference.digest(),
+            "{}",
+            got.diff(&reference).unwrap_or_default()
+        );
+    }
+
+    #[test]
+    fn ambient_threads_route_run() {
+        let (traces, bytes) = fm_workload(8);
+        let reference = build(BeaconVariant::D, &traces, bytes).run();
+        set_threads(2);
+        let got = build(BeaconVariant::D, &traces, bytes).run();
+        set_threads(1);
+        assert_eq!(got.digest(), reference.digest());
+    }
+
+    #[test]
+    fn canonical_merge_is_permutation_independent() {
+        use beacon_cxl::message::{Message, NodeId};
+        let mk = |tag: u64| {
+            Bundle::single(Message::read_req(
+                NodeId::dimm(0, 0),
+                NodeId::dimm(1, 0),
+                64,
+                tag,
+            ))
+        };
+        let mut a: Vec<HubEntry> = vec![
+            (Cycle::new(5), 1, 0, mk(0)),
+            (Cycle::new(3), 0, 0, mk(1)),
+            (Cycle::new(3), 0, 1, mk(2)),
+            (Cycle::new(3), 1, 0, mk(3)),
+            (Cycle::new(9), 0, 2, mk(4)),
+        ];
+        let mut b: Vec<HubEntry> = a.iter().rev().cloned().collect();
+        canonical_merge(&mut a);
+        canonical_merge(&mut b);
+        assert_eq!(a, b);
+        let keys: Vec<(u64, u32, u64)> = a.iter().map(|e| (e.0.as_u64(), e.1, e.2)).collect();
+        assert_eq!(
+            keys,
+            vec![(3, 0, 0), (3, 0, 1), (3, 1, 0), (5, 1, 0), (9, 0, 2)]
+        );
+    }
+}

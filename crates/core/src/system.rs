@@ -168,22 +168,37 @@ struct LogicNode {
     stats: Stats,
 }
 
+/// One switch subtree: the fabric, its in-switch logic and the DIMMs
+/// behind it. Everything under a `SwitchNode` only talks to the rest of
+/// the pool through the uplink, which is what makes it an independently
+/// advanceable shard for [`crate::parallel`].
 #[derive(Debug)]
-struct SwitchNode {
+pub(crate) struct SwitchNode {
+    index: usize,
     fabric: Switch,
     logic: LogicNode,
     dimms: Vec<DimmSlot>,
 }
 
+/// Read-only system context threaded through the per-switch drivers so
+/// a [`SwitchNode`] can advance without borrowing the whole
+/// [`BeaconSystem`].
+#[derive(Clone, Copy)]
+pub(crate) struct SysCtx<'a> {
+    pub(crate) cfg: &'a BeaconConfig,
+    pub(crate) maps: &'a [RegionMap],
+    pub(crate) rmw_alu_cycles: u64,
+}
+
 /// The assembled BEACON-D / BEACON-S system.
 #[derive(Debug)]
 pub struct BeaconSystem {
-    cfg: BeaconConfig,
-    maps: Vec<RegionMap>,
-    switches: Vec<SwitchNode>,
-    host_stage: VecDeque<(Cycle, Bundle)>,
-    finished_at: Cycle,
-    rmw_alu_cycles: u64,
+    pub(crate) cfg: BeaconConfig,
+    pub(crate) maps: Vec<RegionMap>,
+    pub(crate) switches: Vec<SwitchNode>,
+    pub(crate) host_stage: VecDeque<(Cycle, Bundle)>,
+    pub(crate) finished_at: Cycle,
+    pub(crate) rmw_alu_cycles: u64,
 }
 
 impl BeaconSystem {
@@ -268,6 +283,7 @@ impl BeaconSystem {
                     BeaconVariant::D => None,
                 };
                 SwitchNode {
+                    index: s as usize,
                     fabric: Switch::new(sc),
                     logic: LogicNode {
                         engine: logic_engine,
@@ -362,9 +378,18 @@ impl BeaconSystem {
 
     /// Runs until the workload drains and returns the measurements.
     ///
+    /// With an ambient thread count above one (see
+    /// [`crate::parallel::set_threads`]) this routes through the
+    /// bit-identical epoch-parallel engine; the default is the
+    /// sequential reference below.
+    ///
     /// # Panics
     /// Panics when the model deadlocks (cycle limit).
     pub fn run(&mut self) -> RunResult {
+        let threads = crate::parallel::threads();
+        if threads > 1 {
+            return self.run_parallel(threads);
+        }
         let mut engine = Engine::new();
         let outcome = crate::obs::drive(&mut engine, self);
         self.finished_at = outcome.finished_at();
@@ -441,14 +466,6 @@ impl BeaconSystem {
         merged
     }
 
-    fn op_of(kind: AccessKind) -> (ServiceOp, MsgKind) {
-        match kind {
-            AccessKind::Read => (ServiceOp::Read, MsgKind::ReadReq),
-            AccessKind::Write => (ServiceOp::Write, MsgKind::WriteReq),
-            AccessKind::Rmw => (ServiceOp::Rmw, MsgKind::AtomicReq),
-        }
-    }
-
     // ----- host root complex -------------------------------------------
 
     fn pump_host(&mut self, now: Cycle) {
@@ -480,6 +497,22 @@ impl BeaconSystem {
             }
         }
         self.host_stage = rest;
+    }
+
+    /// The wall-clock seconds of the finished run at DDR4-1600 tCK.
+    pub fn seconds(&self) -> f64 {
+        self.finished_at
+            .to_seconds(TimingParams::ddr4_1600_22().tck_ps)
+    }
+}
+
+impl SwitchNode {
+    fn op_of(kind: AccessKind) -> (ServiceOp, MsgKind) {
+        match kind {
+            AccessKind::Read => (ServiceOp::Read, MsgKind::ReadReq),
+            AccessKind::Write => (ServiceOp::Write, MsgKind::WriteReq),
+            AccessKind::Rmw => (ServiceOp::Rmw, MsgKind::AtomicReq),
+        }
     }
 
     // ----- engine access issue (shared by CXLG modules and S logic) ----
@@ -550,13 +583,13 @@ impl BeaconSystem {
         }
     }
 
-    /// Issues the read phase of an atomic served by switch `s`'s logic.
-    fn logic_start_atomic(&mut self, s: usize, entry: LogicServe, now: Cycle) {
+    /// Issues the read phase of an atomic served by this switch's logic.
+    fn logic_start_atomic(&mut self, entry: LogicServe, now: Cycle) {
         let via_host = entry.via_host;
-        let sidx = Self::alloc_logic_serve(&mut self.switches[s].logic, entry);
-        self.switches[s].logic.stats.incr("logic.atomics");
+        let sidx = Self::alloc_logic_serve(&mut self.logic, entry);
+        self.logic.stats.incr("logic.atomics");
         let msg = Message {
-            src: NodeId::SwitchLogic(s as u32),
+            src: NodeId::SwitchLogic(self.index as u32),
             dst: entry.dimm,
             kind: MsgKind::ReadReq,
             payload_bytes: entry.bytes,
@@ -564,26 +597,26 @@ impl BeaconSystem {
             aux: entry.coord.pack(),
             via_host,
         };
-        self.switches[s].logic.egress.push(msg, now);
+        self.logic.egress.push(msg, now);
     }
 
-    fn drive_logic(&mut self, s: usize, now: Cycle) {
+    fn drive_logic(&mut self, ctx: SysCtx<'_>, now: Cycle) {
         // 1. Incoming bundles addressed to this logic.
-        while let Some(bundle) = self.switches[s].fabric.logic_recv() {
+        while let Some(bundle) = self.fabric.logic_recv() {
             for msg in bundle.messages {
-                self.handle_logic_message(s, msg, now);
+                self.handle_logic_message(ctx, msg, now);
             }
         }
 
         // 2. ALU stage: atomics whose read phase returned start writing.
-        while let Some(&(ready, sidx)) = self.switches[s].logic.alu_stage.front() {
+        while let Some(&(ready, sidx)) = self.logic.alu_stage.front() {
             if ready > now {
                 break;
             }
-            self.switches[s].logic.alu_stage.pop_front();
-            let entry = self.switches[s].logic.serve[sidx as usize];
+            self.logic.alu_stage.pop_front();
+            let entry = self.logic.serve[sidx as usize];
             let msg = Message {
-                src: NodeId::SwitchLogic(s as u32),
+                src: NodeId::SwitchLogic(self.index as u32),
                 dst: entry.dimm,
                 kind: MsgKind::WriteReq,
                 payload_bytes: entry.bytes,
@@ -591,29 +624,24 @@ impl BeaconSystem {
                 aux: entry.coord.pack(),
                 via_host: entry.via_host,
             };
-            self.switches[s].logic.egress.push(msg, now);
+            self.logic.egress.push(msg, now);
         }
 
         // 3. The S-variant compute engine.
-        if self.switches[s].logic.engine.is_some() {
-            let issued = {
-                let e = self.switches[s].logic.engine.as_mut().expect("checked");
-                e.tick(now)
-            };
-            let self_node = NodeId::SwitchLogic(s as u32);
+        if self.logic.engine.is_some() {
+            let issued = self.logic.engine.as_mut().expect("checked").tick(now);
+            let self_node = NodeId::SwitchLogic(self.index as u32);
+            let map_idx = self.logic.map_idx;
             let mut local_rmws: Vec<(u64, DramCoord, u32, NodeId)> = Vec::new();
             for ia in issued {
-                let map_idx = self.switches[s].logic.map_idx;
-                // Split borrows: clone nothing, work through indices.
-                let (maps, sw) = (&self.maps, &mut self.switches[s]);
                 Self::dispatch_access(
-                    &self.cfg,
-                    &maps[map_idx],
+                    ctx.cfg,
+                    &ctx.maps[map_idx],
                     self_node,
                     ia,
-                    &mut sw.logic.pending,
+                    &mut self.logic.pending,
                     None,
-                    &mut sw.logic.egress,
+                    &mut self.logic.egress,
                     Some(&mut local_rmws),
                     now,
                 );
@@ -626,21 +654,21 @@ impl BeaconSystem {
                     bytes,
                     dimm,
                     phase: AtomicPhase::Read,
-                    via_host: !self.cfg.opts.mem_access_opt,
+                    via_host: !ctx.cfg.opts.mem_access_opt,
                     in_use: true,
                 };
-                self.logic_start_atomic(s, entry, now);
+                self.logic_start_atomic(entry, now);
             }
         }
 
         // 4. Pump egress onto the switch-bus.
-        self.switches[s].logic.egress.collect(now);
-        while let Some(bundle) = self.switches[s].logic.egress.queue.pop_front() {
-            self.switches[s].fabric.logic_send(bundle, now);
+        self.logic.egress.collect(now);
+        while let Some(bundle) = self.logic.egress.queue.pop_front() {
+            self.fabric.logic_send(bundle, now);
         }
     }
 
-    fn handle_logic_message(&mut self, s: usize, msg: Message, now: Cycle) {
+    fn handle_logic_message(&mut self, ctx: SysCtx<'_>, msg: Message, now: Cycle) {
         match msg.kind {
             MsgKind::AtomicReq => {
                 // Atomic intercepted for an unmodified DIMM of this switch.
@@ -651,38 +679,38 @@ impl BeaconSystem {
                     bytes: msg.payload_bytes,
                     dimm: msg.dst,
                     phase: AtomicPhase::Read,
-                    via_host: msg.via_host || !self.cfg.opts.mem_access_opt,
+                    via_host: msg.via_host || !ctx.cfg.opts.mem_access_opt,
                     in_use: true,
                 };
-                self.logic_start_atomic(s, entry, now);
+                self.logic_start_atomic(entry, now);
             }
             MsgKind::ReadResp | MsgKind::Ack if msg.tag & LOGIC_BIT != 0 => {
                 let sidx = (msg.tag & !LOGIC_BIT) as u32;
-                let entry = self.switches[s].logic.serve[sidx as usize];
+                let entry = self.logic.serve[sidx as usize];
                 debug_assert!(entry.in_use);
                 match entry.phase {
                     AtomicPhase::Read => {
                         // Arithmetic in the Atomic Engine, then write back.
-                        self.switches[s].logic.serve[sidx as usize].phase = AtomicPhase::Write;
-                        let ready = now + Duration::new(self.rmw_alu_cycles);
-                        self.switches[s].logic.alu_stage.push_back((ready, sidx));
+                        self.logic.serve[sidx as usize].phase = AtomicPhase::Write;
+                        let ready = now + Duration::new(ctx.rmw_alu_cycles);
+                        self.logic.alu_stage.push_back((ready, sidx));
                     }
                     AtomicPhase::Write => {
-                        self.switches[s].logic.serve[sidx as usize].in_use = false;
-                        self.switches[s].logic.free_serve.push(sidx);
+                        self.logic.serve[sidx as usize].in_use = false;
+                        self.logic.free_serve.push(sidx);
                         let requester = entry.requester;
-                        if requester == NodeId::SwitchLogic(s as u32) {
+                        if requester == NodeId::SwitchLogic(self.index as u32) {
                             // Our own engine's RMW (BEACON-S local case).
                             if let Some((token, _)) =
-                                self.switches[s].logic.pending.complete_one(entry.orig_tag)
+                                self.logic.pending.complete_one(entry.orig_tag)
                             {
-                                if let Some(e) = self.switches[s].logic.engine.as_mut() {
+                                if let Some(e) = self.logic.engine.as_mut() {
                                     e.on_data(token, now);
                                 }
                             }
                         } else {
                             let ack = Message {
-                                src: NodeId::SwitchLogic(s as u32),
+                                src: NodeId::SwitchLogic(self.index as u32),
                                 dst: requester,
                                 kind: MsgKind::Ack,
                                 payload_bytes: 0,
@@ -690,15 +718,15 @@ impl BeaconSystem {
                                 aux: 0,
                                 via_host: entry.via_host,
                             };
-                            self.switches[s].logic.egress.push(ack, now);
+                            self.logic.egress.push(ack, now);
                         }
                     }
                 }
             }
             MsgKind::ReadResp | MsgKind::Ack => {
                 // Response for the S-variant engine's plain access.
-                if let Some((token, _)) = self.switches[s].logic.pending.complete_one(msg.tag) {
-                    if let Some(e) = self.switches[s].logic.engine.as_mut() {
+                if let Some((token, _)) = self.logic.pending.complete_one(msg.tag) {
+                    if let Some(e) = self.logic.engine.as_mut() {
                         e.on_data(token, now);
                     }
                 }
@@ -724,29 +752,28 @@ impl BeaconSystem {
         }
     }
 
-    fn drive_slot(&mut self, s: usize, slot: usize, now: Cycle) {
-        let port = self.switches[s].fabric.dimm_port(slot as u32);
+    fn drive_slot(&mut self, ctx: SysCtx<'_>, slot: usize, now: Cycle) {
+        let port = self.fabric.dimm_port(slot as u32);
 
         // 1. Deliver incoming bundles.
-        while let Some(bundle) = self.switches[s].fabric.endpoint_recv(port, now) {
+        while let Some(bundle) = self.fabric.endpoint_recv(port, now) {
             for msg in bundle.messages {
-                self.handle_slot_message(s, slot, msg, now);
+                self.handle_slot_message(slot, msg, now);
             }
         }
 
         // 2. CXLG engines issue accesses.
-        if let DimmSlot::Cxlg(_) = &self.switches[s].dimms[slot] {
-            let issued = match &mut self.switches[s].dimms[slot] {
+        if let DimmSlot::Cxlg(_) = &self.dimms[slot] {
+            let issued = match &mut self.dimms[slot] {
                 DimmSlot::Cxlg(m) => m.engine.tick(now),
                 DimmSlot::Unmodified(_) => unreachable!(),
             };
             for ia in issued {
-                let (cfg, maps, sw) = (&self.cfg, &self.maps, &mut self.switches[s]);
-                match &mut sw.dimms[slot] {
+                match &mut self.dimms[slot] {
                     DimmSlot::Cxlg(m) => {
                         Self::dispatch_access(
-                            cfg,
-                            &maps[m.map_idx],
+                            ctx.cfg,
+                            &ctx.maps[m.map_idx],
                             m.node,
                             ia,
                             &mut m.pending,
@@ -762,7 +789,7 @@ impl BeaconSystem {
         }
 
         // 3. Server progress + completions.
-        let (responses, completions) = match &mut self.switches[s].dimms[slot] {
+        let (responses, completions) = match &mut self.dimms[slot] {
             DimmSlot::Cxlg(m) => {
                 m.server.tick(now);
                 Self::split_server_done(
@@ -785,13 +812,13 @@ impl BeaconSystem {
             }
         };
         for msg in responses {
-            match &mut self.switches[s].dimms[slot] {
+            match &mut self.dimms[slot] {
                 DimmSlot::Cxlg(m) => m.egress.push(msg, now),
                 DimmSlot::Unmodified(u) => u.egress.push(msg, now),
             }
         }
         for pid in completions {
-            if let DimmSlot::Cxlg(m) = &mut self.switches[s].dimms[slot] {
+            if let DimmSlot::Cxlg(m) = &mut self.dimms[slot] {
                 if let Some((token, _)) = m.pending.complete_one(pid) {
                     m.engine.on_data(token, now);
                 }
@@ -799,9 +826,8 @@ impl BeaconSystem {
         }
 
         // 4. Pump egress onto the port link (with back-pressure retry).
-        let sw = &mut self.switches[s];
-        let fabric = &mut sw.fabric;
-        match &mut sw.dimms[slot] {
+        let fabric = &mut self.fabric;
+        match &mut self.dimms[slot] {
             DimmSlot::Cxlg(m) => {
                 m.egress.collect(now);
                 Self::pump_port(fabric, port, &mut m.egress, now);
@@ -879,8 +905,7 @@ impl BeaconSystem {
         (responses, completions)
     }
 
-    fn handle_slot_message(&mut self, s: usize, slot: usize, msg: Message, now: Cycle) {
-        let _ = now;
+    fn handle_slot_message(&mut self, slot: usize, msg: Message, now: Cycle) {
         match msg.kind {
             MsgKind::ReadReq | MsgKind::WriteReq | MsgKind::AtomicReq => {
                 let coord = DramCoord::unpack(msg.aux);
@@ -898,7 +923,7 @@ impl BeaconSystem {
                     via_host: msg.via_host,
                     in_use: true,
                 };
-                match &mut self.switches[s].dimms[slot] {
+                match &mut self.dimms[slot] {
                     DimmSlot::Cxlg(m) => {
                         let sidx = Self::alloc_serve(&mut m.serve, &mut m.free_serve, entry);
                         m.server
@@ -915,7 +940,7 @@ impl BeaconSystem {
                     }
                 }
             }
-            MsgKind::ReadResp | MsgKind::Ack => match &mut self.switches[s].dimms[slot] {
+            MsgKind::ReadResp | MsgKind::Ack => match &mut self.dimms[slot] {
                 DimmSlot::Cxlg(m) => {
                     if let Some((token, _)) = m.pending.complete_one(msg.tag) {
                         m.engine.on_data(token, now);
@@ -929,48 +954,208 @@ impl BeaconSystem {
         }
     }
 
-    /// The wall-clock seconds of the finished run at DDR4-1600 tCK.
-    pub fn seconds(&self) -> f64 {
-        self.finished_at
-            .to_seconds(TimingParams::ddr4_1600_22().tck_ps)
+    // ----- shard surface -------------------------------------------------
+
+    /// Advances this switch subtree by one cycle: fabric, in-switch
+    /// logic, then every DIMM slot — exactly the per-switch slice of the
+    /// sequential [`Tick::tick`] loop.
+    pub(crate) fn tick_cycle(&mut self, ctx: SysCtx<'_>, now: Cycle) {
+        self.fabric.tick(now);
+        self.drive_logic(ctx, now);
+        for slot in 0..self.dimms.len() {
+            self.drive_slot(ctx, slot, now);
+        }
+    }
+
+    /// True when nothing under this switch has queued or in-flight work
+    /// (the per-switch clause of the sequential idle check).
+    pub(crate) fn subtree_idle(&self) -> bool {
+        self.fabric.is_idle()
+            && self.logic.egress.is_idle()
+            && self.logic.alu_stage.is_empty()
+            && self.logic.pending.is_empty()
+            && self
+                .logic
+                .engine
+                .as_ref()
+                .map(TaskEngine::all_done)
+                .unwrap_or(true)
+            && self.dimms.iter().all(|d| match d {
+                DimmSlot::Cxlg(m) => {
+                    m.engine.all_done()
+                        && m.server.is_idle()
+                        && m.egress.is_idle()
+                        && m.pending.is_empty()
+                }
+                DimmSlot::Unmodified(u) => u.server.is_idle() && u.egress.is_idle(),
+            })
+    }
+
+    /// This subtree's share of [`Probe::progress_counter`].
+    pub(crate) fn progress_counter(&self) -> u64 {
+        let dram_cmds =
+            |s: &Stats| s.get("dram.cmd.read") + s.get("dram.cmd.write") + s.get("dram.cmd.act");
+        let mut n = self.fabric.stats().get("switch.forwarded");
+        if let Some(e) = &self.logic.engine {
+            n += e.completed() as u64 + e.stats().get("engine.accesses_issued");
+        }
+        for d in &self.dimms {
+            match d {
+                DimmSlot::Cxlg(m) => {
+                    n += m.engine.completed() as u64
+                        + m.engine.stats().get("engine.accesses_issued")
+                        + dram_cmds(m.server.dimm().stats());
+                }
+                DimmSlot::Unmodified(u) => {
+                    n += dram_cmds(u.server.dimm().stats());
+                }
+            }
+        }
+        n
+    }
+
+    /// Accumulates this subtree's share of [`Probe::gauges`].
+    pub(crate) fn accumulate_gauges(&self, acc: &mut GaugeAcc) {
+        acc.link_occupancy += self.fabric.link_occupancy();
+        acc.switch_staged += self.fabric.staged_len() + self.fabric.logic_inbox_len();
+        acc.pending += self.logic.pending.in_flight();
+        if let Some(e) = &self.logic.engine {
+            acc.pe_busy += e.busy_pes();
+            acc.tasks_ready += e.ready_len();
+            acc.tasks_completed += e.completed();
+        }
+        for d in &self.dimms {
+            match d {
+                DimmSlot::Cxlg(m) => {
+                    acc.dram_queue += m.server.dimm().queue_len();
+                    acc.dram_backlog += m.server.backlog_len();
+                    acc.pending += m.pending.in_flight();
+                    acc.pe_busy += m.engine.busy_pes();
+                    acc.tasks_ready += m.engine.ready_len();
+                    acc.tasks_completed += m.engine.completed();
+                }
+                DimmSlot::Unmodified(u) => {
+                    acc.dram_queue += u.server.dimm().queue_len();
+                    acc.dram_backlog += u.server.backlog_len();
+                }
+            }
+        }
+    }
+
+    /// Writes this subtree's stall-report lines (the per-switch chunk of
+    /// [`Probe::state_snapshot`]).
+    pub(crate) fn snapshot_into(&self, s: &mut String) {
+        let i = self.index;
+        let _ = writeln!(
+            s,
+            "switch {i}: staged={} inbox={} links={}",
+            self.fabric.staged_len(),
+            self.fabric.logic_inbox_len(),
+            self.fabric.link_occupancy(),
+        );
+        if let Some(e) = &self.logic.engine {
+            let _ = writeln!(
+                s,
+                "  logic: tasks {}/{} busy={} ready={} pending={} egress={}",
+                e.completed(),
+                e.submitted(),
+                e.busy_pes(),
+                e.ready_len(),
+                self.logic.pending.in_flight(),
+                self.logic.egress.queue.len(),
+            );
+        }
+        for (slot, d) in self.dimms.iter().enumerate() {
+            match d {
+                DimmSlot::Cxlg(m) => {
+                    let _ = writeln!(
+                        s,
+                        "  dimm {slot} (cxlg): tasks {}/{} busy={} ready={} \
+                         pending={} backlog={} queue={} egress={}",
+                        m.engine.completed(),
+                        m.engine.submitted(),
+                        m.engine.busy_pes(),
+                        m.engine.ready_len(),
+                        m.pending.in_flight(),
+                        m.server.backlog_len(),
+                        m.server.dimm().queue_len(),
+                        m.egress.queue.len(),
+                    );
+                }
+                DimmSlot::Unmodified(u) => {
+                    let _ = writeln!(
+                        s,
+                        "  dimm {slot} (unmod): backlog={} queue={} egress={}",
+                        u.server.backlog_len(),
+                        u.server.dimm().queue_len(),
+                        u.egress.queue.len(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Pops one bundle that fully arrived at the uplink endpoint before
+    /// `horizon`, with its exact arrival cycle.
+    pub(crate) fn uplink_recv_before(&mut self, horizon: Cycle) -> Option<(Cycle, Bundle)> {
+        self.fabric.endpoint_recv_before(Switch::UPLINK, horizon)
+    }
+
+    /// Injects a host-forwarded bundle into the uplink ingress.
+    pub(crate) fn uplink_send(
+        &mut self,
+        bundle: Bundle,
+        now: Cycle,
+    ) -> Result<(), beacon_cxl::link::SendError> {
+        self.fabric.endpoint_send(Switch::UPLINK, bundle, now)
+    }
+}
+
+/// Accumulator behind [`Probe::gauges`], shared by the sequential probe
+/// and the parallel barrier sampler so both report identical keys.
+#[derive(Debug, Default)]
+pub(crate) struct GaugeAcc {
+    pub(crate) dram_queue: usize,
+    pub(crate) dram_backlog: usize,
+    pub(crate) link_occupancy: usize,
+    pub(crate) switch_staged: usize,
+    pub(crate) pe_busy: usize,
+    pub(crate) tasks_ready: usize,
+    pub(crate) pending: usize,
+    pub(crate) tasks_completed: usize,
+}
+
+impl GaugeAcc {
+    /// Emits the gauge vector in the stable key order established by the
+    /// observability layer.
+    pub(crate) fn push_into(&self, host_staged: usize, out: &mut Vec<(String, f64)>) {
+        out.push(("dram.queue".to_owned(), self.dram_queue as f64));
+        out.push(("dram.backlog".to_owned(), self.dram_backlog as f64));
+        out.push(("cxl.link_occupancy".to_owned(), self.link_occupancy as f64));
+        out.push(("switch.staged".to_owned(), self.switch_staged as f64));
+        out.push(("accel.pe_busy".to_owned(), self.pe_busy as f64));
+        out.push(("accel.ready".to_owned(), self.tasks_ready as f64));
+        out.push(("accel.pending".to_owned(), self.pending as f64));
+        out.push(("tasks.completed".to_owned(), self.tasks_completed as f64));
+        out.push(("host.staged".to_owned(), host_staged as f64));
     }
 }
 
 impl Tick for BeaconSystem {
     fn tick(&mut self, now: Cycle) {
         self.pump_host(now);
-        for s in 0..self.switches.len() {
-            self.switches[s].fabric.tick(now);
-            self.drive_logic(s, now);
-            for slot in 0..self.switches[s].dimms.len() {
-                self.drive_slot(s, slot, now);
-            }
+        let ctx = SysCtx {
+            cfg: &self.cfg,
+            maps: &self.maps,
+            rmw_alu_cycles: self.rmw_alu_cycles,
+        };
+        for sw in &mut self.switches {
+            sw.tick_cycle(ctx, now);
         }
     }
 
     fn is_idle(&self) -> bool {
-        self.host_stage.is_empty()
-            && self.switches.iter().all(|sw| {
-                sw.fabric.is_idle()
-                    && sw.logic.egress.is_idle()
-                    && sw.logic.alu_stage.is_empty()
-                    && sw.logic.pending.is_empty()
-                    && sw
-                        .logic
-                        .engine
-                        .as_ref()
-                        .map(TaskEngine::all_done)
-                        .unwrap_or(true)
-                    && sw.dimms.iter().all(|d| match d {
-                        DimmSlot::Cxlg(m) => {
-                            m.engine.all_done()
-                                && m.server.is_idle()
-                                && m.egress.is_idle()
-                                && m.pending.is_empty()
-                        }
-                        DimmSlot::Unmodified(u) => u.server.is_idle() && u.egress.is_idle(),
-                    })
-            })
+        self.host_stage.is_empty() && self.switches.iter().all(SwitchNode::subtree_idle)
     }
 }
 
@@ -980,127 +1165,22 @@ impl Probe for BeaconSystem {
     /// excluded — a refreshing but otherwise wedged pool must still trip
     /// the stall detector.
     fn progress_counter(&self) -> u64 {
-        let dram_cmds =
-            |s: &Stats| s.get("dram.cmd.read") + s.get("dram.cmd.write") + s.get("dram.cmd.act");
-        let mut n = 0u64;
-        for sw in &self.switches {
-            n += sw.fabric.stats().get("switch.forwarded");
-            if let Some(e) = &sw.logic.engine {
-                n += e.completed() as u64 + e.stats().get("engine.accesses_issued");
-            }
-            for d in &sw.dimms {
-                match d {
-                    DimmSlot::Cxlg(m) => {
-                        n += m.engine.completed() as u64
-                            + m.engine.stats().get("engine.accesses_issued")
-                            + dram_cmds(m.server.dimm().stats());
-                    }
-                    DimmSlot::Unmodified(u) => {
-                        n += dram_cmds(u.server.dimm().stats());
-                    }
-                }
-            }
-        }
-        n
+        self.switches.iter().map(SwitchNode::progress_counter).sum()
     }
 
     fn gauges(&self, out: &mut Vec<(String, f64)>) {
-        let mut dram_queue = 0usize;
-        let mut dram_backlog = 0usize;
-        let mut link_occupancy = 0usize;
-        let mut switch_staged = 0usize;
-        let mut pe_busy = 0usize;
-        let mut tasks_ready = 0usize;
-        let mut pending = 0usize;
-        let mut tasks_completed = 0usize;
+        let mut acc = GaugeAcc::default();
         for sw in &self.switches {
-            link_occupancy += sw.fabric.link_occupancy();
-            switch_staged += sw.fabric.staged_len() + sw.fabric.logic_inbox_len();
-            pending += sw.logic.pending.in_flight();
-            if let Some(e) = &sw.logic.engine {
-                pe_busy += e.busy_pes();
-                tasks_ready += e.ready_len();
-                tasks_completed += e.completed();
-            }
-            for d in &sw.dimms {
-                match d {
-                    DimmSlot::Cxlg(m) => {
-                        dram_queue += m.server.dimm().queue_len();
-                        dram_backlog += m.server.backlog_len();
-                        pending += m.pending.in_flight();
-                        pe_busy += m.engine.busy_pes();
-                        tasks_ready += m.engine.ready_len();
-                        tasks_completed += m.engine.completed();
-                    }
-                    DimmSlot::Unmodified(u) => {
-                        dram_queue += u.server.dimm().queue_len();
-                        dram_backlog += u.server.backlog_len();
-                    }
-                }
-            }
+            sw.accumulate_gauges(&mut acc);
         }
-        out.push(("dram.queue".to_owned(), dram_queue as f64));
-        out.push(("dram.backlog".to_owned(), dram_backlog as f64));
-        out.push(("cxl.link_occupancy".to_owned(), link_occupancy as f64));
-        out.push(("switch.staged".to_owned(), switch_staged as f64));
-        out.push(("accel.pe_busy".to_owned(), pe_busy as f64));
-        out.push(("accel.ready".to_owned(), tasks_ready as f64));
-        out.push(("accel.pending".to_owned(), pending as f64));
-        out.push(("tasks.completed".to_owned(), tasks_completed as f64));
-        out.push(("host.staged".to_owned(), self.host_stage.len() as f64));
+        acc.push_into(self.host_stage.len(), out);
     }
 
     fn state_snapshot(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "host_stage: {}", self.host_stage.len());
-        for (i, sw) in self.switches.iter().enumerate() {
-            let _ = writeln!(
-                s,
-                "switch {i}: staged={} inbox={} links={}",
-                sw.fabric.staged_len(),
-                sw.fabric.logic_inbox_len(),
-                sw.fabric.link_occupancy(),
-            );
-            if let Some(e) = &sw.logic.engine {
-                let _ = writeln!(
-                    s,
-                    "  logic: tasks {}/{} busy={} ready={} pending={} egress={}",
-                    e.completed(),
-                    e.submitted(),
-                    e.busy_pes(),
-                    e.ready_len(),
-                    sw.logic.pending.in_flight(),
-                    sw.logic.egress.queue.len(),
-                );
-            }
-            for (slot, d) in sw.dimms.iter().enumerate() {
-                match d {
-                    DimmSlot::Cxlg(m) => {
-                        let _ = writeln!(
-                            s,
-                            "  dimm {slot} (cxlg): tasks {}/{} busy={} ready={} \
-                             pending={} backlog={} queue={} egress={}",
-                            m.engine.completed(),
-                            m.engine.submitted(),
-                            m.engine.busy_pes(),
-                            m.engine.ready_len(),
-                            m.pending.in_flight(),
-                            m.server.backlog_len(),
-                            m.server.dimm().queue_len(),
-                            m.egress.queue.len(),
-                        );
-                    }
-                    DimmSlot::Unmodified(u) => {
-                        let _ = writeln!(
-                            s,
-                            "  dimm {slot} (unmod): backlog={} queue={} egress={}",
-                            u.server.backlog_len(),
-                            u.server.dimm().queue_len(),
-                            u.egress.queue.len(),
-                        );
-                    }
-                }
-            }
+        for sw in &self.switches {
+            sw.snapshot_into(&mut s);
         }
         s
     }

@@ -162,6 +162,13 @@ impl Switch {
         self.egress[port].deliver(now)
     }
 
+    /// Epoch-buffered receive: pops the next bundle that arrived at
+    /// `port` strictly before `horizon`, with its exact arrival cycle
+    /// (see [`Link::deliver_before`]).
+    pub fn endpoint_recv_before(&mut self, port: usize, horizon: Cycle) -> Option<(Cycle, Bundle)> {
+        self.egress[port].deliver_before(horizon)
+    }
+
     /// The in-switch logic injects a bundle onto the switch-bus.
     pub fn logic_send(&mut self, bundle: Bundle, now: Cycle) {
         let target = self.route(&bundle);
@@ -368,6 +375,39 @@ mod tests {
             10_000,
         );
         assert!(at.is_some());
+    }
+
+    #[test]
+    fn recv_before_reports_the_sequential_delivery_cycle() {
+        // Same traffic through two identical switches: per-cycle
+        // endpoint_recv and epoch-buffered endpoint_recv_before must see
+        // the bundle at the same cycle.
+        let mut a = Switch::new(SwitchConfig::paper(0, 2));
+        let mut b = Switch::new(SwitchConfig::paper(0, 2));
+        let msg = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(1, 0), 32, 3);
+        for sw in [&mut a, &mut b] {
+            let port = sw.dimm_port(0);
+            sw.endpoint_send(port, Bundle::single(msg), Cycle::ZERO)
+                .unwrap();
+        }
+        let at = run_until(
+            &mut a,
+            |s, now| s.endpoint_recv(Switch::UPLINK, now).is_some(),
+            10_000,
+        )
+        .expect("delivered");
+        let mut got = None;
+        run_until(
+            &mut b,
+            |s, now| {
+                got = s.endpoint_recv_before(Switch::UPLINK, now.next());
+                got.is_some()
+            },
+            10_000,
+        )
+        .expect("delivered");
+        let (arrival, _) = got.expect("checked");
+        assert_eq!(arrival, at);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod component;
 pub mod cycle;
 pub mod engine;
 pub mod metrics;
+pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -38,8 +39,9 @@ pub mod prelude {
     pub use crate::cycle::{Cycle, Duration};
     pub use crate::engine::{Engine, EngineHooks};
     pub use crate::metrics::{MetricsSample, MetricsSeries};
+    pub use crate::parallel::{EpochHub, EpochShard, ParallelEngine};
     pub use crate::queue::BoundedQueue;
     pub use crate::rng::SimRng;
-    pub use crate::stats::{Histogram, Stats};
+    pub use crate::stats::{Fnv64, Histogram, Stats};
     pub use crate::trace::{TraceBuffer, TraceCategory, TraceEvent, TraceLevel};
 }

@@ -151,6 +151,58 @@ mod tests {
     }
 
     #[test]
+    fn child_streams_are_independent() {
+        // Distinct stream ids from the same parent state must yield
+        // decorrelated sequences — a worker pulling stream 3 never
+        // shadows a worker pulling stream 4.
+        let parent = SimRng::from_seed(9);
+        let mut siblings: Vec<SimRng> = (0..8).map(|s| parent.clone().child(s)).collect();
+        let draws: Vec<Vec<u64>> = siblings
+            .iter_mut()
+            .map(|c| (0..64).map(|_| c.next_u64()).collect())
+            .collect();
+        for i in 0..draws.len() {
+            for j in i + 1..draws.len() {
+                let collisions = draws[i]
+                    .iter()
+                    .zip(&draws[j])
+                    .filter(|(a, b)| a == b)
+                    .count();
+                assert!(
+                    collisions < 4,
+                    "streams {i} and {j} collide in {collisions}/64 draws"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn child_advances_the_parent_stream() {
+        // Deriving a child consumes parent state: successive children of
+        // the SAME stream id still differ, so a loop of `child(0)` calls
+        // cannot silently hand every worker the same sequence.
+        let mut parent = SimRng::from_seed(21);
+        let mut first = parent.child(0);
+        let mut second = parent.child(0);
+        assert_ne!(first.next_u64(), second.next_u64());
+    }
+
+    #[test]
+    fn child_does_not_shadow_the_parent() {
+        // The child sequence must not be a prefix (or offset copy) of
+        // the parent's own future output.
+        let mut parent = SimRng::from_seed(33);
+        let mut child = parent.child(1);
+        let child_draws: Vec<u64> = (0..32).map(|_| child.next_u64()).collect();
+        let parent_draws: Vec<u64> = (0..64).map(|_| parent.next_u64()).collect();
+        let overlap = parent_draws
+            .iter()
+            .filter(|v| child_draws.contains(v))
+            .count();
+        assert!(overlap < 2, "child shadows parent in {overlap} draws");
+    }
+
+    #[test]
     fn geometric_between_is_bounded() {
         let mut r = SimRng::from_seed(11);
         for _ in 0..200 {

@@ -111,6 +111,100 @@ impl Stats {
     }
 }
 
+/// A dependency-free 64-bit FNV-1a hasher for stable run digests.
+///
+/// Unlike [`std::hash::DefaultHasher`], the output is specified and
+/// stable across Rust releases, platforms and processes — two runs that
+/// feed it the same bytes produce the same digest forever, which is what
+/// the differential conformance suite pins its golden values to.
+///
+/// ```
+/// use beacon_sim::stats::Fnv64;
+/// let mut h = Fnv64::new();
+/// h.write_str("dram.cmd.read");
+/// h.write_u64(42);
+/// assert_eq!(h.finish(), {
+///     let mut h2 = Fnv64::new();
+///     h2.write_str("dram.cmd.read");
+///     h2.write_u64(42);
+///     h2.finish()
+/// });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET_BASIS)
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian) into the digest.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds an `f64` into the digest via its exact bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Folds a string into the digest, with a terminator so `("ab", "c")`
+    /// and `("a", "bc")` hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0xff]);
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Stats {
+    /// Folds every counter and float accumulator (in key order) into a
+    /// digest hasher. Key order is deterministic because the registry is
+    /// a `BTreeMap`.
+    pub fn digest_into(&self, h: &mut Fnv64) {
+        for (k, v) in &self.counters {
+            h.write_str(k);
+            h.write_u64(*v);
+        }
+        for (k, v) in &self.values {
+            h.write_str(k);
+            h.write_f64(*v);
+        }
+    }
+}
+
+impl Histogram {
+    /// Folds the bucket vector into a digest hasher.
+    pub fn digest_into(&self, h: &mut Fnv64) {
+        h.write_u64(self.buckets.len() as u64);
+        for &b in &self.buckets {
+            h.write_u64(b);
+        }
+    }
+}
+
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (k, v) in &self.counters {
@@ -376,6 +470,61 @@ mod tests {
         b.record(1, 2);
         a.merge(&b);
         assert_eq!(a.buckets(), &[1, 2]);
+    }
+
+    #[test]
+    fn fnv64_is_order_sensitive_and_stable() {
+        let digest = |pairs: &[(&str, u64)]| {
+            let mut h = Fnv64::new();
+            for (k, v) in pairs {
+                h.write_str(k);
+                h.write_u64(*v);
+            }
+            h.finish()
+        };
+        assert_eq!(digest(&[("a", 1), ("b", 2)]), digest(&[("a", 1), ("b", 2)]));
+        assert_ne!(digest(&[("a", 1), ("b", 2)]), digest(&[("b", 2), ("a", 1)]));
+        // The string terminator keeps boundaries unambiguous.
+        let mut x = Fnv64::new();
+        x.write_str("ab");
+        x.write_str("c");
+        let mut y = Fnv64::new();
+        y.write_str("a");
+        y.write_str("bc");
+        assert_ne!(x.finish(), y.finish());
+        // Pinned value: FNV-1a of the empty input is the offset basis.
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn stats_digest_tracks_content() {
+        let mut a = Stats::new();
+        a.add("x", 1);
+        a.add_f64("e", 0.5);
+        let mut b = a.clone();
+        let digest = |s: &Stats| {
+            let mut h = Fnv64::new();
+            s.digest_into(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&a), digest(&b));
+        b.add("x", 1);
+        assert_ne!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    fn histogram_digest_tracks_buckets() {
+        let mut a = Histogram::new(3);
+        a.record(1, 5);
+        let mut b = a.clone();
+        let digest = |h: &Histogram| {
+            let mut f = Fnv64::new();
+            h.digest_into(&mut f);
+            f.finish()
+        };
+        assert_eq!(digest(&a), digest(&b));
+        b.record(2, 1);
+        assert_ne!(digest(&a), digest(&b));
     }
 
     #[test]

@@ -215,6 +215,48 @@ impl TraceBuffer {
             .count()
     }
 
+    /// Maximum number of events the buffer holds before evicting.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A fresh empty buffer with this buffer's level and capacity —
+    /// the per-worker sink template for parallel runs.
+    pub fn fork_empty(&self) -> TraceBuffer {
+        TraceBuffer::new(self.level, self.capacity)
+    }
+
+    /// Buffered events in the canonical order used for determinism
+    /// comparisons: sorted by `(cycle, track, category, name, dur,
+    /// arg)`. Two runs that produced the same *set* of events compare
+    /// equal here even when their emission order differed (e.g. a
+    /// sequential run vs. a sharded parallel run).
+    pub fn canonical_events(&self) -> Vec<(String, TraceEvent)> {
+        let mut events: Vec<(String, TraceEvent)> = self
+            .iter()
+            .map(|(track, ev)| (track.to_owned(), *ev))
+            .collect();
+        events.sort_by(|a, b| canonical_key(a).cmp(&canonical_key(b)));
+        events
+    }
+
+    /// Merges the events of `others` into this buffer in canonical
+    /// order, so the result is independent of how events were
+    /// distributed across the source buffers (worker assignment, OS
+    /// scheduling). Eviction counts carry over; level filtering applies
+    /// as usual.
+    pub fn absorb_canonical(&mut self, others: Vec<TraceBuffer>) {
+        let mut incoming: Vec<(String, TraceEvent)> = Vec::new();
+        for other in others {
+            self.dropped += other.dropped;
+            incoming.extend(other.iter().map(|(track, ev)| (track.to_owned(), *ev)));
+        }
+        incoming.sort_by(|a, b| canonical_key(a).cmp(&canonical_key(b)));
+        for (track, ev) in incoming {
+            self.record(&track, ev);
+        }
+    }
+
     /// Serializes the buffer as Chrome trace-event JSON
     /// (`{"traceEvents": [...]}`), loadable in Perfetto. One cycle maps
     /// to one microsecond of trace time; tracks become named threads of
@@ -262,6 +304,23 @@ impl TraceBuffer {
     }
 }
 
+/// Total order used by [`TraceBuffer::canonical_events`] and
+/// [`TraceBuffer::absorb_canonical`].
+#[allow(clippy::type_complexity)]
+fn canonical_key(
+    entry: &(String, TraceEvent),
+) -> (u64, &str, &'static str, &'static str, u64, u64) {
+    let (track, ev) = entry;
+    (
+        ev.cycle,
+        track.as_str(),
+        ev.category.as_str(),
+        ev.name,
+        ev.dur,
+        ev.arg,
+    )
+}
+
 fn push_escaped(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
@@ -305,6 +364,23 @@ pub fn emit(track: &str, event: TraceEvent) {
     SINK.with(|s| {
         if let Some(buf) = s.borrow_mut().as_mut() {
             buf.record(track, event);
+        }
+    });
+}
+
+/// An empty clone (same level and capacity) of this thread's sink, or
+/// `None` when no sink is installed. Worker threads of a parallel run
+/// install one of these so their events can be merged back afterwards.
+pub fn fork() -> Option<TraceBuffer> {
+    SINK.with(|s| s.borrow().as_ref().map(TraceBuffer::fork_empty))
+}
+
+/// Merges worker buffers (from [`fork`]) back into this thread's sink
+/// in canonical order; a no-op when no sink is installed.
+pub fn absorb(buffers: Vec<TraceBuffer>) {
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow_mut().as_mut() {
+            sink.absorb_canonical(buffers);
         }
     });
 }
@@ -603,6 +679,69 @@ mod tests {
         ] {
             validate_json(good).unwrap_or_else(|e| panic!("rejected {good}: {e}"));
         }
+    }
+
+    #[test]
+    fn fork_empty_copies_level_and_capacity() {
+        let buf = TraceBuffer::new(TraceLevel::Flit, 7);
+        let fork = buf.fork_empty();
+        assert_eq!(fork.level(), TraceLevel::Flit);
+        assert_eq!(fork.capacity(), 7);
+        assert!(fork.is_empty());
+    }
+
+    #[test]
+    fn canonical_events_sort_by_cycle_then_track() {
+        let mut buf = TraceBuffer::new(TraceLevel::Command, 16);
+        buf.record("b", ev(5, TraceLevel::Task));
+        buf.record("a", ev(5, TraceLevel::Task));
+        buf.record("z", ev(1, TraceLevel::Task));
+        let canon = buf.canonical_events();
+        let order: Vec<(u64, &str)> = canon.iter().map(|(t, e)| (e.cycle, t.as_str())).collect();
+        assert_eq!(order, vec![(1, "z"), (5, "a"), (5, "b")]);
+    }
+
+    #[test]
+    fn absorb_is_independent_of_worker_assignment() {
+        // The same event set split across workers two different ways
+        // must merge to the same buffer contents.
+        let all = [
+            ("sw0", ev(3, TraceLevel::Task)),
+            ("sw1", ev(3, TraceLevel::Task)),
+            ("sw0", ev(9, TraceLevel::Task)),
+            ("sw2", ev(1, TraceLevel::Task)),
+        ];
+        let merged = |split: &[usize]| {
+            let mut workers = vec![
+                TraceBuffer::new(TraceLevel::Command, 64),
+                TraceBuffer::new(TraceLevel::Command, 64),
+            ];
+            for (&(track, event), &w) in all.iter().zip(split) {
+                workers[w].record(track, event);
+            }
+            let mut sink = TraceBuffer::new(TraceLevel::Command, 64);
+            sink.absorb_canonical(workers);
+            sink.canonical_events()
+        };
+        assert_eq!(merged(&[0, 1, 0, 1]), merged(&[1, 0, 1, 0]));
+        assert_eq!(merged(&[0, 0, 0, 0]), merged(&[1, 1, 0, 0]));
+    }
+
+    #[test]
+    fn fork_and_absorb_round_trip_through_thread_local() {
+        install(TraceBuffer::new(TraceLevel::Flit, 32));
+        let mut worker = fork().expect("sink installed");
+        worker.record("w", ev(2, TraceLevel::Task));
+        emit("m", ev(1, TraceLevel::Task));
+        absorb(vec![worker]);
+        let buf = uninstall().expect("sink installed");
+        let cycles: Vec<u64> = buf
+            .canonical_events()
+            .iter()
+            .map(|(_, e)| e.cycle)
+            .collect();
+        assert_eq!(cycles, vec![1, 2]);
+        assert!(fork().is_none());
     }
 
     proptest! {

@@ -1,0 +1,183 @@
+//! Differential conformance suite: `run_parallel(t)` must be
+//! **bit-identical** to the sequential `run()` for every thread count.
+//!
+//! Each cell of the matrix (switch count × kernel × genome × threads)
+//! runs the same workload through the sequential reference engine and
+//! the epoch-parallel engine, then compares the `RunResult` digest —
+//! which covers the cycle count, every per-component counter and
+//! energy accumulator, and all chip histograms. A failure prints the
+//! structured diff naming the first divergent quantity. One cell also
+//! compares the canonicalised trace streams event for event.
+//!
+//! `BEACON_THREADS` (a comma-separated list, e.g. `BEACON_THREADS=4`)
+//! restricts the thread axis — CI fans the suite out as a matrix job.
+
+use beacon_core::config::{BeaconConfig, BeaconVariant, Optimizations};
+use beacon_core::experiments::common::{
+    fm_workload, kmer_workload, prealign_workload, AppWorkload, WorkloadScale,
+};
+use beacon_core::mmf::build_layout;
+use beacon_core::system::BeaconSystem;
+use beacon_genomics::genome::GenomeId;
+use beacon_sim::trace::{self, TraceBuffer, TraceEvent, TraceLevel};
+
+fn thread_matrix() -> Vec<usize> {
+    match std::env::var("BEACON_THREADS") {
+        Ok(v) => v
+            .split(',')
+            .map(|s| s.trim().parse().expect("BEACON_THREADS must be integers"))
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+fn build_system(
+    variant: BeaconVariant,
+    w: &AppWorkload,
+    switches: u32,
+    refresh: bool,
+) -> BeaconSystem {
+    let mut cfg =
+        BeaconConfig::paper(variant, w.app).with_opts(Optimizations::full(variant, w.app));
+    cfg.switches = switches;
+    cfg.pes_per_module = 8;
+    cfg.refresh_enabled = refresh;
+    let layout = build_layout(&cfg, &w.layout);
+    let mut sys = BeaconSystem::new(cfg, layout);
+    sys.submit_round_robin(w.traces.iter().cloned());
+    sys
+}
+
+/// Runs one matrix cell: sequential golden run, then every thread
+/// count, asserting digest equality with a structured diff on failure.
+fn assert_cell(variant: BeaconVariant, w: &AppWorkload, switches: u32, refresh: bool) {
+    let golden = build_system(variant, w, switches, refresh).run();
+    assert!(golden.tasks > 0, "cell must do work to be meaningful");
+    for threads in thread_matrix() {
+        let got = build_system(variant, w, switches, refresh).run_parallel(threads);
+        assert_eq!(
+            got.digest(),
+            golden.digest(),
+            "{variant:?}/{:?} with {switches} switch(es) diverged at {threads} threads:\n{}",
+            w.app,
+            got.diff(&golden).unwrap_or_default(),
+        );
+    }
+}
+
+#[test]
+fn fm_seeding_matches_across_switch_counts() {
+    let scale = WorkloadScale::test();
+    for genome in [GenomeId::Pt, GenomeId::Ss] {
+        let w = fm_workload(genome, &scale);
+        for switches in [1, 2, 4] {
+            assert_cell(BeaconVariant::D, &w, switches, true);
+        }
+    }
+}
+
+#[test]
+fn kmer_counting_matches_on_switch_logic() {
+    let scale = WorkloadScale::test();
+    let w = kmer_workload(&scale);
+    for switches in [1, 2, 4] {
+        assert_cell(BeaconVariant::S, &w, switches, true);
+    }
+}
+
+#[test]
+fn prealignment_matches_with_refresh_off() {
+    let scale = WorkloadScale::test();
+    let w = prealign_workload(GenomeId::Pg, &scale);
+    assert_cell(BeaconVariant::D, &w, 2, false);
+}
+
+/// Wall-clock sanity for the parallel engine on a pool big enough for
+/// the epoch work to dominate barrier overhead. Ignored by default
+/// (it is a timing measurement, not a correctness property); run with
+/// `cargo test --release -p beacon-core --test differential -- --ignored --nocapture`.
+#[test]
+#[ignore = "timing measurement; run explicitly in release mode"]
+fn parallel_speedup_on_multi_switch_pool() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        eprintln!("skipping: only {cores} core(s) available, need 4 for a meaningful measurement");
+        return;
+    }
+    let scale = WorkloadScale {
+        pt_genome_len: 120_000,
+        reads: 3072,
+        read_len: 64,
+        error_rate: 0.01,
+        kmer_k: 28,
+        kmer_reads: 128,
+        cbf_bytes: 128 * 1024,
+        seed: 42,
+    };
+    let w = fm_workload(GenomeId::Pt, &scale);
+    let time_run = |threads: usize| {
+        let mut sys = build_system(BeaconVariant::D, &w, 4, true);
+        let t = std::time::Instant::now();
+        let r = if threads == 1 {
+            sys.run()
+        } else {
+            sys.run_parallel(threads)
+        };
+        (t.elapsed(), r.digest())
+    };
+    let (seq, d1) = time_run(1);
+    let (par, d4) = time_run(4);
+    assert_eq!(d1, d4, "speedup run diverged from sequential");
+    let speedup = seq.as_secs_f64() / par.as_secs_f64();
+    println!("sequential {seq:?}, 4 threads {par:?} -> {speedup:.2}x");
+    assert!(
+        speedup > 1.5,
+        "expected > 1.5x on a 4-switch pool, got {speedup:.2}x"
+    );
+}
+
+#[test]
+fn trace_streams_merge_canonically() {
+    const CAPACITY: usize = 1 << 20;
+    let scale = WorkloadScale::test();
+    let w = fm_workload(GenomeId::Pt, &scale);
+
+    let run_traced = |threads: usize| -> Vec<(String, TraceEvent)> {
+        trace::install(TraceBuffer::new(TraceLevel::Flit, CAPACITY));
+        let mut sys = build_system(BeaconVariant::D, &w, 2, true);
+        if threads == 1 {
+            sys.run();
+        } else {
+            sys.run_parallel(threads);
+        }
+        let events = trace::uninstall()
+            .expect("sink installed")
+            .canonical_events();
+        assert!(
+            events.len() < CAPACITY,
+            "trace ring saturated ({} events) — comparison would be lossy",
+            events.len()
+        );
+        events
+    };
+
+    let golden = run_traced(1);
+    assert!(!golden.is_empty(), "flit-level run must emit events");
+    for threads in thread_matrix() {
+        if threads == 1 {
+            continue;
+        }
+        let got = run_traced(threads);
+        assert_eq!(
+            got.len(),
+            golden.len(),
+            "event count diverged at {threads} threads"
+        );
+        if let Some(i) = (0..golden.len()).find(|&i| got[i] != golden[i]) {
+            panic!(
+                "trace stream diverged at {threads} threads, event {i}:\n  sequential: {:?}\n  parallel:   {:?}",
+                golden[i], got[i]
+            );
+        }
+    }
+}

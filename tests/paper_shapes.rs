@@ -123,6 +123,43 @@ fn kmer_counting_headline_shape() {
     assert!(cpu.dram_cycles as f64 / full_s.cycles as f64 > 10.0);
 }
 
+/// Pinned end-to-end digests for the five paper genomes under the
+/// default full BEACON-D configuration at test scale. Any change to
+/// workload generation, task scheduling, the memory models or the
+/// digest itself shows up here — the parallel engine is held to these
+/// exact values by `tests/differential.rs`. Regenerate by running the
+/// test and copying the "got" block from the failure message.
+#[test]
+fn fm_golden_digests_are_seed_stable() {
+    use beacon_core::config::BeaconConfig;
+
+    let scale = WorkloadScale::test();
+    let mut got = String::new();
+    for genome in GenomeId::FIVE {
+        let w = fm_workload(genome, &scale);
+        let r = run_beacon(
+            BeaconVariant::D,
+            Optimizations::full(BeaconVariant::D, w.app),
+            &w,
+            8,
+        );
+        got.push_str(&format!("{genome:?}:{:#018x}\n", r.digest()));
+    }
+    // Sanity-pin the config knobs the digests depend on, so a drifting
+    // default fails here with a readable message instead of a hash.
+    let cfg = BeaconConfig::paper(BeaconVariant::D, beacon_genomics::trace::AppKind::FmSeeding);
+    assert_eq!(cfg.host_latency, 60, "host latency drifted");
+
+    let want = "\
+Pt:0x27925aaccad533da
+Pg:0x4e7b63e5d59d00ea
+Ss:0x2125a319f84c7028
+Am:0x05c60224e2603652
+Nf:0xdc6b83b827e6084c
+";
+    assert_eq!(got, want, "golden digests drifted");
+}
+
 #[test]
 fn medal_is_communication_bound() {
     // Fig. 3: idealized communication speeds MEDAL up by a large factor

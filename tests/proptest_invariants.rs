@@ -3,6 +3,7 @@
 use proptest::prelude::*;
 
 use beacon_accel::translate::{Placement, RegionMap};
+use beacon_core::parallel::{canonical_merge, HubEntry};
 use beacon_cxl::bundle::Bundle;
 use beacon_cxl::message::{Message, NodeId};
 use beacon_cxl::packer::{unpack, DataPacker};
@@ -20,6 +21,29 @@ use beacon_sim::cycle::Cycle;
 fn arb_bases(max_len: usize) -> impl Strategy<Value = Vec<Base>> {
     prop::collection::vec(0u8..4, 1..max_len)
         .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+}
+
+/// Hub entries as the epoch barrier would collect them, decoded from
+/// packed codes (`arrival = c % 50`, `src = c / 50 % 4`,
+/// `dst = c / 200 % 4`): FIFO-consistent per source (sequence numbers
+/// increase with arrival), destinations spread over four switches,
+/// every message tagged uniquely.
+fn build_hub_entries(codes: &[u64]) -> Vec<HubEntry> {
+    let mut raw: Vec<(u64, u32, u32)> = codes
+        .iter()
+        .map(|&c| (c % 50, (c / 50 % 4) as u32, (c / 200 % 4) as u32))
+        .collect();
+    raw.sort_by_key(|&(at, src, _)| (src, at));
+    let mut seq = [0u64; 4];
+    raw.into_iter()
+        .enumerate()
+        .map(|(tag, (at, src, dst))| {
+            let s = seq[src as usize];
+            seq[src as usize] += 1;
+            let msg = Message::read_req(NodeId::dimm(src, 0), NodeId::dimm(dst, 0), 64, tag as u64);
+            (Cycle::new(at), src, s, Bundle::single(msg))
+        })
+        .collect()
 }
 
 proptest! {
@@ -221,6 +245,48 @@ proptest! {
         let bundle = Bundle::packed(msgs);
         prop_assert!(bundle.wire_bytes_at(granule) >= bundle.useful_bytes());
         prop_assert_eq!(bundle.wire_bytes_at(granule) % granule, 0);
+    }
+
+    // ---- parallel hub merge ---------------------------------------------
+
+    #[test]
+    fn hub_merge_is_interleaving_independent(
+        codes in prop::collection::vec(0u64..800, 1..48),
+        shuffle_seed in 0u64..1_000_000,
+    ) {
+        // However the worker threads' outboxes interleave at the epoch
+        // barrier, the canonical merge must recover one total order —
+        // so every destination switch sees an identical delivery
+        // sequence (and therefore identical per-switch stats).
+        let mut a = build_hub_entries(&codes);
+        let mut b = a.clone();
+        // Seeded Fisher–Yates: an arbitrary thread-completion order.
+        let mut rng = beacon_sim::rng::SimRng::from_seed(shuffle_seed);
+        for i in (1..b.len()).rev() {
+            b.swap(i, rng.index(i + 1));
+        }
+        canonical_merge(&mut a);
+        canonical_merge(&mut b);
+        prop_assert_eq!(&a, &b);
+
+        // The sort key is a strict total order: no ties survive.
+        for w in a.windows(2) {
+            let ka = (w[0].0, w[0].1, w[0].2);
+            let kb = (w[1].0, w[1].1, w[1].2);
+            prop_assert!(ka < kb, "tie or inversion between {ka:?} and {kb:?}");
+        }
+
+        // Per-destination delivery sequences are a function of the
+        // multiset alone.
+        for dst in 0u32..4 {
+            let of = |v: &[HubEntry]| -> Vec<u64> {
+                v.iter()
+                    .filter(|e| e.3.messages[0].dst == NodeId::dimm(dst, 0))
+                    .map(|e| e.3.messages[0].tag)
+                    .collect()
+            };
+            prop_assert_eq!(of(&a), of(&b));
+        }
     }
 
     // ---- counting Bloom filter ------------------------------------------
