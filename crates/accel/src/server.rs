@@ -142,6 +142,29 @@ impl DimmServer {
         }
     }
 
+    /// The server's event horizon as an absolute cycle: the earliest
+    /// moment ticking could move a service operation forward. A cycle at
+    /// or before "now" means immediately; [`Cycle::NEVER`] means nothing
+    /// is scheduled and only a new [`DimmServer::request`] can wake it.
+    pub fn next_event(&self) -> Cycle {
+        if !self.done.is_empty() {
+            // The owner still has completions to collect.
+            return Cycle::ZERO;
+        }
+        if !self.backlog.is_empty() && self.dimm.queue_free() > 0 {
+            return Cycle::ZERO;
+        }
+        let mut h = Dimm::next_event(&self.dimm);
+        if let Some(&(ready, _)) = self.rmw_stage.front() {
+            if self.dimm.queue_free() > 0 {
+                // Queue-full stalls are covered by the DIMM horizon (a
+                // retirement frees the slot); here only the ALU delay.
+                h = h.min(ready);
+            }
+        }
+        h
+    }
+
     fn pump_rmw_stage(&mut self, now: Cycle) {
         while let Some(&(ready, req)) = self.rmw_stage.front() {
             if ready > now || self.dimm.queue_free() == 0 {
@@ -165,6 +188,10 @@ impl DimmServer {
 
 impl Tick for DimmServer {
     fn tick(&mut self, now: Cycle) {
+        // Keep the DIMM's time high-water exact: the pumps below enqueue
+        // before `dimm.tick(now)`, and a fast-forwarding engine may not
+        // have ticked the DIMM on the previous cycle.
+        self.dimm.sync_time(now);
         self.pump_rmw_stage(now);
         self.pump_backlog();
         self.dimm.tick(now);
@@ -199,6 +226,15 @@ impl Tick for DimmServer {
 
     fn is_idle(&self) -> bool {
         self.backlog.is_empty() && self.rmw_stage.is_empty() && self.dimm.is_idle()
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let h = DimmServer::next_event(self);
+        if h == Cycle::NEVER {
+            None
+        } else {
+            Some(h.max(now.next()))
+        }
     }
 }
 

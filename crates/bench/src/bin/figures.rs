@@ -4,7 +4,8 @@
 //! cargo run -p beacon-bench --bin figures --release -- [--all]
 //!     [--table1] [--table2] [--fig3] [--fig12] [--fig13] [--fig14]
 //!     [--fig15] [--fig16] [--fig17] [--quick] [--threads <n>]
-//!     [--trace <out.json>] [--metrics <out.jsonl|out.csv>] [--progress]
+//!     [--no-skip] [--trace <out.json>] [--metrics <out.jsonl|out.csv>]
+//!     [--progress]
 //! ```
 //!
 //! With no selector (or `--all`) everything runs. `--quick` switches to
@@ -12,6 +13,9 @@
 //! `--threads <n>` runs every BEACON system on the deterministic
 //! epoch-parallel engine with `n` worker threads — results are
 //! bit-identical to the default sequential engine, just faster.
+//! `--no-skip` disables event-horizon fast-forwarding and ticks every
+//! cycle — an escape hatch for debugging the skipping machinery itself
+//! (results are bit-identical either way, `--no-skip` is just slower).
 //! `--trace` records a Chrome-trace-event JSON of every simulated run
 //! (open in `chrome://tracing` or Perfetto), `--metrics` samples gauge
 //! time-series to JSON-lines (or CSV when the path ends in `.csv`) and
@@ -47,6 +51,7 @@ struct Selection {
     fig17: bool,
     quick: bool,
     threads: usize,
+    no_skip: bool,
     trace: Option<String>,
     metrics: Option<String>,
     progress: bool,
@@ -70,6 +75,7 @@ fn usage() -> String {
      options:\n\
      \x20 --quick            small bench scale (smoke test)\n\
      \x20 --threads <n>      deterministic parallel engine with n workers\n\
+     \x20 --no-skip          tick every cycle (disable event-horizon fast-forwarding)\n\
      \x20 --trace <path>     write a Chrome-trace-event JSON of the runs\n\
      \x20 --metrics <path>   write gauge time-series (.csv -> CSV, else JSONL)\n\
      \x20 --progress         print periodic simulation-rate lines to stderr\n\
@@ -92,6 +98,7 @@ impl Selection {
             fig17: false,
             quick: false,
             threads: 1,
+            no_skip: false,
             trace: None,
             metrics: None,
             progress: false,
@@ -149,6 +156,7 @@ impl Selection {
                             format!("--threads needs a positive integer, got {n}")
                         })?;
                 }
+                "--no-skip" => sel.no_skip = true,
                 "--progress" => sel.progress = true,
                 "--trace" => {
                     i += 1;
@@ -200,6 +208,7 @@ fn main() {
     };
     let pes = if sel.quick { BENCH_PES } else { FIGURE_PES };
     beacon_core::parallel::set_threads(sel.threads);
+    beacon_sim::engine::set_skip(!sel.no_skip);
 
     if sel.trace.is_some() {
         trace::install(TraceBuffer::new(TraceLevel::Command, TRACE_CAPACITY));
@@ -317,6 +326,13 @@ mod tests {
         assert!(sel.fig12 && sel.quick);
         assert!(!sel.table1 && !sel.fig3 && !sel.fig17);
         assert_eq!(sel.threads, 1);
+        assert!(!sel.no_skip);
+    }
+
+    #[test]
+    fn no_skip_flag_parses() {
+        let sel = Selection::parse(&args(&["--fig12", "--no-skip"])).unwrap();
+        assert!(sel.no_skip);
     }
 
     #[test]
@@ -379,6 +395,7 @@ mod tests {
             "--fig17",
             "--quick",
             "--threads",
+            "--no-skip",
             "--trace",
             "--metrics",
             "--progress",

@@ -1,0 +1,228 @@
+//! Measures how fast the simulator simulates: wall time and simulated
+//! cycles per second for every kernel × genome cell, with event-horizon
+//! fast-forwarding off (per-cycle reference) and on.
+//!
+//! ```text
+//! cargo run -p beacon-bench --bin simspeed --release -- [--quick]
+//!     [--threads <n>] [--out <path>]
+//! ```
+//!
+//! Every cell is run twice — skip-off then skip-on — and the two
+//! `RunResult` digests are asserted equal, so the harness doubles as a
+//! coarse conformance check. Results go to stdout as a table and to
+//! `--out` (default `BENCH_SIM.json`) as JSON. `--quick` uses the tiny
+//! test scale so CI can smoke the harness in seconds.
+
+use std::time::Instant;
+
+use beacon_bench::bench_scale;
+use beacon_core::config::{BeaconConfig, BeaconVariant, Optimizations};
+use beacon_core::experiments::common::{
+    fm_workload, kmer_workload, prealign_workload, AppWorkload, WorkloadScale,
+};
+use beacon_core::mmf::build_layout;
+use beacon_core::system::BeaconSystem;
+use beacon_genomics::genome::GenomeId;
+
+/// One kernel × genome cell of the measurement matrix.
+struct Cell {
+    kernel: &'static str,
+    genome: &'static str,
+    variant: BeaconVariant,
+    workload: AppWorkload,
+    switches: u32,
+}
+
+/// One timed run of a cell.
+struct Sample {
+    wall_s: f64,
+    cycles: u64,
+    digest: u64,
+}
+
+fn usage() -> String {
+    "usage: simspeed [--quick] [--threads <n>] [--out <path>]\n\
+     \n\
+     \x20 --quick            tiny test scale (CI smoke)\n\
+     \x20 --threads <n>      measure on the parallel engine with n workers\n\
+     \x20 --out <path>       JSON output path (default BENCH_SIM.json)\n\
+     \x20 --help             show this message\n"
+        .to_owned()
+}
+
+fn build_cells(scale: &WorkloadScale) -> Vec<Cell> {
+    // A latency-bound variant of seeding: a handful of reads in flight
+    // means the pool spends most cycles waiting on DRAM and link round
+    // trips — the regime where fast-forwarding pays the most. The read
+    // count is fixed (not scaled) so the cell stays latency-bound at
+    // every scale.
+    let sparse = WorkloadScale { reads: 4, ..*scale };
+    vec![
+        Cell {
+            kernel: "fm-seeding",
+            genome: "Pt",
+            variant: BeaconVariant::D,
+            workload: fm_workload(GenomeId::Pt, scale),
+            switches: 2,
+        },
+        Cell {
+            kernel: "fm-seeding",
+            genome: "Ss",
+            variant: BeaconVariant::D,
+            workload: fm_workload(GenomeId::Ss, scale),
+            switches: 2,
+        },
+        Cell {
+            kernel: "fm-seeding-sparse",
+            genome: "Pt",
+            variant: BeaconVariant::D,
+            workload: fm_workload(GenomeId::Pt, &sparse),
+            switches: 2,
+        },
+        Cell {
+            kernel: "pre-alignment",
+            genome: "Pg",
+            variant: BeaconVariant::D,
+            workload: prealign_workload(GenomeId::Pg, scale),
+            switches: 2,
+        },
+        Cell {
+            kernel: "kmer-counting",
+            genome: "Human",
+            variant: BeaconVariant::S,
+            workload: kmer_workload(scale),
+            switches: 2,
+        },
+    ]
+}
+
+fn measure(cell: &Cell, skip: bool, threads: usize) -> Sample {
+    beacon_sim::engine::set_skip(skip);
+    let w = &cell.workload;
+    let mut cfg = BeaconConfig::paper(cell.variant, w.app)
+        .with_opts(Optimizations::full(cell.variant, w.app));
+    cfg.switches = cell.switches;
+    cfg.pes_per_module = 8;
+    let layout = build_layout(&cfg, &w.layout);
+    let mut sys = BeaconSystem::new(cfg, layout);
+    sys.submit_round_robin(w.traces.iter().cloned());
+    let t = Instant::now();
+    let r = if threads <= 1 {
+        sys.run()
+    } else {
+        sys.run_parallel(threads)
+    };
+    Sample {
+        wall_s: t.elapsed().as_secs_f64(),
+        cycles: r.cycles,
+        digest: r.digest(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut threads = 1usize;
+    let mut out = "BENCH_SIM.json".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return;
+            }
+            "--quick" => quick = true,
+            "--threads" => {
+                i += 1;
+                let n = args.get(i).and_then(|n| n.parse::<usize>().ok());
+                match n.filter(|&n| n > 0) {
+                    Some(n) => threads = n,
+                    None => die("--threads needs a positive integer"),
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = p.clone(),
+                    None => die("--out needs a file path"),
+                }
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let scale = if quick {
+        WorkloadScale::test()
+    } else {
+        bench_scale()
+    };
+    println!(
+        "simspeed — Pt={} bases, {} reads, {} thread(s), skip-off vs skip-on\n",
+        scale.pt_genome_len, scale.reads, threads
+    );
+    println!(
+        "{:<20} {:<7} {:>12} {:>12} {:>12} {:>8}",
+        "kernel", "genome", "cycles", "off Mcyc/s", "on Mcyc/s", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    let mut best = 0.0f64;
+    for cell in build_cells(&scale) {
+        let off = measure(&cell, false, threads);
+        let on = measure(&cell, true, threads);
+        assert_eq!(
+            off.digest, on.digest,
+            "{}/{}: fast-forwarded run diverged from per-cycle run",
+            cell.kernel, cell.genome
+        );
+        assert_eq!(off.cycles, on.cycles);
+        let rate_off = off.cycles as f64 / off.wall_s;
+        let rate_on = on.cycles as f64 / on.wall_s;
+        let speedup = rate_on / rate_off;
+        best = best.max(speedup);
+        println!(
+            "{:<20} {:<7} {:>12} {:>12.2} {:>12.2} {:>7.2}x",
+            cell.kernel,
+            cell.genome,
+            on.cycles,
+            rate_off / 1e6,
+            rate_on / 1e6,
+            speedup
+        );
+        rows.push(format!(
+            "    {{\"kernel\": \"{}\", \"genome\": \"{}\", \"threads\": {}, \
+             \"simulated_cycles\": {}, \
+             \"wall_s_skip_off\": {:.6}, \"wall_s_skip_on\": {:.6}, \
+             \"cycles_per_sec_skip_off\": {:.1}, \"cycles_per_sec_skip_on\": {:.1}, \
+             \"speedup\": {:.3}}}",
+            cell.kernel,
+            cell.genome,
+            threads,
+            on.cycles,
+            off.wall_s,
+            on.wall_s,
+            rate_off,
+            rate_on,
+            speedup
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"scale\": \"{}\",\n  \"threads\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "bench" },
+        threads,
+        rows.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nbest speedup {best:.2}x -> {out}");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprint!("{}", usage());
+    std::process::exit(2);
+}

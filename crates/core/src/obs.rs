@@ -137,10 +137,11 @@ pub fn drive<T: Tick + Probe>(engine: &mut Engine, model: &mut T) -> RunOutcome 
         hooks.progress_every = cfg.progress_every;
         hooks.on_progress = Some(Box::new(move |p: &Progress| {
             eprintln!(
-                "[beacon run {run}] cycle {} | {} events | {:.1} Mcyc/s",
+                "[beacon run {run}] cycle {} | {} events | {:.1} Mcyc/s effective ({:.1} ticked)",
                 p.now.as_u64(),
                 p.events,
                 p.cycles_per_sec / 1e6,
+                p.ticked_per_sec / 1e6,
             );
         }));
     }

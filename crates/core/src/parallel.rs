@@ -88,6 +88,12 @@ pub(crate) struct PoolShard<'a> {
     /// Monotone per-shard drain counter (the FIFO tiebreaker).
     seq: u64,
     index: u32,
+    /// Event-horizon fast-forwarding, captured from the spawning
+    /// thread's ambient [`beacon_sim::engine::skip_enabled`] (worker
+    /// threads have their own thread-locals).
+    skip: bool,
+    /// Cycles actually ticked (diverges from `pos` under skipping).
+    ticked: u64,
 }
 
 impl<'a> PoolShard<'a> {
@@ -137,22 +143,53 @@ impl EpochShard for PoolShard<'_> {
             }
             // 3. The per-switch slice of the sequential tick.
             self.node.tick_cycle(self.ctx(), now);
-            self.pos = now.next();
+            self.ticked += 1;
+            // 4. Fast-forward over dead cycles. The subtree horizon
+            //    already covers uplink-egress arrivals (they are fabric
+            //    link events), and the inbox clamp keeps host
+            //    injections on their exact cycle — a bundle offered to
+            //    the uplink ingress at a different cycle would
+            //    serialise differently. A back-pressured inbox head
+            //    (ready <= now) degenerates to a per-cycle retry.
+            let stepped = now.next();
+            // Never jump a shard that just went quiescent: its pause
+            // position is part of the finished-cycle computation and
+            // must stay exactly one past its last busy tick.
+            self.pos = if self.skip && !(self.inbox.is_empty() && self.node.subtree_idle()) {
+                let mut h = self.node.subtree_next_event();
+                if let Some(&(ready, _)) = self.inbox.front() {
+                    h = h.min(ready);
+                }
+                h.max(stepped).min(to)
+            } else {
+                stepped
+            };
         }
     }
 
     fn finish_to(&mut self, to: Cycle) {
         // Only reached when quiescent: no egress to drain, no inbox to
         // inject. Background state (DRAM refresh) still advances
-        // exactly as the sequential engine's idle-subtree ticks do.
+        // exactly as the sequential engine's idle-subtree ticks do —
+        // under skipping the shard jumps refresh-to-refresh.
         while self.pos < to {
             self.node.tick_cycle(self.ctx(), self.pos);
-            self.pos = self.pos.next();
+            self.ticked += 1;
+            let stepped = self.pos.next();
+            self.pos = if self.skip {
+                self.node.subtree_next_event().max(stepped).min(to)
+            } else {
+                stepped
+            };
         }
     }
 
     fn position(&self) -> Cycle {
         self.pos
+    }
+
+    fn ticked(&self) -> u64 {
+        self.ticked
     }
 
     fn quiescent(&self) -> bool {
@@ -266,6 +303,8 @@ impl BeaconSystem {
                 outbox: Vec::new(),
                 seq: 0,
                 index: i as u32,
+                skip: beacon_sim::engine::skip_enabled(),
+                ticked: 0,
             })
             .collect();
         let mut hub = HostHub::new(cfg.host_latency);
@@ -309,10 +348,11 @@ impl BeaconSystem {
                     hooks.progress_every = ocfg.progress_every;
                     hooks.on_progress = Some(Box::new(move |p: &Progress| {
                         eprintln!(
-                            "[beacon run {run}] cycle {} | {} events | {:.1} Mcyc/s",
+                            "[beacon run {run}] cycle {} | {} events | {:.1} Mcyc/s effective ({:.1} ticked)",
                             p.now.as_u64(),
                             p.events,
                             p.cycles_per_sec / 1e6,
+                            p.ticked_per_sec / 1e6,
                         );
                     }));
                 }

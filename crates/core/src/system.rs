@@ -120,6 +120,19 @@ impl Egress {
                 .unwrap_or(true)
     }
 
+    /// Sender-side event horizon: immediate while bundles wait in the
+    /// retry queue (they are re-offered to the fabric every cycle),
+    /// otherwise the packer's next age-flush deadline.
+    fn next_event(&self) -> Cycle {
+        if !self.queue.is_empty() {
+            return Cycle::ZERO;
+        }
+        self.packer
+            .as_ref()
+            .map(DataPacker::next_event)
+            .unwrap_or(Cycle::NEVER)
+    }
+
     fn stats(&self) -> Option<&Stats> {
         self.packer.as_ref().map(DataPacker::stats)
     }
@@ -991,6 +1004,37 @@ impl SwitchNode {
             })
     }
 
+    /// This subtree's event horizon as an absolute cycle: the minimum of
+    /// every component's own horizon — fabric (staged bundles, link
+    /// arrivals, logic inbox), in-switch logic (ALU stage, compute
+    /// engine, egress) and each DIMM slot (engine, server, egress). A
+    /// cycle at or before "now" means the subtree must be ticked next
+    /// cycle; [`Cycle::NEVER`] means it is fully quiescent.
+    pub(crate) fn subtree_next_event(&self) -> Cycle {
+        let mut h = self.fabric.next_event();
+        h = h.min(self.logic.egress.next_event());
+        if let Some(&(ready, _)) = self.logic.alu_stage.front() {
+            h = h.min(ready);
+        }
+        if let Some(e) = &self.logic.engine {
+            h = h.min(e.next_event());
+        }
+        for d in &self.dimms {
+            match d {
+                DimmSlot::Cxlg(m) => {
+                    h = h
+                        .min(m.engine.next_event())
+                        .min(m.server.next_event())
+                        .min(m.egress.next_event());
+                }
+                DimmSlot::Unmodified(u) => {
+                    h = h.min(u.server.next_event()).min(u.egress.next_event());
+                }
+            }
+        }
+        h
+    }
+
     /// This subtree's share of [`Probe::progress_counter`].
     pub(crate) fn progress_counter(&self) -> u64 {
         let dram_cmds =
@@ -1156,6 +1200,25 @@ impl Tick for BeaconSystem {
 
     fn is_idle(&self) -> bool {
         self.host_stage.is_empty() && self.switches.iter().all(SwitchNode::subtree_idle)
+    }
+
+    /// The whole pool's event horizon: the minimum over the host stage's
+    /// forwarding deadlines and every switch subtree. Lets the engine
+    /// fast-forward dead spans (e.g. all PEs computing, DRAM between
+    /// refreshes) without changing a single observable cycle.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut h = Cycle::NEVER;
+        for &(ready, _) in &self.host_stage {
+            h = h.min(ready);
+        }
+        for sw in &self.switches {
+            h = h.min(sw.subtree_next_event());
+        }
+        if h == Cycle::NEVER {
+            None
+        } else {
+            Some(h.max(now.next()))
+        }
     }
 }
 

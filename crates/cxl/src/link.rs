@@ -185,6 +185,17 @@ impl Link {
         self.in_flight.is_empty()
     }
 
+    /// Arrival cycle of the oldest in-flight bundle ([`Cycle::NEVER`]
+    /// when the link is idle): the link's event horizon. Nothing about
+    /// an idle-or-in-flight link changes before its head bundle lands,
+    /// so engines may skip straight to this cycle.
+    pub fn next_arrival(&self) -> Cycle {
+        self.in_flight
+            .front()
+            .map(|&(at, _)| at)
+            .unwrap_or(Cycle::NEVER)
+    }
+
     /// Traffic statistics (`cxl.flits`, `cxl.wire_bytes`, …).
     pub fn stats(&self) -> &Stats {
         &self.stats

@@ -167,6 +167,25 @@ impl DataPacker {
         self.ready.is_empty() && self.slots.values().all(|s| s.msgs.is_empty())
     }
 
+    /// The packer's event horizon: the earliest cycle at which it can
+    /// act on its own. [`Cycle::ZERO`] (immediately) when bundles are
+    /// already waiting in the ready queue, otherwise the earliest
+    /// age-flush deadline (`oldest + flush_age`) over the non-empty
+    /// slots, [`Cycle::NEVER`] when fully idle. Fill-triggered flushes
+    /// need no horizon: they happen inside `push`, which only runs on
+    /// cycles the owner is awake anyway.
+    pub fn next_event(&self) -> Cycle {
+        if !self.ready.is_empty() {
+            return Cycle::ZERO;
+        }
+        self.slots
+            .values()
+            .filter(|s| !s.msgs.is_empty())
+            .map(|s| s.oldest + self.flush_age)
+            .min()
+            .unwrap_or(Cycle::NEVER)
+    }
+
     /// Packer statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats

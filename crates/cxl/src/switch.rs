@@ -269,6 +269,33 @@ impl Switch {
         self.staged.push_back((ready, target, bundle));
     }
 
+    /// The switch's event horizon as an absolute cycle: the earliest
+    /// moment ticking the fabric (or its owning node) could move a
+    /// bundle. [`Cycle::NEVER`] when the fabric holds nothing at all.
+    ///
+    /// Contributors, each conservative:
+    /// * staged bundles — their switch-bus ready cycles (a ready-but-
+    ///   back-pressured entry reports its past ready cycle, which the
+    ///   caller clamps to "immediately", preserving per-cycle retry);
+    /// * ingress links — the head bundle's arrival at the switch;
+    /// * egress links — the head bundle's arrival at the endpoint (the
+    ///   *owner* pops these, so its horizon must wake it up for them);
+    /// * a non-empty logic inbox — immediate, the owner's logic drains
+    ///   it every awake cycle.
+    pub fn next_event(&self) -> Cycle {
+        let mut h = Cycle::NEVER;
+        if !self.logic_inbox.is_empty() {
+            return Cycle::ZERO;
+        }
+        for &(ready, _, _) in &self.staged {
+            h = h.min(ready);
+        }
+        for l in self.ingress.iter().chain(self.egress.iter()) {
+            h = h.min(l.next_arrival());
+        }
+        h
+    }
+
     fn pump_staged(&mut self, now: Cycle) {
         // Try to move ready staged bundles onto their egress links; retry
         // on back-pressure, preserving per-target order (head-of-line
@@ -308,6 +335,15 @@ impl Tick for Switch {
             && self.ingress.iter().all(Link::is_idle)
             && self.egress.iter().all(Link::is_idle)
             && self.logic_inbox.is_empty()
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let h = Switch::next_event(self);
+        if h == Cycle::NEVER {
+            None
+        } else {
+            Some(h.max(now.next()))
+        }
     }
 }
 

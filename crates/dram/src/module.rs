@@ -309,6 +309,77 @@ impl Dimm {
         self.ticked_cycles
     }
 
+    /// Advances the DIMM's internal time high-water to `now` without
+    /// ticking. Owners that enqueue *before* calling [`Tick::tick`] in the
+    /// same cycle must call this first so `enqueued_at` timestamps stay
+    /// exact when the surrounding engine fast-forwards over dead cycles
+    /// (under per-cycle ticking the previous tick already left the
+    /// high-water at `now`, so this is a no-op there).
+    pub fn sync_time(&mut self, now: Cycle) {
+        self.ticked_cycles = self.ticked_cycles.max(now.as_u64());
+    }
+
+    /// The DIMM's event horizon as an absolute cycle: the earliest moment
+    /// ticking could issue a command, retire a request, or start a
+    /// refresh. [`Cycle::NEVER`] when nothing is scheduled (empty queue,
+    /// refresh off). Conservative: every term below is a *necessary*
+    /// condition checked by the issue logic, so the minimum over them
+    /// never overshoots the next actual state change.
+    pub fn next_event(&self) -> Cycle {
+        let mut h = Cycle::NEVER;
+        if !self.completed.is_empty() {
+            // The owner still has completions to drain.
+            return Cycle::ZERO;
+        }
+        let t = self.cfg.timing;
+        if self.cfg.refresh_enabled {
+            for rank in 0..self.cfg.geometry.ranks as usize {
+                h = h.min(self.refresh_due[rank].max(self.rank_busy[rank]));
+            }
+        }
+        for p in &self.queue {
+            if p.bursts_done == p.bursts_total {
+                // All bursts issued; retires once the last beat leaves.
+                h = h.min(p.last_data_end);
+                continue;
+            }
+            let c = p.req.coord;
+            let col_kind = match p.req.kind {
+                ReqKind::Read => CmdKind::Read,
+                ReqKind::Write => CmdKind::Write,
+            };
+            let bank = &self.banks[self.bank_index(c.rank, c.group, c.bank)];
+            let need = bank.next_cmd_for(c.row, col_kind);
+            let mut ready = bank
+                .earliest(need)
+                .max(self.cmd_bus_free[self.cmd_bus_index(c.rank)])
+                .max(self.rank_busy[c.rank as usize]);
+            if need == CmdKind::Activate {
+                let r = self.lane_index(c.rank, c.group);
+                if self.last_act[r] != Cycle::ZERO {
+                    ready = ready.max(self.last_act[r] + Duration::new(t.trrd));
+                }
+                let w = &self.act_window[r];
+                if w.len() == 4 {
+                    if let Some(&oldest) = w.front() {
+                        ready = ready.max(oldest + Duration::new(t.tfaw));
+                    }
+                }
+            } else if need.is_column() {
+                // The data lane must be free when the burst starts, i.e.
+                // issue cycle n satisfies data_bus_free <= n + lead.
+                let lead = match p.req.kind {
+                    ReqKind::Read => t.cl,
+                    ReqKind::Write => t.cwl,
+                };
+                let lane = self.data_bus_free[self.lane_index(c.rank, c.group)];
+                ready = ready.max(Cycle::new(lane.as_u64().saturating_sub(lead)));
+            }
+            h = h.min(ready);
+        }
+        h
+    }
+
     fn bank_index(&self, rank: u32, group: u32, bank: u32) -> usize {
         ((rank * self.groups_per_rank + group) * self.cfg.geometry.banks + bank) as usize
     }
@@ -647,6 +718,15 @@ impl Tick for Dimm {
 
     fn is_idle(&self) -> bool {
         self.queue.is_empty()
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let h = Dimm::next_event(self);
+        if h == Cycle::NEVER {
+            None
+        } else {
+            Some(h.max(now.next()))
+        }
     }
 }
 

@@ -24,6 +24,24 @@ pub trait Tick {
     /// True when the component holds no in-flight work. The engine stops
     /// once every component reports idle and no external work remains.
     fn is_idle(&self) -> bool;
+
+    /// Event-horizon hint for fast-forwarding, queried right after
+    /// `tick(now)`: the earliest cycle **strictly after** `now` at which
+    /// ticking this component could change any observable state (issue a
+    /// command, move a queue entry, fire a refresh, retire a task, ...).
+    /// `None` means no internally scheduled future event — the component
+    /// will only act again in response to external input.
+    ///
+    /// The contract is *conservative-only*: returning a cycle **earlier**
+    /// than the true next event merely wastes a no-op tick, but returning
+    /// a **later** cycle (or `None` while an event is pending) lets the
+    /// engine skip a state change and breaks bit-identical replay. When
+    /// in doubt, under-shoot. The default, `now + 1`, claims an event may
+    /// happen on the very next cycle, so components that do not implement
+    /// the hint are never skipped and behave exactly as before.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now.next())
+    }
 }
 
 /// Read-only observability surface of a model, consumed by the engine's

@@ -4,9 +4,50 @@
 //! together (queues between sub-blocks), so the engine's job is merely to
 //! drive the top-level `tick`, detect quiescence and guard against
 //! deadlocked models with a cycle limit.
+//!
+//! The engine fast-forwards across *dead* cycles: after every tick it
+//! asks the model for its event horizon ([`Tick::next_event`]) and jumps
+//! the clock straight there when it exceeds `now + 1`. Because horizons
+//! are conservative (never later than the true next state change), the
+//! skipped ticks would have been no-ops, so results — including
+//! [`RunOutcome::finished_at`] and every digest — are bit-identical to
+//! the every-cycle loop. [`set_skip`] disables the optimisation on the
+//! calling thread for A/B comparison.
+
+use std::cell::Cell;
 
 use crate::component::{Probe, Tick};
 use crate::cycle::{Cycle, Duration};
+
+thread_local! {
+    static SKIP: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Enables or disables event-horizon fast-forwarding for engines driven
+/// on the calling thread (ambient, mirrors how thread counts are
+/// selected). Defaults to enabled; skipping never changes simulated
+/// results, only wall-clock time, so the escape hatch exists purely for
+/// differential testing and perf measurement.
+pub fn set_skip(enabled: bool) {
+    SKIP.with(|s| s.set(enabled));
+}
+
+/// Whether event-horizon fast-forwarding is enabled on this thread.
+pub fn skip_enabled() -> bool {
+    SKIP.with(|s| s.get())
+}
+
+/// Computes the post-tick jump target: the model's horizon clamped to
+/// `[stepped, cap]`. `ticked` is the cycle that was just ticked, so a
+/// conservative (or immediate) horizon degenerates to `stepped`, and a
+/// model with no scheduled event jumps straight to `cap`.
+fn horizon_jump<T: Tick + ?Sized>(model: &T, ticked: Cycle, stepped: Cycle, cap: Cycle) -> Cycle {
+    debug_assert!(cap >= stepped);
+    match model.next_event(ticked) {
+        Some(h) => h.max(stepped).min(cap),
+        None => cap,
+    }
+}
 
 /// Outcome of running a model to completion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,14 +106,22 @@ impl RunOutcome {
 pub struct Progress {
     /// Current simulation time.
     pub now: Cycle,
-    /// Cycles simulated since this run started.
+    /// Cycles simulated since this run started, fast-forwarded spans
+    /// included (the *effective* span).
     pub cycles: u64,
+    /// Cycles actually ticked since this run started — skipped spans
+    /// excluded (the *raw* work the host CPU performed).
+    pub ticked: u64,
     /// The model's progress counter (events retired so far).
     pub events: u64,
     /// Wall-clock seconds since this run started.
     pub wall_secs: f64,
-    /// Simulated cycles per wall-clock second since the run started.
+    /// Effective simulated cycles per wall-clock second (skip-inclusive;
+    /// this is the headline simulator-throughput number).
     pub cycles_per_sec: f64,
+    /// Raw ticked cycles per wall-clock second (skip-exclusive), so a
+    /// fast-forwarded run cannot masquerade as a faster inner loop.
+    pub ticked_per_sec: f64,
 }
 
 /// Diagnostic report passed to [`EngineHooks::on_stall`].
@@ -177,13 +226,31 @@ impl Engine {
     }
 
     /// Runs `model` until it reports idle or the limit is reached.
+    ///
+    /// When fast-forwarding is enabled (the default, see [`set_skip`])
+    /// the clock jumps over spans the model's [`Tick::next_event`]
+    /// horizon proves dead; the reported `finished_at` and all model
+    /// state stay bit-identical either way. The jump is applied only
+    /// while the model is still busy, so a model that drains on its last
+    /// event tick finishes at exactly the same cycle as the every-cycle
+    /// loop.
     pub fn run<T: Tick + ?Sized>(&mut self, model: &mut T) -> RunOutcome {
+        let skip = skip_enabled();
         while !model.is_idle() {
             if self.now >= self.limit {
                 return RunOutcome::LimitReached { limit: self.limit };
             }
             model.tick(self.now);
-            self.now = self.now.next();
+            let stepped = self.now.next();
+            self.now = if skip && !model.is_idle() {
+                // `limit - 1` (not `limit`) caps the jump so the guard
+                // cycle right before the limit is ticked like in the
+                // per-cycle loop.
+                let cap = Cycle::new(self.limit.as_u64().saturating_sub(1)).max(stepped);
+                horizon_jump(model, self.now, stepped, cap)
+            } else {
+                stepped
+            };
         }
         RunOutcome::Drained {
             finished_at: self.now,
@@ -193,12 +260,26 @@ impl Engine {
     /// Runs `model` for exactly `cycles` additional cycles (regardless of
     /// idleness); useful for warm-up phases and open-loop experiments.
     /// Like [`Engine::run`], never advances past the deadlock-guard
-    /// limit.
+    /// limit. Fast-forwarding applies here too (clamped to the window's
+    /// end), which matters for periodic background work — an otherwise
+    /// idle DRAM module jumps refresh-to-refresh instead of ticking every
+    /// cycle.
     pub fn run_for<T: Tick + ?Sized>(&mut self, model: &mut T, cycles: u64) {
         let end = (self.now + Duration::new(cycles)).min(self.limit);
+        let skip = skip_enabled();
         while self.now < end {
             model.tick(self.now);
-            self.now = self.now.next();
+            let stepped = self.now.next();
+            self.now = if skip {
+                // Cap jumps at `end - 1` so the window's last cycle is
+                // always ticked: models that keep an internal time
+                // high-water (timestamping later enqueues) end the
+                // window in exactly the per-cycle-loop state.
+                let cap = Cycle::new(end.as_u64().saturating_sub(1)).max(stepped);
+                horizon_jump(model, self.now, stepped, cap)
+            } else {
+                stepped
+            };
         }
     }
 
@@ -252,6 +333,8 @@ impl Engine {
         }
         let mut last_progress_count = model.progress_counter();
         let mut last_progress_at = self.now;
+        let skip = skip_enabled();
+        let mut ticked: u64 = 0;
 
         let outcome = loop {
             if model.is_idle() {
@@ -264,7 +347,24 @@ impl Engine {
             }
 
             model.tick(self.now);
-            self.now = self.now.next();
+            ticked += 1;
+            let stepped = self.now.next();
+            self.now = if skip && !model.is_idle() {
+                // Clamp the jump at every pending hook deadline so
+                // samples, progress reports and stall checks fire at
+                // exactly the cycles they would in an every-cycle run —
+                // a fast-forwarded span can therefore never be misread
+                // as a stall, and metrics series line up sample for
+                // sample.
+                let cap = Cycle::new(self.limit.as_u64().saturating_sub(1))
+                    .max(stepped)
+                    .min(next_sample)
+                    .min(next_progress)
+                    .min(next_stall_check);
+                horizon_jump(model, self.now, stepped, cap)
+            } else {
+                stepped
+            };
 
             if self.now >= next_sample {
                 if let Some(cb) = hooks.on_sample.as_mut() {
@@ -276,16 +376,21 @@ impl Engine {
                 let events = model.progress_counter();
                 let cycles = self.now.since(started_at).as_u64();
                 let wall_secs = wall_start.elapsed().as_secs_f64();
+                let per_sec = |n: u64| {
+                    if wall_secs > 0.0 {
+                        n as f64 / wall_secs
+                    } else {
+                        0.0
+                    }
+                };
                 let report = Progress {
                     now: self.now,
                     cycles,
+                    ticked,
                     events,
                     wall_secs,
-                    cycles_per_sec: if wall_secs > 0.0 {
-                        cycles as f64 / wall_secs
-                    } else {
-                        0.0
-                    },
+                    cycles_per_sec: per_sec(cycles),
+                    ticked_per_sec: per_sec(ticked),
                 };
                 if let Some(cb) = hooks.on_progress.as_mut() {
                     cb(&report);
@@ -514,5 +619,242 @@ mod tests {
         e.run(&mut Countdown { n: 5 });
         let out = e.run(&mut Countdown { n: 5 });
         assert_eq!(out.finished_at(), Cycle::new(10));
+    }
+
+    /// Restores the ambient skip flag even if a test panics.
+    struct SkipGuard;
+    impl Drop for SkipGuard {
+        fn drop(&mut self) {
+            set_skip(true);
+        }
+    }
+
+    /// Fires at fixed cycles, dead in between; counts its ticks so tests
+    /// can prove spans were (or were not) skipped.
+    struct Sparse {
+        events: Vec<u64>,
+        fired: usize,
+        ticks: u64,
+    }
+
+    impl Sparse {
+        fn at(events: &[u64]) -> Self {
+            Sparse {
+                events: events.to_vec(),
+                fired: 0,
+                ticks: 0,
+            }
+        }
+    }
+
+    impl Tick for Sparse {
+        fn tick(&mut self, now: Cycle) {
+            self.ticks += 1;
+            if self.fired < self.events.len() && now.as_u64() == self.events[self.fired] {
+                self.fired += 1;
+            }
+        }
+        fn is_idle(&self) -> bool {
+            self.fired == self.events.len()
+        }
+        fn next_event(&self, now: Cycle) -> Option<Cycle> {
+            self.events[self.fired..]
+                .iter()
+                .map(|&e| Cycle::new(e))
+                .find(|&e| e > now)
+        }
+    }
+
+    impl Probe for Sparse {
+        fn progress_counter(&self) -> u64 {
+            self.fired as u64
+        }
+    }
+
+    #[test]
+    fn fast_forward_skips_dead_cycles_bit_identically() {
+        let _guard = SkipGuard;
+        set_skip(false);
+        let mut slow = Sparse::at(&[5, 100, 10_000]);
+        let slow_out = Engine::new().run(&mut slow);
+        set_skip(true);
+        let mut fast = Sparse::at(&[5, 100, 10_000]);
+        let fast_out = Engine::new().run(&mut fast);
+
+        assert_eq!(slow_out, fast_out);
+        assert_eq!(fast_out.finished_at(), Cycle::new(10_001));
+        assert_eq!(slow.ticks, 10_001);
+        // tick at 0 (first loop iteration), then only the event cycles.
+        assert_eq!(fast.ticks, 4);
+    }
+
+    /// Always-idle component with periodic background work, like DRAM
+    /// refresh: `run_for` must still fire it at exactly the right cycles.
+    struct Periodic {
+        every: u64,
+        fired: u64,
+        ticks: u64,
+    }
+
+    impl Tick for Periodic {
+        fn tick(&mut self, now: Cycle) {
+            self.ticks += 1;
+            if now.as_u64().is_multiple_of(self.every) {
+                self.fired += 1;
+            }
+        }
+        fn is_idle(&self) -> bool {
+            true
+        }
+        fn next_event(&self, now: Cycle) -> Option<Cycle> {
+            Some(Cycle::new((now.as_u64() / self.every + 1) * self.every))
+        }
+    }
+
+    #[test]
+    fn run_for_fast_forwards_periodic_background_work() {
+        let mut m = Periodic {
+            every: 50,
+            fired: 0,
+            ticks: 0,
+        };
+        let mut e = Engine::new();
+        e.run_for(&mut m, 200);
+        assert_eq!(e.now(), Cycle::new(200));
+        assert_eq!(m.fired, 4); // cycles 0, 50, 100, 150
+                                // Event cycles plus the guaranteed tick on the window's last
+                                // cycle (199), which keeps time high-waters per-cycle-exact.
+        assert_eq!(m.ticks, 5);
+    }
+
+    #[test]
+    fn wedged_model_with_no_horizon_jumps_to_limit() {
+        struct Wedged {
+            ticks: u64,
+        }
+        impl Tick for Wedged {
+            fn tick(&mut self, _now: Cycle) {
+                self.ticks += 1;
+            }
+            fn is_idle(&self) -> bool {
+                false
+            }
+            fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+                None
+            }
+        }
+        let mut m = Wedged { ticks: 0 };
+        let out = Engine::new().with_limit(1_000_000).run(&mut m);
+        assert_eq!(
+            out,
+            RunOutcome::LimitReached {
+                limit: Cycle::new(1_000_000)
+            }
+        );
+        // One tick at 0 jumping to `limit - 1`, one tick there.
+        assert_eq!(m.ticks, 2);
+    }
+
+    #[test]
+    fn instrumented_hooks_fire_at_identical_cycles_under_skip() {
+        let run = |skip: bool| {
+            let _guard = SkipGuard;
+            set_skip(skip);
+            let mut samples: Vec<u64> = Vec::new();
+            let mut progress: Vec<(u64, u64, u64)> = Vec::new();
+            let out = {
+                let mut hooks = EngineHooks {
+                    sample_every: 64,
+                    on_sample: Some(Box::new(|now: Cycle, _p: &dyn Probe| {
+                        samples.push(now.as_u64());
+                    })),
+                    progress_every: 128,
+                    on_progress: Some(Box::new(|p: &Progress| {
+                        progress.push((p.now.as_u64(), p.cycles, p.events));
+                    })),
+                    stall_window: 200,
+                    ..EngineHooks::default()
+                };
+                Engine::new().run_instrumented(&mut Sparse::at(&[5, 100, 700]), &mut hooks)
+            };
+            (out, samples, progress)
+        };
+        let slow = run(false);
+        let fast = run(true);
+        assert_eq!(slow, fast);
+    }
+
+    #[test]
+    fn stall_outcomes_match_with_and_without_skip() {
+        // A 10_000-cycle dead span with a 200-cycle stall window: the
+        // every-cycle engine declares a stall, so the fast-forwarding
+        // engine must declare the *same* stall at the *same* cycle — and
+        // conversely must never invent one on a span the every-cycle
+        // engine survives.
+        let run = |skip: bool| {
+            let _guard = SkipGuard;
+            set_skip(skip);
+            let mut hooks = EngineHooks {
+                stall_window: 200,
+                ..EngineHooks::default()
+            };
+            Engine::new().run_instrumented(&mut Sparse::at(&[5, 100, 10_000]), &mut hooks)
+        };
+        let slow = run(false);
+        let fast = run(true);
+        assert_eq!(slow, fast);
+        assert!(matches!(slow, RunOutcome::Stalled { .. }));
+
+        let survive = |skip: bool| {
+            let _guard = SkipGuard;
+            set_skip(skip);
+            let mut hooks = EngineHooks {
+                stall_window: 200,
+                ..EngineHooks::default()
+            };
+            Engine::new().run_instrumented(&mut Sparse::at(&[5, 100, 150]), &mut hooks)
+        };
+        let slow_ok = survive(false);
+        let fast_ok = survive(true);
+        assert_eq!(slow_ok, fast_ok);
+        assert!(slow_ok.drained());
+    }
+
+    #[test]
+    fn progress_reports_raw_and_effective_rates() {
+        let _guard = SkipGuard;
+        set_skip(true);
+        let mut reports: Vec<(u64, u64)> = Vec::new();
+        {
+            let mut hooks = EngineHooks {
+                progress_every: 1_000,
+                on_progress: Some(Box::new(|p: &Progress| {
+                    reports.push((p.cycles, p.ticked));
+                })),
+                ..EngineHooks::default()
+            };
+            Engine::new().run_instrumented(&mut Sparse::at(&[5, 4_000]), &mut hooks);
+        }
+        assert!(!reports.is_empty());
+        for &(cycles, ticked) in &reports {
+            assert!(ticked <= cycles, "raw ticks cannot exceed effective span");
+        }
+        // The dead span 6..4_000 is skipped (modulo progress-deadline
+        // ticks), so far fewer raw ticks than effective cycles.
+        let &(cycles, ticked) = reports.last().unwrap();
+        assert!(ticked < cycles / 100);
+    }
+
+    #[test]
+    fn set_skip_is_thread_local() {
+        let _guard = SkipGuard;
+        assert!(skip_enabled());
+        set_skip(false);
+        assert!(!skip_enabled());
+        std::thread::spawn(|| assert!(skip_enabled()))
+            .join()
+            .unwrap();
+        set_skip(true);
+        assert!(skip_enabled());
     }
 }

@@ -34,6 +34,12 @@ pub trait EpochShard: Send {
     /// towards `to`, stopping early (pausing) once the shard has
     /// nothing left to do. Must be resumable: a later `advance` with a
     /// larger horizon continues where this one stopped.
+    ///
+    /// Implementations are free to *fast-forward* inside the epoch: the
+    /// event horizon of a shard is purely local (cross-shard influence
+    /// arrives only through the hub, and only at barriers), so skipping
+    /// provably dead spans up to `min(horizon, to)` composes cleanly
+    /// with the epoch barrier and keeps results bit-identical.
     fn advance(&mut self, to: Cycle);
 
     /// Ticks an already-quiescent shard up to `to` so every shard ends
@@ -52,6 +58,14 @@ pub trait EpochShard: Send {
     /// Monotone count of useful work done, summed across shards for
     /// stall detection (see [`crate::component::Probe`]).
     fn progress(&self) -> u64;
+
+    /// Cycles this shard has actually ticked so far, fast-forwarded
+    /// spans excluded; summed across shards for the raw-rate field of
+    /// barrier progress reports. The default assumes every simulated
+    /// cycle was ticked (no skipping).
+    fn ticked(&self) -> u64 {
+        self.position().as_u64()
+    }
 
     /// Human-readable state dump for stall reports.
     fn snapshot(&self) -> String {
@@ -270,17 +284,23 @@ impl ParallelEngine {
             if t0 >= next_progress {
                 let events: u64 = shards.iter().map(EpochShard::progress).sum();
                 let cycles = t0.as_u64();
+                let ticked: u64 = shards.iter().map(EpochShard::ticked).sum();
                 let wall_secs = wall_start.elapsed().as_secs_f64();
+                let per_sec = |n: u64| {
+                    if wall_secs > 0.0 {
+                        n as f64 / wall_secs
+                    } else {
+                        0.0
+                    }
+                };
                 let report = Progress {
                     now: t0,
                     cycles,
+                    ticked,
                     events,
                     wall_secs,
-                    cycles_per_sec: if wall_secs > 0.0 {
-                        cycles as f64 / wall_secs
-                    } else {
-                        0.0
-                    },
+                    cycles_per_sec: per_sec(cycles),
+                    ticked_per_sec: per_sec(ticked),
                 };
                 if let Some(cb) = hooks.on_progress.as_mut() {
                     cb(&report);
@@ -500,6 +520,10 @@ mod tests {
 
         fn progress(&self) -> u64 {
             self.done_work
+        }
+
+        fn ticked(&self) -> u64 {
+            self.ticked
         }
     }
 

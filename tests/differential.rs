@@ -136,6 +136,97 @@ fn parallel_speedup_on_multi_switch_pool() {
     );
 }
 
+/// Event-horizon fast-forwarding must be invisible: for every golden
+/// genome, skip-on runs (sequential and every parallel thread count)
+/// produce the same digest as the per-cycle skip-off reference.
+#[test]
+fn fast_forwarding_matches_per_cycle_ticking() {
+    struct SkipGuard;
+    impl Drop for SkipGuard {
+        fn drop(&mut self) {
+            beacon_sim::engine::set_skip(true);
+        }
+    }
+    let _guard = SkipGuard;
+    let scale = WorkloadScale::test();
+    for genome in [
+        GenomeId::Pt,
+        GenomeId::Pg,
+        GenomeId::Ss,
+        GenomeId::Am,
+        GenomeId::Nf,
+    ] {
+        let w = fm_workload(genome, &scale);
+        beacon_sim::engine::set_skip(false);
+        let golden = build_system(BeaconVariant::D, &w, 2, true).run();
+        assert!(golden.tasks > 0, "cell must do work to be meaningful");
+        beacon_sim::engine::set_skip(true);
+        let fast = build_system(BeaconVariant::D, &w, 2, true).run();
+        assert_eq!(
+            fast.digest(),
+            golden.digest(),
+            "{genome:?}: fast-forwarded sequential run diverged from per-cycle run:\n{}",
+            fast.diff(&golden).unwrap_or_default(),
+        );
+        for threads in thread_matrix() {
+            let got = build_system(BeaconVariant::D, &w, 2, true).run_parallel(threads);
+            assert_eq!(
+                got.digest(),
+                golden.digest(),
+                "{genome:?}: fast-forwarded {threads}-thread run diverged from per-cycle run:\n{}",
+                got.diff(&golden).unwrap_or_default(),
+            );
+        }
+    }
+}
+
+/// The canonical trace stream is part of the bit-identity contract:
+/// fast-forwarding may only skip cycles where nothing happens, so the
+/// emitted events (and their cycles) must match the per-cycle run.
+#[test]
+fn trace_streams_identical_with_and_without_fast_forwarding() {
+    const CAPACITY: usize = 1 << 20;
+    struct SkipGuard;
+    impl Drop for SkipGuard {
+        fn drop(&mut self) {
+            beacon_sim::engine::set_skip(true);
+        }
+    }
+    let _guard = SkipGuard;
+    let scale = WorkloadScale::test();
+    let w = fm_workload(GenomeId::Pt, &scale);
+
+    let run_traced = |skip: bool| -> Vec<(String, TraceEvent)> {
+        beacon_sim::engine::set_skip(skip);
+        trace::install(TraceBuffer::new(TraceLevel::Flit, CAPACITY));
+        build_system(BeaconVariant::D, &w, 2, true).run();
+        let events = trace::uninstall()
+            .expect("sink installed")
+            .canonical_events();
+        assert!(
+            events.len() < CAPACITY,
+            "trace ring saturated ({} events) — comparison would be lossy",
+            events.len()
+        );
+        events
+    };
+
+    let golden = run_traced(false);
+    assert!(!golden.is_empty(), "flit-level run must emit events");
+    let got = run_traced(true);
+    assert_eq!(
+        got.len(),
+        golden.len(),
+        "event count diverged under fast-forwarding"
+    );
+    if let Some(i) = (0..golden.len()).find(|&i| got[i] != golden[i]) {
+        panic!(
+            "trace stream diverged under fast-forwarding at event {i}:\n  per-cycle:      {:?}\n  fast-forwarded: {:?}",
+            golden[i], got[i]
+        );
+    }
+}
+
 #[test]
 fn trace_streams_merge_canonically() {
     const CAPACITY: usize = 1 << 20;

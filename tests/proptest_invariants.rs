@@ -289,6 +289,76 @@ proptest! {
         }
     }
 
+    // ---- event horizons -------------------------------------------------
+
+    #[test]
+    fn dimm_server_horizon_never_undershoots(
+        // Packed op codes: group = c % 8, bank = c / 8 % 8,
+        // row = c / 64 % 32, op kind = c / 2048 % 3.
+        ops in prop::collection::vec(0u64..100_000, 1..24),
+        refresh in 0u8..2,
+    ) {
+        // The conservative-horizon contract: after `tick(now)`, no
+        // observable state may change strictly before `next_event()`.
+        // Drive a DimmServer per-cycle (exactly the no-skip loop) and
+        // assert every span the horizon declares dead really is.
+        use beacon_accel::server::{DimmServer, ServiceOp};
+        use beacon_dram::module::{AccessMode, DimmConfig};
+        use beacon_sim::component::Tick;
+
+        let mut cfg = DimmConfig::paper(AccessMode::PerChip);
+        cfg.refresh_enabled = refresh == 1;
+        let mut s = DimmServer::new(cfg);
+        for (i, &c) in ops.iter().enumerate() {
+            let coord = DramCoord {
+                rank: 0,
+                group: (c % 8) as u32,
+                bank: (c / 8 % 8) as u32,
+                row: c / 64 % 32,
+                col: 0,
+            };
+            let op = match c / 2048 % 3 {
+                0 => ServiceOp::Read,
+                1 => ServiceOp::Write,
+                _ => ServiceOp::Rmw,
+            };
+            s.request(i as u64, coord, 4, op);
+        }
+        let fingerprint = |s: &DimmServer| {
+            format!(
+                "{:?}|{}|{}|{:?}",
+                s.dimm().stats(),
+                s.dimm().queue_len(),
+                s.backlog_len(),
+                s.stats(),
+            )
+        };
+        let mut completions = 0usize;
+        let mut now = Cycle::ZERO;
+        while !s.is_idle() {
+            prop_assert!(now.as_u64() < 2_000_000, "run did not drain");
+            s.tick(now);
+            completions += s.drain_done().len();
+            let horizon = match Tick::next_event(&s, now) {
+                Some(h) => h,
+                None => break, // nothing scheduled and is_idle soon
+            };
+            let fp = fingerprint(&s);
+            let mut c = now.next();
+            while c < horizon {
+                s.tick(c);
+                prop_assert_eq!(
+                    &fingerprint(&s), &fp,
+                    "state changed at {:?}, before the declared horizon {:?}",
+                    c, horizon
+                );
+                c = c.next();
+            }
+            now = c;
+        }
+        prop_assert_eq!(completions, ops.len());
+    }
+
     // ---- counting Bloom filter ------------------------------------------
 
     #[test]
