@@ -15,7 +15,7 @@ use beacon_sim::stats::{Histogram, Stats};
 
 use beacon_dram::address::DramCoord;
 use beacon_dram::module::{Dimm, DimmConfig};
-use beacon_dram::request::{MemRequest, ReqKind};
+use beacon_dram::request::{CompletedAccess, MemRequest, ReqKind};
 
 /// Kind of service operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +55,8 @@ pub struct DimmServer {
     rmw_alu_cycles: u64,
     /// RMW operations between phases: `(ready_cycle, write request)`.
     rmw_stage: VecDeque<(Cycle, ServiceReq)>,
+    /// Reusable buffer for draining DIMM completions each tick.
+    drain_scratch: Vec<CompletedAccess>,
     stats: Stats,
 }
 
@@ -67,6 +69,7 @@ impl DimmServer {
             done: Vec::new(),
             rmw_alu_cycles: 4,
             rmw_stage: VecDeque::new(),
+            drain_scratch: Vec::new(),
             stats: Stats::new(),
         }
     }
@@ -94,6 +97,13 @@ impl DimmServer {
     /// Completed service ids (drains the internal list).
     pub fn drain_done(&mut self) -> Vec<(u64, Cycle)> {
         std::mem::take(&mut self.done)
+    }
+
+    /// Allocation-free variant of [`DimmServer::drain_done`]: appends the
+    /// completions to `out`, letting the owner reuse one buffer across
+    /// ticks.
+    pub fn drain_done_into(&mut self, out: &mut Vec<(u64, Cycle)>) {
+        out.append(&mut self.done);
     }
 
     /// The underlying DIMM (stats, histograms).
@@ -195,7 +205,11 @@ impl Tick for DimmServer {
         self.pump_rmw_stage(now);
         self.pump_backlog();
         self.dimm.tick(now);
-        for c in self.dimm.drain_completed() {
+        // Reuse one scratch buffer for completions (taken out of `self`
+        // so the loop body can borrow the other fields mutably).
+        let mut completed = std::mem::take(&mut self.drain_scratch);
+        self.dimm.drain_completed_into(&mut completed);
+        for c in completed.drain(..) {
             let id = c.request.tag & !PHASE_MASK;
             match c.request.tag & PHASE_MASK {
                 PHASE_SINGLE => {
@@ -222,6 +236,7 @@ impl Tick for DimmServer {
                 _ => unreachable!("invalid phase bits"),
             }
         }
+        self.drain_scratch = completed;
     }
 
     fn is_idle(&self) -> bool {

@@ -231,12 +231,20 @@ impl TaskEngine {
 
     /// Advances the PEs to cycle `now`; returns the accesses issued.
     pub fn tick(&mut self, now: Cycle) -> Vec<IssuedAccess> {
+        let mut issued = Vec::new();
+        self.tick_into(now, &mut issued);
+        issued
+    }
+
+    /// Allocation-free variant of [`TaskEngine::tick`]: appends issued
+    /// accesses to `out` so the owning system can reuse one scratch
+    /// buffer across ticks instead of allocating a `Vec` per call.
+    pub fn tick_into(&mut self, now: Cycle, out: &mut Vec<IssuedAccess>) {
         // Accumulate the busy-PE integral over the elapsed interval.
         let elapsed = now.since(self.last_busy_update).as_u64();
         self.busy_pe_cycles += elapsed * self.computing.len() as u64;
         self.last_busy_update = now;
 
-        let mut issued = Vec::new();
         loop {
             // Finish every compute that is due.
             while let Some(&std::cmp::Reverse((until, task))) = self.computing.peek() {
@@ -244,7 +252,7 @@ impl TaskEngine {
                     break;
                 }
                 self.computing.pop();
-                self.finish_step(task, now, &mut issued);
+                self.finish_step(task, now, out);
             }
             // Assign ready tasks to free PEs.
             let mut assigned = false;
@@ -268,7 +276,6 @@ impl TaskEngine {
                 break;
             }
         }
-        issued
     }
 
     /// The cycle at which the engine next has internal work due

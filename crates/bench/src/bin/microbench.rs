@@ -1,0 +1,274 @@
+//! Hot-path microbenchmarks with allocation accounting.
+//!
+//! Measures the per-iteration cost of the three tick paths the
+//! horizon-cache work optimises — `Dimm::tick`, `Switch::tick` and the
+//! `BeaconSystem::next_event` min-composition — under a counting global
+//! allocator, and **asserts that the steady state performs zero heap
+//! allocations per iteration**. Scratch buffers, slab free lists and
+//! warmed queue capacities must absorb all churn; any regression that
+//! reintroduces per-cycle allocation fails this binary, not just a
+//! profile.
+//!
+//! ```text
+//! cargo run -p beacon-bench --bin microbench --release
+//! ```
+//!
+//! Each section warms up (growing every buffer to its steady-state
+//! capacity), snapshots the allocation counter, runs the timed loop and
+//! reports ns/iter plus the allocation delta. Exit status is non-zero
+//! when any steady-state loop allocated.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+use beacon_core::config::{BeaconConfig, BeaconVariant, Optimizations};
+use beacon_core::experiments::common::{fm_workload, WorkloadScale};
+use beacon_core::mmf::build_layout;
+use beacon_core::system::BeaconSystem;
+use beacon_cxl::bundle::Bundle;
+use beacon_cxl::message::{Message, NodeId};
+use beacon_cxl::switch::{Switch, SwitchConfig};
+use beacon_dram::address::DramCoord;
+use beacon_dram::module::{AccessMode, Dimm, DimmConfig};
+use beacon_dram::request::{CompletedAccess, MemRequest, ReqKind};
+use beacon_genomics::genome::GenomeId;
+use beacon_sim::component::Tick;
+use beacon_sim::cycle::Cycle;
+
+/// Counts every allocation and reallocation going through the global
+/// allocator. Deallocations are not interesting here: freeing into the
+/// allocator is cheap and the assertion targets *new* heap traffic.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Relaxed)
+}
+
+struct Report {
+    name: &'static str,
+    iters: u64,
+    ns_per_iter: f64,
+    allocs: u64,
+}
+
+/// Mixed open-row-hit / row-conflict traffic at a fixed queue depth:
+/// exercises column issue, ACT/PRE rehoming, retirement and the horizon
+/// recompute every cycle — the dense-kernel worst case for the caches.
+fn bench_dimm_tick(warm: u64, iters: u64) -> Report {
+    let mut cfg = DimmConfig::paper_ndp(AccessMode::PerChip);
+    cfg.refresh_enabled = false;
+    let mut dimm = Dimm::new(cfg);
+    let mut completed: Vec<CompletedAccess> = Vec::with_capacity(64);
+    let mut seq = 0u64;
+
+    let mut drive = |dimm: &mut Dimm, completed: &mut Vec<CompletedAccess>, c: u64| {
+        let now = Cycle::new(c);
+        while dimm.queue_free() > 0 {
+            // Alternate banks and rows so roughly half the requests hit
+            // the open row and half force a precharge/activate pair.
+            let req = MemRequest {
+                kind: if seq.is_multiple_of(3) {
+                    ReqKind::Write
+                } else {
+                    ReqKind::Read
+                },
+                coord: DramCoord {
+                    rank: 0,
+                    group: (seq % 4) as u32,
+                    bank: ((seq / 4) % 4) as u32,
+                    row: (seq % 2) * 7,
+                    col: (seq % 64) as u32,
+                },
+                bytes: 32,
+                tag: seq,
+            };
+            if dimm.enqueue(req).is_err() {
+                break;
+            }
+            seq += 1;
+        }
+        dimm.tick(now);
+        let _ = dimm.next_event();
+        dimm.drain_completed_into(completed);
+        completed.clear();
+    };
+
+    for c in 0..warm {
+        drive(&mut dimm, &mut completed, c);
+    }
+    let base = allocs();
+    let t = Instant::now();
+    for c in warm..warm + iters {
+        drive(&mut dimm, &mut completed, c);
+    }
+    let elapsed = t.elapsed();
+    Report {
+        name: "dimm_tick",
+        iters,
+        ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+        allocs: allocs() - base,
+    }
+}
+
+/// Bundles recirculating through the staged queue and the port links:
+/// every delivered bundle is re-offered (moved, never re-built), so the
+/// steady state exercises stage/pump/deliver without creating traffic.
+fn bench_switch_tick(warm: u64, iters: u64) -> Report {
+    let slots = 4u32;
+    let mut sw = Switch::new(SwitchConfig::paper(0, slots));
+    // Seed: a few bundles per DIMM slot, injected from the uplink. The
+    // recirculation below keeps them in flight forever.
+    for slot in 0..slots {
+        for k in 0..3u64 {
+            let msg = Message::read_req(
+                NodeId::Host,
+                NodeId::dimm(0, slot),
+                64,
+                (slot as u64) << 8 | k,
+            );
+            let _ = sw.endpoint_send(Switch::UPLINK, Bundle::single(msg), Cycle::new(k));
+        }
+    }
+    let mut retry: VecDeque<(usize, Bundle)> = VecDeque::with_capacity(16);
+
+    let drive = |sw: &mut Switch, retry: &mut VecDeque<(usize, Bundle)>, c: u64| {
+        let now = Cycle::new(c);
+        sw.tick(now);
+        for _ in 0..retry.len() {
+            let (port, bundle) = retry.pop_front().expect("counted");
+            if let Err(e) = sw.endpoint_send(port, bundle, now) {
+                retry.push_back((port, e.0));
+            }
+        }
+        for slot in 0..slots {
+            let port = sw.dimm_port(slot);
+            while let Some(bundle) = sw.endpoint_recv(port, now) {
+                // Loop the bundle straight back into the fabric: same
+                // destination, so it egresses on this same port again.
+                if let Err(e) = sw.endpoint_send(port, bundle, now) {
+                    retry.push_back((port, e.0));
+                }
+            }
+        }
+        let _ = sw.next_event();
+    };
+
+    for c in 0..warm {
+        drive(&mut sw, &mut retry, c);
+    }
+    let base = allocs();
+    let t = Instant::now();
+    for c in warm..warm + iters {
+        drive(&mut sw, &mut retry, c);
+    }
+    let elapsed = t.elapsed();
+    Report {
+        name: "switch_tick",
+        iters,
+        ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+        allocs: allocs() - base,
+    }
+}
+
+/// The full-pool horizon min-composition on a mid-run system: every
+/// child horizon is clean after the first query, so each iteration is a
+/// pure cached-read sweep — the cost fast-forwarding pays on every
+/// skipped span.
+fn bench_next_event(warm: u64, iters: u64) -> Report {
+    let scale = WorkloadScale::test();
+    let w = fm_workload(GenomeId::Pt, &scale);
+    let mut cfg = BeaconConfig::paper(BeaconVariant::D, w.app)
+        .with_opts(Optimizations::full(BeaconVariant::D, w.app));
+    cfg.switches = 2;
+    cfg.pes_per_module = 8;
+    let layout = build_layout(&cfg, &w.layout);
+    let mut sys = BeaconSystem::new(cfg, layout);
+    sys.submit_round_robin(w.traces.iter().cloned());
+    // Advance into the dense mid-run region so the pool is busy.
+    for c in 0..warm {
+        sys.tick(Cycle::new(c));
+    }
+    let now = Cycle::new(warm);
+    let _ = sys.next_event(now); // fill every dirty cache once
+    let base = allocs();
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        if let Some(h) = sys.next_event(now) {
+            acc = acc.wrapping_add(h.as_u64());
+        }
+    }
+    let elapsed = t.elapsed();
+    std::hint::black_box(acc);
+    Report {
+        name: "next_event_composition",
+        iters,
+        ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+        allocs: allocs() - base,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (warm, iters) = if quick {
+        (2_000, 10_000)
+    } else {
+        (20_000, 200_000)
+    };
+
+    println!("microbench — warm-up {warm} iters, measuring {iters} iters\n");
+    println!(
+        "{:<24} {:>12} {:>12} {:>14}",
+        "benchmark", "iters", "ns/iter", "allocs (steady)"
+    );
+
+    let reports = [
+        bench_dimm_tick(warm, iters),
+        bench_switch_tick(warm, iters),
+        bench_next_event(warm.min(4_000), iters),
+    ];
+
+    let mut failed = false;
+    for r in &reports {
+        println!(
+            "{:<24} {:>12} {:>12.1} {:>14}",
+            r.name, r.iters, r.ns_per_iter, r.allocs
+        );
+        if r.allocs != 0 {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("\nFAIL: a steady-state loop performed heap allocations");
+        std::process::exit(1);
+    }
+    println!("\nall steady-state loops allocation-free");
+}

@@ -92,6 +92,10 @@ pub(crate) struct PoolShard<'a> {
     /// thread's ambient [`beacon_sim::engine::skip_enabled`] (worker
     /// threads have their own thread-locals).
     skip: bool,
+    /// Backs horizon probes off in dense phases (see
+    /// [`beacon_sim::engine::ProbeThrottle`]); deferred probes only tick
+    /// provably-dead cycles, so shard state stays bit-identical.
+    throttle: beacon_sim::engine::ProbeThrottle,
     /// Cycles actually ticked (diverges from `pos` under skipping).
     ticked: u64,
 }
@@ -155,12 +159,17 @@ impl EpochShard for PoolShard<'_> {
             // Never jump a shard that just went quiescent: its pause
             // position is part of the finished-cycle computation and
             // must stay exactly one past its last busy tick.
-            self.pos = if self.skip && !(self.inbox.is_empty() && self.node.subtree_idle()) {
+            self.pos = if self.skip
+                && !(self.inbox.is_empty() && self.node.subtree_idle())
+                && self.throttle.probe()
+            {
                 let mut h = self.node.subtree_next_event();
                 if let Some(&(ready, _)) = self.inbox.front() {
                     h = h.min(ready);
                 }
-                h.max(stepped).min(to)
+                let next = h.max(stepped).min(to);
+                self.throttle.observe(next > stepped);
+                next
             } else {
                 stepped
             };
@@ -304,6 +313,7 @@ impl BeaconSystem {
                 seq: 0,
                 index: i as u32,
                 skip: beacon_sim::engine::skip_enabled(),
+                throttle: beacon_sim::engine::ProbeThrottle::new(),
                 ticked: 0,
             })
             .collect();

@@ -30,7 +30,7 @@ use beacon_sim::stats::Stats;
 use beacon_accel::pending::PendingTable;
 use beacon_accel::result::RunResult;
 use beacon_accel::server::{DimmServer, ServiceOp};
-use beacon_accel::task::TaskEngine;
+use beacon_accel::task::{IssuedAccess, TaskEngine};
 use beacon_accel::translate::RegionMap;
 use beacon_cxl::bundle::Bundle;
 use beacon_cxl::message::{Message, MsgKind, NodeId};
@@ -191,6 +191,14 @@ pub(crate) struct SwitchNode {
     fabric: Switch,
     logic: LogicNode,
     dimms: Vec<DimmSlot>,
+    /// Per-tick scratch buffers, reused so the steady-state drive loop
+    /// performs no heap allocation. Always drained back to empty before
+    /// the driver returns.
+    issued_scratch: Vec<IssuedAccess>,
+    rmw_scratch: Vec<(u64, DramCoord, u32, NodeId)>,
+    done_scratch: Vec<(u64, Cycle)>,
+    resp_scratch: Vec<Message>,
+    comp_scratch: Vec<u64>,
 }
 
 /// Read-only system context threaded through the per-switch drivers so
@@ -210,6 +218,8 @@ pub struct BeaconSystem {
     pub(crate) maps: Vec<RegionMap>,
     pub(crate) switches: Vec<SwitchNode>,
     pub(crate) host_stage: VecDeque<(Cycle, Bundle)>,
+    /// Reusable buffer for back-pressured host-stage entries.
+    host_scratch: VecDeque<(Cycle, Bundle)>,
     pub(crate) finished_at: Cycle,
     pub(crate) rmw_alu_cycles: u64,
 }
@@ -309,6 +319,11 @@ impl BeaconSystem {
                         stats: Stats::new(),
                     },
                     dimms,
+                    issued_scratch: Vec::new(),
+                    rmw_scratch: Vec::new(),
+                    done_scratch: Vec::new(),
+                    resp_scratch: Vec::new(),
+                    comp_scratch: Vec::new(),
                 }
             })
             .collect();
@@ -344,6 +359,7 @@ impl BeaconSystem {
             maps: layout.maps,
             switches,
             host_stage: VecDeque::new(),
+            host_scratch: VecDeque::new(),
             finished_at: Cycle::ZERO,
             rmw_alu_cycles: 4,
         }
@@ -485,15 +501,24 @@ impl BeaconSystem {
         for s in 0..self.switches.len() {
             while let Some(bundle) = self.switches[s].fabric.endpoint_recv(Switch::UPLINK, now) {
                 let ready = now + Duration::new(self.cfg.host_latency);
+                // The stage stays sorted by ready cycle: `now` is
+                // nondecreasing across pumps and the latency constant.
+                debug_assert!(self.host_stage.back().is_none_or(|&(r, _)| r <= ready));
                 self.host_stage.push_back((ready, bundle));
             }
         }
-        let mut rest = VecDeque::new();
-        while let Some((ready, mut bundle)) = self.host_stage.pop_front() {
+        // Sorted stage: the due entries form a prefix, so the sweep stops
+        // at the first not-yet-ready deadline instead of cycling the whole
+        // queue. Back-pressured bundles go to a reusable scratch and
+        // return to the front in their original order — exactly the
+        // sequence the old whole-queue rebuild produced.
+        debug_assert!(self.host_scratch.is_empty());
+        let mut rest = std::mem::take(&mut self.host_scratch);
+        while let Some(&(ready, _)) = self.host_stage.front() {
             if ready > now {
-                rest.push_back((ready, bundle));
-                continue;
+                break;
             }
+            let (ready, mut bundle) = self.host_stage.pop_front().expect("front checked");
             for m in &mut bundle.messages {
                 *m = m.cleared_via_host();
             }
@@ -509,7 +534,10 @@ impl BeaconSystem {
                 Err(e) => rest.push_back((ready, e.0)),
             }
         }
-        self.host_stage = rest;
+        while let Some(entry) = rest.pop_back() {
+            self.host_stage.push_front(entry);
+        }
+        self.host_scratch = rest;
     }
 
     /// The wall-clock seconds of the finished run at DDR4-1600 tCK.
@@ -640,13 +668,23 @@ impl SwitchNode {
             self.logic.egress.push(msg, now);
         }
 
-        // 3. The S-variant compute engine.
+        // 3. The S-variant compute engine. Issued accesses and the
+        // same-switch RMW short-circuits go through reusable scratch
+        // buffers (taken out of `self` around the loops that need
+        // `&mut self` methods).
         if self.logic.engine.is_some() {
-            let issued = self.logic.engine.as_mut().expect("checked").tick(now);
+            debug_assert!(self.issued_scratch.is_empty());
+            self.logic
+                .engine
+                .as_mut()
+                .expect("checked")
+                .tick_into(now, &mut self.issued_scratch);
             let self_node = NodeId::SwitchLogic(self.index as u32);
             let map_idx = self.logic.map_idx;
-            let mut local_rmws: Vec<(u64, DramCoord, u32, NodeId)> = Vec::new();
-            for ia in issued {
+            debug_assert!(self.rmw_scratch.is_empty());
+            let mut issued = std::mem::take(&mut self.issued_scratch);
+            let mut local_rmws = std::mem::take(&mut self.rmw_scratch);
+            for ia in issued.drain(..) {
                 Self::dispatch_access(
                     ctx.cfg,
                     &ctx.maps[map_idx],
@@ -659,7 +697,8 @@ impl SwitchNode {
                     now,
                 );
             }
-            for (pid, coord, bytes, dimm) in local_rmws {
+            self.issued_scratch = issued;
+            for (pid, coord, bytes, dimm) in local_rmws.drain(..) {
                 let entry = LogicServe {
                     requester: self_node,
                     orig_tag: pid,
@@ -672,6 +711,7 @@ impl SwitchNode {
                 };
                 self.logic_start_atomic(entry, now);
             }
+            self.rmw_scratch = local_rmws;
         }
 
         // 4. Pump egress onto the switch-bus.
@@ -775,13 +815,15 @@ impl SwitchNode {
             }
         }
 
-        // 2. CXLG engines issue accesses.
+        // 2. CXLG engines issue accesses (through the reusable scratch).
         if let DimmSlot::Cxlg(_) = &self.dimms[slot] {
-            let issued = match &mut self.dimms[slot] {
-                DimmSlot::Cxlg(m) => m.engine.tick(now),
+            debug_assert!(self.issued_scratch.is_empty());
+            let mut issued = std::mem::take(&mut self.issued_scratch);
+            match &mut self.dimms[slot] {
+                DimmSlot::Cxlg(m) => m.engine.tick_into(now, &mut issued),
                 DimmSlot::Unmodified(_) => unreachable!(),
-            };
-            for ia in issued {
+            }
+            for ia in issued.drain(..) {
                 match &mut self.dimms[slot] {
                     DimmSlot::Cxlg(m) => {
                         Self::dispatch_access(
@@ -799,44 +841,63 @@ impl SwitchNode {
                     DimmSlot::Unmodified(_) => unreachable!(),
                 }
             }
+            self.issued_scratch = issued;
         }
 
-        // 3. Server progress + completions.
-        let (responses, completions) = match &mut self.dimms[slot] {
+        // 3. Server progress + completions, split into response messages
+        // and local pending ids through the reusable scratch buffers.
+        debug_assert!(
+            self.done_scratch.is_empty()
+                && self.resp_scratch.is_empty()
+                && self.comp_scratch.is_empty()
+        );
+        let mut done = std::mem::take(&mut self.done_scratch);
+        let mut responses = std::mem::take(&mut self.resp_scratch);
+        let mut completions = std::mem::take(&mut self.comp_scratch);
+        match &mut self.dimms[slot] {
             DimmSlot::Cxlg(m) => {
                 m.server.tick(now);
+                m.server.drain_done_into(&mut done);
                 Self::split_server_done(
-                    m.server.drain_done(),
+                    &mut done,
                     &mut m.serve,
                     &mut m.free_serve,
                     m.node,
                     false,
-                )
+                    &mut responses,
+                    &mut completions,
+                );
             }
             DimmSlot::Unmodified(u) => {
                 u.server.tick(now);
+                u.server.drain_done_into(&mut done);
                 Self::split_server_done(
-                    u.server.drain_done(),
+                    &mut done,
                     &mut u.serve,
                     &mut u.free_serve,
                     u.node,
                     true,
-                )
+                    &mut responses,
+                    &mut completions,
+                );
             }
-        };
-        for msg in responses {
+        }
+        for msg in responses.drain(..) {
             match &mut self.dimms[slot] {
                 DimmSlot::Cxlg(m) => m.egress.push(msg, now),
                 DimmSlot::Unmodified(u) => u.egress.push(msg, now),
             }
         }
-        for pid in completions {
+        for pid in completions.drain(..) {
             if let DimmSlot::Cxlg(m) = &mut self.dimms[slot] {
                 if let Some((token, _)) = m.pending.complete_one(pid) {
                     m.engine.on_data(token, now);
                 }
             }
         }
+        self.done_scratch = done;
+        self.resp_scratch = responses;
+        self.comp_scratch = completions;
 
         // 4. Pump egress onto the port link (with back-pressure retry).
         let fabric = &mut self.fabric;
@@ -865,18 +926,20 @@ impl SwitchNode {
     }
 
     /// Splits finished server operations into response messages (for
-    /// remote serves) and local pending ids. Unmodified DIMMs inflate
+    /// remote serves) and local pending ids, appending to the caller's
+    /// reusable buffers and draining `done`. Unmodified DIMMs inflate
     /// read responses to whole 64 B lines (standard CXL.mem transfers).
+    #[allow(clippy::too_many_arguments)]
     fn split_server_done(
-        done: Vec<(u64, Cycle)>,
+        done: &mut Vec<(u64, Cycle)>,
         serve: &mut [ServeEntry],
         free: &mut Vec<u32>,
         node: NodeId,
         inflate_lines: bool,
-    ) -> (Vec<Message>, Vec<u64>) {
-        let mut responses = Vec::new();
-        let mut completions = Vec::new();
-        for (id, _at) in done {
+        responses: &mut Vec<Message>,
+        completions: &mut Vec<u64>,
+    ) {
+        for (id, _at) in done.drain(..) {
             if id & SERVE_BIT != 0 {
                 let sidx = (id & !SERVE_BIT) as usize;
                 let entry = serve[sidx];
@@ -915,7 +978,6 @@ impl SwitchNode {
                 completions.push(id);
             }
         }
-        (responses, completions)
     }
 
     fn handle_slot_message(&mut self, slot: usize, msg: Message, now: Cycle) {
@@ -1011,7 +1073,16 @@ impl SwitchNode {
     /// cycle at or before "now" means the subtree must be ticked next
     /// cycle; [`Cycle::NEVER`] means it is fully quiescent.
     pub(crate) fn subtree_next_event(&self) -> Cycle {
+        // `Cycle::ZERO` means "actionable immediately" — nothing can
+        // lower the min further, so stop sweeping the moment any
+        // contributor reports it. In a dense phase (the only time the
+        // sweep is hot) some component is almost always immediately
+        // actionable, so the common case touches a fraction of the
+        // subtree.
         let mut h = self.fabric.next_event();
+        if h == Cycle::ZERO {
+            return h;
+        }
         h = h.min(self.logic.egress.next_event());
         if let Some(&(ready, _)) = self.logic.alu_stage.front() {
             h = h.min(ready);
@@ -1020,6 +1091,9 @@ impl SwitchNode {
             h = h.min(e.next_event());
         }
         for d in &self.dimms {
+            if h == Cycle::ZERO {
+                return h;
+            }
             match d {
                 DimmSlot::Cxlg(m) => {
                     h = h
@@ -1208,11 +1282,18 @@ impl Tick for BeaconSystem {
     /// refreshes) without changing a single observable cycle.
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
         let mut h = Cycle::NEVER;
-        for &(ready, _) in &self.host_stage {
+        // The host stage is sorted by ready cycle (see `pump_host`), so
+        // its horizon is just the front deadline.
+        if let Some(&(ready, _)) = self.host_stage.front() {
             h = h.min(ready);
         }
         for sw in &self.switches {
             h = h.min(sw.subtree_next_event());
+            if h == Cycle::ZERO {
+                // Already the global minimum: something is actionable
+                // immediately, the remaining subtrees cannot lower it.
+                break;
+            }
         }
         if h == Cycle::NEVER {
             None

@@ -7,9 +7,10 @@
 //! [`Bundle`]s, either when a flit fills up or when the oldest message
 //! exceeds a flush age.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::horizon::HorizonCache;
 use beacon_sim::stats::Stats;
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 
@@ -32,8 +33,9 @@ pub struct DataPacker {
     /// Target fill level in bytes (one flit by default).
     fill_bytes: u32,
     slots: BTreeMap<NodeId, Slot>,
-    ready: Vec<Bundle>,
+    ready: VecDeque<Bundle>,
     stats: Stats,
+    horizon: HorizonCache,
     /// Trace-track label; `None` falls back to `"packer"`.
     trace_id: Option<Box<str>>,
 }
@@ -46,8 +48,9 @@ impl DataPacker {
             flush_age: Duration::new(flush_age_cycles),
             fill_bytes: FLIT_BYTES,
             slots: BTreeMap::new(),
-            ready: Vec::new(),
+            ready: VecDeque::new(),
             stats: Stats::new(),
+            horizon: HorizonCache::new(),
             trace_id: None,
         }
     }
@@ -84,10 +87,11 @@ impl DataPacker {
     /// Messages at or above the fill target bypass buffering entirely and
     /// are emitted as their own bundle.
     pub fn push(&mut self, msg: Message, now: Cycle) {
+        self.horizon.invalidate();
         if msg.wire_bytes() >= self.fill_bytes {
             self.stats.incr("packer.bypass");
             self.trace_flush(now, "packer.bypass", 1);
-            self.ready.push(Bundle::single(msg));
+            self.ready.push_back(Bundle::single(msg));
             return;
         }
         let slot = self.slots.entry(msg.dst).or_insert_with(|| Slot {
@@ -112,54 +116,94 @@ impl DataPacker {
             );
             self.stats.incr("packer.flush_full");
             self.trace_flush(now, "packer.flush_full", full.msgs.len() as u64);
-            self.ready.push(Bundle::packed(full.msgs));
+            self.ready.push_back(Bundle::packed(full.msgs));
         }
     }
 
     /// Flushes destinations whose oldest message has exceeded the flush
     /// age. Call once per cycle.
     pub fn tick(&mut self, now: Cycle) {
+        // O(1) early-exit: before the memoized horizon nothing can age
+        // out (and nothing is ready to pop either).
+        if self.next_event() > now {
+            return;
+        }
         let age = self.flush_age;
-        let expired: Vec<NodeId> = self
-            .slots
-            .iter()
-            .filter(|(_, s)| !s.msgs.is_empty() && now.since(s.oldest) >= age)
-            .map(|(d, _)| *d)
-            .collect();
-        for dst in expired {
-            if let Some(slot) = self.slots.get_mut(&dst) {
-                let full = std::mem::replace(
-                    slot,
-                    Slot {
-                        msgs: Vec::new(),
-                        bytes: 0,
-                        oldest: now,
-                    },
-                );
-                self.stats.incr("packer.flush_age");
-                self.trace_flush(now, "packer.flush_age", full.msgs.len() as u64);
-                self.ready.push(Bundle::packed(full.msgs));
+        // Flush in place — the map iterates in destination order, exactly
+        // the order the old collect-then-flush pass produced, without the
+        // per-call list of expired destinations.
+        let DataPacker {
+            slots,
+            ready,
+            stats,
+            trace_id,
+            ..
+        } = self;
+        let mut flushed = false;
+        for slot in slots.values_mut() {
+            if slot.msgs.is_empty() || now.since(slot.oldest) < age {
+                continue;
             }
+            let full = std::mem::replace(
+                slot,
+                Slot {
+                    msgs: Vec::new(),
+                    bytes: 0,
+                    oldest: now,
+                },
+            );
+            stats.incr("packer.flush_age");
+            if trace::enabled(TraceLevel::Flit) {
+                trace::emit(
+                    trace_id.as_deref().unwrap_or("packer"),
+                    TraceEvent::instant(
+                        now.as_u64(),
+                        TraceLevel::Flit,
+                        TraceCategory::Packer,
+                        "packer.flush_age",
+                        full.msgs.len() as u64,
+                    ),
+                );
+            }
+            ready.push_back(Bundle::packed(full.msgs));
+            flushed = true;
+        }
+        if flushed {
+            self.horizon.invalidate();
         }
     }
 
     /// Forces out every buffered message (end of simulation drain).
-    pub fn flush_all(&mut self, _now: Cycle) {
-        let slots = std::mem::take(&mut self.slots);
-        for (_, slot) in slots {
-            if !slot.msgs.is_empty() {
-                self.ready.push(Bundle::packed(slot.msgs));
+    pub fn flush_all(&mut self, now: Cycle) {
+        let mut emitted = false;
+        let DataPacker { slots, ready, .. } = self;
+        for slot in slots.values_mut() {
+            if slot.msgs.is_empty() {
+                continue;
             }
+            let full = std::mem::replace(
+                slot,
+                Slot {
+                    msgs: Vec::new(),
+                    bytes: 0,
+                    oldest: now,
+                },
+            );
+            ready.push_back(Bundle::packed(full.msgs));
+            emitted = true;
+        }
+        if emitted {
+            self.horizon.invalidate();
         }
     }
 
     /// Pops the next ready bundle.
     pub fn pop_ready(&mut self) -> Option<Bundle> {
-        if self.ready.is_empty() {
-            None
-        } else {
-            Some(self.ready.remove(0))
+        let b = self.ready.pop_front();
+        if b.is_some() {
+            self.horizon.invalidate();
         }
+        b
     }
 
     /// True when nothing is buffered or ready.
@@ -174,16 +218,21 @@ impl DataPacker {
     /// slots, [`Cycle::NEVER`] when fully idle. Fill-triggered flushes
     /// need no horizon: they happen inside `push`, which only runs on
     /// cycles the owner is awake anyway.
+    ///
+    /// The value is memoized: it depends only on internal state, every
+    /// mutating operation invalidates the cache, and a clean hit is O(1).
     pub fn next_event(&self) -> Cycle {
-        if !self.ready.is_empty() {
-            return Cycle::ZERO;
-        }
-        self.slots
-            .values()
-            .filter(|s| !s.msgs.is_empty())
-            .map(|s| s.oldest + self.flush_age)
-            .min()
-            .unwrap_or(Cycle::NEVER)
+        self.horizon.get_or(|| {
+            if !self.ready.is_empty() {
+                return Cycle::ZERO;
+            }
+            self.slots
+                .values()
+                .filter(|s| !s.msgs.is_empty())
+                .map(|s| s.oldest + self.flush_age)
+                .min()
+                .unwrap_or(Cycle::NEVER)
+        })
     }
 
     /// Packer statistics.

@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 
 use beacon_sim::component::Tick;
 use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::horizon::HorizonCache;
 use beacon_sim::stats::Stats;
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 use serde::{Deserialize, Serialize};
@@ -78,12 +79,17 @@ pub struct Switch {
     /// `egress[p]`: switch → endpoint direction of port `p`.
     egress: Vec<Link>,
     /// Bundles routed and waiting for their egress link (or logic inbox):
-    /// `(ready_at, egress_port_or_logic, bundle)`.
+    /// `(ready_at, egress_port_or_logic, bundle)`. Ready cycles are
+    /// nondecreasing front to back (the switch-bus serialises in FIFO
+    /// order), so the front entry is always the earliest.
     staged: VecDeque<(Cycle, RouteTarget, Bundle)>,
     /// Bundles addressed to this switch's internal logic.
     logic_inbox: VecDeque<Bundle>,
     bus_busy_until: f64,
     stats: Stats,
+    horizon: HorizonCache,
+    /// Reusable buffer for back-pressured staged entries during a pump.
+    pump_scratch: Vec<(Cycle, RouteTarget, Bundle)>,
     /// Trace-track label for switch-bus arbitration events.
     track: String,
 }
@@ -124,6 +130,8 @@ impl Switch {
             logic_inbox: VecDeque::new(),
             bus_busy_until: 0.0,
             stats: Stats::new(),
+            horizon: HorizonCache::new(),
+            pump_scratch: Vec::new(),
             track: format!("switch{}", cfg.index),
         }
     }
@@ -149,7 +157,11 @@ impl Switch {
         bundle: Bundle,
         now: Cycle,
     ) -> Result<(), SendError> {
-        self.ingress[port].try_send(bundle, now)
+        let r = self.ingress[port].try_send(bundle, now);
+        if r.is_ok() {
+            self.horizon.invalidate();
+        }
+        r
     }
 
     /// True when the endpoint on `port` could send at `now`.
@@ -159,25 +171,38 @@ impl Switch {
 
     /// The endpoint attached to `port` receives the next arrived bundle.
     pub fn endpoint_recv(&mut self, port: usize, now: Cycle) -> Option<Bundle> {
-        self.egress[port].deliver(now)
+        let b = self.egress[port].deliver(now);
+        if b.is_some() {
+            self.horizon.invalidate();
+        }
+        b
     }
 
     /// Epoch-buffered receive: pops the next bundle that arrived at
     /// `port` strictly before `horizon`, with its exact arrival cycle
     /// (see [`Link::deliver_before`]).
     pub fn endpoint_recv_before(&mut self, port: usize, horizon: Cycle) -> Option<(Cycle, Bundle)> {
-        self.egress[port].deliver_before(horizon)
+        let b = self.egress[port].deliver_before(horizon);
+        if b.is_some() {
+            self.horizon.invalidate();
+        }
+        b
     }
 
     /// The in-switch logic injects a bundle onto the switch-bus.
     pub fn logic_send(&mut self, bundle: Bundle, now: Cycle) {
         let target = self.route(&bundle);
         self.stage(target, bundle, now);
+        self.horizon.invalidate();
     }
 
     /// The in-switch logic receives the next bundle addressed to it.
     pub fn logic_recv(&mut self) -> Option<Bundle> {
-        self.logic_inbox.pop_front()
+        let b = self.logic_inbox.pop_front();
+        if b.is_some() {
+            self.horizon.invalidate();
+        }
+        b
     }
 
     /// Bundles waiting in the logic inbox.
@@ -266,6 +291,10 @@ impl Switch {
                 ),
             );
         }
+        debug_assert!(
+            self.staged.back().is_none_or(|&(r, _, _)| r <= ready),
+            "staged ready cycles must be nondecreasing"
+        );
         self.staged.push_back((ready, target, bundle));
     }
 
@@ -282,12 +311,20 @@ impl Switch {
     ///   *owner* pops these, so its horizon must wake it up for them);
     /// * a non-empty logic inbox — immediate, the owner's logic drains
     ///   it every awake cycle.
+    ///
+    /// The value is memoized: it depends only on internal state, every
+    /// mutating operation invalidates the cache, and a clean hit is O(1).
     pub fn next_event(&self) -> Cycle {
+        self.horizon.get_or(|| self.compute_next_event())
+    }
+
+    fn compute_next_event(&self) -> Cycle {
         let mut h = Cycle::NEVER;
         if !self.logic_inbox.is_empty() {
             return Cycle::ZERO;
         }
-        for &(ready, _, _) in &self.staged {
+        // Staged ready cycles are nondecreasing: the front is the min.
+        if let Some(&(ready, _, _)) = self.staged.front() {
             h = h.min(ready);
         }
         for l in self.ingress.iter().chain(self.egress.iter()) {
@@ -296,38 +333,53 @@ impl Switch {
         h
     }
 
-    fn pump_staged(&mut self, now: Cycle) {
+    fn pump_staged(&mut self, now: Cycle) -> bool {
         // Try to move ready staged bundles onto their egress links; retry
         // on back-pressure, preserving per-target order (head-of-line
         // blocking is intentional — it is a real switch-bus effect).
-        let mut remaining = VecDeque::with_capacity(self.staged.len());
-        while let Some((ready, target, bundle)) = self.staged.pop_front() {
+        // Ready cycles are nondecreasing, so the due entries form a
+        // prefix: stop at the first not-yet-ready entry and return the
+        // back-pressured ones to the front, avoiding a whole-queue
+        // rebuild (and its allocation) every call.
+        let mut moved = false;
+        while let Some(&(ready, _, _)) = self.staged.front() {
             if ready > now {
-                remaining.push_back((ready, target, bundle));
-                continue;
+                break;
             }
+            let (ready, target, bundle) = self.staged.pop_front().expect("front checked");
             match target {
-                RouteTarget::Logic => self.logic_inbox.push_back(bundle),
+                RouteTarget::Logic => {
+                    self.logic_inbox.push_back(bundle);
+                    moved = true;
+                }
                 RouteTarget::Port(p) => match self.egress[p].try_send(bundle, now) {
-                    Ok(()) => {}
-                    Err(SendError(b)) => remaining.push_back((ready, target, b)),
+                    Ok(()) => moved = true,
+                    Err(SendError(b)) => self.pump_scratch.push((ready, target, b)),
                 },
             }
         }
-        self.staged = remaining;
+        for entry in self.pump_scratch.drain(..).rev() {
+            self.staged.push_front(entry);
+        }
+        moved
     }
 }
 
 impl Tick for Switch {
     fn tick(&mut self, now: Cycle) {
         // Ingest arrived bundles from every port and route them.
+        let mut changed = false;
         for port in 0..self.ingress.len() {
             while let Some(bundle) = self.ingress[port].deliver(now) {
                 let target = self.route(&bundle);
                 self.stage(target, bundle, now);
+                changed = true;
             }
         }
-        self.pump_staged(now);
+        changed |= self.pump_staged(now);
+        if changed {
+            self.horizon.invalidate();
+        }
     }
 
     fn is_idle(&self) -> bool {

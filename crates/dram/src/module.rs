@@ -12,11 +12,30 @@
 //! * [`AccessMode::Coalesced`] — BEACON's multi-chip coalescing: a tunable
 //!   number of chips form a group (Fig. 11 c), trading access granularity
 //!   against per-chip load balance.
+//!
+//! # Scheduling index
+//!
+//! The controller keeps, besides the age-ordered queue, a per-bank index
+//! of unfinished requests split into three age-ordered lists: `hit_read`
+//! and `hit_write` (requests whose row is open in the bank) and `miss`
+//! (requests needing an ACT or PRE first). Within one list every entry
+//! shares the *same* readiness condition — same bank timer fields, same
+//! rank and command bus, same data lane and CAS lead — so the head of
+//! each list dominates the rest and both the FR-FCFS choice and the
+//! event horizon reduce to a scan over list heads instead of the whole
+//! queue. Reads and writes need separate hit lists because the data-lane
+//! availability check leads by `cl` vs `cwl`. The index is maintained on
+//! enqueue, ACT (misses to the activated row become hits), PRE and
+//! refresh (all entries of the bank become misses) and burst completion;
+//! [`Dimm::reference_choice`] / [`Dimm::reference_next_event`] retain the
+//! original whole-queue scans for differential testing.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use beacon_sim::component::Tick;
 use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::horizon::HorizonCache;
 use beacon_sim::queue::QueueFullError;
 use beacon_sim::stats::{Histogram, Stats};
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
@@ -145,6 +164,30 @@ struct Pending {
     last_data_end: Cycle,
 }
 
+impl Pending {
+    fn finished(&self) -> bool {
+        self.bursts_done == self.bursts_total
+    }
+}
+
+/// Per-bank scheduling index: age-ordered slab indices of the bank's
+/// unfinished requests, split by the command class each needs next.
+#[derive(Debug, Clone, Default)]
+struct BankSched {
+    /// Open-row reads (data lane leads by `cl`).
+    hit_read: VecDeque<u32>,
+    /// Open-row writes (data lane leads by `cwl`).
+    hit_write: VecDeque<u32>,
+    /// Requests needing ACT (bank closed) or PRE (other row open).
+    miss: VecDeque<u32>,
+}
+
+impl BankSched {
+    fn is_empty(&self) -> bool {
+        self.hit_read.is_empty() && self.hit_write.is_empty() && self.miss.is_empty()
+    }
+}
+
 /// A cycle-accurate model of one DIMM (devices + controller front-end).
 #[derive(Debug, Clone)]
 pub struct Dimm {
@@ -152,8 +195,22 @@ pub struct Dimm {
     groups_per_rank: u32,
     /// `[rank][group][bank]`, flattened.
     banks: Vec<BankTimer>,
-    /// Age-ordered request queue (explicitly bounded by `cfg.queue_depth`).
-    queue: VecDeque<Pending>,
+    /// Request slab; freed slots are recycled through `free_slots`, so
+    /// the controller performs no per-request allocation in steady state.
+    entries: Vec<Option<Pending>>,
+    free_slots: Vec<u32>,
+    /// Age-ordered slab indices of every queued request, finished but
+    /// unretired ones included (explicitly bounded by `cfg.queue_depth`).
+    order: VecDeque<u32>,
+    /// Scheduling index, parallel to `banks`.
+    sched: Vec<BankSched>,
+    /// Banks whose index holds at least one unfinished request.
+    active_banks: Vec<u32>,
+    bank_active: Vec<bool>,
+    /// Finished-but-unretired entries keyed by their last data beat: an
+    /// O(1) "anything due?" guard for retirement and the finished-entry
+    /// term of the event horizon.
+    finishing: BinaryHeap<Reverse<(Cycle, u32)>>,
     completed: Vec<CompletedAccess>,
     /// Data-lane occupancy per `(rank, chip group)`. The NDP module sits
     /// on the DIMM and wires each rank independently, so ranks do not
@@ -178,6 +235,9 @@ pub struct Dimm {
     stats: Stats,
     chip_hist: Histogram,
     ticked_cycles: u64,
+    horizon: HorizonCache,
+    /// Reusable buffer for the order-preserving merges on PRE/refresh.
+    merge_scratch: VecDeque<u32>,
     /// Trace-track label; `None` falls back to `"dram"`.
     trace_id: Option<Box<str>>,
 }
@@ -197,7 +257,13 @@ impl Dimm {
             cfg,
             groups_per_rank: groups,
             banks: vec![BankTimer::new(); nbanks],
-            queue: VecDeque::with_capacity(cfg.queue_depth),
+            entries: Vec::with_capacity(cfg.queue_depth),
+            free_slots: Vec::with_capacity(cfg.queue_depth),
+            order: VecDeque::with_capacity(cfg.queue_depth),
+            sched: vec![BankSched::default(); nbanks],
+            active_banks: Vec::new(),
+            bank_active: vec![false; nbanks],
+            finishing: BinaryHeap::new(),
             completed: Vec::new(),
             data_bus_free: vec![Cycle::ZERO; (cfg.geometry.ranks * groups) as usize],
             cmd_bus_free: vec![
@@ -216,6 +282,8 @@ impl Dimm {
             stats: Stats::new(),
             chip_hist: Histogram::new(chips),
             ticked_cycles: 0,
+            horizon: HorizonCache::new(),
+            merge_scratch: VecDeque::new(),
             trace_id: None,
         }
     }
@@ -227,7 +295,7 @@ impl Dimm {
 
     /// Requests currently in the controller queue (an occupancy gauge).
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.order.len()
     }
 
     /// This DIMM's configuration.
@@ -242,7 +310,65 @@ impl Dimm {
 
     /// Free request-queue slots (for caller-side back-pressure checks).
     pub fn queue_free(&self) -> usize {
-        self.cfg.queue_depth - self.queue.len()
+        self.cfg.queue_depth - self.order.len()
+    }
+
+    fn entry(&self, slot: u32) -> &Pending {
+        self.entries[slot as usize].as_ref().expect("live slot")
+    }
+
+    fn entry_mut(&mut self, slot: u32) -> &mut Pending {
+        self.entries[slot as usize].as_mut().expect("live slot")
+    }
+
+    fn alloc_slot(&mut self, p: Pending) -> u32 {
+        match self.free_slots.pop() {
+            Some(slot) => {
+                self.entries[slot as usize] = Some(p);
+                slot
+            }
+            None => {
+                let slot = self.entries.len() as u32;
+                self.entries.push(Some(p));
+                slot
+            }
+        }
+    }
+
+    fn free_slot(&mut self, slot: u32) -> Pending {
+        let p = self.entries[slot as usize].take().expect("live slot");
+        self.free_slots.push(slot);
+        p
+    }
+
+    /// Rank served by the flattened bank index.
+    fn rank_of_bank(&self, bidx: usize) -> u32 {
+        bidx as u32 / (self.groups_per_rank * self.cfg.geometry.banks)
+    }
+
+    /// `(rank, group)` lane index of the flattened bank index.
+    fn lane_of_bank(&self, bidx: usize) -> usize {
+        bidx / self.cfg.geometry.banks as usize
+    }
+
+    fn mark_bank_active(&mut self, bidx: usize) {
+        if !self.bank_active[bidx] {
+            self.bank_active[bidx] = true;
+            self.active_banks.push(bidx as u32);
+        }
+    }
+
+    fn mark_bank_idle(&mut self, bidx: usize) {
+        debug_assert!(self.sched[bidx].is_empty());
+        if self.bank_active[bidx] {
+            self.bank_active[bidx] = false;
+            let pos = self
+                .active_banks
+                .iter()
+                .position(|&b| b as usize == bidx)
+                .expect("active bank listed");
+            self.active_banks.swap_remove(pos);
+        }
     }
 
     /// Enqueues a request, returning its id.
@@ -263,13 +389,13 @@ impl Dimm {
         assert!(req.coord.col < g.cols_per_row(), "column out of range");
         assert!(req.bytes > 0, "empty request");
 
-        if self.queue.len() >= self.cfg.queue_depth {
+        if self.order.len() >= self.cfg.queue_depth {
             return Err(QueueFullError(req));
         }
         let burst_bytes = self.cfg.access_mode.burst_bytes(&self.cfg.geometry);
         let bursts = req.bytes.div_ceil(burst_bytes).max(1);
         let id = ReqId(self.next_id);
-        self.queue.push_back(Pending {
+        let slot = self.alloc_slot(Pending {
             id,
             req,
             enqueued_at: self.now_hint(),
@@ -278,6 +404,22 @@ impl Dimm {
             last_data_end: Cycle::ZERO,
         });
         self.next_id += 1;
+        self.order.push_back(slot);
+
+        // Index the new request: ids are assigned in enqueue order, so a
+        // plain push_back keeps every list age-ordered.
+        let bidx = self.bank_index(req.coord.rank, req.coord.group, req.coord.bank);
+        let sched = &mut self.sched[bidx];
+        match self.banks[bidx].open_row() {
+            Some(open) if open == req.coord.row => match req.kind {
+                ReqKind::Read => sched.hit_read.push_back(slot),
+                ReqKind::Write => sched.hit_write.push_back(slot),
+            },
+            _ => sched.miss.push_back(slot),
+        }
+        self.mark_bank_active(bidx);
+        self.horizon.invalidate();
+
         self.stats.incr(match req.kind {
             ReqKind::Read => "dram.req.read",
             ReqKind::Write => "dram.req.write",
@@ -291,7 +433,19 @@ impl Dimm {
 
     /// Removes and returns every finished access.
     pub fn drain_completed(&mut self) -> Vec<CompletedAccess> {
+        if !self.completed.is_empty() {
+            self.horizon.invalidate();
+        }
         std::mem::take(&mut self.completed)
+    }
+
+    /// Appends every finished access to `out` (allocation-free variant of
+    /// [`Dimm::drain_completed`] for callers with a reusable buffer).
+    pub fn drain_completed_into(&mut self, out: &mut Vec<CompletedAccess>) {
+        if !self.completed.is_empty() {
+            self.horizon.invalidate();
+        }
+        out.append(&mut self.completed);
     }
 
     /// Statistics registry (command counts, row hits/misses, …).
@@ -325,7 +479,18 @@ impl Dimm {
     /// refresh off). Conservative: every term below is a *necessary*
     /// condition checked by the issue logic, so the minimum over them
     /// never overshoots the next actual state change.
+    ///
+    /// The value is memoized: it depends only on internal state, every
+    /// mutating operation invalidates the cache, and a clean hit is O(1).
     pub fn next_event(&self) -> Cycle {
+        self.horizon.get_or(|| self.compute_next_event())
+    }
+
+    /// From-scratch horizon over the scheduling index: one term per
+    /// non-empty per-bank list (all entries of a list share their
+    /// readiness cycle) plus refresh deadlines and the earliest finished
+    /// entry, so the cost is O(active banks), not O(queue entries).
+    fn compute_next_event(&self) -> Cycle {
         let mut h = Cycle::NEVER;
         if !self.completed.is_empty() {
             // The owner still has completions to drain.
@@ -337,9 +502,72 @@ impl Dimm {
                 h = h.min(self.refresh_due[rank].max(self.rank_busy[rank]));
             }
         }
-        for p in &self.queue {
-            if p.bursts_done == p.bursts_total {
-                // All bursts issued; retires once the last beat leaves.
+        if let Some(&Reverse((at, _))) = self.finishing.peek() {
+            // Earliest all-bursts-issued entry retires once its last data
+            // beat leaves the bus.
+            h = h.min(at);
+        }
+        for &b in &self.active_banks {
+            let bidx = b as usize;
+            let bank = &self.banks[bidx];
+            let sched = &self.sched[bidx];
+            let rank = self.rank_of_bank(bidx);
+            let floor =
+                self.cmd_bus_free[self.cmd_bus_index(rank)].max(self.rank_busy[rank as usize]);
+            let lane = self.lane_of_bank(bidx);
+            for (list, kind, lead) in [
+                (&sched.hit_read, CmdKind::Read, t.cl),
+                (&sched.hit_write, CmdKind::Write, t.cwl),
+            ] {
+                if list.is_empty() {
+                    continue;
+                }
+                // The data lane must be free when the burst starts, i.e.
+                // issue cycle n satisfies data_bus_free <= n + lead.
+                let lane_term = Cycle::new(self.data_bus_free[lane].as_u64().saturating_sub(lead));
+                h = h.min(bank.earliest(kind).max(floor).max(lane_term));
+            }
+            if !sched.miss.is_empty() {
+                let need = match bank.open_row() {
+                    Some(_) => CmdKind::Precharge,
+                    None => CmdKind::Activate,
+                };
+                let mut ready = bank.earliest(need).max(floor);
+                if need == CmdKind::Activate {
+                    if self.last_act[lane] != Cycle::ZERO {
+                        ready = ready.max(self.last_act[lane] + Duration::new(t.trrd));
+                    }
+                    let w = &self.act_window[lane];
+                    if w.len() == 4 {
+                        if let Some(&oldest) = w.front() {
+                            ready = ready.max(oldest + Duration::new(t.tfaw));
+                        }
+                    }
+                }
+                h = h.min(ready);
+            }
+        }
+        h
+    }
+
+    /// The original whole-queue horizon scan, kept as the differential
+    /// oracle for [`Dimm::next_event`]: on any reachable state the two
+    /// must agree bit-identically.
+    #[doc(hidden)]
+    pub fn reference_next_event(&self) -> Cycle {
+        let mut h = Cycle::NEVER;
+        if !self.completed.is_empty() {
+            return Cycle::ZERO;
+        }
+        let t = self.cfg.timing;
+        if self.cfg.refresh_enabled {
+            for rank in 0..self.cfg.geometry.ranks as usize {
+                h = h.min(self.refresh_due[rank].max(self.rank_busy[rank]));
+            }
+        }
+        for &slot in &self.order {
+            let p = self.entry(slot);
+            if p.finished() {
                 h = h.min(p.last_data_end);
                 continue;
             }
@@ -366,8 +594,6 @@ impl Dimm {
                     }
                 }
             } else if need.is_column() {
-                // The data lane must be free when the burst starts, i.e.
-                // issue cycle n satisfies data_bus_free <= n + lead.
                 let lead = match p.req.kind {
                     ReqKind::Read => t.cl,
                     ReqKind::Write => t.cwl,
@@ -414,13 +640,14 @@ impl Dimm {
                         // Model the forced precharge as resetting the bank;
                         // its cost is folded into tRFC.
                         self.banks[idx] = BankTimer::new();
+                        // Requests that were hits are misses now.
+                        self.rehome_all_to_miss(idx);
                     }
-                    // Push next-activate beyond the refresh window.
-                    let _ = &self.banks[idx];
                 }
             }
             self.rank_busy[rank as usize] = now + Duration::new(t.trfc);
             self.refresh_due[rank as usize] = now + Duration::new(t.trefi);
+            self.horizon.invalidate();
             self.stats.incr("dram.cmd.refresh");
             self.stats.add(
                 "dram.refresh_chips",
@@ -443,13 +670,22 @@ impl Dimm {
     }
 
     fn retire_finished(&mut self, now: Cycle) {
-        // Sweep the queue for requests whose final data beat has left the
-        // bus; they retire out of order with respect to queue age.
+        // O(1) guard: nothing retires before the earliest last data beat.
+        match self.finishing.peek() {
+            Some(&Reverse((at, _))) if at <= now => {}
+            _ => return,
+        }
+        // Sweep the age-ordered queue so completions keep their original
+        // age order; requests retire out of order with respect to queue
+        // age, but the completion list must not be reordered among those
+        // due in the same cycle.
         let mut i = 0;
-        while i < self.queue.len() {
-            let p = &self.queue[i];
-            if p.bursts_done == p.bursts_total && p.last_data_end <= now {
-                let done = self.queue.remove(i).expect("index valid");
+        while i < self.order.len() {
+            let slot = self.order[i];
+            let p = self.entry(slot);
+            if p.finished() && p.last_data_end <= now {
+                self.order.remove(i).expect("index valid");
+                let done = self.free_slot(slot);
                 self.completed.push(CompletedAccess {
                     id: done.id,
                     request: done.req,
@@ -460,6 +696,14 @@ impl Dimm {
                 i += 1;
             }
         }
+        // Drop the heap entries that just retired (exactly those <= now).
+        while let Some(&Reverse((at, _))) = self.finishing.peek() {
+            if at > now {
+                break;
+            }
+            self.finishing.pop();
+        }
+        self.horizon.invalidate();
     }
 
     /// True when an ACT to `(rank, group)` would violate tRRD or tFAW at
@@ -499,30 +743,264 @@ impl Dimm {
         }
     }
 
-    /// FR-FCFS issue: one command per cycle per command bus.
-    fn issue_one(&mut self, now: Cycle) {
-        let t = self.cfg.timing;
-        let chips_per_group = self.cfg.access_mode.chips_per_group(&self.cfg.geometry) as u64;
+    /// Re-indexes bank `bidx` after an ACT opened `row`: misses to the
+    /// freshly opened row become hits. ACT is only legal on a precharged
+    /// bank, so the hit lists start empty and a single order-preserving
+    /// partition of `miss` suffices.
+    fn rehome_after_activate(&mut self, bidx: usize, row: u64) {
+        debug_assert!(
+            self.sched[bidx].hit_read.is_empty() && self.sched[bidx].hit_write.is_empty(),
+            "ACT on a bank with hit entries"
+        );
+        let n = self.sched[bidx].miss.len();
+        for _ in 0..n {
+            let slot = self.sched[bidx].miss.pop_front().expect("length checked");
+            let (req_row, kind) = {
+                let p = self.entry(slot);
+                (p.req.coord.row, p.req.kind)
+            };
+            let sched = &mut self.sched[bidx];
+            if req_row == row {
+                match kind {
+                    ReqKind::Read => sched.hit_read.push_back(slot),
+                    ReqKind::Write => sched.hit_write.push_back(slot),
+                }
+            } else {
+                sched.miss.push_back(slot);
+            }
+        }
+    }
 
-        // Pass 1 (row hits first): oldest request whose column command can
-        // issue right now with a free data lane. Under FCFS only the
-        // oldest outstanding request may issue at all.
-        let fcfs_limit = match self.cfg.policy {
-            SchedPolicy::FrFcfs => usize::MAX,
-            SchedPolicy::Fcfs => {
-                match self
-                    .queue
-                    .iter()
-                    .position(|p| p.bursts_done < p.bursts_total)
-                {
-                    Some(i) => i + 1,
-                    None => 0,
+    /// Re-indexes bank `bidx` after its row closed (PRE or refresh):
+    /// every entry needs an ACT now. Merges the three lists back into
+    /// `miss` by request id so age order is preserved; the scratch
+    /// buffers rotate, so steady state allocates nothing.
+    fn rehome_all_to_miss(&mut self, bidx: usize) {
+        if self.sched[bidx].hit_read.is_empty() && self.sched[bidx].hit_write.is_empty() {
+            return;
+        }
+        let mut hr = std::mem::take(&mut self.sched[bidx].hit_read);
+        let mut hw = std::mem::take(&mut self.sched[bidx].hit_write);
+        let mut mi = std::mem::take(&mut self.sched[bidx].miss);
+        let mut out = std::mem::take(&mut self.merge_scratch);
+        out.clear();
+        loop {
+            let mut best: Option<(ReqId, u8)> = None;
+            for (which, list) in [(0u8, &hr), (1, &hw), (2, &mi)] {
+                if let Some(&slot) = list.front() {
+                    let id = self.entry(slot).id;
+                    if best.is_none_or(|(b, _)| id < b) {
+                        best = Some((id, which));
+                    }
                 }
             }
+            let Some((_, which)) = best else { break };
+            let slot = match which {
+                0 => hr.pop_front(),
+                1 => hw.pop_front(),
+                _ => mi.pop_front(),
+            }
+            .expect("head observed");
+            out.push_back(slot);
+        }
+        let sched = &mut self.sched[bidx];
+        sched.hit_read = hr;
+        sched.hit_write = hw;
+        sched.miss = out;
+        self.merge_scratch = mi;
+    }
+
+    /// The scheduling decision at `now`: the slab slot and command the
+    /// controller issues next, or `None` when nothing can issue. Exactly
+    /// equivalent to the linear two-pass scan ([`Dimm::reference_choice`]).
+    fn choose(&self, now: Cycle) -> Option<(u32, CmdKind)> {
+        match self.cfg.policy {
+            SchedPolicy::FrFcfs => self.choose_frfcfs(now),
+            SchedPolicy::Fcfs => self.choose_fcfs(now),
+        }
+    }
+
+    fn choose_frfcfs(&self, now: Cycle) -> Option<(u32, CmdKind)> {
+        let t = self.cfg.timing;
+        // Pass 1 (row hits first): every entry of one hit list shares the
+        // same readiness condition, so the oldest ready request with an
+        // issuable column command is the oldest ready *head*.
+        let mut best: Option<(ReqId, u32, CmdKind)> = None;
+        for &b in &self.active_banks {
+            let bidx = b as usize;
+            let rank = self.rank_of_bank(bidx);
+            if now < self.rank_busy[rank as usize]
+                || now < self.cmd_bus_free[self.cmd_bus_index(rank)]
+            {
+                continue;
+            }
+            let bank = &self.banks[bidx];
+            let sched = &self.sched[bidx];
+            let lane = self.lane_of_bank(bidx);
+            for (list, kind, lead) in [
+                (&sched.hit_read, CmdKind::Read, t.cl),
+                (&sched.hit_write, CmdKind::Write, t.cwl),
+            ] {
+                let Some(&slot) = list.front() else { continue };
+                if !bank.can_issue(kind, now) {
+                    // `col_allowed` is shared by reads and writes: if one
+                    // kind cannot issue, neither can the other.
+                    break;
+                }
+                // Data lane must be free when the burst starts.
+                if self.data_bus_free[lane] > now + Duration::new(lead) {
+                    continue;
+                }
+                let id = self.entry(slot).id;
+                if best.is_none_or(|(b, ..)| id < b) {
+                    best = Some((id, slot, kind));
+                }
+            }
+        }
+        if let Some((_, slot, kind)) = best {
+            return Some((slot, kind));
+        }
+
+        // Pass 2: oldest request that needs an ACT or PRE it can issue
+        // now. All misses of one bank need the same command and share its
+        // readiness, so heads again suffice.
+        let mut best: Option<(ReqId, u32, CmdKind)> = None;
+        for &b in &self.active_banks {
+            let bidx = b as usize;
+            let rank = self.rank_of_bank(bidx);
+            if now < self.rank_busy[rank as usize]
+                || now < self.cmd_bus_free[self.cmd_bus_index(rank)]
+            {
+                continue;
+            }
+            let sched = &self.sched[bidx];
+            let Some(&slot) = sched.miss.front() else {
+                continue;
+            };
+            let bank = &self.banks[bidx];
+            let need = match bank.open_row() {
+                Some(_) => CmdKind::Precharge,
+                None => CmdKind::Activate,
+            };
+            if need == CmdKind::Activate {
+                let lane = self.lane_of_bank(bidx);
+                let group = lane as u32 % self.groups_per_rank;
+                if self.act_blocked(rank, group, now) {
+                    continue;
+                }
+            }
+            if !bank.can_issue(need, now) {
+                continue;
+            }
+            let id = self.entry(slot).id;
+            if best.is_none_or(|(b, ..)| id < b) {
+                best = Some((id, slot, need));
+            }
+        }
+        best.map(|(_, slot, kind)| (slot, kind))
+    }
+
+    fn choose_fcfs(&self, now: Cycle) -> Option<(u32, CmdKind)> {
+        // Strict FCFS: only the oldest unfinished request may issue.
+        let t = self.cfg.timing;
+        let slot = self
+            .order
+            .iter()
+            .copied()
+            .find(|&s| !self.entry(s).finished())?;
+        let p = self.entry(slot);
+        let c = p.req.coord;
+        if now < self.rank_busy[c.rank as usize]
+            || now < self.cmd_bus_free[self.cmd_bus_index(c.rank)]
+        {
+            return None;
+        }
+        let col_kind = match p.req.kind {
+            ReqKind::Read => CmdKind::Read,
+            ReqKind::Write => CmdKind::Write,
         };
-        let mut chosen: Option<(usize, CmdKind)> = None;
-        for (qidx, p) in self.queue.iter().enumerate().take(fcfs_limit) {
-            if p.bursts_done == p.bursts_total {
+        let bank = &self.banks[self.bank_index(c.rank, c.group, c.bank)];
+        let need = bank.next_cmd_for(c.row, col_kind);
+        if need.is_column() {
+            if bank.can_issue(col_kind, now) {
+                let lead = match p.req.kind {
+                    ReqKind::Read => t.cl,
+                    ReqKind::Write => t.cwl,
+                };
+                if self.data_bus_free[self.lane_index(c.rank, c.group)] <= now + Duration::new(lead)
+                {
+                    return Some((slot, col_kind));
+                }
+            }
+            return None;
+        }
+        if need == CmdKind::Activate && self.act_blocked(c.rank, c.group, now) {
+            return None;
+        }
+        if bank.can_issue(need, now) {
+            Some((slot, need))
+        } else {
+            None
+        }
+    }
+
+    /// The scheduling decision of the per-bank index at `now` as a
+    /// `(request id, command)` pair, for differential testing against
+    /// [`Dimm::reference_choice`].
+    #[doc(hidden)]
+    pub fn indexed_choice(&self, now: Cycle) -> Option<(ReqId, CmdKind)> {
+        self.choose(now)
+            .map(|(slot, kind)| (self.entry(slot).id, kind))
+    }
+
+    /// The original linear two-pass FR-FCFS scan (including the
+    /// `fcfs_limit` window), kept as the differential oracle for the
+    /// per-bank index: on any reachable state [`Dimm::indexed_choice`]
+    /// must pick the same request and command.
+    #[doc(hidden)]
+    pub fn reference_choice(&self, now: Cycle) -> Option<(ReqId, CmdKind)> {
+        let t = self.cfg.timing;
+        // Under FCFS only the oldest outstanding request may issue at all.
+        let fcfs_limit = match self.cfg.policy {
+            SchedPolicy::FrFcfs => usize::MAX,
+            SchedPolicy::Fcfs => match self.order.iter().position(|&s| !self.entry(s).finished()) {
+                Some(i) => i + 1,
+                None => 0,
+            },
+        };
+        // Pass 1 (row hits first): oldest request whose column command can
+        // issue right now with a free data lane.
+        for &slot in self.order.iter().take(fcfs_limit) {
+            let p = self.entry(slot);
+            if p.finished() {
+                continue;
+            }
+            let c = p.req.coord;
+            if now < self.rank_busy[c.rank as usize]
+                || now < self.cmd_bus_free[self.cmd_bus_index(c.rank)]
+            {
+                continue;
+            }
+            let col_kind = match p.req.kind {
+                ReqKind::Read => CmdKind::Read,
+                ReqKind::Write => CmdKind::Write,
+            };
+            let bank = &self.banks[self.bank_index(c.rank, c.group, c.bank)];
+            if bank.next_cmd_for(c.row, col_kind) == col_kind && bank.can_issue(col_kind, now) {
+                let lead = match p.req.kind {
+                    ReqKind::Read => t.cl,
+                    ReqKind::Write => t.cwl,
+                };
+                let start = now + Duration::new(lead);
+                if self.data_bus_free[self.lane_index(c.rank, c.group)] <= start {
+                    return Some((p.id, col_kind));
+                }
+            }
+        }
+        // Pass 2: oldest request that needs an ACT or PRE it can issue now.
+        for &slot in self.order.iter().take(fcfs_limit) {
+            let p = self.entry(slot);
+            if p.finished() {
                 continue;
             }
             let c = p.req.coord;
@@ -536,68 +1014,42 @@ impl Dimm {
                 ReqKind::Write => CmdKind::Write,
             };
             let bidx = self.bank_index(c.rank, c.group, c.bank);
-            let bank = &self.banks[bidx];
-            if bank.next_cmd_for(c.row, col_kind) == col_kind && bank.can_issue(col_kind, now) {
-                // Data lane must be free when the burst starts.
-                let lead = match p.req.kind {
-                    ReqKind::Read => t.cl,
-                    ReqKind::Write => t.cwl,
-                };
-                let start = now + Duration::new(lead);
-                if self.data_bus_free[self.lane_index(c.rank, c.group)] <= start {
-                    chosen = Some((qidx, col_kind));
-                    break;
-                }
+            let need = self.banks[bidx].next_cmd_for(c.row, col_kind);
+            if need.is_column() {
+                continue; // column handled in pass 1
+            }
+            if need == CmdKind::Activate && self.act_blocked(c.rank, c.group, now) {
+                continue;
+            }
+            if self.banks[bidx].can_issue(need, now) {
+                return Some((p.id, need));
             }
         }
+        None
+    }
 
-        // Pass 2: oldest request that needs an ACT or PRE it can issue now.
-        if chosen.is_none() {
-            for (qidx, p) in self.queue.iter().enumerate().take(fcfs_limit) {
-                if p.bursts_done == p.bursts_total {
-                    continue;
-                }
-                let c = p.req.coord;
-                if now < self.rank_busy[c.rank as usize]
-                    || now < self.cmd_bus_free[self.cmd_bus_index(c.rank)]
-                {
-                    continue;
-                }
-                let col_kind = match p.req.kind {
-                    ReqKind::Read => CmdKind::Read,
-                    ReqKind::Write => CmdKind::Write,
-                };
-                let bidx = self.bank_index(c.rank, c.group, c.bank);
-                let need = self.banks[bidx].next_cmd_for(c.row, col_kind);
-                if need.is_column() {
-                    continue; // column handled in pass 1
-                }
-                if need == CmdKind::Activate && self.act_blocked(c.rank, c.group, now) {
-                    continue;
-                }
-                if self.banks[bidx].can_issue(need, now) {
-                    chosen = Some((qidx, need));
-                    break;
-                }
-            }
-        }
-
-        let Some((qidx, kind)) = chosen else {
+    /// FR-FCFS issue: one command per cycle per command bus.
+    fn issue_one(&mut self, now: Cycle) {
+        let Some((slot, kind)) = self.choose(now) else {
             return;
         };
+        let t = self.cfg.timing;
+        let chips_per_group = self.cfg.access_mode.chips_per_group(&self.cfg.geometry) as u64;
 
         let (coord, req_kind) = {
-            let p = &self.queue[qidx];
+            let p = self.entry(slot);
             (p.req.coord, p.req.kind)
         };
         let bidx = self.bank_index(coord.rank, coord.group, coord.bank);
         let window = self.banks[bidx].apply(kind, coord.row, now, &t);
         let cbus = self.cmd_bus_index(coord.rank);
         self.cmd_bus_free[cbus] = now + Duration::new(1);
+        self.horizon.invalidate();
 
         match kind {
             CmdKind::Activate => {
                 self.note_act(coord.rank, coord.group, now);
+                self.rehome_after_activate(bidx, coord.row);
                 self.stats.incr("dram.cmd.act");
                 self.stats.add("dram.act_chips", chips_per_group);
                 self.stats.incr("dram.row_miss");
@@ -616,6 +1068,7 @@ impl Dimm {
                 }
             }
             CmdKind::Precharge => {
+                self.rehome_all_to_miss(bidx);
                 self.stats.incr("dram.cmd.pre");
                 self.stats.add("dram.pre_chips", chips_per_group);
                 self.stats.incr("dram.row_conflict");
@@ -638,7 +1091,7 @@ impl Dimm {
                 let lane = self.lane_index(coord.rank, coord.group);
                 let cols = self.cfg.geometry.cols_per_row();
                 let chained = {
-                    let p = &self.queue[qidx];
+                    let p = self.entry(slot);
                     if self.cfg.chained_columns {
                         // Custom MC: expand the remaining same-row bursts
                         // into one chained command (clamped at row end).
@@ -651,21 +1104,35 @@ impl Dimm {
                 };
                 // Recompute the data window for the chain length.
                 let end = if chained > 1 {
-                    let bidx2 = self.bank_index(coord.rank, coord.group, coord.bank);
                     // First burst already applied; extend by the remaining
                     // occupancy directly.
-                    let extra = beacon_sim::cycle::Duration::new(t.tbl).saturating_mul(chained - 1);
-                    let _ = bidx2;
-                    end + extra
+                    end + Duration::new(t.tbl).saturating_mul(chained - 1)
                 } else {
                     end
                 };
                 self.data_bus_free[lane] = end;
-                {
-                    let p = &mut self.queue[qidx];
+                let finished = {
+                    let p = self.entry_mut(slot);
                     p.bursts_done += chained as u32;
                     p.last_data_end = end;
                     p.req.coord.col = (p.req.coord.col + chained as u32) % cols;
+                    p.finished()
+                };
+                if finished {
+                    // A column issue always serves the head of its hit
+                    // list (older same-list entries would have issued
+                    // first); unlink it and queue it for retirement.
+                    let sched = &mut self.sched[bidx];
+                    let list = match req_kind {
+                        ReqKind::Read => &mut sched.hit_read,
+                        ReqKind::Write => &mut sched.hit_write,
+                    };
+                    let head = list.pop_front();
+                    debug_assert_eq!(head, Some(slot), "finished entry must be its list head");
+                    self.finishing.push(Reverse((end, slot)));
+                    if self.sched[bidx].is_empty() {
+                        self.mark_bank_idle(bidx);
+                    }
                 }
                 match req_kind {
                     ReqKind::Read => {
@@ -717,7 +1184,7 @@ impl Tick for Dimm {
     }
 
     fn is_idle(&self) -> bool {
-        self.queue.is_empty()
+        self.order.is_empty()
     }
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
@@ -1018,5 +1485,80 @@ mod tests {
         let mut latencies: Vec<u64> = done.iter().map(|c| c.latency().as_u64()).collect();
         latencies.sort_unstable();
         assert!(latencies[3] > latencies[0]);
+    }
+
+    /// Drives random mixed traffic through a DIMM while checking, every
+    /// cycle, that the per-bank index agrees with the linear-scan oracle
+    /// on both the scheduling decision and the event horizon.
+    fn check_index_against_reference(cfg: DimmConfig, seed: u64, steps: u64) {
+        let mut d = Dimm::new(cfg);
+        let groups = d.groups_per_rank();
+        let banks = d.config().geometry.banks;
+        let ranks = d.config().geometry.ranks;
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s
+        };
+        for step in 0..steps {
+            let now = Cycle::new(step);
+            // Mixed enqueue pressure: bursty, row-reuse-heavy traffic.
+            if next() % 3 != 0 {
+                let r = next();
+                let c = coord(
+                    (r >> 48) as u32 % ranks,
+                    ((r >> 32) % groups as u64) as u32,
+                    ((r >> 16) % banks as u64) as u32,
+                    // Few distinct rows so hits, conflicts and chained
+                    // candidates all occur.
+                    r % 4,
+                    ((r >> 8) % 4) as u32,
+                );
+                let bytes = [4u32, 32, 64, 256][(r % 4) as usize];
+                let req = if r % 5 == 0 {
+                    MemRequest::write(c, bytes)
+                } else {
+                    MemRequest::read(c, bytes)
+                };
+                d.sync_time(now);
+                let _ = d.enqueue(req);
+            }
+            assert_eq!(
+                d.indexed_choice(now),
+                d.reference_choice(now),
+                "scheduling divergence at cycle {step}"
+            );
+            d.tick(now);
+            assert_eq!(
+                Dimm::next_event(&d),
+                d.reference_next_event(),
+                "horizon divergence after cycle {step}"
+            );
+            if next() % 7 == 0 {
+                let _ = d.drain_completed();
+            }
+        }
+    }
+
+    #[test]
+    fn index_matches_reference_frfcfs_lockstep() {
+        let mut cfg = DimmConfig::paper(AccessMode::RankLockstep);
+        cfg.refresh_enabled = true;
+        check_index_against_reference(cfg, 0x1234_5678, 4000);
+    }
+
+    #[test]
+    fn index_matches_reference_frfcfs_perchip_ndp() {
+        let cfg = DimmConfig::paper_ndp(AccessMode::PerChip);
+        check_index_against_reference(cfg, 0xDEAD_BEEF, 4000);
+    }
+
+    #[test]
+    fn index_matches_reference_fcfs() {
+        let mut cfg = DimmConfig::paper(AccessMode::Coalesced { chips: 8 });
+        cfg.policy = SchedPolicy::Fcfs;
+        check_index_against_reference(cfg, 0xC0FF_EE00, 4000);
     }
 }

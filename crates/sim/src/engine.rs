@@ -49,6 +49,72 @@ fn horizon_jump<T: Tick + ?Sized>(model: &T, ticked: Cycle, stepped: Cycle, cap:
     }
 }
 
+/// Adaptive throttle for horizon probes in the fast-forward loops.
+///
+/// Querying the model's horizon is a full component sweep, and in a
+/// *dense* phase — an event every cycle — the answer is always `now + 1`,
+/// so the sweep buys nothing and per-cycle probing taxes exactly the
+/// kernels with the most work. The throttle backs off exponentially
+/// after failed jumps (probe again after 1 tick, then 2, 4, … up to
+/// [`ProbeThrottle::MAX_BACKOFF`]) and snaps back to probing every tick
+/// the moment a jump succeeds.
+///
+/// Correctness is unaffected: deferring a probe only means ticking
+/// cycles the horizon might have proven dead, and dead-cycle ticks are
+/// no-ops by the horizon contract, so results stay bit-identical. The
+/// cost is bounded — a dense phase amortises the sweep over up to
+/// `MAX_BACKOFF` ticks, and a dead span is entered at most
+/// `MAX_BACKOFF - 1` cheap no-op ticks late.
+#[derive(Debug, Clone)]
+pub struct ProbeThrottle {
+    /// Ticks remaining until the next horizon probe.
+    defer: u32,
+    /// Deferral to apply after the next failed probe.
+    backoff: u32,
+}
+
+impl ProbeThrottle {
+    /// Longest stretch of ticks between horizon probes.
+    pub const MAX_BACKOFF: u32 = 64;
+
+    /// A throttle that probes on the first tick.
+    pub fn new() -> Self {
+        Self {
+            defer: 0,
+            backoff: 1,
+        }
+    }
+
+    /// True when this tick should query the horizon; otherwise counts
+    /// the tick against the current deferral.
+    pub fn probe(&mut self) -> bool {
+        if self.defer == 0 {
+            true
+        } else {
+            self.defer -= 1;
+            false
+        }
+    }
+
+    /// Records a probe's outcome: a successful jump re-arms per-tick
+    /// probing, a failed one doubles the deferral (saturating).
+    pub fn observe(&mut self, jumped: bool) {
+        if jumped {
+            self.defer = 0;
+            self.backoff = 1;
+        } else {
+            self.defer = self.backoff;
+            self.backoff = (self.backoff * 2).min(Self::MAX_BACKOFF);
+        }
+    }
+}
+
+impl Default for ProbeThrottle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Outcome of running a model to completion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunOutcome {
@@ -236,18 +302,21 @@ impl Engine {
     /// loop.
     pub fn run<T: Tick + ?Sized>(&mut self, model: &mut T) -> RunOutcome {
         let skip = skip_enabled();
+        let mut throttle = ProbeThrottle::new();
         while !model.is_idle() {
             if self.now >= self.limit {
                 return RunOutcome::LimitReached { limit: self.limit };
             }
             model.tick(self.now);
             let stepped = self.now.next();
-            self.now = if skip && !model.is_idle() {
+            self.now = if skip && !model.is_idle() && throttle.probe() {
                 // `limit - 1` (not `limit`) caps the jump so the guard
                 // cycle right before the limit is ticked like in the
                 // per-cycle loop.
                 let cap = Cycle::new(self.limit.as_u64().saturating_sub(1)).max(stepped);
-                horizon_jump(model, self.now, stepped, cap)
+                let next = horizon_jump(model, self.now, stepped, cap);
+                throttle.observe(next > stepped);
+                next
             } else {
                 stepped
             };
@@ -267,16 +336,19 @@ impl Engine {
     pub fn run_for<T: Tick + ?Sized>(&mut self, model: &mut T, cycles: u64) {
         let end = (self.now + Duration::new(cycles)).min(self.limit);
         let skip = skip_enabled();
+        let mut throttle = ProbeThrottle::new();
         while self.now < end {
             model.tick(self.now);
             let stepped = self.now.next();
-            self.now = if skip {
+            self.now = if skip && throttle.probe() {
                 // Cap jumps at `end - 1` so the window's last cycle is
                 // always ticked: models that keep an internal time
                 // high-water (timestamping later enqueues) end the
                 // window in exactly the per-cycle-loop state.
                 let cap = Cycle::new(end.as_u64().saturating_sub(1)).max(stepped);
-                horizon_jump(model, self.now, stepped, cap)
+                let next = horizon_jump(model, self.now, stepped, cap);
+                throttle.observe(next > stepped);
+                next
             } else {
                 stepped
             };
@@ -334,6 +406,7 @@ impl Engine {
         let mut last_progress_count = model.progress_counter();
         let mut last_progress_at = self.now;
         let skip = skip_enabled();
+        let mut throttle = ProbeThrottle::new();
         let mut ticked: u64 = 0;
 
         let outcome = loop {
@@ -349,7 +422,7 @@ impl Engine {
             model.tick(self.now);
             ticked += 1;
             let stepped = self.now.next();
-            self.now = if skip && !model.is_idle() {
+            self.now = if skip && !model.is_idle() && throttle.probe() {
                 // Clamp the jump at every pending hook deadline so
                 // samples, progress reports and stall checks fire at
                 // exactly the cycles they would in an every-cycle run —
@@ -361,7 +434,9 @@ impl Engine {
                     .min(next_sample)
                     .min(next_progress)
                     .min(next_stall_check);
-                horizon_jump(model, self.now, stepped, cap)
+                let next = horizon_jump(model, self.now, stepped, cap);
+                throttle.observe(next > stepped);
+                next
             } else {
                 stepped
             };
@@ -843,6 +918,74 @@ mod tests {
         // ticks), so far fewer raw ticks than effective cycles.
         let &(cycles, ticked) = reports.last().unwrap();
         assert!(ticked < cycles / 100);
+    }
+
+    /// Dense model: an event every cycle for `n` cycles; counts horizon
+    /// probes so tests can prove the throttle amortises them.
+    struct Dense {
+        n: u64,
+        done: u64,
+        probes: Cell<u64>,
+    }
+
+    impl Tick for Dense {
+        fn tick(&mut self, _now: Cycle) {
+            self.done += 1;
+        }
+        fn is_idle(&self) -> bool {
+            self.done >= self.n
+        }
+        fn next_event(&self, now: Cycle) -> Option<Cycle> {
+            self.probes.set(self.probes.get() + 1);
+            Some(now.next())
+        }
+    }
+
+    #[test]
+    fn dense_runs_throttle_horizon_probes() {
+        let _guard = SkipGuard;
+        set_skip(true);
+        let mut m = Dense {
+            n: 10_000,
+            done: 0,
+            probes: Cell::new(0),
+        };
+        let out = Engine::new().run(&mut m);
+        assert_eq!(out.finished_at(), Cycle::new(10_000));
+        // Every probe fails (the horizon is always `now + 1`), so the
+        // throttle backs off to MAX_BACKOFF and steady state probes only
+        // once per MAX_BACKOFF + 1 ticks.
+        let probes = m.probes.get();
+        assert!(
+            probes < 10_000 / u64::from(ProbeThrottle::MAX_BACKOFF) * 2,
+            "dense run probed the horizon {probes} times over 10_000 ticks"
+        );
+    }
+
+    #[test]
+    fn probe_throttle_backs_off_and_rearms() {
+        let mut t = ProbeThrottle::new();
+        assert!(t.probe());
+        t.observe(false); // defer 1 tick
+        assert!(!t.probe());
+        assert!(t.probe());
+        t.observe(false); // defer 2 ticks
+        assert!(!t.probe());
+        assert!(!t.probe());
+        assert!(t.probe());
+        t.observe(true); // success: probe every tick again
+        assert!(t.probe());
+        for _ in 0..16 {
+            t.observe(false);
+            while !t.probe() {}
+        }
+        // Saturated: exactly MAX_BACKOFF deferred ticks per probe.
+        t.observe(false);
+        let mut deferred = 0;
+        while !t.probe() {
+            deferred += 1;
+        }
+        assert_eq!(deferred, ProbeThrottle::MAX_BACKOFF);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Memoized event horizons with dirty-flag invalidation.
+//!
+//! Computing a component's event horizon (see
+//! [`Tick::next_event`](crate::component::Tick::next_event)) from scratch
+//! is typically a scan over every queue entry, bank timer and bus lane the
+//! component owns. Under fast-forwarding the engine queries the horizon
+//! after *every* tick, so on dense workloads — where most cycles issue a
+//! command — the recomputation dominates and can make skipping slower
+//! than plain per-cycle ticking.
+//!
+//! [`HorizonCache`] memoizes the last computed horizon together with a
+//! dirty flag. The contract:
+//!
+//! * every mutating operation that could change the component's horizon
+//!   calls [`HorizonCache::invalidate`];
+//! * the component's `next_event` calls [`HorizonCache::get_or`] with the
+//!   from-scratch recomputation as the fallback.
+//!
+//! Because component horizons are *absolute* cycles derived from internal
+//! state only (never from the query cycle `now`), a clean cached value is
+//! bit-identical to a recompute: staleness is impossible as long as every
+//! mutation invalidates. "When in doubt, invalidate" is always safe — a
+//! spurious invalidation merely costs one recompute.
+//!
+//! The cache uses [`Cell`] so `next_event(&self)` can fill it through a
+//! shared reference. `Cell<T>` is `Send` (not `Sync`), which matches how
+//! the parallel engine uses components: each shard owns its components
+//! and may move across threads between epochs, but two threads never
+//! share one component concurrently.
+
+use std::cell::Cell;
+
+use crate::cycle::Cycle;
+
+/// A memoized absolute event horizon, invalidated on mutation.
+#[derive(Debug, Clone)]
+pub struct HorizonCache {
+    cached: Cell<Cycle>,
+    dirty: Cell<bool>,
+}
+
+impl Default for HorizonCache {
+    fn default() -> Self {
+        HorizonCache::new()
+    }
+}
+
+impl HorizonCache {
+    /// A cache that starts dirty, forcing the first query to recompute.
+    pub const fn new() -> Self {
+        HorizonCache {
+            cached: Cell::new(Cycle::NEVER),
+            dirty: Cell::new(true),
+        }
+    }
+
+    /// Marks the cached horizon stale. Call from every mutating
+    /// operation that could change the component's next event.
+    #[inline]
+    pub fn invalidate(&self) {
+        self.dirty.set(true);
+    }
+
+    /// True when the next [`HorizonCache::get_or`] will recompute.
+    #[inline]
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.get()
+    }
+
+    /// Returns the cached horizon, recomputing it via `recompute` first
+    /// when dirty.
+    #[inline]
+    pub fn get_or(&self, recompute: impl FnOnce() -> Cycle) -> Cycle {
+        if self.dirty.get() {
+            self.cached.set(recompute());
+            self.dirty.set(false);
+        }
+        self.cached.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_dirty_and_caches_after_first_query() {
+        let c = HorizonCache::new();
+        assert!(c.is_dirty());
+        let mut calls = 0;
+        let h = c.get_or(|| {
+            calls += 1;
+            Cycle::new(42)
+        });
+        assert_eq!(h, Cycle::new(42));
+        assert_eq!(calls, 1);
+        assert!(!c.is_dirty());
+        // Clean: fallback must not run again.
+        let h = c.get_or(|| unreachable!("cache is clean"));
+        assert_eq!(h, Cycle::new(42));
+    }
+
+    #[test]
+    fn invalidate_forces_recompute() {
+        let c = HorizonCache::new();
+        assert_eq!(c.get_or(|| Cycle::new(1)), Cycle::new(1));
+        c.invalidate();
+        assert!(c.is_dirty());
+        assert_eq!(c.get_or(|| Cycle::new(7)), Cycle::new(7));
+        assert_eq!(c.get_or(|| unreachable!()), Cycle::new(7));
+    }
+
+    #[test]
+    fn clone_copies_the_cached_state() {
+        let c = HorizonCache::new();
+        let _ = c.get_or(|| Cycle::new(9));
+        let d = c.clone();
+        assert!(!d.is_dirty());
+        assert_eq!(d.get_or(|| unreachable!()), Cycle::new(9));
+        // Independent after the clone.
+        d.invalidate();
+        assert!(!c.is_dirty());
+    }
+}

@@ -26,6 +26,7 @@
 pub mod component;
 pub mod cycle;
 pub mod engine;
+pub mod horizon;
 pub mod metrics;
 pub mod parallel;
 pub mod queue;
@@ -37,7 +38,8 @@ pub mod trace;
 pub mod prelude {
     pub use crate::component::{Probe, Tick};
     pub use crate::cycle::{Cycle, Duration};
-    pub use crate::engine::{Engine, EngineHooks};
+    pub use crate::engine::{Engine, EngineHooks, ProbeThrottle};
+    pub use crate::horizon::HorizonCache;
     pub use crate::metrics::{MetricsSample, MetricsSeries};
     pub use crate::parallel::{EpochHub, EpochShard, ParallelEngine};
     pub use crate::queue::BoundedQueue;
