@@ -1,0 +1,106 @@
+//! Offline stand-in for `criterion`: benches compile and each closure
+//! runs exactly once (like criterion's own `cargo test` mode). No
+//! statistics are collected.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Mirror of `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        run_once(&format!("{id}"), &mut f);
+        self
+    }
+}
+
+/// Mirror of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Ignored; accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored; accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Ignored; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` once and reports the wall-clock time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        run_once(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let t = Instant::now();
+    let mut b = Bencher { _private: () };
+    f(&mut b);
+    eprintln!("bench {label}: one pass in {:?}", t.elapsed());
+}
+
+/// Mirror of `criterion::Bencher`; `iter` runs its closure once.
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    /// Runs `f` once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = black_box(f());
+    }
+}
+
+/// Opaque value barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Mirror of `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags; ignore them.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`: the traits exist so `#[derive(Serialize,
+//! Deserialize)]` attributes parse, but the derives expand to nothing.
+
+/// Marker mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
