@@ -34,7 +34,7 @@ pub mod prelude {
     pub use crate::medal::{Medal, MedalConfig, RegionSpec};
     pub use crate::nest::{Nest, NestConfig};
     pub use crate::pending::PendingTable;
-    pub use crate::result::RunResult;
+    pub use crate::result::{DegradedRun, RunResult};
     pub use crate::server::{DimmServer, ServiceOp};
     pub use crate::task::{AccessToken, IssuedAccess, TaskEngine, TaskId};
     pub use crate::translate::{PhysSegment, Placement, RegionMap};

@@ -368,6 +368,7 @@ impl Medal {
             total_chips: (self.cfg.geometry.ranks * self.cfg.geometry.chips_per_rank) as u64
                 * self.modules.len() as u64,
             chip_histograms: hists,
+            degraded: None,
         }
     }
 
@@ -453,7 +454,7 @@ impl Medal {
             let channel = bundle.messages[0].dst.switch().expect("DIMM destination") as usize;
             match self.down[channel].try_send(bundle, now) {
                 Ok(()) => {}
-                Err(e) => rest.push_back((ready, e.0)),
+                Err(e) => rest.push_back((ready, e.into_bundle())),
             }
         }
         self.host_stage = rest;
@@ -500,7 +501,8 @@ impl Medal {
                     self.modules[mi].engine.on_data(token, now);
                 }
             }
-            MsgKind::Control => {}
+            // MEDAL's baseline pool is always healthy: naks never occur.
+            MsgKind::Nak | MsgKind::Control => {}
         }
     }
 

@@ -14,6 +14,9 @@ struct Entry {
     remaining: u32,
     blocking: bool,
     in_use: bool,
+    /// A segment failed (nak / poisoned data); the token was already
+    /// handed back for retry and must not be released again.
+    poisoned: bool,
 }
 
 /// Slab of in-flight logical accesses awaiting their segments.
@@ -42,6 +45,7 @@ impl PendingTable {
             remaining: segments,
             blocking,
             in_use: true,
+            poisoned: false,
         };
         let idx = match self.free.pop() {
             Some(i) => {
@@ -70,6 +74,38 @@ impl PendingTable {
         if e.remaining == 0 {
             e.in_use = false;
             self.free.push(id as u32);
+            // A poisoned access already handed its token back through
+            // `poison_one`; the stragglers just drain the slot.
+            if e.poisoned {
+                return None;
+            }
+            Some((e.token, e.blocking))
+        } else {
+            None
+        }
+    }
+
+    /// Records a *failed* segment of access `id` — a nak or a poisoned
+    /// response. The first failure poisons the entry and returns
+    /// `Some((token, blocking))` so the requester can retry the whole
+    /// logical access; any segments still in flight keep draining
+    /// through [`PendingTable::complete_one`] / further `poison_one`
+    /// calls without releasing the token a second time.
+    ///
+    /// # Panics
+    /// Panics when `id` is not an in-flight access.
+    pub fn poison_one(&mut self, id: u64) -> Option<(AccessToken, bool)> {
+        let e = &mut self.entries[id as usize];
+        assert!(e.in_use, "nak for idle pending slot {id}");
+        debug_assert!(e.remaining > 0);
+        e.remaining -= 1;
+        let first = !e.poisoned;
+        e.poisoned = true;
+        if e.remaining == 0 {
+            e.in_use = false;
+            self.free.push(id as u32);
+        }
+        if first {
             Some((e.token, e.blocking))
         } else {
             None
@@ -143,6 +179,24 @@ mod tests {
         let id = p.alloc(token(1), 1, true);
         p.complete_one(id);
         p.complete_one(id);
+    }
+
+    #[test]
+    fn poison_releases_the_token_once_then_drains() {
+        let mut p = PendingTable::new();
+        let id = p.alloc(token(7), 3, true);
+        // First nak: token handed back for retry.
+        let (tok, blocking) = p.poison_one(id).expect("first failure yields the token");
+        assert_eq!(tok.task, TaskId(7));
+        assert!(blocking);
+        // Remaining segments (clean or nak'd) drain silently.
+        assert!(p.complete_one(id).is_none());
+        assert!(p.poison_one(id).is_none());
+        assert!(p.is_empty(), "slot freed after the last straggler");
+        // The slot is reusable and starts clean.
+        let id2 = p.alloc(token(8), 1, false);
+        let (tok2, _) = p.complete_one(id2).expect("fresh entry completes");
+        assert_eq!(tok2.task, TaskId(8));
     }
 
     #[test]

@@ -9,6 +9,57 @@ use std::fmt::Write as _;
 use beacon_sim::stats::{Fnv64, Histogram, Stats};
 use serde::{Deserialize, Serialize};
 
+/// RAS outcome of a run that executed under a fault schedule: what
+/// broke, what it cost, and how the system degraded instead of dying.
+///
+/// Deliberately **excluded** from [`RunResult::digest`]: the digest pins
+/// the simulated machine state, and a fault-free run must stay
+/// bit-identical whether or not the (quiet) fault machinery was armed.
+/// Fault effects that change machine state (retry cycles, re-issued
+/// accesses, re-mapped placements) show up in the digested counters on
+/// their own.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradedRun {
+    /// Seed of the fault schedule the run executed under.
+    pub seed: u64,
+    /// Whole-DIMM hard failures executed.
+    pub failed_dimms: u64,
+    /// Pool capacity lost to failed DIMMs, in bytes.
+    pub lost_capacity_bytes: u64,
+    /// Link flits that arrived with a bad CRC and were retried.
+    pub crc_errors: u64,
+    /// Extra link cycles burned by CRC retries and their backoff.
+    pub retry_cycles: u64,
+    /// Switch-port flap (down-window) events.
+    pub port_flaps: u64,
+    /// Uncorrectable DRAM errors returned as poisoned reads.
+    pub dimm_ue: u64,
+    /// Requests nak'd back to their requester (dead DIMM or poison).
+    pub naks: u64,
+    /// Accesses re-issued after a nak.
+    pub requeued: u64,
+    /// Accesses abandoned after exhausting their retry budget.
+    pub dropped: u64,
+    /// Placements re-homed off the dead DIMM by the MMF.
+    pub remap_regions: u64,
+    /// Bytes the MMF re-homed onto surviving DIMMs.
+    pub moved_bytes: u64,
+    /// Estimated link cost of that migration, in cycles.
+    pub remap_cost_cycles: u64,
+}
+
+impl DegradedRun {
+    /// True when no fault of any kind actually fired.
+    pub fn is_clean(&self) -> bool {
+        self.failed_dimms == 0
+            && self.crc_errors == 0
+            && self.port_flaps == 0
+            && self.dimm_ue == 0
+            && self.naks == 0
+            && self.dropped == 0
+    }
+}
+
 /// Counters and outcomes of one full system run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
@@ -29,6 +80,10 @@ pub struct RunResult {
     pub total_chips: u64,
     /// Per-DIMM chip-access histograms (Fig. 13 data).
     pub chip_histograms: Vec<Histogram>,
+    /// RAS report when the run executed under a fault schedule
+    /// (`None` on a pristine machine). Not part of the digest — see
+    /// [`DegradedRun`].
+    pub degraded: Option<DegradedRun>,
 }
 
 impl RunResult {
@@ -185,6 +240,7 @@ mod tests {
             pe_busy_cycles: 0,
             total_chips: 0,
             chip_histograms: vec![],
+            degraded: None,
         };
         assert_eq!(r.throughput(), 5.0);
         assert!((r.seconds(1250) - 1.25e-5).abs() < 1e-18);
@@ -206,6 +262,7 @@ mod tests {
             pe_busy_cycles: 123,
             total_chips: 8,
             chip_histograms: vec![hist],
+            degraded: None,
         }
     }
 
@@ -223,6 +280,24 @@ mod tests {
         let mut d = sample();
         d.chip_histograms[0].record(3, 1);
         assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn degraded_report_stays_out_of_the_digest() {
+        // The digest pins machine state; the RAS report is metadata. A
+        // quiet armed run must digest identically to an unarmed one.
+        let a = sample();
+        let mut b = sample();
+        b.degraded = Some(DegradedRun {
+            seed: 42,
+            failed_dimms: 1,
+            naks: 7,
+            ..DegradedRun::default()
+        });
+        assert_eq!(a.digest(), b.digest());
+        assert!(a.diff(&b).is_none());
+        assert!(!b.degraded.unwrap().is_clean());
+        assert!(DegradedRun::default().is_clean());
     }
 
     #[test]
@@ -257,6 +332,7 @@ mod tests {
             pe_busy_cycles: 0,
             total_chips: 0,
             chip_histograms: vec![],
+            degraded: None,
         };
         assert_eq!(r.throughput(), 0.0);
         assert!(r.merged_chip_histogram().is_none());

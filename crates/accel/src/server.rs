@@ -57,6 +57,11 @@ pub struct DimmServer {
     rmw_stage: VecDeque<(Cycle, ServiceReq)>,
     /// Reusable buffer for draining DIMM completions each tick.
     drain_scratch: Vec<CompletedAccess>,
+    /// Service ids whose completion carried poisoned data (DIMM UE) —
+    /// a subset of `done`; empty unless fault injection is armed.
+    poisoned: Vec<u64>,
+    /// Whole-DIMM failure happened; no further service is possible.
+    failed: bool,
     stats: Stats,
 }
 
@@ -70,8 +75,47 @@ impl DimmServer {
             rmw_alu_cycles: 4,
             rmw_stage: VecDeque::new(),
             drain_scratch: Vec::new(),
+            poisoned: Vec::new(),
+            failed: false,
             stats: Stats::new(),
         }
+    }
+
+    /// Arms an uncorrectable-error stream on the underlying DIMM (see
+    /// [`Dimm::set_ue_faults`]). Poisoned completions surface through
+    /// [`DimmServer::drain_poisoned_into`].
+    pub fn set_ue_faults(&mut self, ue: beacon_sim::faults::FaultStream) {
+        self.dimm.set_ue_faults(ue);
+    }
+
+    /// True once [`DimmServer::fail_into`] has been called.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// RAS: the DIMM behind this server fails. Every outstanding
+    /// service operation — backlogged, between RMW phases, inside the
+    /// DRAM controller or completed-but-undrained — is aborted and its
+    /// service id appended to `out` so the owner can nak the
+    /// requesters. The server is permanently idle afterwards; the owner
+    /// must stop submitting (`is_failed`).
+    pub fn fail_into(&mut self, out: &mut Vec<u64>) {
+        for r in self.backlog.drain(..) {
+            out.push(r.id);
+        }
+        for (_, r) in self.rmw_stage.drain(..) {
+            out.push(r.id);
+        }
+        for (id, _) in self.done.drain(..) {
+            out.push(id);
+        }
+        let mut aborted = Vec::new();
+        self.dimm.fail(&mut aborted);
+        for tag in aborted {
+            out.push(tag & !PHASE_MASK);
+        }
+        self.poisoned.clear();
+        self.failed = true;
     }
 
     /// Submits a service operation.
@@ -104,6 +148,13 @@ impl DimmServer {
     /// ticks.
     pub fn drain_done_into(&mut self, out: &mut Vec<(u64, Cycle)>) {
         out.append(&mut self.done);
+    }
+
+    /// Service ids among the drained completions whose data was
+    /// poisoned by a DIMM uncorrectable error. Empty on fault-free runs;
+    /// owners only need to consult it when it is non-empty.
+    pub fn drain_poisoned_into(&mut self, out: &mut Vec<u64>) {
+        out.append(&mut self.poisoned);
     }
 
     /// The underlying DIMM (stats, histograms).
@@ -213,6 +264,15 @@ impl Tick for DimmServer {
             let id = c.request.tag & !PHASE_MASK;
             match c.request.tag & PHASE_MASK {
                 PHASE_SINGLE => {
+                    if c.poisoned {
+                        self.poisoned.push(id);
+                    }
+                    self.done.push((id, c.finished_at));
+                }
+                PHASE_RMW_READ if c.poisoned => {
+                    // UE on the atomic's read phase: the operand is
+                    // garbage, so the RMW aborts instead of writing back.
+                    self.poisoned.push(id);
                     self.done.push((id, c.finished_at));
                 }
                 PHASE_RMW_READ => {
@@ -342,5 +402,61 @@ mod tests {
         let mut e = Engine::new();
         e.run(&mut s);
         assert_eq!(s.drain_done()[0].0, 9);
+    }
+
+    #[test]
+    fn ue_marks_the_service_id_poisoned() {
+        let mut s = server();
+        s.set_ue_faults(beacon_sim::faults::FaultStream::one_shot(Cycle::ZERO));
+        s.request(5, coord(0, 2), 32, ServiceOp::Read);
+        let mut e = Engine::new();
+        e.run(&mut s);
+        // The completion is still reported (the requester must observe
+        // it to retry), but flagged poisoned.
+        assert_eq!(s.drain_done()[0].0, 5);
+        let mut poisoned = Vec::new();
+        s.drain_poisoned_into(&mut poisoned);
+        assert_eq!(poisoned, vec![5]);
+    }
+
+    #[test]
+    fn poisoned_rmw_aborts_without_the_write_phase() {
+        let mut s = server();
+        s.set_ue_faults(beacon_sim::faults::FaultStream::one_shot(Cycle::ZERO));
+        s.request(3, coord(1, 1), 4, ServiceOp::Rmw);
+        let mut e = Engine::new();
+        e.run(&mut s);
+        assert_eq!(s.drain_done()[0].0, 3);
+        let mut poisoned = Vec::new();
+        s.drain_poisoned_into(&mut poisoned);
+        assert_eq!(poisoned, vec![3]);
+        // No write-back happened: the aborted RMW issued its read only.
+        assert_eq!(s.dimm().stats().get("dram.cmd.write"), 0);
+    }
+
+    #[test]
+    fn fail_aborts_backlog_stage_queue_and_undrained_completions() {
+        let mut s = server();
+        for i in 0..200 {
+            s.request(i, coord((i % 16) as u32, i), 4, ServiceOp::Read);
+        }
+        s.request(500, coord(0, 30), 4, ServiceOp::Rmw);
+        // Advance a little so work spreads across the DIMM queue, the
+        // backlog and (possibly) undrained completions.
+        for c in 0..40u64 {
+            s.tick(Cycle::new(c));
+        }
+        let mut lost = Vec::new();
+        s.fail_into(&mut lost);
+        lost.sort_unstable();
+        // Everything not yet drained by the owner is reported exactly
+        // once, including ids that had already completed.
+        assert_eq!(lost.len(), 201);
+        lost.dedup();
+        assert_eq!(lost.len(), 201);
+        assert!(s.is_failed());
+        assert!(s.is_idle());
+        assert!(s.drain_done().is_empty());
+        assert_eq!(s.next_event(), Cycle::NEVER);
     }
 }

@@ -152,6 +152,32 @@ impl RegionMap {
         &self.geometry
     }
 
+    /// RAS re-map: replaces every occurrence of `dead` in this map's
+    /// placements with nodes from `survivors` (round-robin). Returns the
+    /// number of placements changed. Physical coordinates are kept — the
+    /// model charges the data migration separately and survivors simply
+    /// absorb the dead DIMM's shard of each region.
+    ///
+    /// # Panics
+    /// Panics when `survivors` is empty.
+    pub fn remap_node(&mut self, dead: NodeId, survivors: &[NodeId]) -> u64 {
+        assert!(!survivors.is_empty(), "no surviving homes to re-map onto");
+        let mut changed = 0;
+        for p in self.placements.values_mut() {
+            let mut replaced = 0usize;
+            for h in &mut p.homes {
+                if *h == dead {
+                    *h = survivors[replaced % survivors.len()];
+                    replaced += 1;
+                }
+            }
+            if replaced > 0 {
+                changed += 1;
+            }
+        }
+        changed
+    }
+
     /// Translates one logical access into physical segments, splitting at
     /// stripe and interleave boundaries.
     ///
@@ -315,6 +341,42 @@ mod tests {
     fn unplaced_region_panics() {
         let map = RegionMap::new(geometry());
         let _ = map.translate(&access(Region::Reference, 0, 64));
+    }
+
+    #[test]
+    fn remap_node_rehomes_only_the_dead_node() {
+        let dead = NodeId::dimm(0, 1);
+        let survivor = NodeId::dimm(0, 2);
+        let mut map = RegionMap::new(geometry());
+        map.place(
+            Region::Bloom,
+            Placement::striped(
+                vec![NodeId::dimm(0, 0), dead],
+                4096,
+                0,
+                Interleave::RankLevel { line_bytes: 64 },
+            ),
+        );
+        map.place(
+            Region::Reference,
+            Placement::single(
+                NodeId::dimm(0, 0),
+                0,
+                Interleave::RankLevel { line_bytes: 64 },
+            ),
+        );
+        assert_eq!(map.remap_node(dead, &[survivor]), 1);
+        let p = map.placement(Region::Bloom).unwrap();
+        assert_eq!(p.homes, vec![NodeId::dimm(0, 0), survivor]);
+        // Untouched placement stays put; second remap is a no-op.
+        assert_eq!(
+            map.placement(Region::Reference).unwrap().homes,
+            vec![NodeId::dimm(0, 0)]
+        );
+        assert_eq!(map.remap_node(dead, &[survivor]), 0);
+        // Translations now land on the survivor.
+        let segs = map.translate(&access(Region::Bloom, 4096, 1));
+        assert_eq!(segs[0].node, survivor);
     }
 
     #[test]

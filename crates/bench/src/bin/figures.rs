@@ -3,13 +3,16 @@
 //! ```text
 //! cargo run -p beacon-bench --bin figures --release -- [--all]
 //!     [--table1] [--table2] [--fig3] [--fig12] [--fig13] [--fig14]
-//!     [--fig15] [--fig16] [--fig17] [--quick] [--threads <n>]
-//!     [--no-skip] [--trace <out.json>] [--metrics <out.jsonl|out.csv>]
-//!     [--progress]
+//!     [--fig15] [--fig16] [--fig17] [--faults <seed>] [--quick]
+//!     [--threads <n>] [--no-skip] [--trace <out.json>]
+//!     [--metrics <out.jsonl|out.csv>] [--progress]
 //! ```
 //!
 //! With no selector (or `--all`) everything runs. `--quick` switches to
 //! the smaller bench scale (useful for smoke-testing the harness).
+//! `--faults <seed>` runs the RAS fault sweep — link CRC error rates
+//! against slowdown, plus a whole-DIMM failure mid-run — from one
+//! deterministic seed.
 //! `--threads <n>` runs every BEACON system on the deterministic
 //! epoch-parallel engine with `n` worker threads — results are
 //! bit-identical to the default sequential engine, just faster.
@@ -24,7 +27,7 @@
 use std::time::Instant;
 
 use beacon_bench::{bench_scale, figures_scale, BENCH_PES, FIGURE_PES};
-use beacon_core::experiments::{fig12, fig13, fig14, fig15, fig16, fig17, fig3, tables};
+use beacon_core::experiments::{faults, fig12, fig13, fig14, fig15, fig16, fig17, fig3, tables};
 use beacon_core::obs::{self, ObsConfig, DEFAULT_STALL_WINDOW};
 use beacon_sim::trace::{self, TraceBuffer, TraceLevel};
 
@@ -50,6 +53,7 @@ struct Selection {
     fig16: bool,
     fig17: bool,
     quick: bool,
+    faults: Option<u64>,
     threads: usize,
     no_skip: bool,
     trace: Option<String>,
@@ -71,6 +75,7 @@ fn usage() -> String {
      \x20 --fig15            Fig. 15  (scalability)\n\
      \x20 --fig16            Fig. 16  (energy)\n\
      \x20 --fig17            Fig. 17  (sensitivity)\n\
+     \x20 --faults <seed>    RAS fault sweep (link errors, DIMM loss)\n\
      \n\
      options:\n\
      \x20 --quick            small bench scale (smoke test)\n\
@@ -97,6 +102,7 @@ impl Selection {
             fig16: false,
             fig17: false,
             quick: false,
+            faults: None,
             threads: 1,
             no_skip: false,
             trace: None,
@@ -148,6 +154,15 @@ impl Selection {
                     any = false;
                 }
                 "--quick" => sel.quick = true,
+                "--faults" => {
+                    i += 1;
+                    let seed = args.get(i).ok_or("--faults needs a seed")?;
+                    sel.faults = Some(
+                        seed.parse::<u64>()
+                            .map_err(|_| format!("--faults needs an integer seed, got {seed}"))?,
+                    );
+                    any = true;
+                }
                 "--threads" => {
                     i += 1;
                     let n = args.get(i).ok_or("--threads needs a worker count")?;
@@ -262,6 +277,9 @@ fn main() {
     if sel.fig17 {
         section("Fig. 17", || fig17::run(&scale, pes).render());
     }
+    if let Some(seed) = sel.faults {
+        section("Fault sweep", || faults::run(&scale, pes, seed).render());
+    }
     println!("total harness time: {:?}", t0.elapsed());
 
     if let Some(path) = &sel.trace {
@@ -345,6 +363,18 @@ mod tests {
     }
 
     #[test]
+    fn faults_flag_takes_a_seed_and_acts_as_a_selector() {
+        let sel = Selection::parse(&args(&["--faults", "42"])).unwrap();
+        assert_eq!(sel.faults, Some(42));
+        // A lone --faults must not drag every figure along.
+        assert!(!sel.table1 && !sel.fig12 && !sel.fig17);
+        assert!(Selection::parse(&args(&["--faults"])).is_err());
+        assert!(Selection::parse(&args(&["--faults", "lots"])).is_err());
+        // And with no selector at all, no fault sweep runs.
+        assert_eq!(Selection::parse(&[]).unwrap().faults, None);
+    }
+
+    #[test]
     fn observability_flags_take_values() {
         let sel = Selection::parse(&args(&[
             "--fig12",
@@ -393,6 +423,7 @@ mod tests {
             "--fig15",
             "--fig16",
             "--fig17",
+            "--faults",
             "--quick",
             "--threads",
             "--no-skip",

@@ -165,7 +165,7 @@ fn bench_switch_tick(warm: u64, iters: u64) -> Report {
         for _ in 0..retry.len() {
             let (port, bundle) = retry.pop_front().expect("counted");
             if let Err(e) = sw.endpoint_send(port, bundle, now) {
-                retry.push_back((port, e.0));
+                retry.push_back((port, e.into_bundle()));
             }
         }
         for slot in 0..slots {
@@ -174,7 +174,7 @@ fn bench_switch_tick(warm: u64, iters: u64) -> Report {
                 // Loop the bundle straight back into the fabric: same
                 // destination, so it egresses on this same port again.
                 if let Err(e) = sw.endpoint_send(port, bundle, now) {
-                    retry.push_back((port, e.0));
+                    retry.push_back((port, e.into_bundle()));
                 }
             }
         }

@@ -27,6 +27,8 @@ pub enum AllocError {
     },
     /// A node in the request is not part of this pool.
     UnknownNode(NodeId),
+    /// A node in the request has been excluded (failed DIMM).
+    NodeExcluded(NodeId),
 }
 
 impl fmt::Display for AllocError {
@@ -36,6 +38,7 @@ impl fmt::Display for AllocError {
                 write!(f, "no common free range of {requested} rows")
             }
             AllocError::UnknownNode(n) => write!(f, "node {n:?} is not in the pool"),
+            AllocError::NodeExcluded(n) => write!(f, "node {n:?} is excluded (failed)"),
         }
     }
 }
@@ -138,6 +141,8 @@ impl FreeList {
 pub struct PoolAllocator {
     geometry: DimmGeometry,
     free: BTreeMap<NodeId, FreeList>,
+    /// Failed DIMMs, sorted; allocations never land here again.
+    excluded: Vec<NodeId>,
 }
 
 impl PoolAllocator {
@@ -149,7 +154,28 @@ impl PoolAllocator {
                 .iter()
                 .map(|&n| (n, FreeList::new(geometry.rows)))
                 .collect(),
+            excluded: Vec::new(),
         }
+    }
+
+    /// RAS: removes a failed DIMM from the allocatable pool. Returns
+    /// `(free_bytes, used_bytes)` lost with it — the unallocated
+    /// capacity and the already-allocated bytes whose data must be
+    /// re-homed. `None` when the node is unknown or already excluded.
+    pub fn exclude(&mut self, node: NodeId) -> Option<(u64, u64)> {
+        if self.is_excluded(node) {
+            return None;
+        }
+        let free = self.free_bytes(node)?;
+        let capacity = self.geometry.rows * self.row_sweep_bytes();
+        let at = self.excluded.partition_point(|&n| n < node);
+        self.excluded.insert(at, node);
+        Some((free, capacity - free))
+    }
+
+    /// True when `node` has been excluded by [`PoolAllocator::exclude`].
+    pub fn is_excluded(&self, node: NodeId) -> bool {
+        self.excluded.binary_search(&node).is_ok()
     }
 
     /// Bytes one row index covers on one DIMM.
@@ -180,6 +206,9 @@ impl PoolAllocator {
         for n in homes {
             if !self.free.contains_key(n) {
                 return Err(AllocError::UnknownNode(*n));
+            }
+            if self.is_excluded(*n) {
+                return Err(AllocError::NodeExcluded(*n));
             }
         }
         // First-fit over the first home's candidates, then check the rest.
@@ -347,6 +376,30 @@ mod tests {
         let joint = p.allocate(&both, 1 << 24, 2).unwrap();
         assert!(joint.base_row >= hole.base_row + hole.rows);
         assert!(p.free_rows(both[1]).unwrap() > p.free_rows(both[0]).unwrap());
+    }
+
+    #[test]
+    fn excluded_nodes_reject_allocations() {
+        let mut p = pool(2);
+        let homes = nodes(2);
+        let (free, used) = p.exclude(homes[1]).expect("known node");
+        assert!(used == 0 && free > 0, "nothing allocated yet");
+        assert!(p.is_excluded(homes[1]));
+        let e = p.allocate(&homes, 1 << 20, 1).unwrap_err();
+        assert_eq!(e, AllocError::NodeExcluded(homes[1]));
+        // The surviving node still serves allocations.
+        assert!(p.allocate(&homes[..1], 1 << 20, 1).is_ok());
+        // Double exclusion is idempotent.
+        assert!(p.exclude(homes[1]).is_none());
+    }
+
+    #[test]
+    fn exclude_reports_used_bytes_for_rehoming() {
+        let mut p = pool(1);
+        let homes = nodes(1);
+        let grant = p.allocate(&homes, 1 << 24, 1).unwrap();
+        let (_, used) = p.exclude(homes[0]).unwrap();
+        assert_eq!(used, grant.rows * p.row_sweep_bytes());
     }
 
     #[test]

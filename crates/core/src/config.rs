@@ -114,6 +114,86 @@ impl Optimizations {
     }
 }
 
+/// Deterministic fault-injection configuration (RAS model).
+///
+/// All fault streams are derived from `seed` with
+/// [`beacon_sim::faults::FaultSchedule`]; a given seed yields the
+/// identical schedule regardless of thread count or event-horizon
+/// skipping. Rates are expressed per *million* cycles so paper-scale
+/// runs (tens of Mcycles) see a handful of events at rate 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultsConfig {
+    /// Master seed for every per-component fault stream.
+    pub seed: u64,
+    /// CRC flit errors per million cycles, per link direction.
+    pub link_crc_per_mcycle: f64,
+    /// Switch-port flaps per million cycles, per DIMM port.
+    pub port_flap_per_mcycle: f64,
+    /// How long a flapped port stays down, in cycles.
+    pub flap_down_cycles: u64,
+    /// Uncorrectable DRAM errors per million cycles, per unmodified
+    /// DIMM (reads only; CXLG-DIMM accesses are ECC-scrubbed locally).
+    pub dimm_ue_per_mcycle: f64,
+    /// Cycle at which one whole DIMM fails hard (0 = never).
+    pub dimm_fail_at: u64,
+    /// Switch hosting the failing DIMM.
+    pub dimm_fail_switch: u32,
+    /// Slot (within the switch) of the failing DIMM. Must name an
+    /// unmodified slot; CXLG-DIMMs hold compute state and are out of
+    /// scope for whole-module failure.
+    pub dimm_fail_slot: u32,
+    /// Horizon (in cycles) out to which fault stamps are pre-drawn.
+    pub horizon: u64,
+}
+
+impl FaultsConfig {
+    /// A quiet schedule: seeded, but every rate zero and no DIMM
+    /// failure. Useful as a differential baseline — running with this
+    /// config must reproduce the fault-free digests bit-for-bit.
+    pub fn quiet(seed: u64) -> Self {
+        FaultsConfig {
+            seed,
+            link_crc_per_mcycle: 0.0,
+            port_flap_per_mcycle: 0.0,
+            flap_down_cycles: 0,
+            dimm_ue_per_mcycle: 0.0,
+            dimm_fail_at: 0,
+            dimm_fail_switch: 0,
+            dimm_fail_slot: 0,
+            horizon: 200_000_000,
+        }
+    }
+
+    /// A lively schedule exercising every fault class at `rate`
+    /// events per million cycles (no hard DIMM failure).
+    pub fn noisy(seed: u64, rate: f64) -> Self {
+        let mut f = FaultsConfig::quiet(seed);
+        f.link_crc_per_mcycle = rate;
+        f.port_flap_per_mcycle = rate / 4.0;
+        f.flap_down_cycles = 2_000;
+        f.dimm_ue_per_mcycle = rate / 2.0;
+        f
+    }
+
+    /// Kills the unmodified DIMM in `slot` of `switch` at cycle `at`,
+    /// on top of an otherwise quiet schedule.
+    pub fn dimm_loss(seed: u64, switch: u32, slot: u32, at: u64) -> Self {
+        let mut f = FaultsConfig::quiet(seed);
+        f.dimm_fail_at = at;
+        f.dimm_fail_switch = switch;
+        f.dimm_fail_slot = slot;
+        f
+    }
+
+    /// True when no fault of any kind can ever fire.
+    pub fn is_quiet(&self) -> bool {
+        self.link_crc_per_mcycle == 0.0
+            && self.port_flap_per_mcycle == 0.0
+            && self.dimm_ue_per_mcycle == 0.0
+            && self.dimm_fail_at == 0
+    }
+}
+
 /// Full system configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BeaconConfig {
@@ -153,6 +233,10 @@ pub struct BeaconConfig {
     pub geometry: DimmGeometry,
     /// The optimisation toggles.
     pub opts: Optimizations,
+    /// Fault injection / RAS model. `None` (the default) is the
+    /// pristine machine: no fault state is allocated and the hot path
+    /// pays nothing.
+    pub faults: Option<FaultsConfig>,
 }
 
 impl BeaconConfig {
@@ -178,6 +262,7 @@ impl BeaconConfig {
             packer_flush_age: 8,
             geometry: DimmGeometry::sim_scaled(),
             opts: Optimizations::vanilla(),
+            faults: None,
         }
     }
 
@@ -203,6 +288,12 @@ impl BeaconConfig {
     /// Applies an optimisation point.
     pub fn with_opts(mut self, opts: Optimizations) -> Self {
         self.opts = opts;
+        self
+    }
+
+    /// Installs a fault schedule.
+    pub fn with_faults(mut self, faults: FaultsConfig) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -274,7 +365,19 @@ impl BeaconConfig {
             }
             _ if self.total_dimms() == 0 => Err("pool has no DIMMs".into()),
             _ if self.pes_per_module == 0 => Err("need PEs".into()),
-            _ => Ok(()),
+            _ => match &self.faults {
+                Some(f) if f.dimm_fail_at > 0 && f.dimm_fail_switch >= self.switches => {
+                    Err("failing DIMM names a switch outside the pool".into())
+                }
+                Some(f)
+                    if f.dimm_fail_at > 0
+                        && (f.dimm_fail_slot >= self.slots_per_switch()
+                            || self.slot_is_cxlg(f.dimm_fail_slot)) =>
+                {
+                    Err("failing DIMM must be an unmodified slot".into())
+                }
+                _ => Ok(()),
+            },
         }
     }
 }
@@ -360,6 +463,26 @@ mod tests {
         let mut cfg = BeaconConfig::paper_s(AppKind::FmSeeding);
         cfg.cxlg_per_switch = 1;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fault_configs_validate() {
+        let cfg = BeaconConfig::paper_d(AppKind::FmSeeding);
+        assert!(FaultsConfig::quiet(1).is_quiet());
+        assert!(!FaultsConfig::noisy(1, 5.0).is_quiet());
+
+        // Slot 2 is unmodified on paper-D: fine.
+        let ok = cfg.with_faults(FaultsConfig::dimm_loss(1, 0, 2, 1000));
+        assert!(ok.validate().is_ok());
+        // Slot 0 is a CXLG-DIMM: rejected.
+        let bad = cfg.with_faults(FaultsConfig::dimm_loss(1, 0, 0, 1000));
+        assert!(bad.validate().is_err());
+        // Switch out of range: rejected.
+        let bad = cfg.with_faults(FaultsConfig::dimm_loss(1, 9, 2, 1000));
+        assert!(bad.validate().is_err());
+        // fail_at == 0 means "never": target fields ignored.
+        let ok = cfg.with_faults(FaultsConfig::dimm_loss(1, 9, 0, 0));
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

@@ -180,6 +180,7 @@ mod tests {
             pe_busy_cycles: busy,
             total_chips: 64,
             chip_histograms: vec![],
+            degraded: None,
         }
     }
 

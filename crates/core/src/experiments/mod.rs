@@ -10,8 +10,10 @@
 //! | [`fig15`] | Fig. 15 — k-mer counting ladder |
 //! | [`fig16`] | Fig. 16 — DNA pre-alignment |
 //! | [`fig17`] | Fig. 17 — energy breakdown across the ladder |
+//! | [`faults`] | RAS fault sweep (not a paper figure; `--faults`) |
 
 pub mod common;
+pub mod faults;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;

@@ -44,9 +44,9 @@ pub mod system;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::allocator::{AllocError, PoolAllocator, RowGrant};
-    pub use crate::config::{BeaconConfig, BeaconVariant, Optimizations};
+    pub use crate::config::{BeaconConfig, BeaconVariant, FaultsConfig, Optimizations};
     pub use crate::energy::{EnergyBreakdown, EnergyModel};
-    pub use crate::mmf::{build_layout, LayoutSpec, MemoryLayout};
+    pub use crate::mmf::{build_layout, plan_dimm_loss, LayoutSpec, MemoryLayout, RemapPlan};
     pub use crate::obs::ObsConfig;
     pub use crate::parallel::{set_threads, threads};
     pub use crate::system::BeaconSystem;

@@ -107,6 +107,90 @@ pub struct MemoryLayout {
 /// be in the full-size system (see `Placement::sparse_window`).
 pub const SPARSE_ROW_WINDOW: u64 = 64;
 
+/// The MMF's graceful-degradation plan for a whole-DIMM failure: a
+/// second map epoch with every placement re-homed off the dead DIMM,
+/// plus the accounting of what that costs.
+///
+/// Built *before* the run (the failure cycle is part of the fault
+/// schedule, so the recovery layout is deterministic); the system flips
+/// from epoch 0 to epoch 1 the first time it translates an access at or
+/// after [`RemapPlan::at`]. Requests already in flight against the old
+/// map are nak'd by the dead DIMM and retried under the new one.
+#[derive(Debug, Clone)]
+pub struct RemapPlan {
+    /// Cycle of the failure (epoch boundary).
+    pub at: beacon_sim::cycle::Cycle,
+    /// The node that dies.
+    pub dead: NodeId,
+    /// Epoch-1 maps: epoch 0 with `dead` re-homed onto survivors.
+    pub maps: Vec<RegionMap>,
+    /// Pool capacity lost with the DIMM, in bytes.
+    pub lost_capacity_bytes: u64,
+    /// Live bytes that must migrate to surviving DIMMs.
+    pub moved_bytes: u64,
+    /// Estimated migration cost: moved bytes pushed over one DIMM link.
+    pub remap_cost_cycles: u64,
+    /// Placements (across all module maps) that referenced the dead
+    /// DIMM and were re-homed.
+    pub remap_regions: u64,
+}
+
+/// Plans graceful degradation for the hard failure described by
+/// `faults` (see [`RemapPlan`]). Returns `None` when the schedule has
+/// no DIMM failure.
+///
+/// Survivors are chosen same-switch first — re-homing onto siblings of
+/// the dead DIMM keeps the placement optimisation's locality story
+/// intact — falling back to every surviving unmodified DIMM in the
+/// pool when the dead DIMM had no same-switch siblings.
+pub fn plan_dimm_loss(
+    cfg: &BeaconConfig,
+    layout: &MemoryLayout,
+    faults: &crate::config::FaultsConfig,
+) -> Option<RemapPlan> {
+    if faults.dimm_fail_at == 0 {
+        return None;
+    }
+    let dead = NodeId::dimm(faults.dimm_fail_switch, faults.dimm_fail_slot);
+    let mut survivors: Vec<NodeId> = (cfg.cxlg_per_switch..cfg.slots_per_switch())
+        .map(|d| NodeId::dimm(faults.dimm_fail_switch, d))
+        .filter(|n| *n != dead)
+        .collect();
+    if survivors.is_empty() {
+        survivors = cfg
+            .unmodified_nodes()
+            .into_iter()
+            .filter(|n| *n != dead)
+            .collect();
+    }
+    assert!(
+        !survivors.is_empty(),
+        "pool must outlive a single DIMM failure"
+    );
+
+    let mut allocator = layout.allocator.clone();
+    let (free, used) = allocator
+        .exclude(dead)
+        .expect("failing DIMM must be a pool node");
+    let mut maps = layout.maps.clone();
+    let mut remap_regions = 0;
+    for map in &mut maps {
+        remap_regions += map.remap_node(dead, &survivors);
+    }
+    // Migration cost: every live byte of the dead DIMM re-read from a
+    // replica / re-built and pushed over one survivor's link.
+    let remap_cost_cycles = (used as f64 / cfg.dimm_link.bytes_per_cycle).ceil() as u64;
+    Some(RemapPlan {
+        at: beacon_sim::cycle::Cycle::new(faults.dimm_fail_at),
+        dead,
+        maps,
+        lost_capacity_bytes: free + used,
+        moved_bytes: used,
+        remap_cost_cycles,
+        remap_regions,
+    })
+}
+
 /// Allocation front-end over [`crate::allocator::PoolAllocator`]:
 /// because `row` is the slowest dimension of every interleave, disjoint
 /// row grants guarantee physically disjoint regions even across
@@ -487,6 +571,37 @@ mod tests {
             Interleave::ChipLevel { groups, .. } => assert_eq!(groups, 4),
             other => panic!("unexpected interleave {other:?}"),
         }
+    }
+
+    #[test]
+    fn dimm_loss_plan_rehomes_onto_siblings() {
+        let cfg = BeaconConfig::paper_d(AppKind::FmSeeding);
+        let layout = build_layout(&cfg, &specs());
+        let fc = crate::config::FaultsConfig::dimm_loss(1, 0, 2, 5_000);
+        let plan = plan_dimm_loss(&cfg, &layout, &fc).expect("failure scheduled");
+        let dead = NodeId::dimm(0, 2);
+        assert_eq!(plan.dead, dead);
+        assert_eq!(plan.at, beacon_sim::cycle::Cycle::new(5_000));
+        // Vanilla stripes every region over the whole pool, so every
+        // module map referenced the dead DIMM.
+        assert_eq!(plan.remap_regions as usize, 3 * layout.maps.len());
+        assert!(plan.lost_capacity_bytes > 0);
+        assert!(plan.moved_bytes > 0, "regions lived on the dead DIMM");
+        assert!(plan.remap_cost_cycles > 0);
+        for map in &plan.maps {
+            for region in [Region::FmIndex, Region::CandidateLists, Region::ReadBuf] {
+                let p = map.placement(region).unwrap();
+                assert!(
+                    !p.homes.contains(&dead),
+                    "{region:?} still homes the dead DIMM"
+                );
+                // Same-switch survivor: the other unmodified slot.
+                assert!(p.homes.contains(&NodeId::dimm(0, 3)));
+            }
+        }
+        // No failure scheduled => no plan.
+        let quiet = crate::config::FaultsConfig::quiet(1);
+        assert!(plan_dimm_loss(&cfg, &layout, &quiet).is_none());
     }
 
     #[test]

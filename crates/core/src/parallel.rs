@@ -76,6 +76,7 @@ pub fn canonical_merge(entries: &mut [HubEntry]) {
 pub(crate) struct PoolShard<'a> {
     cfg: &'a BeaconConfig,
     maps: &'a [RegionMap],
+    remap: Option<&'a crate::mmf::RemapPlan>,
     rmw_alu_cycles: u64,
     pub(crate) node: SwitchNode,
     /// Next cycle this shard will simulate.
@@ -108,6 +109,7 @@ impl<'a> PoolShard<'a> {
             cfg: self.cfg,
             maps: self.maps,
             rmw_alu_cycles: self.rmw_alu_cycles,
+            remap: self.remap,
         }
     }
 }
@@ -140,7 +142,7 @@ impl EpochShard for PoolShard<'_> {
                 match self.node.uplink_send(bundle, now) {
                     Ok(()) => {}
                     Err(e) => {
-                        self.inbox.push_front((ready, e.0));
+                        self.inbox.push_front((ready, e.into_bundle()));
                         break;
                     }
                 }
@@ -298,6 +300,7 @@ impl BeaconSystem {
         );
         let cfg = self.cfg;
         let maps = std::mem::take(&mut self.maps);
+        let remap = self.remap.take();
         let rmw_alu_cycles = self.rmw_alu_cycles;
         let mut shards: Vec<PoolShard<'_>> = std::mem::take(&mut self.switches)
             .into_iter()
@@ -305,6 +308,7 @@ impl BeaconSystem {
             .map(|(i, node)| PoolShard {
                 cfg: &cfg,
                 maps: &maps,
+                remap: remap.as_deref(),
                 rmw_alu_cycles,
                 node,
                 pos: Cycle::ZERO,
@@ -374,6 +378,7 @@ impl BeaconSystem {
 
         self.switches = shards.into_iter().map(|s| s.node).collect();
         self.maps = maps;
+        self.remap = remap;
         if installed.is_some() {
             obs::commit(samples);
         }

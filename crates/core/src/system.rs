@@ -18,13 +18,14 @@
 //!   [`crate::mmf::build_layout`] before the system is built,
 //! * `ideal_comm` → every link, bus and forwarding latency becomes free.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use std::fmt::Write as _;
 
 use beacon_sim::component::{Probe, Tick};
 use beacon_sim::cycle::{Cycle, Duration};
 use beacon_sim::engine::Engine;
+use beacon_sim::faults::{stream, FaultSchedule};
 use beacon_sim::stats::Stats;
 
 use beacon_accel::pending::PendingTable;
@@ -42,13 +43,42 @@ use beacon_dram::params::TimingParams;
 use beacon_genomics::trace::{AccessKind, TaskTrace};
 
 use crate::config::{BeaconConfig, BeaconVariant};
-use crate::mmf::MemoryLayout;
+use crate::mmf::{MemoryLayout, RemapPlan};
 
 /// Service ids with this bit serve a remote request at a CXLG/unmodified
 /// DIMM (vs completing a local pending access).
 const SERVE_BIT: u64 = 1 << 60;
 /// Message tags with this bit are switch-logic atomic phase operations.
 const LOGIC_BIT: u64 = 1 << 59;
+/// Times a nak'd access is re-issued before it is dropped (the
+/// accelerator-task equivalent of an MCE: the task continues, the loss
+/// is reported in the [`beacon_accel::result::DegradedRun`] section).
+const MAX_ACCESS_RETRIES: u32 = 8;
+
+/// Requester-side RAS state, armed only when the run has a fault
+/// schedule: every in-flight logical access by pending id, so a nak can
+/// re-issue it (under the current map epoch) instead of wedging its task.
+#[derive(Debug, Default)]
+struct RasState {
+    inflight: BTreeMap<u64, (IssuedAccess, u32)>,
+}
+
+/// Removes a completed access from the retry table (no-op while RAS is
+/// unarmed).
+#[inline]
+fn ras_done(ras: &mut Option<Box<RasState>>, pid: u64) {
+    if let Some(r) = ras {
+        r.inflight.remove(&pid);
+    }
+}
+
+/// A scheduled whole-DIMM hard failure on one switch.
+#[derive(Debug, Clone, Copy)]
+struct SlotFault {
+    slot: usize,
+    at: Cycle,
+    done: bool,
+}
 
 #[derive(Debug, Clone, Copy)]
 struct ServeEntry {
@@ -148,6 +178,8 @@ struct CxlgModule {
     serve: Vec<ServeEntry>,
     free_serve: Vec<u32>,
     egress: Egress,
+    /// Nak retry state; `None` on a pristine machine.
+    ras: Option<Box<RasState>>,
 }
 
 #[derive(Debug)]
@@ -179,6 +211,8 @@ struct LogicNode {
     /// Atomic-ALU results waiting to start their write phase.
     alu_stage: VecDeque<(Cycle, u32)>,
     stats: Stats,
+    /// Nak retry state; `None` on a pristine machine.
+    ras: Option<Box<RasState>>,
 }
 
 /// One switch subtree: the fabric, its in-switch logic and the DIMMs
@@ -199,6 +233,11 @@ pub(crate) struct SwitchNode {
     done_scratch: Vec<(u64, Cycle)>,
     resp_scratch: Vec<Message>,
     comp_scratch: Vec<u64>,
+    poison_scratch: Vec<u64>,
+    /// Scheduled hard failure of one of this switch's DIMMs. A pending
+    /// failure is a time-driven fault: `subtree_next_event` surfaces it
+    /// so fast-forwarding cannot jump over the death.
+    ras_fail: Option<SlotFault>,
 }
 
 /// Read-only system context threaded through the per-switch drivers so
@@ -209,6 +248,21 @@ pub(crate) struct SysCtx<'a> {
     pub(crate) cfg: &'a BeaconConfig,
     pub(crate) maps: &'a [RegionMap],
     pub(crate) rmw_alu_cycles: u64,
+    /// Post-failure map epoch, when a DIMM loss is scheduled.
+    pub(crate) remap: Option<&'a RemapPlan>,
+}
+
+impl<'a> SysCtx<'a> {
+    /// The region maps in force at `now`: epoch 0 until the scheduled
+    /// DIMM failure, the re-homed epoch-1 maps from the failure cycle
+    /// on. One branch on the pristine path.
+    #[inline]
+    pub(crate) fn maps_at(&self, now: Cycle) -> &'a [RegionMap] {
+        match self.remap {
+            Some(r) if now >= r.at => &r.maps,
+            _ => self.maps,
+        }
+    }
 }
 
 /// The assembled BEACON-D / BEACON-S system.
@@ -222,6 +276,9 @@ pub struct BeaconSystem {
     host_scratch: VecDeque<(Cycle, Bundle)>,
     pub(crate) finished_at: Cycle,
     pub(crate) rmw_alu_cycles: u64,
+    /// Precomputed graceful-degradation plan for the scheduled DIMM
+    /// failure (see [`crate::mmf::plan_dimm_loss`]).
+    pub(crate) remap: Option<Box<RemapPlan>>,
 }
 
 impl BeaconSystem {
@@ -289,6 +346,7 @@ impl BeaconSystem {
                                 serve: Vec::new(),
                                 free_serve: Vec::new(),
                                 egress: Egress::new(packing, flush_age),
+                                ras: None,
                             })
                         } else {
                             DimmSlot::Unmodified(UnmodDimm {
@@ -317,6 +375,7 @@ impl BeaconSystem {
                         egress: Egress::new(packing, flush_age),
                         alu_stage: VecDeque::new(),
                         stats: Stats::new(),
+                        ras: None,
                     },
                     dimms,
                     issued_scratch: Vec::new(),
@@ -324,6 +383,8 @@ impl BeaconSystem {
                     done_scratch: Vec::new(),
                     resp_scratch: Vec::new(),
                     comp_scratch: Vec::new(),
+                    poison_scratch: Vec::new(),
+                    ras_fail: None,
                 }
             })
             .collect();
@@ -354,6 +415,73 @@ impl BeaconSystem {
             }
         }
 
+        // Arm the fault schedule. Every stream is derived from the one
+        // seed and a stable component coordinate, so the schedule is
+        // identical across thread counts and with skipping on or off.
+        if let Some(fc) = &cfg.faults {
+            let sched = FaultSchedule::new(fc.seed);
+            let h = fc.horizon;
+            for (s, sw) in switches.iter_mut().enumerate() {
+                let si = s as u32;
+                let crc = |port: usize, dir: u32| {
+                    sched.stream(
+                        stream::id(stream::LINK_CRC, si, port as u32, dir),
+                        fc.link_crc_per_mcycle,
+                        h,
+                    )
+                };
+                sw.fabric.install_crc_faults(
+                    Switch::UPLINK,
+                    crc(Switch::UPLINK, 0),
+                    crc(Switch::UPLINK, 1),
+                );
+                for slot in 0..cfg.slots_per_switch() {
+                    let port = sw.fabric.dimm_port(slot);
+                    sw.fabric
+                        .install_crc_faults(port, crc(port, 0), crc(port, 1));
+                    sw.fabric.install_port_flaps(
+                        port,
+                        sched.stream(
+                            stream::id(stream::PORT_FLAP, si, port as u32, 0),
+                            fc.port_flap_per_mcycle,
+                            h,
+                        ),
+                        fc.flap_down_cycles,
+                    );
+                }
+                // Uncorrectable errors hit the unmodified expansion
+                // DIMMs; CXLG modules scrub their local accesses.
+                for (slot, d) in sw.dimms.iter_mut().enumerate() {
+                    if let DimmSlot::Unmodified(u) = d {
+                        u.server.set_ue_faults(sched.stream(
+                            stream::id(stream::DIMM_UE, si, slot as u32, 0),
+                            fc.dimm_ue_per_mcycle,
+                            h,
+                        ));
+                    }
+                }
+                // Arm requester-side retry tables.
+                sw.logic.ras = Some(Box::default());
+                for d in sw.dimms.iter_mut() {
+                    if let DimmSlot::Cxlg(m) = d {
+                        m.ras = Some(Box::default());
+                    }
+                }
+            }
+            if fc.dimm_fail_at > 0 {
+                switches[fc.dimm_fail_switch as usize].ras_fail = Some(SlotFault {
+                    slot: fc.dimm_fail_slot as usize,
+                    at: Cycle::new(fc.dimm_fail_at),
+                    done: false,
+                });
+            }
+        }
+        let remap = cfg
+            .faults
+            .as_ref()
+            .and_then(|fc| crate::mmf::plan_dimm_loss(&cfg, &layout, fc))
+            .map(Box::new);
+
         BeaconSystem {
             cfg,
             maps: layout.maps,
@@ -362,6 +490,7 @@ impl BeaconSystem {
             host_scratch: VecDeque::new(),
             finished_at: Cycle::ZERO,
             rmw_alu_cycles: 4,
+            remap,
         }
     }
 
@@ -465,6 +594,30 @@ impl BeaconSystem {
                 }
             }
         }
+        // RAS report: only for runs armed with a fault schedule. The
+        // re-map accounting applies only when the failure actually
+        // executed (a run can drain before its scheduled death).
+        let degraded = self.cfg.faults.as_ref().map(|fc| {
+            let plan = self
+                .remap
+                .as_deref()
+                .filter(|_| eng.get("ras.dimm_killed") > 0);
+            beacon_accel::result::DegradedRun {
+                seed: fc.seed,
+                failed_dimms: eng.get("ras.dimm_killed"),
+                lost_capacity_bytes: plan.map_or(0, |r| r.lost_capacity_bytes),
+                crc_errors: comm.get("ras.crc_errors"),
+                retry_cycles: comm.get("ras.retry_cycles"),
+                port_flaps: comm.get("ras.port_flaps"),
+                dimm_ue: dram.get("ras.dimm_ue"),
+                naks: eng.get("ras.naks"),
+                requeued: eng.get("ras.requeued"),
+                dropped: eng.get("ras.dropped"),
+                remap_regions: plan.map_or(0, |r| r.remap_regions),
+                moved_bytes: plan.map_or(0, |r| r.moved_bytes),
+                remap_cost_cycles: plan.map_or(0, |r| r.remap_cost_cycles),
+            }
+        });
         let geometry = self.cfg.geometry;
         RunResult {
             cycles: self.finished_at.as_u64(),
@@ -476,6 +629,7 @@ impl BeaconSystem {
             total_chips: (geometry.ranks * geometry.chips_per_rank) as u64
                 * self.cfg.total_dimms() as u64,
             chip_histograms: hists,
+            degraded,
         }
     }
 
@@ -531,7 +685,7 @@ impl BeaconSystem {
                 .endpoint_send(Switch::UPLINK, bundle, now)
             {
                 Ok(()) => {}
-                Err(e) => rest.push_back((ready, e.0)),
+                Err(e) => rest.push_back((ready, e.into_bundle())),
             }
         }
         while let Some(entry) = rest.pop_back() {
@@ -572,10 +726,14 @@ impl SwitchNode {
         mut local_server: Option<&mut DimmServer>,
         egress: &mut Egress,
         mut local_rmw: Option<&mut Vec<(u64, DramCoord, u32, NodeId)>>,
+        ras: Option<(&mut RasState, u32)>,
         now: Cycle,
     ) {
         let segments = map.translate(&access.access);
         let pid = pending.alloc(access.token, segments.len() as u32, access.blocking);
+        if let Some((r, retries)) = ras {
+            r.inflight.insert(pid, (access, retries));
+        }
         let (op, msg_kind) = Self::op_of(access.access.kind);
         for seg in segments {
             let seg_is_cxlg =
@@ -687,13 +845,14 @@ impl SwitchNode {
             for ia in issued.drain(..) {
                 Self::dispatch_access(
                     ctx.cfg,
-                    &ctx.maps[map_idx],
+                    &ctx.maps_at(now)[map_idx],
                     self_node,
                     ia,
                     &mut self.logic.pending,
                     None,
                     &mut self.logic.egress,
                     Some(&mut local_rmws),
+                    self.logic.ras.as_deref_mut().map(|r| (r, 0)),
                     now,
                 );
             }
@@ -757,6 +916,7 @@ impl SwitchNode {
                             if let Some((token, _)) =
                                 self.logic.pending.complete_one(entry.orig_tag)
                             {
+                                ras_done(&mut self.logic.ras, entry.orig_tag);
                                 if let Some(e) = self.logic.engine.as_mut() {
                                     e.on_data(token, now);
                                 }
@@ -779,15 +939,97 @@ impl SwitchNode {
             MsgKind::ReadResp | MsgKind::Ack => {
                 // Response for the S-variant engine's plain access.
                 if let Some((token, _)) = self.logic.pending.complete_one(msg.tag) {
+                    ras_done(&mut self.logic.ras, msg.tag);
                     if let Some(e) = self.logic.engine.as_mut() {
                         e.on_data(token, now);
                     }
                 }
             }
+            MsgKind::Nak if msg.tag & LOGIC_BIT != 0 => {
+                // A DIMM serving one phase of an atomic is gone: abort
+                // the atomic and bounce it to the original requester,
+                // who retries it under the post-failure maps.
+                let sidx = (msg.tag & !LOGIC_BIT) as u32;
+                let entry = self.logic.serve[sidx as usize];
+                debug_assert!(entry.in_use);
+                self.logic.serve[sidx as usize].in_use = false;
+                self.logic.free_serve.push(sidx);
+                let self_node = NodeId::SwitchLogic(self.index as u32);
+                if entry.requester == self_node {
+                    self.logic_retry_or_drop(ctx, entry.orig_tag, now);
+                } else {
+                    self.logic.stats.incr("ras.naks");
+                    self.logic.egress.push(
+                        Message::nak_to(self_node, entry.requester, entry.orig_tag, entry.via_host),
+                        now,
+                    );
+                }
+            }
+            MsgKind::Nak => {
+                // A plain access of the S engine hit a dead or poisoned
+                // DIMM.
+                self.logic_retry_or_drop(ctx, msg.tag, now);
+            }
             other => {
                 debug_assert!(false, "unexpected {other:?} at switch logic");
             }
         }
+    }
+
+    /// Requester-side nak handling for the switch logic's own accesses:
+    /// the first failed segment hands the token back, and the whole
+    /// logical access is re-issued under the map epoch in force at
+    /// `now`. After [`MAX_ACCESS_RETRIES`] the access is dropped — the
+    /// task resumes without its data rather than wedging the run, and
+    /// the loss is reported in the degraded-run section.
+    fn logic_retry_or_drop(&mut self, ctx: SysCtx<'_>, pid: u64, now: Cycle) {
+        let Some((_token, _)) = self.logic.pending.poison_one(pid) else {
+            return; // straggler segment of an already-retried access
+        };
+        let (ia, retries) = self
+            .logic
+            .ras
+            .as_mut()
+            .and_then(|r| r.inflight.remove(&pid))
+            .expect("nak'd access must be tracked");
+        if retries >= MAX_ACCESS_RETRIES {
+            self.logic.stats.incr("ras.dropped");
+            if let Some(e) = self.logic.engine.as_mut() {
+                e.on_data(ia.token, now);
+            }
+            return;
+        }
+        self.logic.stats.incr("ras.requeued");
+        let self_node = NodeId::SwitchLogic(self.index as u32);
+        let map_idx = self.logic.map_idx;
+        debug_assert!(self.rmw_scratch.is_empty());
+        let mut local_rmws = std::mem::take(&mut self.rmw_scratch);
+        Self::dispatch_access(
+            ctx.cfg,
+            &ctx.maps_at(now)[map_idx],
+            self_node,
+            ia,
+            &mut self.logic.pending,
+            None,
+            &mut self.logic.egress,
+            Some(&mut local_rmws),
+            self.logic.ras.as_deref_mut().map(|r| (r, retries + 1)),
+            now,
+        );
+        for (pid, coord, bytes, dimm) in local_rmws.drain(..) {
+            let entry = LogicServe {
+                requester: self_node,
+                orig_tag: pid,
+                coord,
+                bytes,
+                dimm,
+                phase: AtomicPhase::Read,
+                via_host: !ctx.cfg.opts.mem_access_opt,
+                in_use: true,
+            };
+            self.logic_start_atomic(entry, now);
+        }
+        self.rmw_scratch = local_rmws;
     }
 
     // ----- DIMM slots ----------------------------------------------------
@@ -811,7 +1053,7 @@ impl SwitchNode {
         // 1. Deliver incoming bundles.
         while let Some(bundle) = self.fabric.endpoint_recv(port, now) {
             for msg in bundle.messages {
-                self.handle_slot_message(slot, msg, now);
+                self.handle_slot_message(ctx, slot, msg, now);
             }
         }
 
@@ -828,13 +1070,14 @@ impl SwitchNode {
                     DimmSlot::Cxlg(m) => {
                         Self::dispatch_access(
                             ctx.cfg,
-                            &ctx.maps[m.map_idx],
+                            &ctx.maps_at(now)[m.map_idx],
                             m.node,
                             ia,
                             &mut m.pending,
                             Some(&mut m.server),
                             &mut m.egress,
                             None,
+                            m.ras.as_deref_mut().map(|r| (r, 0)),
                             now,
                         );
                     }
@@ -846,24 +1089,30 @@ impl SwitchNode {
 
         // 3. Server progress + completions, split into response messages
         // and local pending ids through the reusable scratch buffers.
+        // Completions whose data beat hit an uncorrectable error answer
+        // with a Nak instead of their response.
         debug_assert!(
             self.done_scratch.is_empty()
                 && self.resp_scratch.is_empty()
                 && self.comp_scratch.is_empty()
+                && self.poison_scratch.is_empty()
         );
         let mut done = std::mem::take(&mut self.done_scratch);
         let mut responses = std::mem::take(&mut self.resp_scratch);
         let mut completions = std::mem::take(&mut self.comp_scratch);
+        let mut poisoned = std::mem::take(&mut self.poison_scratch);
         match &mut self.dimms[slot] {
             DimmSlot::Cxlg(m) => {
                 m.server.tick(now);
                 m.server.drain_done_into(&mut done);
+                m.server.drain_poisoned_into(&mut poisoned);
                 Self::split_server_done(
                     &mut done,
                     &mut m.serve,
                     &mut m.free_serve,
                     m.node,
                     false,
+                    &poisoned,
                     &mut responses,
                     &mut completions,
                 );
@@ -871,16 +1120,26 @@ impl SwitchNode {
             DimmSlot::Unmodified(u) => {
                 u.server.tick(now);
                 u.server.drain_done_into(&mut done);
+                u.server.drain_poisoned_into(&mut poisoned);
                 Self::split_server_done(
                     &mut done,
                     &mut u.serve,
                     &mut u.free_serve,
                     u.node,
                     true,
+                    &poisoned,
                     &mut responses,
                     &mut completions,
                 );
             }
+        }
+        if !poisoned.is_empty() {
+            // UE streams are installed only on serve-only unmodified
+            // DIMMs, so every poisoned completion nak'd a remote
+            // requester.
+            debug_assert!(poisoned.iter().all(|id| id & SERVE_BIT != 0));
+            self.logic.stats.add("ras.naks", poisoned.len() as u64);
+            poisoned.clear();
         }
         for msg in responses.drain(..) {
             match &mut self.dimms[slot] {
@@ -891,6 +1150,7 @@ impl SwitchNode {
         for pid in completions.drain(..) {
             if let DimmSlot::Cxlg(m) = &mut self.dimms[slot] {
                 if let Some((token, _)) = m.pending.complete_one(pid) {
+                    ras_done(&mut m.ras, pid);
                     m.engine.on_data(token, now);
                 }
             }
@@ -898,6 +1158,7 @@ impl SwitchNode {
         self.done_scratch = done;
         self.resp_scratch = responses;
         self.comp_scratch = completions;
+        self.poison_scratch = poisoned;
 
         // 4. Pump egress onto the port link (with back-pressure retry).
         let fabric = &mut self.fabric;
@@ -918,7 +1179,7 @@ impl SwitchNode {
             match fabric.endpoint_send(port, bundle, now) {
                 Ok(()) => {}
                 Err(e) => {
-                    egress.queue.push_front(e.0);
+                    egress.queue.push_front(e.into_bundle());
                     break;
                 }
             }
@@ -929,6 +1190,7 @@ impl SwitchNode {
     /// remote serves) and local pending ids, appending to the caller's
     /// reusable buffers and draining `done`. Unmodified DIMMs inflate
     /// read responses to whole 64 B lines (standard CXL.mem transfers).
+    /// Ids in `poisoned` (a UE hit their data beat) answer with a Nak.
     #[allow(clippy::too_many_arguments)]
     fn split_server_done(
         done: &mut Vec<(u64, Cycle)>,
@@ -936,6 +1198,7 @@ impl SwitchNode {
         free: &mut Vec<u32>,
         node: NodeId,
         inflate_lines: bool,
+        poisoned: &[u64],
         responses: &mut Vec<Message>,
         completions: &mut Vec<u64>,
     ) {
@@ -946,6 +1209,17 @@ impl SwitchNode {
                 debug_assert!(entry.in_use);
                 serve[sidx].in_use = false;
                 free.push(sidx as u32);
+                // `poisoned` is almost always empty; a linear scan of
+                // the rare fault-cycle entries beats any set lookup.
+                if !poisoned.is_empty() && poisoned.contains(&id) {
+                    responses.push(Message::nak_to(
+                        node,
+                        entry.requester,
+                        entry.orig_tag,
+                        entry.via_host,
+                    ));
+                    continue;
+                }
                 let resp = match entry.kind {
                     MsgKind::ReadReq => {
                         let bytes = if inflate_lines {
@@ -980,7 +1254,7 @@ impl SwitchNode {
         }
     }
 
-    fn handle_slot_message(&mut self, slot: usize, msg: Message, now: Cycle) {
+    fn handle_slot_message(&mut self, ctx: SysCtx<'_>, slot: usize, msg: Message, now: Cycle) {
         match msg.kind {
             MsgKind::ReadReq | MsgKind::WriteReq | MsgKind::AtomicReq => {
                 let coord = DramCoord::unpack(msg.aux);
@@ -1009,6 +1283,14 @@ impl SwitchNode {
                             msg.kind != MsgKind::AtomicReq,
                             "atomics must be intercepted by the switch logic"
                         );
+                        if u.server.is_failed() {
+                            // The DIMM is dead: bounce the request
+                            // straight back so the requester re-homes it.
+                            u.egress
+                                .push(Message::nak_to(u.node, msg.src, msg.tag, msg.via_host), now);
+                            self.logic.stats.incr("ras.naks");
+                            return;
+                        }
                         let sidx = Self::alloc_serve(&mut u.serve, &mut u.free_serve, entry);
                         u.server
                             .request(SERVE_BIT | sidx as u64, coord, msg.payload_bytes, op);
@@ -1018,11 +1300,48 @@ impl SwitchNode {
             MsgKind::ReadResp | MsgKind::Ack => match &mut self.dimms[slot] {
                 DimmSlot::Cxlg(m) => {
                     if let Some((token, _)) = m.pending.complete_one(msg.tag) {
+                        ras_done(&mut m.ras, msg.tag);
                         m.engine.on_data(token, now);
                     }
                 }
                 DimmSlot::Unmodified(_) => {
                     debug_assert!(false, "unmodified DIMM received a response");
+                }
+            },
+            MsgKind::Nak => match &mut self.dimms[slot] {
+                // One segment of a CXLG engine's access hit a dead or
+                // poisoned DIMM: the first nak hands the token back and
+                // re-issues the whole logical access under the map epoch
+                // in force at `now`; stragglers just drain.
+                DimmSlot::Cxlg(m) => {
+                    if m.pending.poison_one(msg.tag).is_some() {
+                        let (ia, retries) = m
+                            .ras
+                            .as_mut()
+                            .and_then(|r| r.inflight.remove(&msg.tag))
+                            .expect("nak'd access must be tracked");
+                        if retries >= MAX_ACCESS_RETRIES {
+                            self.logic.stats.incr("ras.dropped");
+                            m.engine.on_data(ia.token, now);
+                        } else {
+                            self.logic.stats.incr("ras.requeued");
+                            Self::dispatch_access(
+                                ctx.cfg,
+                                &ctx.maps_at(now)[m.map_idx],
+                                m.node,
+                                ia,
+                                &mut m.pending,
+                                Some(&mut m.server),
+                                &mut m.egress,
+                                None,
+                                m.ras.as_deref_mut().map(|r| (r, retries + 1)),
+                                now,
+                            );
+                        }
+                    }
+                }
+                DimmSlot::Unmodified(_) => {
+                    debug_assert!(false, "unmodified DIMM received a nak");
                 }
             },
             MsgKind::Control => {}
@@ -1031,10 +1350,49 @@ impl SwitchNode {
 
     // ----- shard surface -------------------------------------------------
 
+    /// Executes a scheduled whole-DIMM hard failure once `now` reaches
+    /// its cycle: the DIMM aborts everything it holds, and every aborted
+    /// operation naks its remote requester (unmodified DIMMs never issue
+    /// requests of their own, so every casualty has one). Shard-local
+    /// and identical under the sequential and parallel engines.
+    fn apply_dimm_failure(&mut self, now: Cycle) {
+        let Some(f) = &mut self.ras_fail else { return };
+        if f.done || now < f.at {
+            return;
+        }
+        f.done = true;
+        let slot = f.slot;
+        match &mut self.dimms[slot] {
+            DimmSlot::Unmodified(u) => {
+                // One-time path: a fresh Vec beats threading scratch here.
+                let mut lost = Vec::new();
+                u.server.fail_into(&mut lost);
+                for id in &lost {
+                    debug_assert!(id & SERVE_BIT != 0, "unmodified DIMMs only serve");
+                    let sidx = (id & !SERVE_BIT) as usize;
+                    let entry = u.serve[sidx];
+                    debug_assert!(entry.in_use);
+                    u.serve[sidx].in_use = false;
+                    u.free_serve.push(sidx as u32);
+                    u.egress.push(
+                        Message::nak_to(u.node, entry.requester, entry.orig_tag, entry.via_host),
+                        now,
+                    );
+                }
+                self.logic.stats.incr("ras.dimm_killed");
+                self.logic.stats.add("ras.naks", lost.len() as u64);
+            }
+            DimmSlot::Cxlg(_) => {
+                unreachable!("validate() restricts hard failures to unmodified slots")
+            }
+        }
+    }
+
     /// Advances this switch subtree by one cycle: fabric, in-switch
     /// logic, then every DIMM slot — exactly the per-switch slice of the
     /// sequential [`Tick::tick`] loop.
     pub(crate) fn tick_cycle(&mut self, ctx: SysCtx<'_>, now: Cycle) {
+        self.apply_dimm_failure(now);
         self.fabric.tick(now);
         self.drive_logic(ctx, now);
         for slot in 0..self.dimms.len() {
@@ -1080,6 +1438,14 @@ impl SwitchNode {
         // actionable, so the common case touches a fraction of the
         // subtree.
         let mut h = self.fabric.next_event();
+        // A pending DIMM death is a time-driven fault: fast-forwarding
+        // must stop at (or before) it, or the kill cycle would depend on
+        // the skip pattern.
+        if let Some(f) = &self.ras_fail {
+            if !f.done {
+                h = h.min(f.at);
+            }
+        }
         if h == Cycle::ZERO {
             return h;
         }
@@ -1266,6 +1632,7 @@ impl Tick for BeaconSystem {
             cfg: &self.cfg,
             maps: &self.maps,
             rmw_alu_cycles: self.rmw_alu_cycles,
+            remap: self.remap.as_deref(),
         };
         for sw in &mut self.switches {
             sw.tick_cycle(ctx, now);

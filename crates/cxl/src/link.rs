@@ -8,24 +8,54 @@
 use std::collections::VecDeque;
 
 use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::faults::FaultStream;
 use beacon_sim::stats::Stats;
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 
 use crate::bundle::Bundle;
 use crate::params::LinkParams;
 
-/// Error returned by [`Link::try_send`] when the sender queue is full;
-/// hands the bundle back for retry.
+/// Error returned by [`Link::try_send`]; hands the bundle back so the
+/// caller can retry, and says why the send was refused.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SendError(pub Bundle);
+pub enum SendError {
+    /// The sender-side queue is full; retry once a slot drains.
+    Backpressure(Bundle),
+    /// The link is administratively down (port flap / RAS event); retry
+    /// once the down window ends.
+    Down(Bundle),
+}
+
+impl SendError {
+    /// Recovers the bundle for retry, whatever the refusal reason.
+    pub fn into_bundle(self) -> Bundle {
+        match self {
+            SendError::Backpressure(b) | SendError::Down(b) => b,
+        }
+    }
+}
 
 impl std::fmt::Display for SendError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "link sender queue is full")
+        match self {
+            SendError::Backpressure(_) => write!(f, "link sender queue is full"),
+            SendError::Down(_) => write!(f, "link is down"),
+        }
     }
 }
 
 impl std::error::Error for SendError {}
+
+/// Link-level fault state: a pre-drawn CRC-error stream plus the
+/// flap-driven down window. Boxed behind an `Option` so fault-free
+/// links pay one pointer of state and a single branch per send.
+#[derive(Debug, Clone, Default)]
+struct LinkFaults {
+    /// Cycle stamps at which a flit CRC error corrupts the next send.
+    crc: FaultStream,
+    /// The link rejects new sends until this cycle (exclusive).
+    down_until: Cycle,
+}
 
 /// One direction of a CXL (or DDR-channel) link.
 #[derive(Debug, Clone)]
@@ -39,6 +69,8 @@ pub struct Link {
     stats: Stats,
     /// Trace-track label; `None` falls back to `"cxl.link"`.
     trace_id: Option<Box<str>>,
+    /// RAS fault state; `None` on healthy links (the common case).
+    faults: Option<Box<LinkFaults>>,
 }
 
 impl Link {
@@ -54,6 +86,7 @@ impl Link {
             in_flight: VecDeque::new(),
             stats: Stats::new(),
             trace_id: None,
+            faults: None,
         }
     }
 
@@ -62,27 +95,64 @@ impl Link {
         self.trace_id = Some(id.into().into_boxed_str());
     }
 
+    /// The track label trace events are emitted under.
+    fn track(&self) -> &str {
+        self.trace_id.as_deref().unwrap_or("cxl.link")
+    }
+
+    /// Installs a pre-drawn flit CRC-error stream. Each stamp corrupts
+    /// the next bundle sent at or after it: the flits are retransmitted
+    /// (ack/nak retry), occupying the serialiser for the bundle's wire
+    /// time again plus an exponential-backoff gap, so errors cost
+    /// cycles and wire energy, not just a counter.
+    pub fn set_crc_faults(&mut self, crc: FaultStream) {
+        if crc.is_empty() {
+            return;
+        }
+        self.faults.get_or_insert_with(Default::default).crc = crc;
+    }
+
+    /// Administratively downs the link until `until` (exclusive): sends
+    /// are refused with [`SendError::Down`]. In-flight bundles still
+    /// arrive (the retry buffer preserves them across the flap).
+    pub fn set_down_until(&mut self, until: Cycle) {
+        let f = self.faults.get_or_insert_with(Default::default);
+        f.down_until = f.down_until.max(until);
+    }
+
+    /// True when the link refuses sends at `now` because of a down
+    /// window.
+    pub fn is_down(&self, now: Cycle) -> bool {
+        matches!(&self.faults, Some(f) if now < f.down_until)
+    }
+
     /// The link's parameters.
     pub fn params(&self) -> &LinkParams {
         &self.params
     }
 
     /// True when another bundle can be accepted at `now`.
-    pub fn can_send(&self, _now: Cycle) -> bool {
-        self.in_flight.len() < self.params.queue_depth
+    pub fn can_send(&self, now: Cycle) -> bool {
+        !self.is_down(now) && self.in_flight.len() < self.params.queue_depth
     }
 
     /// Sends a bundle; it will be delivered after serialisation and
     /// propagation.
     ///
     /// # Errors
-    /// Hands the bundle back when the queue is full.
+    /// Hands the bundle back when the queue is full
+    /// ([`SendError::Backpressure`]) or the link is in a down window
+    /// ([`SendError::Down`]).
     pub fn try_send(&mut self, bundle: Bundle, now: Cycle) -> Result<(), SendError> {
-        if !self.can_send(now) {
+        if self.is_down(now) {
+            self.stats.incr("ras.link_down_rejects");
+            return Err(SendError::Down(bundle));
+        }
+        if self.in_flight.len() >= self.params.queue_depth {
             self.stats.incr("cxl.backpressure");
             if trace::enabled(TraceLevel::Flit) {
                 trace::emit(
-                    self.trace_id.as_deref().unwrap_or("cxl.link"),
+                    self.track(),
                     TraceEvent::instant(
                         now.as_u64(),
                         TraceLevel::Flit,
@@ -92,11 +162,28 @@ impl Link {
                     ),
                 );
             }
-            return Err(SendError(bundle));
+            return Err(SendError::Backpressure(bundle));
         }
         let wire = bundle.wire_bytes_at(self.params.slot_bytes);
         let start = self.busy_until.max(now.as_u64() as f64);
-        let ser = self.params.serialize_cycles(wire);
+        let mut ser = self.params.serialize_cycles(wire);
+        if let Some(f) = &mut self.faults {
+            // Every CRC stamp at or before `now` corrupts this bundle
+            // once: the whole bundle retransmits (ack/nak retry) after
+            // an exponentially growing backoff, all of it on the wire.
+            let retries = f.crc.drain_due(now);
+            if retries > 0 {
+                let mut extra = 0.0;
+                for attempt in 0..retries {
+                    let backoff = (1u64 << attempt.min(6)) as f64;
+                    extra += self.params.serialize_cycles(wire) + backoff;
+                }
+                ser += extra;
+                self.stats.add("ras.crc_errors", retries);
+                self.stats.add("ras.retry_cycles", extra.ceil() as u64);
+                self.stats.add("cxl.wire_bytes", (wire as u64) * retries);
+            }
+        }
         let done = start + ser;
         self.busy_until = done;
         let arrives = Cycle::new(done.ceil() as u64) + Duration::new(self.params.latency_cycles);
@@ -110,7 +197,7 @@ impl Link {
 
         if trace::enabled(TraceLevel::Flit) {
             trace::emit(
-                self.trace_id.as_deref().unwrap_or("cxl.link"),
+                self.track(),
                 TraceEvent::span(
                     now.as_u64(),
                     arrives.since(now).as_u64().max(1),
@@ -134,7 +221,7 @@ impl Link {
                 if let Some(b) = &bundle {
                     if trace::enabled(TraceLevel::Flit) {
                         trace::emit(
-                            self.trace_id.as_deref().unwrap_or("cxl.link"),
+                            self.track(),
                             TraceEvent::instant(
                                 now.as_u64(),
                                 TraceLevel::Flit,
@@ -164,7 +251,7 @@ impl Link {
                 let (at, bundle) = self.in_flight.pop_front().expect("checked front");
                 if trace::enabled(TraceLevel::Flit) {
                     trace::emit(
-                        self.trace_id.as_deref().unwrap_or("cxl.link"),
+                        self.track(),
                         TraceEvent::instant(
                             at.as_u64(),
                             TraceLevel::Flit,
@@ -341,6 +428,85 @@ mod tests {
         assert!(l.deliver_before(Cycle::new(11)).is_none());
         let (at, _) = l.deliver_before(Cycle::new(12)).expect("arrived");
         assert_eq!(at, Cycle::new(11));
+    }
+
+    #[test]
+    fn backpressure_and_down_are_distinguishable() {
+        let p = LinkParams {
+            bytes_per_cycle: 1.0,
+            latency_cycles: 0,
+            queue_depth: 1,
+            slot_bytes: 16,
+        };
+        let mut l = Link::new(p);
+        l.try_send(Bundle::single(resp(32, 0)), Cycle::ZERO)
+            .unwrap();
+        match l.try_send(Bundle::single(resp(32, 1)), Cycle::ZERO) {
+            Err(SendError::Backpressure(b)) => assert_eq!(b.messages.len(), 1),
+            other => panic!("expected backpressure, got {other:?}"),
+        }
+
+        let mut d = Link::new(p);
+        d.set_down_until(Cycle::new(10));
+        assert!(d.is_down(Cycle::new(9)));
+        assert!(!d.can_send(Cycle::new(9)));
+        match d.try_send(Bundle::single(resp(32, 2)), Cycle::new(5)) {
+            Err(SendError::Down(b)) => assert_eq!(b.messages.len(), 1),
+            other => panic!("expected down, got {other:?}"),
+        }
+        assert_eq!(d.stats().get("ras.link_down_rejects"), 1);
+        // The window ends: sends flow again.
+        assert!(!d.is_down(Cycle::new(10)));
+        assert!(d
+            .try_send(Bundle::single(resp(32, 3)), Cycle::new(10))
+            .is_ok());
+    }
+
+    #[test]
+    fn crc_error_retries_cost_cycles_and_wire_bytes() {
+        let p = LinkParams {
+            bytes_per_cycle: 64.0,
+            latency_cycles: 10,
+            queue_depth: 4,
+            slot_bytes: 16,
+        };
+        let mut clean = Link::new(p);
+        let mut faulty = Link::new(p);
+        faulty.set_crc_faults(beacon_sim::faults::FaultStream::one_shot(Cycle::ZERO));
+
+        clean
+            .try_send(Bundle::single(resp(32, 1)), Cycle::ZERO)
+            .unwrap();
+        faulty
+            .try_send(Bundle::single(resp(32, 1)), Cycle::ZERO)
+            .unwrap();
+        // Clean arrival at 11; the retry re-serialises (1 cycle) plus a
+        // 1-cycle backoff, so the faulty copy lands strictly later.
+        assert!(clean.deliver(Cycle::new(11)).is_some());
+        assert!(faulty.deliver(Cycle::new(11)).is_none());
+        assert!(faulty.deliver(Cycle::new(13)).is_some());
+        assert_eq!(faulty.stats().get("ras.crc_errors"), 1);
+        assert!(faulty.stats().get("ras.retry_cycles") >= 2);
+        // Retransmitted flits burn wire energy.
+        assert!(faulty.stats().get("cxl.wire_bytes") > clean.stats().get("cxl.wire_bytes"));
+        // Useful bytes are identical: the payload only arrives once.
+        assert_eq!(
+            faulty.stats().get("cxl.useful_bytes"),
+            clean.stats().get("cxl.useful_bytes")
+        );
+    }
+
+    #[test]
+    fn empty_crc_stream_is_a_no_op() {
+        let mut a = Link::new(LinkParams::cxl_x8());
+        let mut b = Link::new(LinkParams::cxl_x8());
+        b.set_crc_faults(beacon_sim::faults::FaultStream::empty());
+        a.try_send(Bundle::single(resp(32, 0)), Cycle::ZERO)
+            .unwrap();
+        b.try_send(Bundle::single(resp(32, 0)), Cycle::ZERO)
+            .unwrap();
+        assert_eq!(a.next_arrival(), b.next_arrival());
+        assert_eq!(b.stats().get("ras.crc_errors"), 0);
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub enum MsgKind {
     ReadResp,
     /// Write/atomic acknowledgement (header-only).
     Ack,
+    /// Negative acknowledgement (header-only): the target cannot serve
+    /// the tagged request — dead DIMM, timed-out service, or poisoned
+    /// data — and the requester must retry or re-map.
+    Nak,
     /// Task dispatch / management traffic.
     Control,
 }
@@ -60,7 +64,7 @@ impl MsgKind {
         match self {
             // Requests carry an address/opcode, not the data.
             MsgKind::ReadReq => 0,
-            MsgKind::Ack => 0,
+            MsgKind::Ack | MsgKind::Nak => 0,
             // Atomics carry an 8 B opcode+operand regardless of the
             // logical counter width.
             MsgKind::AtomicReq => 8,
@@ -154,6 +158,33 @@ impl Message {
             tag: req.tag,
             aux: 0,
             via_host: req.via_host,
+        }
+    }
+
+    /// The negative acknowledgement answering an unservable request.
+    pub fn nak(req: &Message) -> Self {
+        Message {
+            src: req.dst,
+            dst: req.src,
+            kind: MsgKind::Nak,
+            payload_bytes: 0,
+            tag: req.tag,
+            aux: 0,
+            via_host: req.via_host,
+        }
+    }
+
+    /// A negative acknowledgement built from raw endpoints, for sweeps
+    /// where the original request message is no longer at hand.
+    pub fn nak_to(src: NodeId, dst: NodeId, tag: u64, via_host: bool) -> Self {
+        Message {
+            src,
+            dst,
+            kind: MsgKind::Nak,
+            payload_bytes: 0,
+            tag,
+            aux: 0,
+            via_host,
         }
     }
 

@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 
 use beacon_sim::component::Tick;
 use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::faults::FaultStream;
 use beacon_sim::horizon::HorizonCache;
 use beacon_sim::stats::Stats;
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
@@ -92,6 +93,19 @@ pub struct Switch {
     pump_scratch: Vec<(Cycle, RouteTarget, Bundle)>,
     /// Trace-track label for switch-bus arbitration events.
     track: String,
+    /// RAS fault state; `None` on healthy switches (the common case).
+    faults: Option<Box<SwitchFaults>>,
+}
+
+/// Pre-drawn port-flap events. Each stamp downs both directions of its
+/// port for `down` cycles; staged traffic toward the port holds in the
+/// switch (lossless) and retries once the window ends.
+#[derive(Debug, Clone, Default)]
+struct SwitchFaults {
+    /// `(port, pending flap stamps)` pairs.
+    flaps: Vec<(usize, FaultStream)>,
+    /// Down-window length per flap.
+    down: Duration,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,7 +147,59 @@ impl Switch {
             horizon: HorizonCache::new(),
             pump_scratch: Vec::new(),
             track: format!("switch{}", cfg.index),
+            faults: None,
         }
+    }
+
+    /// Installs a pre-drawn flap stream for `port`: each stamp downs
+    /// both directions for `down_cycles`. Pending flap stamps are event
+    /// horizons — fast-forwarding cannot skip over them.
+    pub fn install_port_flaps(&mut self, port: usize, flaps: FaultStream, down_cycles: u64) {
+        assert!(port < self.ingress.len(), "port out of range");
+        if flaps.is_empty() {
+            return;
+        }
+        let f = self.faults.get_or_insert_with(Default::default);
+        f.down = Duration::new(down_cycles);
+        f.flaps.push((port, flaps));
+        self.horizon.invalidate();
+    }
+
+    /// Installs flit CRC-error streams on both directions of `port`
+    /// (`to_switch` corrupts endpoint→switch traffic, `to_endpoint` the
+    /// reverse).
+    pub fn install_crc_faults(
+        &mut self,
+        port: usize,
+        to_switch: FaultStream,
+        to_endpoint: FaultStream,
+    ) {
+        self.ingress[port].set_crc_faults(to_switch);
+        self.egress[port].set_crc_faults(to_endpoint);
+    }
+
+    /// True when `port` is inside a flap down-window at `now`.
+    pub fn port_is_down(&self, port: usize, now: Cycle) -> bool {
+        self.ingress[port].is_down(now) || self.egress[port].is_down(now)
+    }
+
+    /// Applies every flap stamped at or before `now`. Returns true when
+    /// a window opened (the caller invalidates the horizon).
+    fn apply_flaps(&mut self, now: Cycle) -> bool {
+        let Some(f) = &mut self.faults else {
+            return false;
+        };
+        let mut changed = false;
+        for (port, stream) in &mut f.flaps {
+            while let Some(at) = stream.pop_due(now) {
+                let until = at + f.down;
+                self.ingress[*port].set_down_until(until);
+                self.egress[*port].set_down_until(until);
+                self.stats.incr("ras.port_flaps");
+                changed = true;
+            }
+        }
+        changed
     }
 
     /// This switch's configuration.
@@ -330,6 +396,13 @@ impl Switch {
         for l in self.ingress.iter().chain(self.egress.iter()) {
             h = h.min(l.next_arrival());
         }
+        // A pending flap is an event horizon: skipping must wake the
+        // switch at the stamp so the down window opens on time.
+        if let Some(f) = &self.faults {
+            for (_, stream) in &f.flaps {
+                h = h.min(stream.next_at());
+            }
+        }
         h
     }
 
@@ -354,7 +427,7 @@ impl Switch {
                 }
                 RouteTarget::Port(p) => match self.egress[p].try_send(bundle, now) {
                     Ok(()) => moved = true,
-                    Err(SendError(b)) => self.pump_scratch.push((ready, target, b)),
+                    Err(e) => self.pump_scratch.push((ready, target, e.into_bundle())),
                 },
             }
         }
@@ -367,8 +440,9 @@ impl Switch {
 
 impl Tick for Switch {
     fn tick(&mut self, now: Cycle) {
+        // Open any flap windows due this cycle before moving traffic.
+        let mut changed = self.apply_flaps(now);
         // Ingest arrived bundles from every port and route them.
-        let mut changed = false;
         for port in 0..self.ingress.len() {
             while let Some(bundle) = self.ingress[port].deliver(now) {
                 let target = self.route(&bundle);
@@ -588,6 +662,39 @@ mod tests {
             10_000,
         );
         assert!(hit.is_some());
+    }
+
+    #[test]
+    fn port_flap_holds_traffic_until_the_window_ends() {
+        let mut sw = Switch::new(SwitchConfig::paper(0, 2));
+        let mut healthy = Switch::new(SwitchConfig::paper(0, 2));
+        // Flap the destination port at cycle 0 for 500 cycles.
+        sw.install_port_flaps(2, FaultStream::one_shot(Cycle::ZERO), 500);
+        // A pending flap is visible as an event horizon.
+        assert_eq!(Switch::next_event(&sw), Cycle::ZERO);
+
+        let msg = Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(0, 1), 32, 1);
+        sw.endpoint_send(1, Bundle::single(msg), Cycle::ZERO)
+            .unwrap();
+        healthy
+            .endpoint_send(1, Bundle::single(msg), Cycle::ZERO)
+            .unwrap();
+
+        let t_flapped = run_until(&mut sw, |s, now| s.endpoint_recv(2, now).is_some(), 10_000)
+            .expect("flap must not drop the bundle");
+        let t_healthy = run_until(
+            &mut healthy,
+            |s, now| s.endpoint_recv(2, now).is_some(),
+            10_000,
+        )
+        .unwrap();
+        assert!(
+            t_flapped > t_healthy,
+            "down window must delay delivery ({t_flapped:?} vs {t_healthy:?})"
+        );
+        assert!(t_flapped >= Cycle::new(500), "held until the window ended");
+        assert_eq!(sw.stats().get("ras.port_flaps"), 1);
+        assert!(sw.is_idle());
     }
 
     #[test]

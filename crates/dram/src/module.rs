@@ -35,6 +35,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use beacon_sim::component::Tick;
 use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::faults::FaultStream;
 use beacon_sim::horizon::HorizonCache;
 use beacon_sim::queue::QueueFullError;
 use beacon_sim::stats::{Histogram, Stats};
@@ -188,6 +189,17 @@ impl BankSched {
     }
 }
 
+/// Injected-fault state. Boxed behind an `Option` so fault-free DIMMs —
+/// the common case — pay one pointer of space and a never-taken branch.
+#[derive(Debug, Clone, Default)]
+struct DimmFaults {
+    /// Pre-drawn uncorrectable-error stamps: each read retiring at or
+    /// after a stamp consumes it and returns poisoned data.
+    ue: FaultStream,
+    /// Whole-DIMM failure happened; the controller is permanently dead.
+    dead: bool,
+}
+
 /// A cycle-accurate model of one DIMM (devices + controller front-end).
 #[derive(Debug, Clone)]
 pub struct Dimm {
@@ -240,6 +252,8 @@ pub struct Dimm {
     merge_scratch: VecDeque<u32>,
     /// Trace-track label; `None` falls back to `"dram"`.
     trace_id: Option<Box<str>>,
+    /// Injected-fault state; `None` when no faults are configured.
+    faults: Option<Box<DimmFaults>>,
 }
 
 impl Dimm {
@@ -285,7 +299,53 @@ impl Dimm {
             horizon: HorizonCache::new(),
             merge_scratch: VecDeque::new(),
             trace_id: None,
+            faults: None,
         }
+    }
+
+    /// Arms an uncorrectable-error stream: each read retiring at or
+    /// after a pending stamp consumes it and completes `poisoned`.
+    /// An empty stream is a no-op, keeping the fault-free path untouched.
+    pub fn set_ue_faults(&mut self, ue: FaultStream) {
+        if ue.is_empty() {
+            return;
+        }
+        self.faults.get_or_insert_with(Default::default).ue = ue;
+    }
+
+    /// True once [`Dimm::fail`] has been called.
+    pub fn is_dead(&self) -> bool {
+        matches!(&self.faults, Some(f) if f.dead)
+    }
+
+    /// RAS: the whole DIMM fails. Every outstanding request — queued,
+    /// mid-service and finished-but-undrained — is aborted and its
+    /// caller tag appended to `aborted_tags` so the owner can notify the
+    /// requesters. The controller is idle and permanently dead
+    /// afterwards; callers must stop enqueuing.
+    pub fn fail(&mut self, aborted_tags: &mut Vec<u64>) {
+        let before = aborted_tags.len();
+        while let Some(slot) = self.order.pop_front() {
+            let p = self.free_slot(slot);
+            aborted_tags.push(p.req.tag);
+        }
+        for c in self.completed.drain(..) {
+            aborted_tags.push(c.request.tag);
+        }
+        for sched in &mut self.sched {
+            sched.hit_read.clear();
+            sched.hit_write.clear();
+            sched.miss.clear();
+        }
+        for b in &mut self.bank_active {
+            *b = false;
+        }
+        self.active_banks.clear();
+        self.finishing.clear();
+        self.faults.get_or_insert_with(Default::default).dead = true;
+        self.stats
+            .add("ras.dimm_aborted", (aborted_tags.len() - before) as u64);
+        self.horizon.invalidate();
     }
 
     /// Sets the track label this DIMM's trace events are emitted under.
@@ -686,11 +746,22 @@ impl Dimm {
             if p.finished() && p.last_data_end <= now {
                 self.order.remove(i).expect("index valid");
                 let done = self.free_slot(slot);
+                // UE stream: retirement cycles are identical whether the
+                // engine fast-forwards or not, so consuming a stamp here
+                // poisons the same read in every execution mode.
+                let poisoned = match &mut self.faults {
+                    Some(f) if done.req.kind == ReqKind::Read => f.ue.pop_due(now).is_some(),
+                    _ => false,
+                };
+                if poisoned {
+                    self.stats.incr("ras.dimm_ue");
+                }
                 self.completed.push(CompletedAccess {
                     id: done.id,
                     request: done.req,
                     finished_at: done.last_data_end,
                     enqueued_at: done.enqueued_at,
+                    poisoned,
                 });
             } else {
                 i += 1;
@@ -1560,5 +1631,61 @@ mod tests {
         let mut cfg = DimmConfig::paper(AccessMode::Coalesced { chips: 8 });
         cfg.policy = SchedPolicy::Fcfs;
         check_index_against_reference(cfg, 0xC0FF_EE00, 4000);
+    }
+
+    #[test]
+    fn ue_stamp_poisons_exactly_one_read() {
+        let mut d = dimm(AccessMode::PerChip);
+        d.set_ue_faults(FaultStream::one_shot(Cycle::ZERO));
+        for i in 0..3u64 {
+            d.enqueue(MemRequest::read(coord(0, 0, 0, 10, i as u32), 32).with_tag(i))
+                .unwrap();
+        }
+        let mut e = Engine::new();
+        e.run(&mut d);
+        let done = d.drain_completed();
+        assert_eq!(done.len(), 3);
+        // The stamp at cycle 0 is consumed by the first retiring read;
+        // later reads complete clean.
+        assert_eq!(done.iter().filter(|c| c.poisoned).count(), 1);
+        assert!(done[0].poisoned);
+        assert_eq!(d.stats().get("ras.dimm_ue"), 1);
+    }
+
+    #[test]
+    fn writes_never_consume_ue_stamps() {
+        let mut d = dimm(AccessMode::PerChip);
+        d.set_ue_faults(FaultStream::one_shot(Cycle::ZERO));
+        d.enqueue(MemRequest::write(coord(0, 0, 0, 10, 0), 32))
+            .unwrap();
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 1), 32))
+            .unwrap();
+        let mut e = Engine::new();
+        e.run(&mut d);
+        let done = d.drain_completed();
+        let write = done.iter().find(|c| c.request.kind == ReqKind::Write);
+        let read = done.iter().find(|c| c.request.kind == ReqKind::Read);
+        assert!(!write.expect("write done").poisoned);
+        assert!(read.expect("read done").poisoned);
+    }
+
+    #[test]
+    fn fail_aborts_everything_and_leaves_the_dimm_idle() {
+        let mut d = dimm(AccessMode::PerChip);
+        for i in 0..6u64 {
+            d.enqueue(MemRequest::read(coord(0, (i % 4) as u32, 0, 9, 0), 32).with_tag(100 + i))
+                .unwrap();
+        }
+        // Let some requests finish (unretired completions count too).
+        d.tick(Cycle::ZERO);
+        let mut tags = Vec::new();
+        d.fail(&mut tags);
+        tags.sort_unstable();
+        assert_eq!(tags, vec![100, 101, 102, 103, 104, 105]);
+        assert!(d.is_dead());
+        assert!(d.is_idle());
+        assert_eq!(d.next_event(), Cycle::NEVER);
+        assert_eq!(d.stats().get("ras.dimm_aborted"), 6);
+        assert!(d.drain_completed().is_empty());
     }
 }

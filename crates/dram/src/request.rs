@@ -76,6 +76,10 @@ pub struct CompletedAccess {
     pub finished_at: Cycle,
     /// Cycle at which the request entered the controller queue.
     pub enqueued_at: Cycle,
+    /// RAS: the data beat hit an uncorrectable error — the payload is
+    /// garbage and the consumer must retry or re-map. Always `false`
+    /// unless fault injection armed a UE stream on the DIMM.
+    pub poisoned: bool,
 }
 
 impl CompletedAccess {
@@ -107,6 +111,7 @@ mod tests {
             request: MemRequest::read(DramCoord::zero(), 4),
             finished_at: Cycle::new(100),
             enqueued_at: Cycle::new(40),
+            poisoned: false,
         };
         assert_eq!(done.latency().as_u64(), 60);
     }

@@ -1,0 +1,256 @@
+//! Deterministic fault injection: seeded, cycle-stamped fault streams.
+//!
+//! A [`FaultSchedule`] turns one experiment-level seed into any number of
+//! independent per-component fault streams. Every stream is **pre-drawn**
+//! at construction time from a fresh [`SimRng`] child keyed only by the
+//! schedule seed and the component's stable stream id, so
+//!
+//! * the schedule is identical no matter in which order components ask
+//!   for their streams,
+//! * it is identical across 1/2/4/8 simulation threads (no shared RNG
+//!   state is consumed at tick time), and
+//! * it is identical with event-horizon skipping on or off (fault
+//!   cycles are fixed data, not draws made while the clock advances).
+//!
+//! A [`FaultStream`] is a sorted queue of absolute [`Cycle`] stamps. The
+//! component owning the stream decides what a stamp *means* (a flit CRC
+//! error, a port flap, an uncorrectable DRAM error, …) and when to
+//! consume it. Two consumption disciplines exist:
+//!
+//! * **latent** faults ([`FaultStream::pop_due`] at transaction time):
+//!   the fault corrupts the next transaction at or after its stamp.
+//!   These need no engine support — transactions happen at the same
+//!   cycles with or without skipping.
+//! * **time-driven** faults (the stamp itself is the event, e.g. a port
+//!   flap or a DIMM death): the owning component must surface
+//!   [`FaultStream::next_at`] through its `Tick::next_event` horizon so
+//!   fast-forwarding cannot jump over the pending fault.
+
+use std::collections::VecDeque;
+
+use crate::cycle::Cycle;
+use crate::rng::SimRng;
+
+/// Well-known stream-id name spaces, so every component in the stack
+/// derives its faults from a disjoint id without central coordination.
+/// Layout: `kind << 32 | switch << 16 | port_or_slot << 1 | direction`.
+pub mod stream {
+    /// Flit CRC errors on a link (`direction` 0 = towards the device,
+    /// 1 = towards the switch/host).
+    pub const LINK_CRC: u64 = 1;
+    /// Port flap (down-window) events on a switch port.
+    pub const PORT_FLAP: u64 = 2;
+    /// Uncorrectable DRAM errors on a DIMM.
+    pub const DIMM_UE: u64 = 3;
+
+    /// Composes a stable stream id from a name-space tag and a
+    /// component coordinate.
+    pub fn id(kind: u64, switch: u32, port_or_slot: u32, direction: u32) -> u64 {
+        (kind << 32) | ((switch as u64) << 16) | ((port_or_slot as u64) << 1) | direction as u64
+    }
+}
+
+/// A sorted, pre-drawn queue of fault cycles for one component.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStream {
+    events: VecDeque<Cycle>,
+}
+
+impl FaultStream {
+    /// A stream that never fires.
+    pub fn empty() -> Self {
+        FaultStream::default()
+    }
+
+    /// A stream with a single event at `at`.
+    pub fn one_shot(at: Cycle) -> Self {
+        FaultStream {
+            events: VecDeque::from([at]),
+        }
+    }
+
+    /// Builds a stream from explicit cycle stamps (sorted internally).
+    pub fn from_cycles(mut cycles: Vec<Cycle>) -> Self {
+        cycles.sort_unstable();
+        FaultStream {
+            events: cycles.into(),
+        }
+    }
+
+    /// The next pending fault cycle ([`Cycle::NEVER`] when drained).
+    /// Time-driven consumers must fold this into their event horizon.
+    #[inline]
+    pub fn next_at(&self) -> Cycle {
+        self.events.front().copied().unwrap_or(Cycle::NEVER)
+    }
+
+    /// Pops the next fault if its stamp is at or before `now`.
+    #[inline]
+    pub fn pop_due(&mut self, now: Cycle) -> Option<Cycle> {
+        match self.events.front() {
+            Some(&at) if at <= now => self.events.pop_front(),
+            _ => None,
+        }
+    }
+
+    /// Pops and counts every fault stamped at or before `now`.
+    #[inline]
+    pub fn drain_due(&mut self, now: Cycle) -> u64 {
+        let mut n = 0;
+        while self.pop_due(now).is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Remaining event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// A seeded factory of per-component [`FaultStream`]s.
+///
+/// ```
+/// use beacon_sim::cycle::Cycle;
+/// use beacon_sim::faults::{stream, FaultSchedule};
+///
+/// let sched = FaultSchedule::new(42);
+/// let a = sched.stream(stream::id(stream::LINK_CRC, 0, 1, 0), 50.0, 1_000_000);
+/// let b = sched.stream(stream::id(stream::LINK_CRC, 0, 1, 0), 50.0, 1_000_000);
+/// assert_eq!(a, b); // same seed + same id => same stream, always
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSchedule {
+    seed: u64,
+}
+
+impl FaultSchedule {
+    /// Creates a schedule for `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule { seed }
+    }
+
+    /// The schedule's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draws the stream for `stream_id`: a Poisson process with
+    /// `rate_per_mcycle` expected events per million cycles, pre-drawn
+    /// up to (exclusive) `horizon` cycles. A zero rate yields an empty
+    /// stream. The result depends only on `(seed, stream_id,
+    /// rate_per_mcycle, horizon)` — never on call order.
+    pub fn stream(&self, stream_id: u64, rate_per_mcycle: f64, horizon: u64) -> FaultStream {
+        let mut events = Vec::new();
+        if rate_per_mcycle > 0.0 && horizon > 0 {
+            // Fresh parent per call: derivation is order-independent.
+            let mut rng = SimRng::from_seed(self.seed).child(stream_id);
+            let mean_gap = 1.0e6 / rate_per_mcycle;
+            let mut t = 0.0f64;
+            loop {
+                // Exponential inter-arrival; 1.0 - unit() is in (0, 1].
+                let u = 1.0 - rng.unit();
+                t += (-u.ln() * mean_gap).max(1.0);
+                if t >= horizon as f64 {
+                    break;
+                }
+                events.push(Cycle::new(t as u64));
+            }
+        }
+        FaultStream::from_cycles(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_and_id_reproduce_the_stream() {
+        let s1 = FaultSchedule::new(7).stream(11, 100.0, 1_000_000);
+        let s2 = FaultSchedule::new(7).stream(11, 100.0, 1_000_000);
+        assert_eq!(s1, s2);
+        assert!(!s1.is_empty());
+    }
+
+    #[test]
+    fn derivation_is_order_independent() {
+        let sched = FaultSchedule::new(9);
+        let a_first = sched.stream(1, 50.0, 500_000);
+        let _b = sched.stream(2, 50.0, 500_000);
+        let a_again = sched.stream(1, 50.0, 500_000);
+        assert_eq!(a_first, a_again);
+    }
+
+    #[test]
+    fn distinct_ids_give_distinct_streams() {
+        let sched = FaultSchedule::new(13);
+        let a = sched.stream(1, 200.0, 1_000_000);
+        let b = sched.stream(2, 200.0, 1_000_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_rate_is_empty() {
+        let sched = FaultSchedule::new(1);
+        assert!(sched.stream(5, 0.0, 1_000_000).is_empty());
+        assert_eq!(sched.stream(5, 0.0, 1_000_000).next_at(), Cycle::NEVER);
+    }
+
+    #[test]
+    fn rate_roughly_matches_expectation() {
+        let sched = FaultSchedule::new(3);
+        let s = sched.stream(8, 100.0, 10_000_000);
+        // E = 1000 events; accept a generous band.
+        assert!((600..=1400).contains(&s.len()), "got {}", s.len());
+    }
+
+    #[test]
+    fn events_are_sorted_and_within_horizon() {
+        let sched = FaultSchedule::new(4);
+        let mut s = sched.stream(2, 300.0, 100_000);
+        let mut prev = Cycle::ZERO;
+        while let Some(at) = s.pop_due(Cycle::NEVER) {
+            assert!(at >= prev);
+            assert!(at.as_u64() < 100_000);
+            prev = at;
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut s = FaultStream::from_cycles(vec![Cycle::new(10), Cycle::new(20)]);
+        assert_eq!(s.next_at(), Cycle::new(10));
+        assert!(s.pop_due(Cycle::new(9)).is_none());
+        assert_eq!(s.pop_due(Cycle::new(10)), Some(Cycle::new(10)));
+        assert_eq!(s.drain_due(Cycle::new(50)), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn one_shot_fires_once() {
+        let mut s = FaultStream::one_shot(Cycle::new(5));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop_due(Cycle::new(5)), Some(Cycle::new(5)));
+        assert_eq!(s.next_at(), Cycle::NEVER);
+    }
+
+    #[test]
+    fn stream_ids_are_disjoint_across_namespaces() {
+        let a = stream::id(stream::LINK_CRC, 1, 2, 0);
+        let b = stream::id(stream::PORT_FLAP, 1, 2, 0);
+        let c = stream::id(stream::DIMM_UE, 1, 2, 0);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(
+            stream::id(stream::LINK_CRC, 1, 2, 0),
+            stream::id(stream::LINK_CRC, 1, 2, 1)
+        );
+    }
+}

@@ -26,6 +26,7 @@
 pub mod component;
 pub mod cycle;
 pub mod engine;
+pub mod faults;
 pub mod horizon;
 pub mod metrics;
 pub mod parallel;
@@ -39,6 +40,7 @@ pub mod prelude {
     pub use crate::component::{Probe, Tick};
     pub use crate::cycle::{Cycle, Duration};
     pub use crate::engine::{Engine, EngineHooks, ProbeThrottle};
+    pub use crate::faults::{FaultSchedule, FaultStream};
     pub use crate::horizon::HorizonCache;
     pub use crate::metrics::{MetricsSample, MetricsSeries};
     pub use crate::parallel::{EpochHub, EpochShard, ParallelEngine};

@@ -3,6 +3,7 @@
 use proptest::prelude::*;
 
 use beacon_accel::translate::{Placement, RegionMap};
+use beacon_core::allocator::{AllocError, PoolAllocator, RowGrant};
 use beacon_core::parallel::{canonical_merge, HubEntry};
 use beacon_cxl::bundle::Bundle;
 use beacon_cxl::message::{Message, NodeId};
@@ -357,6 +358,140 @@ proptest! {
             now = c;
         }
         prop_assert_eq!(completions, ops.len());
+    }
+
+    // ---- pool allocator (RAS failure paths) -----------------------------
+
+    #[test]
+    fn allocator_respects_exclusions_and_conserves_rows(
+        // Packed op codes interpreted as an allocate / deallocate /
+        // exclude script over a 6-DIMM pool (2 switches × 3 slots).
+        ops in prop::collection::vec(0u64..1_000_000, 1..60),
+    ) {
+        let g = DimmGeometry::sim_scaled();
+        let pool_nodes: Vec<NodeId> = (0..2u32)
+            .flat_map(|s| (0..3u32).map(move |d| NodeId::dimm(s, d)))
+            .collect();
+        let mut pool = PoolAllocator::new(g, &pool_nodes);
+        let total_rows = g.rows;
+        let mut grants: Vec<RowGrant> = Vec::new();
+        let mut excluded: Vec<NodeId> = Vec::new();
+        for &c in &ops {
+            match c % 4 {
+                0 | 1 => {
+                    // Allocate on a contiguous window of the pool.
+                    let start = (c / 4 % 6) as usize;
+                    let len = 1 + (c / 24 % 3) as usize;
+                    let homes: Vec<NodeId> = pool_nodes
+                        .iter()
+                        .cycle()
+                        .skip(start)
+                        .take(len)
+                        .copied()
+                        .collect();
+                    let bytes = (1 + c / 72 % 8) * pool.row_sweep_bytes();
+                    match pool.allocate(&homes, bytes, 1) {
+                        Ok(grant) => {
+                            // A grant must never land on a failed DIMM.
+                            for h in &grant.homes {
+                                prop_assert!(
+                                    !pool.is_excluded(*h),
+                                    "grant landed on excluded {h:?}"
+                                );
+                            }
+                            grants.push(grant);
+                        }
+                        Err(AllocError::NodeExcluded(n)) => {
+                            prop_assert!(excluded.contains(&n));
+                        }
+                        Err(AllocError::OutOfRows { .. }) => {}
+                        Err(AllocError::UnknownNode(n)) => {
+                            prop_assert!(false, "pool nodes are all known, got {n:?}");
+                        }
+                    }
+                }
+                2 => {
+                    // Return a random outstanding grant.
+                    if !grants.is_empty() {
+                        let grant = grants.swap_remove((c / 4) as usize % grants.len());
+                        pool.deallocate(&grant).unwrap();
+                    }
+                }
+                _ => {
+                    // Fail a DIMM (at most two, to keep the pool usable).
+                    if excluded.len() < 2 {
+                        let n = pool_nodes[(c / 4) as usize % pool_nodes.len()];
+                        let free_before = pool.free_bytes(n).unwrap();
+                        match pool.exclude(n) {
+                            Some((free, used)) => {
+                                // Lost-capacity accounting is exact.
+                                prop_assert_eq!(free, free_before);
+                                prop_assert_eq!(
+                                    free + used,
+                                    total_rows * pool.row_sweep_bytes()
+                                );
+                                excluded.push(n);
+                            }
+                            // Double-exclusion is an idempotent no-op.
+                            None => prop_assert!(excluded.contains(&n)),
+                        }
+                    }
+                }
+            }
+        }
+        // Row conservation: per node, free + outstanding == capacity.
+        for &n in &pool_nodes {
+            let granted: u64 = grants
+                .iter()
+                .filter(|grant| grant.homes.contains(&n))
+                .map(|grant| grant.rows)
+                .sum();
+            prop_assert_eq!(pool.free_rows(n).unwrap() + granted, total_rows);
+        }
+        // Dealloc/realloc round-trip: draining every grant coalesces
+        // each node back to one fully-free range, proven by a
+        // full-capacity allocation succeeding on a surviving node.
+        for grant in grants.drain(..) {
+            pool.deallocate(&grant).unwrap();
+        }
+        for &n in &pool_nodes {
+            prop_assert_eq!(pool.free_rows(n).unwrap(), total_rows);
+        }
+        if let Some(&n) = pool_nodes.iter().find(|n| !pool.is_excluded(**n)) {
+            let grant = pool
+                .allocate(&[n], total_rows * pool.row_sweep_bytes(), 1)
+                .expect("drained node must coalesce to one full range");
+            prop_assert_eq!(grant.rows, total_rows);
+            pool.deallocate(&grant).unwrap();
+        }
+    }
+
+    #[test]
+    fn allocate_after_exclude_always_fails_on_the_dead_node(
+        dead_idx in 0usize..4,
+        rows in 1u64..16,
+    ) {
+        let g = DimmGeometry::sim_scaled();
+        let pool_nodes: Vec<NodeId> = (0..4u32).map(|d| NodeId::dimm(0, d)).collect();
+        let mut pool = PoolAllocator::new(g, &pool_nodes);
+        let dead = pool_nodes[dead_idx];
+        pool.exclude(dead).unwrap();
+        let bytes = rows * pool.row_sweep_bytes();
+        // Any home set containing the dead DIMM is rejected by name…
+        prop_assert_eq!(
+            pool.allocate(&pool_nodes, bytes, 1).unwrap_err(),
+            AllocError::NodeExcluded(dead)
+        );
+        prop_assert_eq!(
+            pool.allocate(&[dead], bytes, 1).unwrap_err(),
+            AllocError::NodeExcluded(dead)
+        );
+        // …while the survivors still serve allocations.
+        let survivors: Vec<NodeId> =
+            pool_nodes.iter().copied().filter(|&n| n != dead).collect();
+        let grant = pool.allocate(&survivors, bytes, 1).unwrap();
+        prop_assert!(!grant.homes.contains(&dead));
+        pool.deallocate(&grant).unwrap();
     }
 
     // ---- counting Bloom filter ------------------------------------------
