@@ -369,6 +369,7 @@ impl Medal {
                 * self.modules.len() as u64,
             chip_histograms: hists,
             degraded: None,
+            attribution: None,
         }
     }
 
@@ -405,6 +406,7 @@ impl Medal {
                             tag: pid,
                             aux: seg.coord.pack(),
                             via_host: false,
+                            jny: None,
                         };
                         self.modules[mi].packer.push(msg, now);
                     }
@@ -525,6 +527,7 @@ impl Medal {
                             tag: entry.orig_tag,
                             aux: 0,
                             via_host: false,
+                            jny: None,
                         },
                         _ => Message {
                             src: self.modules[mi].node,
@@ -534,6 +537,7 @@ impl Medal {
                             tag: entry.orig_tag,
                             aux: 0,
                             via_host: false,
+                            jny: None,
                         },
                     };
                     self.modules[mi].packer.push(resp, now);

@@ -6,6 +6,7 @@
 
 use std::fmt::Write as _;
 
+use beacon_sim::journey::Attribution;
 use beacon_sim::stats::{Fnv64, Histogram, Stats};
 use serde::{Deserialize, Serialize};
 
@@ -84,6 +85,13 @@ pub struct RunResult {
     /// (`None` on a pristine machine). Not part of the digest — see
     /// [`DegradedRun`].
     pub degraded: Option<DegradedRun>,
+    /// Request-journey attribution report when the run executed with
+    /// sampling enabled (`None` otherwise). Like [`DegradedRun`], this
+    /// is observability metadata: **excluded** from the digest and from
+    /// serialization, so enabling attribution can never perturb an
+    /// equivalence check.
+    #[serde(skip)]
+    pub attribution: Option<Attribution>,
 }
 
 impl RunResult {
@@ -241,6 +249,7 @@ mod tests {
             total_chips: 0,
             chip_histograms: vec![],
             degraded: None,
+            attribution: None,
         };
         assert_eq!(r.throughput(), 5.0);
         assert!((r.seconds(1250) - 1.25e-5).abs() < 1e-18);
@@ -263,6 +272,7 @@ mod tests {
             total_chips: 8,
             chip_histograms: vec![hist],
             degraded: None,
+            attribution: None,
         }
     }
 
@@ -301,6 +311,22 @@ mod tests {
     }
 
     #[test]
+    fn attribution_report_stays_out_of_the_digest() {
+        // Same contract as the RAS report: attribution is observability
+        // metadata, so a sampled run digests identically to a blind one.
+        let a = sample();
+        let mut b = sample();
+        b.attribution = Some(Attribution {
+            sample_every: 8,
+            seen: 100,
+            tracked: 13,
+            ..Default::default()
+        });
+        assert_eq!(a.digest(), b.digest());
+        assert!(a.diff(&b).is_none());
+    }
+
+    #[test]
     fn diff_names_the_divergent_counter() {
         let a = sample();
         let mut b = sample();
@@ -333,6 +359,7 @@ mod tests {
             total_chips: 0,
             chip_histograms: vec![],
             degraded: None,
+            attribution: None,
         };
         assert_eq!(r.throughput(), 0.0);
         assert!(r.merged_chip_histogram().is_none());

@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 
 use beacon_sim::component::Tick;
 use beacon_sim::cycle::Cycle;
+use beacon_sim::journey::{self, JStamp, Phase};
 use beacon_sim::stats::{Histogram, Stats};
 
 use beacon_dram::address::DramCoord;
@@ -62,6 +63,13 @@ pub struct DimmServer {
     poisoned: Vec<u64>,
     /// Whole-DIMM failure happened; no further service is possible.
     failed: bool,
+    /// Journey stamps of tracked in-flight service operations, keyed by
+    /// service id. Holds only sampled requests (empty when attribution
+    /// is off), so linear scans stay cheap.
+    jny: Vec<(u64, JStamp)>,
+    /// Return-phase stamps of completed tracked operations, for the
+    /// owner to attach to response messages.
+    jny_done: Vec<(u64, JStamp)>,
     stats: Stats,
 }
 
@@ -77,6 +85,8 @@ impl DimmServer {
             drain_scratch: Vec::new(),
             poisoned: Vec::new(),
             failed: false,
+            jny: Vec::new(),
+            jny_done: Vec::new(),
             stats: Stats::new(),
         }
     }
@@ -115,6 +125,10 @@ impl DimmServer {
             out.push(tag & !PHASE_MASK);
         }
         self.poisoned.clear();
+        // Aborted operations drop their stamps: faults undercount in the
+        // attribution report rather than fabricate phase durations.
+        self.jny.clear();
+        self.jny_done.clear();
         self.failed = true;
     }
 
@@ -124,7 +138,30 @@ impl DimmServer {
     /// Panics when `id` uses the two reserved discriminator bits (ids
     /// must stay below 2^62).
     pub fn request(&mut self, id: u64, coord: DramCoord, bytes: u32, op: ServiceOp) {
+        self.request_with(id, coord, bytes, op, None);
+    }
+
+    /// Submits a service operation carrying an optional journey stamp.
+    /// The stamp's phase should already be [`Phase::BankQueue`] (the
+    /// caller hops it on hand-over); the server splits queueing from
+    /// bank service at completion and surfaces the return-phase stamp
+    /// through [`DimmServer::drain_jny_done_into`].
+    ///
+    /// # Panics
+    /// Panics when `id` uses the two reserved discriminator bits (ids
+    /// must stay below 2^62).
+    pub fn request_with(
+        &mut self,
+        id: u64,
+        coord: DramCoord,
+        bytes: u32,
+        op: ServiceOp,
+        jny: Option<JStamp>,
+    ) {
         assert_eq!(id & PHASE_MASK, 0, "service id too large");
+        if let Some(stamp) = jny {
+            self.jny.push((id, stamp));
+        }
         self.backlog.push_back(ServiceReq {
             id,
             coord,
@@ -134,6 +171,7 @@ impl DimmServer {
     }
 
     /// Backlogged operations not yet in the DRAM controller.
+    #[inline]
     pub fn backlog_len(&self) -> usize {
         self.backlog.len()
     }
@@ -157,7 +195,15 @@ impl DimmServer {
         out.append(&mut self.poisoned);
     }
 
+    /// Return-phase journey stamps of completed tracked operations
+    /// (`(service id, stamp)`; the stamp's `at` is the completion
+    /// cycle). Empty unless attribution is sampling.
+    pub fn drain_jny_done_into(&mut self, out: &mut Vec<(u64, JStamp)>) {
+        out.append(&mut self.jny_done);
+    }
+
     /// The underlying DIMM (stats, histograms).
+    #[inline]
     pub fn dimm(&self) -> &Dimm {
         &self.dimm
     }
@@ -226,6 +272,29 @@ impl DimmServer {
         h
     }
 
+    /// Terminal completion of a tracked operation: split its residency
+    /// into queueing and bank service, then park the stamp (now in the
+    /// return phase) for the owner to attach to the response.
+    ///
+    /// For RMWs the split is approximate: the read phase and the ALU
+    /// delay land in `BankQueue` (only the final write's service window
+    /// counts as `BankService`).
+    fn finish_journey(&mut self, id: u64, c: &CompletedAccess) {
+        if self.jny.is_empty() {
+            return;
+        }
+        let Some(pos) = self.jny.iter().position(|(jid, _)| *jid == id) else {
+            return;
+        };
+        let (_, mut stamp) = self.jny.swap_remove(pos);
+        journey::record(Phase::BankQueue, c.service_started_at.since(stamp.at));
+        journey::record(Phase::BankService, c.service_latency());
+        stamp.at = c.finished_at;
+        stamp.phase = Phase::Return;
+        stamp.resp = true;
+        self.jny_done.push((id, stamp));
+    }
+
     fn pump_rmw_stage(&mut self, now: Cycle) {
         while let Some(&(ready, req)) = self.rmw_stage.front() {
             if ready > now || self.dimm.queue_free() == 0 {
@@ -267,12 +336,14 @@ impl Tick for DimmServer {
                     if c.poisoned {
                         self.poisoned.push(id);
                     }
+                    self.finish_journey(id, &c);
                     self.done.push((id, c.finished_at));
                 }
                 PHASE_RMW_READ if c.poisoned => {
                     // UE on the atomic's read phase: the operand is
                     // garbage, so the RMW aborts instead of writing back.
                     self.poisoned.push(id);
+                    self.finish_journey(id, &c);
                     self.done.push((id, c.finished_at));
                 }
                 PHASE_RMW_READ => {
@@ -291,6 +362,7 @@ impl Tick for DimmServer {
                     ));
                 }
                 PHASE_RMW_WRITE => {
+                    self.finish_journey(id, &c);
                     self.done.push((id, c.finished_at));
                 }
                 _ => unreachable!("invalid phase bits"),

@@ -3,9 +3,9 @@
 //! ```text
 //! cargo run -p beacon-bench --bin figures --release -- [--all]
 //!     [--table1] [--table2] [--fig3] [--fig12] [--fig13] [--fig14]
-//!     [--fig15] [--fig16] [--fig17] [--faults <seed>] [--quick]
-//!     [--threads <n>] [--no-skip] [--trace <out.json>]
-//!     [--metrics <out.jsonl|out.csv>] [--progress]
+//!     [--fig15] [--fig16] [--fig17] [--faults <seed>] [--report]
+//!     [--report-json <out.json>] [--quick] [--threads <n>] [--no-skip]
+//!     [--trace <out.json>] [--metrics <out.jsonl|out.csv>] [--progress]
 //! ```
 //!
 //! With no selector (or `--all`) everything runs. `--quick` switches to
@@ -13,6 +13,10 @@
 //! `--faults <seed>` runs the RAS fault sweep — link CRC error rates
 //! against slowdown, plus a whole-DIMM failure mid-run — from one
 //! deterministic seed.
+//! `--report` runs the journey-attribution bottleneck report (per-phase
+//! latency breakdown, component utilization, most-contended queues) for
+//! the five genomes; `--report-json <path>` additionally writes the
+//! machine-readable report (and implies `--report`).
 //! `--threads <n>` runs every BEACON system on the deterministic
 //! epoch-parallel engine with `n` worker threads — results are
 //! bit-identical to the default sequential engine, just faster.
@@ -27,7 +31,9 @@
 use std::time::Instant;
 
 use beacon_bench::{bench_scale, figures_scale, BENCH_PES, FIGURE_PES};
-use beacon_core::experiments::{faults, fig12, fig13, fig14, fig15, fig16, fig17, fig3, tables};
+use beacon_core::experiments::{
+    faults, fig12, fig13, fig14, fig15, fig16, fig17, fig3, report, tables,
+};
 use beacon_core::obs::{self, ObsConfig, DEFAULT_STALL_WINDOW};
 use beacon_sim::trace::{self, TraceBuffer, TraceLevel};
 
@@ -54,6 +60,8 @@ struct Selection {
     fig17: bool,
     quick: bool,
     faults: Option<u64>,
+    report: bool,
+    report_json: Option<String>,
     threads: usize,
     no_skip: bool,
     trace: Option<String>,
@@ -76,6 +84,8 @@ fn usage() -> String {
      \x20 --fig16            Fig. 16  (energy)\n\
      \x20 --fig17            Fig. 17  (sensitivity)\n\
      \x20 --faults <seed>    RAS fault sweep (link errors, DIMM loss)\n\
+     \x20 --report           journey-attribution bottleneck report\n\
+     \x20 --report-json <path>  write the report as JSON too (implies --report)\n\
      \n\
      options:\n\
      \x20 --quick            small bench scale (smoke test)\n\
@@ -103,6 +113,8 @@ impl Selection {
             fig17: false,
             quick: false,
             faults: None,
+            report: false,
+            report_json: None,
             threads: 1,
             no_skip: false,
             trace: None,
@@ -152,6 +164,17 @@ impl Selection {
                 }
                 "--all" => {
                     any = false;
+                }
+                "--report" => {
+                    sel.report = true;
+                    any = true;
+                }
+                "--report-json" => {
+                    i += 1;
+                    let path = args.get(i).ok_or("--report-json needs a file path")?;
+                    sel.report = true;
+                    sel.report_json = Some(path.clone());
+                    any = true;
                 }
                 "--quick" => sel.quick = true,
                 "--faults" => {
@@ -280,6 +303,14 @@ fn main() {
     if let Some(seed) = sel.faults {
         section("Fault sweep", || faults::run(&scale, pes, seed).render());
     }
+    if sel.report {
+        let rep = report::run(&scale, pes);
+        section("Bottleneck report", || rep.render());
+        if let Some(path) = &sel.report_json {
+            write_or_die(path, &rep.render_json());
+            println!("report: attribution JSON -> {path}");
+        }
+    }
     println!("total harness time: {:?}", t0.elapsed());
 
     if let Some(path) = &sel.trace {
@@ -375,6 +406,25 @@ mod tests {
     }
 
     #[test]
+    fn report_flag_acts_as_a_selector() {
+        let sel = Selection::parse(&args(&["--report"])).unwrap();
+        assert!(sel.report);
+        assert_eq!(sel.report_json, None);
+        // A lone --report must not drag every figure along.
+        assert!(!sel.table1 && !sel.fig12 && !sel.fig17);
+        // And with no selector at all, no report runs.
+        assert!(!Selection::parse(&[]).unwrap().report);
+    }
+
+    #[test]
+    fn report_json_implies_report_and_takes_a_path() {
+        let sel = Selection::parse(&args(&["--report-json", "/tmp/r.json"])).unwrap();
+        assert!(sel.report);
+        assert_eq!(sel.report_json.as_deref(), Some("/tmp/r.json"));
+        assert!(Selection::parse(&args(&["--report-json"])).is_err());
+    }
+
+    #[test]
     fn observability_flags_take_values() {
         let sel = Selection::parse(&args(&[
             "--fig12",
@@ -424,6 +474,8 @@ mod tests {
             "--fig16",
             "--fig17",
             "--faults",
+            "--report",
+            "--report-json",
             "--quick",
             "--threads",
             "--no-skip",

@@ -181,6 +181,7 @@ mod tests {
             total_chips: 64,
             chip_histograms: vec![],
             degraded: None,
+            attribution: None,
         }
     }
 

@@ -11,6 +11,7 @@
 //! | [`fig16`] | Fig. 16 — DNA pre-alignment |
 //! | [`fig17`] | Fig. 17 — energy breakdown across the ladder |
 //! | [`faults`] | RAS fault sweep (not a paper figure; `--faults`) |
+//! | [`report`] | journey-attribution bottleneck report (`--report`) |
 
 pub mod common;
 pub mod faults;
@@ -22,6 +23,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig3;
 pub mod ladder;
+pub mod report;
 pub mod tables;
 
 pub use common::{

@@ -1,0 +1,201 @@
+//! Bottleneck report: request-journey attribution over the five genomes.
+//!
+//! Not a paper figure — the observability companion to the ladders: for
+//! each genome the FM-index seeding workload runs on the full BEACON-D
+//! design with attribution sampling enabled, and the per-phase latency
+//! decomposition, component utilization and most-contended queues are
+//! reported (`figures --report`).
+
+use beacon_genomics::genome::GenomeId;
+use beacon_sim::journey::{self, Attribution, JourneyRecorder};
+use beacon_sim::rng::SimRng;
+
+use crate::config::{BeaconVariant, Optimizations};
+
+use super::common::{fm_workload, run_beacon, WorkloadScale};
+
+/// Sampling period used by the harness: tracks one request in eight —
+/// dense enough for stable percentiles at the figure scale, sparse
+/// enough to keep the hot path cold.
+pub const REPORT_SAMPLE_EVERY: u64 = 8;
+
+/// One genome's attribution report.
+#[derive(Debug, Clone)]
+pub struct ReportRow {
+    /// Genome label as used in the paper's figures.
+    pub genome: &'static str,
+    /// Run cycles (for scale context in the rendered report).
+    pub cycles: u64,
+    /// The bottleneck report of the run.
+    pub attribution: Attribution,
+}
+
+/// The `--report` section's data: one row per genome.
+#[derive(Debug, Clone)]
+pub struct AttributionReport {
+    /// Per-genome rows in [`GenomeId::FIVE`] order.
+    pub rows: Vec<ReportRow>,
+}
+
+impl AttributionReport {
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Bottleneck report — FM-index seeding on BEACON-D (full)\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "\n=== {} ({} cycles) ===\n",
+                row.genome, row.cycles
+            ));
+            out.push_str(&row.attribution.render_text());
+        }
+        out
+    }
+
+    /// Renders the machine-readable report: one JSON object keyed by
+    /// genome label (hand-rolled — the offline build bans `serde_json`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"report\":\"journey-attribution\",\"genomes\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"genome\":\"");
+            out.push_str(row.genome);
+            out.push_str("\",\"cycles\":");
+            out.push_str(&row.cycles.to_string());
+            out.push_str(",\"attribution\":");
+            out.push_str(&row.attribution.render_json());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Runs the attribution sweep over `genomes` at `sample_every`.
+///
+/// Installs a fresh [`JourneyRecorder`] around each run (salted from the
+/// workload seed via [`SimRng::child`], so the tracked subset is a
+/// deterministic function of the scale alone) and restores the previous
+/// recorder state afterwards.
+pub fn run_genomes(
+    scale: &WorkloadScale,
+    pes: usize,
+    sample_every: u64,
+    genomes: &[GenomeId],
+) -> AttributionReport {
+    let mut rows = Vec::with_capacity(genomes.len());
+    for &g in genomes {
+        let w = fm_workload(g, scale);
+        let salt = SimRng::from_seed(scale.seed).child(0xA77).below(u64::MAX);
+        let prev = journey::install(JourneyRecorder::new(sample_every, salt));
+        let r = run_beacon(
+            BeaconVariant::D,
+            Optimizations::full(BeaconVariant::D, w.app),
+            &w,
+            pes,
+        );
+        journey::uninstall();
+        if let Some(prev) = prev {
+            journey::install(prev);
+        }
+        let attribution = r.attribution.expect("attribution was enabled for this run");
+        rows.push(ReportRow {
+            genome: g.label(),
+            cycles: r.cycles,
+            attribution,
+        });
+    }
+    AttributionReport { rows }
+}
+
+/// Runs the full five-genome sweep at the harness sampling period.
+pub fn run(scale: &WorkloadScale, pes: usize) -> AttributionReport {
+    run_genomes(scale, pes, REPORT_SAMPLE_EVERY, &GenomeId::FIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use beacon_sim::trace::validate_json;
+
+    use super::*;
+
+    #[test]
+    fn sweep_produces_populated_reports() {
+        let scale = WorkloadScale::test();
+        let rep = run_genomes(&scale, 4, 1, &[GenomeId::Pt]);
+        assert_eq!(rep.rows.len(), 1);
+        let row = &rep.rows[0];
+        assert_eq!(row.genome, "Pt");
+        let attr = &row.attribution;
+        assert!(attr.tracked > 0, "sample_every=1 must track requests");
+        assert_eq!(attr.tracked, attr.seen);
+        let total = attr
+            .phases
+            .iter()
+            .find(|p| p.phase == "total")
+            .expect("total row");
+        assert!(total.count > 0);
+        assert!(!attr.utilization.is_empty());
+        assert!(!attr.queues.is_empty());
+        assert!(!attr.classes.is_empty());
+    }
+
+    #[test]
+    fn attribution_does_not_change_the_digest() {
+        let scale = WorkloadScale::test();
+        let w = fm_workload(GenomeId::Pt, &scale);
+        let plain = run_beacon(
+            BeaconVariant::D,
+            Optimizations::full(BeaconVariant::D, w.app),
+            &w,
+            4,
+        );
+        let rep = run_genomes(&scale, 4, 1, &[GenomeId::Pt]);
+        assert!(rep.rows[0].attribution.tracked > 0);
+        let attributed = run_beacon(
+            BeaconVariant::D,
+            Optimizations::full(BeaconVariant::D, w.app),
+            &w,
+            4,
+        );
+        assert_eq!(plain.digest(), attributed.digest());
+        assert_eq!(plain.diff(&attributed), None);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_across_runs() {
+        let scale = WorkloadScale::test();
+        let a = run_genomes(&scale, 4, 2, &[GenomeId::Pt]);
+        let b = run_genomes(&scale, 4, 2, &[GenomeId::Pt]);
+        assert_eq!(a.rows[0].attribution, b.rows[0].attribution);
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let scale = WorkloadScale::test();
+        let rep = run_genomes(&scale, 4, 1, &[GenomeId::Pt]);
+        validate_json(&rep.render_json()).expect("well-formed report JSON");
+        let text = rep.render();
+        assert!(text.contains("=== Pt"));
+        assert!(text.contains("phase"));
+    }
+
+    /// The rendered report must satisfy the checked-in schema that
+    /// downstream tooling (CI, dashboards) consumes.
+    #[test]
+    fn json_report_matches_checked_in_schema() {
+        use beacon_sim::json::{check_schema, JsonValue};
+        let schema_text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/report.schema.json"
+        ))
+        .expect("schemas/report.schema.json is checked in");
+        let schema = JsonValue::parse(&schema_text).expect("schema parses");
+        let scale = WorkloadScale::test();
+        let rep = run_genomes(&scale, 4, 1, &[GenomeId::Pt]);
+        let doc = JsonValue::parse(&rep.render_json()).expect("report parses");
+        check_schema(&doc, &schema).expect("report conforms to the schema");
+    }
+}

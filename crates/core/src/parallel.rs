@@ -22,6 +22,8 @@
 use std::cell::Cell;
 use std::collections::VecDeque;
 
+use beacon_sim::journey::{self, Phase};
+
 use beacon_accel::result::RunResult;
 use beacon_accel::translate::RegionMap;
 use beacon_cxl::bundle::Bundle;
@@ -251,6 +253,16 @@ impl<'a> EpochHub<PoolShard<'a>> for HostHub {
         // arrived in an earlier epoch, so their ready cycles precede
         // every new one.
         for (arrival, _src, _seq, mut bundle) in collected {
+            if journey::active() {
+                // Same transition the sequential `pump_host` records on
+                // uplink receive, at the same canonical arrival cycle —
+                // phase aggregates stay thread-count-independent.
+                for m in &mut bundle.messages {
+                    if let Some(stamp) = &mut m.jny {
+                        journey::hop(stamp, arrival, Phase::HostForward);
+                    }
+                }
+            }
             for m in &mut bundle.messages {
                 *m = m.cleared_via_host();
             }
@@ -298,6 +310,7 @@ impl BeaconSystem {
             self.host_stage.is_empty(),
             "runs start with an empty host stage"
         );
+        self.refresh_journey_gates();
         let cfg = self.cfg;
         let maps = std::mem::take(&mut self.maps);
         let remap = self.remap.take();

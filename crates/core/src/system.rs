@@ -26,7 +26,9 @@ use beacon_sim::component::{Probe, Tick};
 use beacon_sim::cycle::{Cycle, Duration};
 use beacon_sim::engine::Engine;
 use beacon_sim::faults::{stream, FaultSchedule};
+use beacon_sim::journey::{self, ComponentUtil, JGate, JStamp, Phase, QueueAcc, QueueStat};
 use beacon_sim::stats::Stats;
+use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 
 use beacon_accel::pending::PendingTable;
 use beacon_accel::result::RunResult;
@@ -106,6 +108,9 @@ struct LogicServe {
     phase: AtomicPhase,
     via_host: bool,
     in_use: bool,
+    /// Journey stamp of a tracked atomic parked in the serve table while
+    /// the logic runs its read/ALU/write phases (all one `Serve` span).
+    jny: Option<JStamp>,
 }
 
 /// Sender-side egress: optional packer plus a retry buffer for
@@ -180,6 +185,9 @@ struct CxlgModule {
     egress: Egress,
     /// Nak retry state; `None` on a pristine machine.
     ras: Option<Box<RasState>>,
+    /// Precomputed class label for attribution rollups (no per-request
+    /// formatting on the hot path).
+    jny_label: Box<str>,
 }
 
 #[derive(Debug)]
@@ -213,12 +221,19 @@ struct LogicNode {
     stats: Stats,
     /// Nak retry state; `None` on a pristine machine.
     ras: Option<Box<RasState>>,
+    /// Precomputed class label for attribution rollups.
+    jny_label: Box<str>,
 }
 
 /// One switch subtree: the fabric, its in-switch logic and the DIMMs
 /// behind it. Everything under a `SwitchNode` only talks to the rest of
 /// the pool through the uplink, which is what makes it an independently
 /// advanceable shard for [`crate::parallel`].
+/// A same-switch RMW short-circuited into the logic serve table:
+/// (pending id, DRAM coordinate, payload bytes, requesting node,
+/// journey stamp when the access is tracked).
+type LocalRmw = (u64, DramCoord, u32, NodeId, Option<JStamp>);
+
 #[derive(Debug)]
 pub(crate) struct SwitchNode {
     index: usize,
@@ -229,11 +244,24 @@ pub(crate) struct SwitchNode {
     /// performs no heap allocation. Always drained back to empty before
     /// the driver returns.
     issued_scratch: Vec<IssuedAccess>,
-    rmw_scratch: Vec<(u64, DramCoord, u32, NodeId)>,
+    rmw_scratch: Vec<LocalRmw>,
     done_scratch: Vec<(u64, Cycle)>,
     resp_scratch: Vec<Message>,
     comp_scratch: Vec<u64>,
     poison_scratch: Vec<u64>,
+    jny_scratch: Vec<(u64, JStamp)>,
+    /// Queue-depth integrals for the attribution report. Observed once
+    /// per executed tick — depth only changes inside [`tick_cycle`], so
+    /// the plateau accounting stays exact under fast-forwarding. Plain
+    /// fields, never digested.
+    q_staged: QueueAcc,
+    q_inbox: QueueAcc,
+    q_backlog: Vec<QueueAcc>,
+    /// Run-local sampling gate: refreshed from the installed recorder at
+    /// run start, consulted (without thread-local traffic) on every
+    /// access this subtree issues, summed into the report at collect.
+    /// Plain field, never digested.
+    jgate: Option<JGate>,
     /// Scheduled hard failure of one of this switch's DIMMs. A pending
     /// failure is a time-driven fault: `subtree_next_event` surfaces it
     /// so fast-forwarding cannot jump over the death.
@@ -274,6 +302,8 @@ pub struct BeaconSystem {
     pub(crate) host_stage: VecDeque<(Cycle, Bundle)>,
     /// Reusable buffer for back-pressured host-stage entries.
     host_scratch: VecDeque<(Cycle, Bundle)>,
+    /// Host-stage queue-depth integral (attribution only, not digested).
+    q_host: QueueAcc,
     pub(crate) finished_at: Cycle,
     pub(crate) rmw_alu_cycles: u64,
     /// Precomputed graceful-degradation plan for the scheduled DIMM
@@ -347,6 +377,7 @@ impl BeaconSystem {
                                 free_serve: Vec::new(),
                                 egress: Egress::new(packing, flush_age),
                                 ras: None,
+                                jny_label: format!("sw{s}.dimm{slot}").into_boxed_str(),
                             })
                         } else {
                             DimmSlot::Unmodified(UnmodDimm {
@@ -376,6 +407,7 @@ impl BeaconSystem {
                         alu_stage: VecDeque::new(),
                         stats: Stats::new(),
                         ras: None,
+                        jny_label: format!("sw{s}.logic").into_boxed_str(),
                     },
                     dimms,
                     issued_scratch: Vec::new(),
@@ -384,6 +416,11 @@ impl BeaconSystem {
                     resp_scratch: Vec::new(),
                     comp_scratch: Vec::new(),
                     poison_scratch: Vec::new(),
+                    jny_scratch: Vec::new(),
+                    q_staged: QueueAcc::default(),
+                    q_inbox: QueueAcc::default(),
+                    q_backlog: vec![QueueAcc::default(); cfg.slots_per_switch() as usize],
+                    jgate: journey::gate(),
                     ras_fail: None,
                 }
             })
@@ -488,6 +525,7 @@ impl BeaconSystem {
             switches,
             host_stage: VecDeque::new(),
             host_scratch: VecDeque::new(),
+            q_host: QueueAcc::default(),
             finished_at: Cycle::ZERO,
             rmw_alu_cycles: 4,
             remap,
@@ -548,10 +586,21 @@ impl BeaconSystem {
         if threads > 1 {
             return self.run_parallel(threads);
         }
+        self.refresh_journey_gates();
         let mut engine = Engine::new();
         let outcome = crate::obs::drive(&mut engine, self);
         self.finished_at = outcome.finished_at();
         self.collect()
+    }
+
+    /// Re-arms the per-switch sampling gates from the installed
+    /// recorder. Runs at run entry: attribution may have been installed
+    /// (or swapped) after this system was built.
+    pub(crate) fn refresh_journey_gates(&mut self) {
+        let gate = journey::gate();
+        for sw in &mut self.switches {
+            sw.jgate = gate;
+        }
     }
 
     /// Assembles the measurement bundle after a run.
@@ -618,6 +667,7 @@ impl BeaconSystem {
                 remap_cost_cycles: plan.map_or(0, |r| r.remap_cost_cycles),
             }
         });
+        let attribution = journey::snapshot().map(|rec| self.build_attribution(&rec));
         let geometry = self.cfg.geometry;
         RunResult {
             cycles: self.finished_at.as_u64(),
@@ -630,7 +680,94 @@ impl BeaconSystem {
                 * self.cfg.total_dimms() as u64,
             chip_histograms: hists,
             degraded,
+            attribution,
         }
+    }
+
+    /// Assembles the full bottleneck report from the phase/class
+    /// aggregates in `rec` plus component state: utilization rows from
+    /// busy-cycle counters and queue rows from the plain (never
+    /// digested) depth accumulators.
+    fn build_attribution(
+        &self,
+        rec: &beacon_sim::journey::JourneyRecorder,
+    ) -> beacon_sim::journey::Attribution {
+        let mut attr = rec.attribution();
+        // The hot-path sampling decisions count into the per-switch
+        // run-local gates, not the recorder; fold their tallies in.
+        for g in self.switches.iter().filter_map(|sw| sw.jgate.as_ref()) {
+            attr.seen += g.seen;
+            attr.tracked += g.tracked;
+        }
+        let end = self.finished_at;
+        let total = end.as_u64();
+        let push_q = |queues: &mut Vec<QueueStat>, label: String, acc: &QueueAcc| {
+            let mut acc = acc.clone();
+            acc.finalize(end);
+            queues.push(QueueStat {
+                component: label,
+                mean_depth: acc.mean_depth(),
+                peak_depth: acc.peak(),
+            });
+        };
+        push_q(&mut attr.queues, "host.stage".to_owned(), &self.q_host);
+        for sw in &self.switches {
+            let i = sw.index;
+            let fab_stats = sw.fabric.merged_stats();
+            let bus_bpc = sw.fabric.config().bus_bytes_per_cycle;
+            attr.utilization.push(ComponentUtil {
+                component: format!("sw{i}.bus"),
+                busy_cycles: (fab_stats.get("switch.bus_bytes") as f64 / bus_bpc).ceil() as u64,
+                total_cycles: total,
+                blocked_events: 0,
+            });
+            for pl in sw.fabric.port_link_loads() {
+                attr.utilization.push(ComponentUtil {
+                    component: format!("sw{i}.port{}.{}", pl.port, pl.dir),
+                    busy_cycles: (pl.wire_bytes as f64 / pl.bytes_per_cycle).ceil() as u64,
+                    total_cycles: total,
+                    blocked_events: pl.backpressure,
+                });
+            }
+            if let Some(e) = &sw.logic.engine {
+                attr.utilization.push(ComponentUtil {
+                    component: format!("sw{i}.logic.pe"),
+                    busy_cycles: e.busy_pe_cycles(),
+                    total_cycles: e.pe_count() as u64 * total,
+                    blocked_events: 0,
+                });
+            }
+            push_q(&mut attr.queues, format!("sw{i}.staged"), &sw.q_staged);
+            push_q(&mut attr.queues, format!("sw{i}.logic_inbox"), &sw.q_inbox);
+            for (slot, d) in sw.dimms.iter().enumerate() {
+                push_q(
+                    &mut attr.queues,
+                    format!("sw{i}.dimm{slot}.backlog"),
+                    &sw.q_backlog[slot],
+                );
+                let server = match d {
+                    DimmSlot::Cxlg(m) => {
+                        attr.utilization.push(ComponentUtil {
+                            component: format!("sw{i}.dimm{slot}.pe"),
+                            busy_cycles: m.engine.busy_pe_cycles(),
+                            total_cycles: m.engine.pe_count() as u64 * total,
+                            blocked_events: 0,
+                        });
+                        &m.server
+                    }
+                    DimmSlot::Unmodified(u) => &u.server,
+                };
+                let dimm = server.dimm();
+                attr.utilization.push(ComponentUtil {
+                    component: format!("sw{i}.dimm{slot}.data"),
+                    busy_cycles: dimm.data_lane_cycles(),
+                    total_cycles: dimm.data_lane_count() as u64 * total,
+                    blocked_events: dimm.stats().get("dram.row_conflict"),
+                });
+            }
+        }
+        attr.rank_queues();
+        attr
     }
 
     /// Per-chip access histogram of the CXLG-DIMMs only (Fig. 13 data).
@@ -653,7 +790,18 @@ impl BeaconSystem {
 
     fn pump_host(&mut self, now: Cycle) {
         for s in 0..self.switches.len() {
-            while let Some(bundle) = self.switches[s].fabric.endpoint_recv(Switch::UPLINK, now) {
+            while let Some(mut bundle) = self.switches[s].fabric.endpoint_recv(Switch::UPLINK, now)
+            {
+                if journey::active() {
+                    // Everything accrued on the uplink is charged to
+                    // `Link` here; residency in the host stage becomes
+                    // `HostForward` (closed by the next downlink send).
+                    for m in &mut bundle.messages {
+                        if let Some(stamp) = &mut m.jny {
+                            journey::hop(stamp, now, Phase::HostForward);
+                        }
+                    }
+                }
                 let ready = now + Duration::new(self.cfg.host_latency);
                 // The stage stays sorted by ready cycle: `now` is
                 // nondecreasing across pumps and the latency constant.
@@ -692,6 +840,9 @@ impl BeaconSystem {
             self.host_stage.push_front(entry);
         }
         self.host_scratch = rest;
+        if journey::active() {
+            self.q_host.observe_if_changed(self.host_stage.len(), now);
+        }
     }
 
     /// The wall-clock seconds of the finished run at DDR4-1600 tCK.
@@ -702,6 +853,26 @@ impl BeaconSystem {
 }
 
 impl SwitchNode {
+    /// Terminal attribution for a tracked request: record the residency
+    /// of the final phase, the end-to-end total under `class`, and emit
+    /// the closing flow event.
+    fn journey_finish(stamp: &JStamp, class: &str, now: Cycle) {
+        journey::arrive(stamp, now);
+        journey::total(stamp, now, class);
+        if trace::enabled(TraceLevel::Flit) {
+            trace::emit(
+                "journey",
+                TraceEvent::instant(
+                    now.as_u64(),
+                    TraceLevel::Flit,
+                    TraceCategory::Journey,
+                    "jny.end",
+                    stamp.id,
+                ),
+            );
+        }
+    }
+
     fn op_of(kind: AccessKind) -> (ServiceOp, MsgKind) {
         match kind {
             AccessKind::Read => (ServiceOp::Read, MsgKind::ReadReq),
@@ -725,7 +896,8 @@ impl SwitchNode {
         pending: &mut PendingTable,
         mut local_server: Option<&mut DimmServer>,
         egress: &mut Egress,
-        mut local_rmw: Option<&mut Vec<(u64, DramCoord, u32, NodeId)>>,
+        mut local_rmw: Option<&mut Vec<LocalRmw>>,
+        jny_gate: Option<&mut JGate>,
         ras: Option<(&mut RasState, u32)>,
         now: Cycle,
     ) {
@@ -734,13 +906,47 @@ impl SwitchNode {
         if let Some((r, retries)) = ras {
             r.inflight.insert(pid, (access, retries));
         }
+        // Attribution sampling: one decision per logical access; every
+        // segment carries a copy of the stamp, so multi-segment accesses
+        // contribute one phase sample per segment (per-message
+        // semantics). `None` whenever attribution is off. The decision
+        // runs through the caller's run-local gate — a plain field, so
+        // the per-access fast path costs a hash and a compare, with no
+        // thread-local traffic.
+        let jny = jny_gate.and_then(|g| {
+            let (jsw, jmod) = match self_node {
+                NodeId::Dimm { switch_idx, slot } => (switch_idx, slot),
+                NodeId::SwitchLogic(i) => (i, u32::MAX),
+                NodeId::Host => (u32::MAX, u32::MAX),
+            };
+            g.admit(jsw, jmod, pid, now)
+                .map(|id| JStamp::fresh(id, now))
+        });
+        if let Some(stamp) = &jny {
+            if trace::enabled(TraceLevel::Flit) {
+                trace::emit(
+                    "journey",
+                    TraceEvent::instant(
+                        now.as_u64(),
+                        TraceLevel::Flit,
+                        TraceCategory::Journey,
+                        "jny.begin",
+                        stamp.id,
+                    ),
+                );
+            }
+        }
         let (op, msg_kind) = Self::op_of(access.access.kind);
         for seg in segments {
             let seg_is_cxlg =
                 matches!(seg.node, NodeId::Dimm { slot, .. } if cfg.slot_is_cxlg(slot));
             if seg.node == self_node {
                 if let Some(server) = local_server.as_deref_mut() {
-                    server.request(pid, seg.coord, seg.bytes, op);
+                    let seg_jny = jny.map(|mut st| {
+                        journey::hop(&mut st, now, Phase::BankQueue);
+                        st
+                    });
+                    server.request_with(pid, seg.coord, seg.bytes, op, seg_jny);
                     continue;
                 }
             }
@@ -748,7 +954,7 @@ impl SwitchNode {
             if access.access.kind == AccessKind::Rmw {
                 if let Some(rmws) = local_rmw.as_deref_mut() {
                     if seg.node.switch() == self_node.switch() {
-                        rmws.push((pid, seg.coord, seg.bytes, seg.node));
+                        rmws.push((pid, seg.coord, seg.bytes, seg.node, jny));
                         continue;
                     }
                 }
@@ -762,6 +968,7 @@ impl SwitchNode {
                 tag: pid,
                 aux: seg.coord.pack(),
                 via_host,
+                jny,
             };
             egress.push(msg, now);
         }
@@ -795,6 +1002,9 @@ impl SwitchNode {
             tag: LOGIC_BIT | sidx as u64,
             aux: entry.coord.pack(),
             via_host,
+            // The whole DIMM round trip is the atomic's `Serve` span;
+            // its internal phase operations are not separately stamped.
+            jny: None,
         };
         self.logic.egress.push(msg, now);
     }
@@ -822,6 +1032,7 @@ impl SwitchNode {
                 tag: LOGIC_BIT | sidx as u64,
                 aux: entry.coord.pack(),
                 via_host: entry.via_host,
+                jny: None,
             };
             self.logic.egress.push(msg, now);
         }
@@ -852,12 +1063,13 @@ impl SwitchNode {
                     None,
                     &mut self.logic.egress,
                     Some(&mut local_rmws),
+                    self.jgate.as_mut(),
                     self.logic.ras.as_deref_mut().map(|r| (r, 0)),
                     now,
                 );
             }
             self.issued_scratch = issued;
-            for (pid, coord, bytes, dimm) in local_rmws.drain(..) {
+            for (pid, coord, bytes, dimm, jny) in local_rmws.drain(..) {
                 let entry = LogicServe {
                     requester: self_node,
                     orig_tag: pid,
@@ -867,6 +1079,10 @@ impl SwitchNode {
                     phase: AtomicPhase::Read,
                     via_host: !ctx.cfg.opts.mem_access_opt,
                     in_use: true,
+                    jny: jny.map(|mut st| {
+                        journey::hop(&mut st, now, Phase::Serve);
+                        st
+                    }),
                 };
                 self.logic_start_atomic(entry, now);
             }
@@ -893,6 +1109,10 @@ impl SwitchNode {
                     phase: AtomicPhase::Read,
                     via_host: msg.via_host || !ctx.cfg.opts.mem_access_opt,
                     in_use: true,
+                    jny: msg.jny.map(|mut st| {
+                        journey::hop(&mut st, now, Phase::Serve);
+                        st
+                    }),
                 };
                 self.logic_start_atomic(entry, now);
             }
@@ -913,6 +1133,9 @@ impl SwitchNode {
                         let requester = entry.requester;
                         if requester == NodeId::SwitchLogic(self.index as u32) {
                             // Our own engine's RMW (BEACON-S local case).
+                            if let Some(stamp) = &entry.jny {
+                                Self::journey_finish(stamp, &self.logic.jny_label, now);
+                            }
                             if let Some((token, _)) =
                                 self.logic.pending.complete_one(entry.orig_tag)
                             {
@@ -930,6 +1153,11 @@ impl SwitchNode {
                                 tag: entry.orig_tag,
                                 aux: 0,
                                 via_host: entry.via_host,
+                                jny: entry.jny.map(|mut st| {
+                                    journey::hop(&mut st, now, Phase::Return);
+                                    st.resp = true;
+                                    st
+                                }),
                             };
                             self.logic.egress.push(ack, now);
                         }
@@ -938,6 +1166,9 @@ impl SwitchNode {
             }
             MsgKind::ReadResp | MsgKind::Ack => {
                 // Response for the S-variant engine's plain access.
+                if let Some(stamp) = &msg.jny {
+                    Self::journey_finish(stamp, &self.logic.jny_label, now);
+                }
                 if let Some((token, _)) = self.logic.pending.complete_one(msg.tag) {
                     ras_done(&mut self.logic.ras, msg.tag);
                     if let Some(e) = self.logic.engine.as_mut() {
@@ -1013,10 +1244,11 @@ impl SwitchNode {
             None,
             &mut self.logic.egress,
             Some(&mut local_rmws),
+            self.jgate.as_mut(),
             self.logic.ras.as_deref_mut().map(|r| (r, retries + 1)),
             now,
         );
-        for (pid, coord, bytes, dimm) in local_rmws.drain(..) {
+        for (pid, coord, bytes, dimm, jny) in local_rmws.drain(..) {
             let entry = LogicServe {
                 requester: self_node,
                 orig_tag: pid,
@@ -1026,6 +1258,10 @@ impl SwitchNode {
                 phase: AtomicPhase::Read,
                 via_host: !ctx.cfg.opts.mem_access_opt,
                 in_use: true,
+                jny: jny.map(|mut st| {
+                    journey::hop(&mut st, now, Phase::Serve);
+                    st
+                }),
             };
             self.logic_start_atomic(entry, now);
         }
@@ -1077,6 +1313,7 @@ impl SwitchNode {
                             Some(&mut m.server),
                             &mut m.egress,
                             None,
+                            self.jgate.as_mut(),
                             m.ras.as_deref_mut().map(|r| (r, 0)),
                             now,
                         );
@@ -1101,11 +1338,13 @@ impl SwitchNode {
         let mut responses = std::mem::take(&mut self.resp_scratch);
         let mut completions = std::mem::take(&mut self.comp_scratch);
         let mut poisoned = std::mem::take(&mut self.poison_scratch);
+        let mut jny = std::mem::take(&mut self.jny_scratch);
         match &mut self.dimms[slot] {
             DimmSlot::Cxlg(m) => {
                 m.server.tick(now);
                 m.server.drain_done_into(&mut done);
                 m.server.drain_poisoned_into(&mut poisoned);
+                m.server.drain_jny_done_into(&mut jny);
                 Self::split_server_done(
                     &mut done,
                     &mut m.serve,
@@ -1113,6 +1352,7 @@ impl SwitchNode {
                     m.node,
                     false,
                     &poisoned,
+                    &mut jny,
                     &mut responses,
                     &mut completions,
                 );
@@ -1121,6 +1361,7 @@ impl SwitchNode {
                 u.server.tick(now);
                 u.server.drain_done_into(&mut done);
                 u.server.drain_poisoned_into(&mut poisoned);
+                u.server.drain_jny_done_into(&mut jny);
                 Self::split_server_done(
                     &mut done,
                     &mut u.serve,
@@ -1128,6 +1369,7 @@ impl SwitchNode {
                     u.node,
                     true,
                     &poisoned,
+                    &mut jny,
                     &mut responses,
                     &mut completions,
                 );
@@ -1149,12 +1391,23 @@ impl SwitchNode {
         }
         for pid in completions.drain(..) {
             if let DimmSlot::Cxlg(m) = &mut self.dimms[slot] {
+                if !jny.is_empty() {
+                    if let Some(pos) = jny.iter().position(|(jid, _)| *jid == pid) {
+                        let (_, stamp) = jny.swap_remove(pos);
+                        Self::journey_finish(&stamp, &m.jny_label, now);
+                    }
+                }
                 if let Some((token, _)) = m.pending.complete_one(pid) {
                     ras_done(&mut m.ras, pid);
                     m.engine.on_data(token, now);
                 }
             }
         }
+        // Every finished stamp was attached to a response or closed
+        // above; anything left would leak lookups into later ticks.
+        debug_assert!(jny.is_empty());
+        jny.clear();
+        self.jny_scratch = jny;
         self.done_scratch = done;
         self.resp_scratch = responses;
         self.comp_scratch = completions;
@@ -1199,11 +1452,23 @@ impl SwitchNode {
         node: NodeId,
         inflate_lines: bool,
         poisoned: &[u64],
+        jny: &mut Vec<(u64, JStamp)>,
         responses: &mut Vec<Message>,
         completions: &mut Vec<u64>,
     ) {
         for (id, _at) in done.drain(..) {
             if id & SERVE_BIT != 0 {
+                // Reclaim the stamp the server finished alongside this
+                // id (if the request was tracked) and attach it to the
+                // response. Local ids keep theirs in `jny` for the
+                // caller's completion loop to close.
+                let stamp = if jny.is_empty() {
+                    None
+                } else {
+                    jny.iter()
+                        .position(|(jid, _)| *jid == id)
+                        .map(|pos| jny.swap_remove(pos).1)
+                };
                 let sidx = (id & !SERVE_BIT) as usize;
                 let entry = serve[sidx];
                 debug_assert!(entry.in_use);
@@ -1212,6 +1477,8 @@ impl SwitchNode {
                 // `poisoned` is almost always empty; a linear scan of
                 // the rare fault-cycle entries beats any set lookup.
                 if !poisoned.is_empty() && poisoned.contains(&id) {
+                    // The retry travels as a fresh access; the aborted
+                    // journey is dropped rather than half-attributed.
                     responses.push(Message::nak_to(
                         node,
                         entry.requester,
@@ -1235,6 +1502,7 @@ impl SwitchNode {
                             tag: entry.orig_tag,
                             aux: 0,
                             via_host: entry.via_host,
+                            jny: stamp,
                         }
                     }
                     _ => Message {
@@ -1245,6 +1513,7 @@ impl SwitchNode {
                         tag: entry.orig_tag,
                         aux: 0,
                         via_host: entry.via_host,
+                        jny: stamp,
                     },
                 };
                 responses.push(resp);
@@ -1272,11 +1541,35 @@ impl SwitchNode {
                     via_host: msg.via_host,
                     in_use: true,
                 };
+                // Arrival at the serving DIMM: everything since the last
+                // transition was transport; residency from here is
+                // `BankQueue` until the first DRAM command issues.
+                let jny = msg.jny.map(|mut st| {
+                    journey::hop(&mut st, now, Phase::BankQueue);
+                    if trace::enabled(TraceLevel::Flit) {
+                        trace::emit(
+                            "journey",
+                            TraceEvent::instant(
+                                now.as_u64(),
+                                TraceLevel::Flit,
+                                TraceCategory::Journey,
+                                "jny.hop",
+                                st.id,
+                            ),
+                        );
+                    }
+                    st
+                });
                 match &mut self.dimms[slot] {
                     DimmSlot::Cxlg(m) => {
                         let sidx = Self::alloc_serve(&mut m.serve, &mut m.free_serve, entry);
-                        m.server
-                            .request(SERVE_BIT | sidx as u64, coord, msg.payload_bytes, op);
+                        m.server.request_with(
+                            SERVE_BIT | sidx as u64,
+                            coord,
+                            msg.payload_bytes,
+                            op,
+                            jny,
+                        );
                     }
                     DimmSlot::Unmodified(u) => {
                         debug_assert!(
@@ -1285,20 +1578,29 @@ impl SwitchNode {
                         );
                         if u.server.is_failed() {
                             // The DIMM is dead: bounce the request
-                            // straight back so the requester re-homes it.
+                            // straight back so the requester re-homes it
+                            // (the tracked journey, if any, is dropped).
                             u.egress
                                 .push(Message::nak_to(u.node, msg.src, msg.tag, msg.via_host), now);
                             self.logic.stats.incr("ras.naks");
                             return;
                         }
                         let sidx = Self::alloc_serve(&mut u.serve, &mut u.free_serve, entry);
-                        u.server
-                            .request(SERVE_BIT | sidx as u64, coord, msg.payload_bytes, op);
+                        u.server.request_with(
+                            SERVE_BIT | sidx as u64,
+                            coord,
+                            msg.payload_bytes,
+                            op,
+                            jny,
+                        );
                     }
                 }
             }
             MsgKind::ReadResp | MsgKind::Ack => match &mut self.dimms[slot] {
                 DimmSlot::Cxlg(m) => {
+                    if let Some(stamp) = &msg.jny {
+                        Self::journey_finish(stamp, &m.jny_label, now);
+                    }
                     if let Some((token, _)) = m.pending.complete_one(msg.tag) {
                         ras_done(&mut m.ras, msg.tag);
                         m.engine.on_data(token, now);
@@ -1334,6 +1636,7 @@ impl SwitchNode {
                                 Some(&mut m.server),
                                 &mut m.egress,
                                 None,
+                                self.jgate.as_mut(),
                                 m.ras.as_deref_mut().map(|r| (r, retries + 1)),
                                 now,
                             );
@@ -1397,6 +1700,23 @@ impl SwitchNode {
         self.drive_logic(ctx, now);
         for slot in 0..self.dimms.len() {
             self.drive_slot(ctx, slot, now);
+        }
+        if journey::active() {
+            // Queue depths only mutate inside this function, so a check
+            // per executed tick integrates depth-over-time exactly even
+            // when the engine fast-forwards dead spans; the unchanged
+            // case (the common one) is a compare per queue.
+            self.q_staged
+                .observe_if_changed(self.fabric.staged_len(), now);
+            self.q_inbox
+                .observe_if_changed(self.fabric.logic_inbox_len(), now);
+            for (slot, d) in self.dimms.iter().enumerate() {
+                let depth = match d {
+                    DimmSlot::Cxlg(m) => m.server.backlog_len() + m.server.dimm().queue_len(),
+                    DimmSlot::Unmodified(u) => u.server.backlog_len() + u.server.dimm().queue_len(),
+                };
+                self.q_backlog[slot].observe_if_changed(depth, now);
+            }
         }
     }
 

@@ -45,5 +45,5 @@ pub mod prelude {
     pub use crate::message::{Message, MsgKind, NodeId};
     pub use crate::packer::DataPacker;
     pub use crate::params::{LinkParams, FLIT_BYTES, MSG_HEADER_BYTES};
-    pub use crate::switch::{Switch, SwitchConfig};
+    pub use crate::switch::{PortLinkLoad, Switch, SwitchConfig};
 }

@@ -9,6 +9,7 @@ use std::collections::VecDeque;
 
 use beacon_sim::cycle::{Cycle, Duration};
 use beacon_sim::faults::FaultStream;
+use beacon_sim::journey::{self, Phase};
 use beacon_sim::stats::Stats;
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 
@@ -209,6 +210,16 @@ impl Link {
             );
         }
 
+        let mut bundle = bundle;
+        if journey::active() {
+            // Charge everything accrued since the last transition (packer
+            // residency, staging) to the previous phase and open `Link`.
+            for msg in &mut bundle.messages {
+                if let Some(stamp) = &mut msg.jny {
+                    journey::hop(stamp, now, Phase::Link);
+                }
+            }
+        }
         self.in_flight.push_back((arrives, bundle));
         Ok(())
     }

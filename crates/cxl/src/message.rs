@@ -93,6 +93,10 @@ pub struct Message {
     /// host root port first (paper Fig. 9 a/c); the host clears the flag
     /// and re-injects it toward `dst`.
     pub via_host: bool,
+    /// Journey attribution stamp for tracked requests (`None` for
+    /// untracked traffic and whenever attribution is off). Travels with
+    /// the message so phase transitions pair up without a shared map.
+    pub jny: Option<beacon_sim::journey::JStamp>,
 }
 
 impl Message {
@@ -106,6 +110,7 @@ impl Message {
             tag,
             aux: 0,
             via_host: false,
+            jny: None,
         }
     }
 
@@ -119,6 +124,7 @@ impl Message {
             tag,
             aux: 0,
             via_host: false,
+            jny: None,
         }
     }
 
@@ -132,6 +138,7 @@ impl Message {
             tag,
             aux: 0,
             via_host: false,
+            jny: None,
         }
     }
 
@@ -145,6 +152,7 @@ impl Message {
             tag: req.tag,
             aux: 0,
             via_host: req.via_host,
+            jny: None,
         }
     }
 
@@ -158,6 +166,7 @@ impl Message {
             tag: req.tag,
             aux: 0,
             via_host: req.via_host,
+            jny: None,
         }
     }
 
@@ -171,6 +180,7 @@ impl Message {
             tag: req.tag,
             aux: 0,
             via_host: req.via_host,
+            jny: None,
         }
     }
 
@@ -185,6 +195,7 @@ impl Message {
             tag,
             aux: 0,
             via_host,
+            jny: None,
         }
     }
 

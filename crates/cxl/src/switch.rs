@@ -13,6 +13,7 @@ use beacon_sim::component::Tick;
 use beacon_sim::cycle::{Cycle, Duration};
 use beacon_sim::faults::FaultStream;
 use beacon_sim::horizon::HorizonCache;
+use beacon_sim::journey::{self, Phase};
 use beacon_sim::stats::Stats;
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 use serde::{Deserialize, Serialize};
@@ -112,6 +113,22 @@ struct SwitchFaults {
 enum RouteTarget {
     Port(usize),
     Logic,
+}
+
+/// Cumulative load snapshot of one directional port link (see
+/// [`Switch::port_link_loads`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortLinkLoad {
+    /// Port index (0 is the host uplink).
+    pub port: usize,
+    /// `"in"` for endpoint→switch, `"out"` for switch→endpoint.
+    pub dir: &'static str,
+    /// Total bytes serialised onto the wire so far.
+    pub wire_bytes: u64,
+    /// Configured link bandwidth.
+    pub bytes_per_cycle: f64,
+    /// Back-pressured send attempts observed at the sender queue.
+    pub backpressure: u64,
 }
 
 impl Switch {
@@ -272,11 +289,13 @@ impl Switch {
     }
 
     /// Bundles waiting in the logic inbox.
+    #[inline]
     pub fn logic_inbox_len(&self) -> usize {
         self.logic_inbox.len()
     }
 
     /// Bundles routed but still waiting for their egress link.
+    #[inline]
     pub fn staged_len(&self) -> usize {
         self.staged.len()
     }
@@ -294,6 +313,25 @@ impl Switch {
     /// Traffic statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Cumulative load of each directional port link, for the
+    /// attribution report's utilization accounting. One entry per
+    /// direction per port, ingress first.
+    pub fn port_link_loads(&self) -> Vec<PortLinkLoad> {
+        let mut out = Vec::with_capacity(2 * self.ingress.len());
+        for (dir, links) in [("in", &self.ingress), ("out", &self.egress)] {
+            for (port, l) in links.iter().enumerate() {
+                out.push(PortLinkLoad {
+                    port,
+                    dir,
+                    wire_bytes: l.stats().get("cxl.wire_bytes"),
+                    bytes_per_cycle: l.params().bytes_per_cycle,
+                    backpressure: l.stats().get("cxl.backpressure"),
+                });
+            }
+        }
+        out
     }
 
     /// Merged statistics of every port link plus the switch itself.
@@ -334,7 +372,16 @@ impl Switch {
         }
     }
 
-    fn stage(&mut self, target: RouteTarget, bundle: Bundle, now: Cycle) {
+    fn stage(&mut self, target: RouteTarget, mut bundle: Bundle, now: Cycle) {
+        if journey::active() {
+            // The link hop ends here: whatever accrues until the egress
+            // link accepts the bundle is switch residency (bus + queue).
+            for msg in &mut bundle.messages {
+                if let Some(stamp) = &mut msg.jny {
+                    journey::hop(stamp, now, Phase::SwitchQueue);
+                }
+            }
+        }
         // Pay the switch-bus serialisation and hop latency.
         let wire = bundle.wire_bytes_at(16);
         let start = self.bus_busy_until.max(now.as_u64() as f64);

@@ -160,6 +160,9 @@ struct Pending {
     id: ReqId,
     req: MemRequest,
     enqueued_at: Cycle,
+    /// Cycle of the first DRAM command issued for this request
+    /// (`Cycle::NEVER` until then) — splits queueing from bank service.
+    first_cmd_at: Cycle,
     bursts_done: u32,
     bursts_total: u32,
     last_data_end: Cycle,
@@ -246,6 +249,10 @@ pub struct Dimm {
     next_id: u64,
     stats: Stats,
     chip_hist: Histogram,
+    /// Total cycles the data lanes spent moving beats (summed over every
+    /// `(rank, group)` lane). Plain field, never digested: feeds the
+    /// attribution report's utilization accounting only.
+    data_cycles: u64,
     ticked_cycles: u64,
     horizon: HorizonCache,
     /// Reusable buffer for the order-preserving merges on PRE/refresh.
@@ -295,6 +302,7 @@ impl Dimm {
             next_id: 0,
             stats: Stats::new(),
             chip_hist: Histogram::new(chips),
+            data_cycles: 0,
             ticked_cycles: 0,
             horizon: HorizonCache::new(),
             merge_scratch: VecDeque::new(),
@@ -354,6 +362,7 @@ impl Dimm {
     }
 
     /// Requests currently in the controller queue (an occupancy gauge).
+    #[inline]
     pub fn queue_len(&self) -> usize {
         self.order.len()
     }
@@ -459,6 +468,7 @@ impl Dimm {
             id,
             req,
             enqueued_at: self.now_hint(),
+            first_cmd_at: Cycle::NEVER,
             bursts_done: 0,
             bursts_total: bursts,
             last_data_end: Cycle::ZERO,
@@ -521,6 +531,18 @@ impl Dimm {
     /// Cycles this DIMM has been ticked (for background-energy accounting).
     pub fn ticked_cycles(&self) -> u64 {
         self.ticked_cycles
+    }
+
+    /// Total data-lane busy cycles summed across every `(rank, group)`
+    /// lane — divide by `ticked_cycles() * data_lane_count()` for mean
+    /// lane utilization. Attribution-only; never part of any digest.
+    pub fn data_lane_cycles(&self) -> u64 {
+        self.data_cycles
+    }
+
+    /// Number of independent data lanes (`ranks * chip groups`).
+    pub fn data_lane_count(&self) -> usize {
+        self.data_bus_free.len()
     }
 
     /// Advances the DIMM's internal time high-water to `now` without
@@ -761,6 +783,11 @@ impl Dimm {
                     request: done.req,
                     finished_at: done.last_data_end,
                     enqueued_at: done.enqueued_at,
+                    service_started_at: if done.first_cmd_at == Cycle::NEVER {
+                        done.enqueued_at
+                    } else {
+                        done.first_cmd_at
+                    },
                     poisoned,
                 });
             } else {
@@ -1116,6 +1143,12 @@ impl Dimm {
         let cbus = self.cmd_bus_index(coord.rank);
         self.cmd_bus_free[cbus] = now + Duration::new(1);
         self.horizon.invalidate();
+        {
+            let p = self.entry_mut(slot);
+            if p.first_cmd_at == Cycle::NEVER {
+                p.first_cmd_at = now;
+            }
+        }
 
         match kind {
             CmdKind::Activate => {
@@ -1158,7 +1191,7 @@ impl Dimm {
                 }
             }
             CmdKind::Read | CmdKind::Write => {
-                let (_start, end) = window.expect("column command has data window");
+                let (start, end) = window.expect("column command has data window");
                 let lane = self.lane_index(coord.rank, coord.group);
                 let cols = self.cfg.geometry.cols_per_row();
                 let chained = {
@@ -1182,6 +1215,7 @@ impl Dimm {
                     end
                 };
                 self.data_bus_free[lane] = end;
+                self.data_cycles += end.since(start).as_u64();
                 let finished = {
                     let p = self.entry_mut(slot);
                     p.bursts_done += chained as u32;
@@ -1375,6 +1409,50 @@ mod tests {
         assert!(out.finished_at().as_u64() < serial_estimate as u64);
         let done = d.drain_completed();
         assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn service_split_and_data_lane_accounting() {
+        let mut d = dimm(AccessMode::RankLockstep);
+        let t = d.config().timing;
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 64))
+            .unwrap();
+        let mut e = Engine::new();
+        e.run(&mut d);
+        let done = d.drain_completed();
+        assert_eq!(done.len(), 1);
+        // The ACT issued the cycle the request arrived: no queueing, the
+        // whole latency is bank service.
+        assert_eq!(done[0].service_started_at, done[0].enqueued_at);
+        assert_eq!(done[0].queue_latency().as_u64(), 0);
+        assert_eq!(done[0].service_latency(), done[0].latency());
+        // One burst occupied the data lane for BL cycles (CAS latency is
+        // dead time on the command path, not lane occupancy).
+        assert_eq!(d.data_lane_cycles(), t.tbl);
+        assert!(d.data_lane_count() > 0);
+    }
+
+    #[test]
+    fn queued_behind_a_conflict_starts_service_late() {
+        let mut d = dimm(AccessMode::RankLockstep);
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 10, 0), 64))
+            .unwrap();
+        // Same bank, different row: must wait for PRE + ACT of the first.
+        d.enqueue(MemRequest::read(coord(0, 0, 0, 11, 0), 64))
+            .unwrap();
+        let mut e = Engine::new();
+        e.run(&mut d);
+        let done = d.drain_completed();
+        assert_eq!(done.len(), 2);
+        let second = done.iter().find(|c| c.request.coord.row == 11).unwrap();
+        assert!(
+            second.queue_latency().as_u64() > 0,
+            "conflicted request must record queue time"
+        );
+        assert_eq!(
+            second.queue_latency().as_u64() + second.service_latency().as_u64(),
+            second.latency().as_u64()
+        );
     }
 
     #[test]

@@ -76,6 +76,11 @@ pub struct CompletedAccess {
     pub finished_at: Cycle,
     /// Cycle at which the request entered the controller queue.
     pub enqueued_at: Cycle,
+    /// Cycle at which the controller issued the first DRAM command for
+    /// this request (ACT of the first segment). Everything before this
+    /// is queueing; everything after is bank service. Equal to
+    /// `enqueued_at` when the request issued the cycle it arrived.
+    pub service_started_at: Cycle,
     /// RAS: the data beat hit an uncorrectable error — the payload is
     /// garbage and the consumer must retry or re-map. Always `false`
     /// unless fault injection armed a UE stream on the DIMM.
@@ -86,6 +91,17 @@ impl CompletedAccess {
     /// Queueing + service latency of the access.
     pub fn latency(&self) -> beacon_sim::cycle::Duration {
         self.finished_at - self.enqueued_at
+    }
+
+    /// Time spent waiting in the controller queue before the first DRAM
+    /// command issued.
+    pub fn queue_latency(&self) -> beacon_sim::cycle::Duration {
+        self.service_started_at - self.enqueued_at
+    }
+
+    /// Time from the first DRAM command to the last data beat.
+    pub fn service_latency(&self) -> beacon_sim::cycle::Duration {
+        self.finished_at - self.service_started_at
     }
 }
 
@@ -111,8 +127,11 @@ mod tests {
             request: MemRequest::read(DramCoord::zero(), 4),
             finished_at: Cycle::new(100),
             enqueued_at: Cycle::new(40),
+            service_started_at: Cycle::new(55),
             poisoned: false,
         };
         assert_eq!(done.latency().as_u64(), 60);
+        assert_eq!(done.queue_latency().as_u64(), 15);
+        assert_eq!(done.service_latency().as_u64(), 45);
     }
 }

@@ -28,6 +28,8 @@ pub mod cycle;
 pub mod engine;
 pub mod faults;
 pub mod horizon;
+pub mod journey;
+pub mod json;
 pub mod metrics;
 pub mod parallel;
 pub mod queue;
@@ -42,6 +44,7 @@ pub mod prelude {
     pub use crate::engine::{Engine, EngineHooks, ProbeThrottle};
     pub use crate::faults::{FaultSchedule, FaultStream};
     pub use crate::horizon::HorizonCache;
+    pub use crate::journey::{Attribution, JStamp, JourneyRecorder, LatencyHistogram, Phase};
     pub use crate::metrics::{MetricsSample, MetricsSeries};
     pub use crate::parallel::{EpochHub, EpochShard, ParallelEngine};
     pub use crate::queue::BoundedQueue;

@@ -22,6 +22,7 @@ use std::sync::mpsc;
 
 use crate::cycle::{Cycle, Duration};
 use crate::engine::{Engine, Progress, ProgressFn, RunOutcome, StallFn, StallReport};
+use crate::journey::{self, JourneyRecorder};
 use crate::trace::{self, TraceBuffer};
 
 /// One independently advanceable partition of a model.
@@ -201,7 +202,8 @@ impl ParallelEngine {
                 txs.push(tx);
                 let ret = ret_tx.clone();
                 let sink = trace::fork();
-                handles.push(scope.spawn(move || worker_loop(rx, ret, sink)));
+                let jny = journey::fork();
+                handles.push(scope.spawn(move || worker_loop(rx, ret, sink, jny)));
             }
             drop(ret_tx);
             let pool = WorkerPool { txs, ret_rx };
@@ -209,12 +211,18 @@ impl ParallelEngine {
             // Closing the job channels lets every worker drain and exit.
             drop(pool);
             let mut worker_traces = Vec::new();
+            let mut worker_journeys = Vec::new();
             for handle in handles {
-                if let Some(buf) = handle.join().expect("worker thread panicked") {
+                let (buf, rec) = handle.join().expect("worker thread panicked");
+                if let Some(buf) = buf {
                     worker_traces.push(buf);
+                }
+                if let Some(rec) = rec {
+                    worker_journeys.push(rec);
                 }
             }
             trace::absorb(worker_traces);
+            journey::absorb(worker_journeys);
             outcome
         })
     }
@@ -424,9 +432,13 @@ fn worker_loop<S: EpochShard>(
     rx: mpsc::Receiver<Job<S>>,
     ret: mpsc::Sender<JobResult<S>>,
     sink: Option<TraceBuffer>,
-) -> Option<TraceBuffer> {
+    jny: Option<JourneyRecorder>,
+) -> (Option<TraceBuffer>, Option<JourneyRecorder>) {
     if let Some(buf) = sink {
         trace::install(buf);
+    }
+    if let Some(rec) = jny {
+        journey::install(rec);
     }
     while let Ok((idx, mut shard, to)) = spin_recv(&rx) {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -438,7 +450,7 @@ fn worker_loop<S: EpochShard>(
             break;
         }
     }
-    trace::uninstall()
+    (trace::uninstall(), journey::uninstall())
 }
 
 #[cfg(test)]

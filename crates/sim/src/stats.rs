@@ -84,12 +84,16 @@ impl Stats {
             .sum()
     }
 
-    /// Iterates over `(key, value)` counter pairs in key order.
+    /// Iterates over `(key, value)` counter pairs in **sorted key
+    /// order** — a guarantee, not an accident of the backing store.
+    /// Reports and JSON built from this iterator are byte-stable
+    /// across runs regardless of counter insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
-    /// Iterates over `(key, value)` float pairs in key order.
+    /// Iterates over `(key, value)` float pairs in **sorted key order**
+    /// (same byte-stability guarantee as [`Stats::iter`]).
     pub fn iter_f64(&self) -> impl Iterator<Item = (&str, f64)> {
         self.values.iter().map(|(k, v)| (k.as_str(), *v))
     }
@@ -153,6 +157,16 @@ impl Fnv64 {
     /// Folds a `u64` (little-endian) into the digest.
     pub fn write_u64(&mut self, v: u64) {
         self.write(&v.to_le_bytes());
+    }
+
+    /// Folds a `u64` as a single word-wise FNV-1a round: one xor-multiply
+    /// instead of the eight byte rounds of [`Fnv64::write_u64`]. Produces
+    /// a different stream from the byte-wise writers, so it must not be
+    /// mixed into digests that golden values pin; it exists for cheap
+    /// per-request sampling decisions on hot paths.
+    pub fn fold_u64(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
     }
 
     /// Folds an `f64` into the digest via its exact bit pattern.
@@ -312,8 +326,14 @@ impl Histogram {
 
     /// Nearest-rank percentile of the bucket *values* (`p` in `0..=100`,
     /// clamped): the smallest bucket value such that at least `p`% of
-    /// buckets are `<=` it. `p = 0` returns the minimum, `p = 100` the
-    /// maximum; an empty histogram returns zero.
+    /// buckets are `<=` it.
+    ///
+    /// Edge behavior is part of the contract: `p = 0` returns the
+    /// minimum, `p = 100` the maximum, an **empty histogram returns 0**
+    /// for every `p`, a **single-bucket histogram returns that sole
+    /// bucket's value** for every `p`, and out-of-range `p` clamps
+    /// instead of panicking — all deterministically, so report output
+    /// built on percentiles is byte-stable.
     ///
     /// ```
     /// use beacon_sim::stats::Histogram;
@@ -398,6 +418,33 @@ mod tests {
     }
 
     #[test]
+    fn iter_is_sorted_regardless_of_insertion_order() {
+        // The byte-stability contract: whatever order counters were
+        // touched in, iteration is sorted by key.
+        let mut s = Stats::new();
+        for key in ["zeta", "alpha", "mid", "beta.x", "beta"] {
+            s.add(key, 1);
+        }
+        s.add_f64("w.energy", 1.0);
+        s.add_f64("a.energy", 2.0);
+        let keys: Vec<&str> = s.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys, vec!["alpha", "beta", "beta.x", "mid", "zeta"]);
+        let fkeys: Vec<&str> = s.iter_f64().map(|(k, _)| k).collect();
+        assert_eq!(fkeys, vec!["a.energy", "w.energy"]);
+        // And therefore two equal-content registries render identically.
+        let mut t = Stats::new();
+        for key in ["beta", "beta.x", "zeta", "alpha", "mid"] {
+            t.add(key, 1);
+        }
+        t.add_f64("a.energy", 2.0);
+        t.add_f64("w.energy", 1.0);
+        assert_eq!(s.to_string(), t.to_string());
+    }
+
+    #[test]
     fn histogram_statistics() {
         let mut h = Histogram::new(4);
         h.record(0, 2);
@@ -437,14 +484,20 @@ mod tests {
 
     #[test]
     fn percentile_degenerate_cases() {
-        assert_eq!(Histogram::new(0).percentile(50.0), 0);
+        // Empty histogram: 0 for every p, including the clamped edges.
+        for p in [-5.0, 0.0, 50.0, 100.0, 400.0] {
+            assert_eq!(Histogram::new(0).percentile(p), 0, "empty, p={p}");
+        }
+        // Single bucket: the sole bucket's value for every p.
         let mut single = Histogram::new(1);
         single.record(0, 9);
-        assert_eq!(single.percentile(0.0), 9);
-        assert_eq!(single.percentile(100.0), 9);
-        // Out-of-range p clamps instead of panicking.
-        assert_eq!(single.percentile(-5.0), 9);
-        assert_eq!(single.percentile(400.0), 9);
+        for p in [-5.0, 0.0, 37.5, 100.0, 400.0] {
+            assert_eq!(single.percentile(p), 9, "single, p={p}");
+        }
+        // A single *zero* bucket is still deterministic (0, not a panic).
+        assert_eq!(Histogram::new(1).percentile(50.0), 0);
+        // NaN p clamps to the low edge rather than poisoning the rank.
+        assert_eq!(single.percentile(f64::NAN), 9);
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub enum TraceCategory {
     Switch,
     /// Data-packer events.
     Packer,
+    /// Request-journey flow events (`jny.begin` / `jny.hop` /
+    /// `jny.end`); exported as Chrome flow arrows so a tracked request
+    /// draws a line through every component it crossed in Perfetto.
+    Journey,
 }
 
 impl TraceCategory {
@@ -60,6 +64,7 @@ impl TraceCategory {
             TraceCategory::Cxl => "cxl",
             TraceCategory::Switch => "switch",
             TraceCategory::Packer => "packer",
+            TraceCategory::Journey => "journey",
         }
     }
 }
@@ -281,6 +286,29 @@ impl TraceBuffer {
                 out.push(',');
             }
             first = false;
+            if ev.category == TraceCategory::Journey {
+                // Chrome flow events: one "s"/"t".."t"/"f" chain per
+                // journey id, drawing the request's path in Perfetto.
+                let ph = match ev.name {
+                    "jny.begin" => "s",
+                    "jny.end" => "f",
+                    _ => "t",
+                };
+                out.push_str("{\"ph\":\"");
+                out.push_str(ph);
+                out.push('"');
+                if ph == "f" {
+                    out.push_str(",\"bp\":\"e\"");
+                }
+                out.push_str(",\"pid\":0,\"tid\":");
+                out.push_str(&tid.to_string());
+                out.push_str(",\"ts\":");
+                out.push_str(&ev.cycle.to_string());
+                out.push_str(",\"cat\":\"journey\",\"name\":\"journey\",\"id\":");
+                out.push_str(&ev.arg.to_string());
+                out.push('}');
+                continue;
+            }
             if ev.dur > 0 {
                 out.push_str("{\"ph\":\"X\",\"dur\":");
                 out.push_str(&ev.dur.to_string());
@@ -321,7 +349,7 @@ fn canonical_key(
     )
 }
 
-fn push_escaped(out: &mut String, s: &str) {
+pub(crate) fn push_escaped(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -644,6 +672,113 @@ mod tests {
         assert!(json.contains("\"ph\":\"i\""));
         assert!(json.contains("\"cat\":\"cxl\""));
         assert!(json.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn chrome_json_golden_with_flow_events() {
+        // Byte-exact golden for the exporter: a metadata record, a
+        // span, an instant and a begin/hop/end journey flow chain on a
+        // track whose name needs escaping. Guards the wire format the
+        // Perfetto importer and external tooling rely on.
+        let mut buf = TraceBuffer::new(TraceLevel::Command, 16);
+        buf.record(
+            "sw0.\"j\"\\track",
+            TraceEvent::span(4, 3, TraceLevel::Flit, TraceCategory::Cxl, "cxl.send", 68),
+        );
+        buf.record(
+            "sw0.\"j\"\\track",
+            TraceEvent::instant(9, TraceLevel::Task, TraceCategory::Engine, "task.retire", 1),
+        );
+        buf.record(
+            "journey",
+            TraceEvent::instant(2, TraceLevel::Flit, TraceCategory::Journey, "jny.begin", 77),
+        );
+        buf.record(
+            "journey",
+            TraceEvent::instant(5, TraceLevel::Flit, TraceCategory::Journey, "jny.hop", 77),
+        );
+        buf.record(
+            "journey",
+            TraceEvent::instant(8, TraceLevel::Flit, TraceCategory::Journey, "jny.end", 77),
+        );
+        let json = buf.to_chrome_json();
+        let golden = concat!(
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[",
+            "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\",",
+            "\"args\":{\"name\":\"sw0.\\\"j\\\"\\\\track\"}},",
+            "{\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\",",
+            "\"args\":{\"name\":\"journey\"}},",
+            "{\"ph\":\"X\",\"dur\":3,\"pid\":0,\"tid\":0,\"ts\":4,\"cat\":\"cxl\",",
+            "\"name\":\"cxl.send\",\"args\":{\"v\":68}},",
+            "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":0,\"ts\":9,\"cat\":\"engine\",",
+            "\"name\":\"task.retire\",\"args\":{\"v\":1}},",
+            "{\"ph\":\"s\",\"pid\":0,\"tid\":1,\"ts\":2,\"cat\":\"journey\",",
+            "\"name\":\"journey\",\"id\":77},",
+            "{\"ph\":\"t\",\"pid\":0,\"tid\":1,\"ts\":5,\"cat\":\"journey\",",
+            "\"name\":\"journey\",\"id\":77},",
+            "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":1,\"ts\":8,\"cat\":\"journey\",",
+            "\"name\":\"journey\",\"id\":77}",
+            "]}",
+        );
+        assert_eq!(json, golden, "exporter wire format drifted");
+    }
+
+    #[test]
+    fn chrome_json_round_trips_through_a_parser() {
+        // Flow events, track ids and escaping must survive a real JSON
+        // parse, not just the validator (the offline build bans
+        // serde_json; crate::json is its stand-in).
+        use crate::json::JsonValue;
+        let mut buf = TraceBuffer::new(TraceLevel::Command, 16);
+        buf.record(
+            "sw0.\"quoted\"\\track",
+            TraceEvent::span(10, 4, TraceLevel::Flit, TraceCategory::Cxl, "cxl.send", 68),
+        );
+        buf.record(
+            "journey",
+            TraceEvent::instant(3, TraceLevel::Flit, TraceCategory::Journey, "jny.begin", 42),
+        );
+        buf.record(
+            "journey",
+            TraceEvent::instant(7, TraceLevel::Flit, TraceCategory::Journey, "jny.end", 42),
+        );
+        let parsed = JsonValue::parse(&buf.to_chrome_json()).expect("exporter output parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        // Two thread_name records + three payload events.
+        assert_eq!(events.len(), 5);
+        let meta: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("M"))
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(JsonValue::as_str)
+                    .expect("track name")
+            })
+            .collect();
+        assert_eq!(meta, vec!["sw0.\"quoted\"\\track", "journey"]);
+        let flow: Vec<(&str, f64, f64)> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(JsonValue::as_str) == Some("journey"))
+            .map(|e| {
+                (
+                    e.get("ph").and_then(JsonValue::as_str).unwrap(),
+                    e.get("id").and_then(JsonValue::as_f64).unwrap(),
+                    e.get("tid").and_then(JsonValue::as_f64).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(flow, vec![("s", 42.0, 1.0), ("f", 42.0, 1.0)]);
+        // The span's tid must reference the escaped track's metadata id.
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .expect("span present");
+        assert_eq!(span.get("tid").and_then(JsonValue::as_f64), Some(0.0));
+        assert_eq!(span.get("dur").and_then(JsonValue::as_f64), Some(4.0));
     }
 
     #[test]

@@ -19,6 +19,8 @@ use beacon_core::experiments::common::{
 use beacon_core::mmf::build_layout;
 use beacon_core::system::BeaconSystem;
 use beacon_genomics::genome::GenomeId;
+use beacon_sim::journey::{self, JourneyRecorder};
+use beacon_sim::rng::SimRng;
 use beacon_sim::trace::{self, TraceBuffer, TraceEvent, TraceLevel};
 
 fn thread_matrix() -> Vec<usize> {
@@ -175,6 +177,81 @@ fn fast_forwarding_matches_per_cycle_ticking() {
                 golden.digest(),
                 "{genome:?}: fast-forwarded {threads}-thread run diverged from per-cycle run:\n{}",
                 got.diff(&golden).unwrap_or_default(),
+            );
+        }
+    }
+}
+
+/// Request-journey attribution is an observer, never a participant:
+/// with a recorder installed (sampling every request), digests stay
+/// bit-identical to the attribution-off golden across fast-forwarding
+/// on/off and every thread count, and the sequential and parallel
+/// reports agree on what they measured.
+#[test]
+fn attribution_leaves_digests_bit_identical() {
+    struct SkipGuard;
+    impl Drop for SkipGuard {
+        fn drop(&mut self) {
+            beacon_sim::engine::set_skip(true);
+        }
+    }
+    struct JnyGuard;
+    impl Drop for JnyGuard {
+        fn drop(&mut self) {
+            journey::uninstall();
+        }
+    }
+    let _skip = SkipGuard;
+    let _jny = JnyGuard;
+    let scale = WorkloadScale::test();
+    let salt = SimRng::from_seed(scale.seed).child(0xA77).below(u64::MAX);
+    let w = fm_workload(GenomeId::Pt, &scale);
+    for skip in [true, false] {
+        beacon_sim::engine::set_skip(skip);
+        journey::uninstall();
+        let golden = build_system(BeaconVariant::D, &w, 2, true).run();
+        assert!(golden.tasks > 0, "cell must do work to be meaningful");
+        assert!(
+            golden.attribution.is_none(),
+            "attribution must be off without a recorder"
+        );
+
+        journey::install(JourneyRecorder::new(1, salt));
+        let seq = build_system(BeaconVariant::D, &w, 2, true).run();
+        assert_eq!(
+            seq.digest(),
+            golden.digest(),
+            "skip={skip}: sequential attribution run perturbed the simulation:\n{}",
+            seq.diff(&golden).unwrap_or_default(),
+        );
+        let seq_attr = seq.attribution.clone().expect("recorder was installed");
+        assert!(
+            seq_attr.tracked > 0,
+            "sample_every=1 must track every request"
+        );
+
+        for threads in thread_matrix() {
+            journey::install(JourneyRecorder::new(1, salt));
+            let got = build_system(BeaconVariant::D, &w, 2, true).run_parallel(threads);
+            assert_eq!(
+                got.digest(),
+                golden.digest(),
+                "skip={skip}: {threads}-thread attribution run perturbed the simulation:\n{}",
+                got.diff(&golden).unwrap_or_default(),
+            );
+            let attr = got.attribution.as_ref().expect("recorder was installed");
+            assert_eq!(
+                (attr.seen, attr.tracked),
+                (seq_attr.seen, seq_attr.tracked),
+                "skip={skip}: {threads}-thread run sampled a different request set"
+            );
+            assert_eq!(
+                attr.phases, seq_attr.phases,
+                "skip={skip}: {threads}-thread phase breakdown diverged from sequential"
+            );
+            assert_eq!(
+                attr.classes, seq_attr.classes,
+                "skip={skip}: {threads}-thread class rollup diverged from sequential"
             );
         }
     }
