@@ -6,6 +6,8 @@
 //! tracks that fan-in and hands back the original [`AccessToken`] when
 //! the last segment lands.
 
+use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
+
 use crate::task::AccessToken;
 
 #[derive(Debug, Clone, Copy)]
@@ -125,6 +127,58 @@ impl PendingTable {
     /// Largest number of simultaneously in-flight accesses observed.
     pub fn peak(&self) -> usize {
         self.peak
+    }
+}
+
+impl Snapshot for PendingTable {
+    const TAG: &'static str = "accel.pending";
+    const VERSION: u16 = 1;
+    fn snap(&self, w: &mut SnapWriter) {
+        w.usize(self.entries.len());
+        for e in &self.entries {
+            w.u64(e.token.encode());
+            w.u32(e.remaining);
+            w.bool(e.blocking);
+            w.bool(e.in_use);
+            w.bool(e.poisoned);
+        }
+        w.usize(self.free.len());
+        for f in &self.free {
+            w.u32(*f);
+        }
+        w.usize(self.peak);
+    }
+}
+
+impl Restore for PendingTable {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.seq_len()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(Entry {
+                token: AccessToken::decode(r.u64()?),
+                remaining: r.u32()?,
+                blocking: r.bool()?,
+                in_use: r.bool()?,
+                poisoned: r.bool()?,
+            });
+        }
+        self.entries = entries;
+        let n = r.seq_len()?;
+        let mut free = Vec::with_capacity(n);
+        for _ in 0..n {
+            let f = r.u32()?;
+            if f as usize >= self.entries.len() {
+                return Err(SnapError::Corrupt(format!(
+                    "free pending slot {f} of {}",
+                    self.entries.len()
+                )));
+            }
+            free.push(f);
+        }
+        self.free = free;
+        self.peak = r.usize()?;
+        Ok(())
     }
 }
 

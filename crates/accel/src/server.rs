@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use beacon_sim::component::Tick;
 use beacon_sim::cycle::Cycle;
 use beacon_sim::journey::{self, JStamp, Phase};
+use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use beacon_sim::stats::{Histogram, Stats};
 
 use beacon_dram::address::DramCoord;
@@ -313,6 +314,106 @@ impl DimmServer {
                 Err(_) => break,
             }
         }
+    }
+}
+
+fn put_service_req(w: &mut SnapWriter, req: &ServiceReq) {
+    w.u64(req.id);
+    w.u64(req.coord.pack());
+    w.u32(req.bytes);
+    w.u8(match req.op {
+        ServiceOp::Read => 0,
+        ServiceOp::Write => 1,
+        ServiceOp::Rmw => 2,
+    });
+}
+
+fn get_service_req(r: &mut SnapReader<'_>) -> Result<ServiceReq, SnapError> {
+    let id = r.u64()?;
+    let coord = DramCoord::unpack(r.u64()?);
+    let bytes = r.u32()?;
+    let op = match r.u8()? {
+        0 => ServiceOp::Read,
+        1 => ServiceOp::Write,
+        2 => ServiceOp::Rmw,
+        t => return Err(SnapError::Corrupt(format!("unknown ServiceOp tag {t}"))),
+    };
+    Ok(ServiceReq {
+        id,
+        coord,
+        bytes,
+        op,
+    })
+}
+
+impl Snapshot for DimmServer {
+    const TAG: &'static str = "accel.server";
+    const VERSION: u16 = 1;
+    fn snap(&self, w: &mut SnapWriter) {
+        // Journey stamps (`jny`/`jny_done`) are attribution-only state,
+        // excluded from the result digest — a resumed run restarts with
+        // them empty. `drain_scratch` is empty between ticks.
+        w.component(&self.dimm);
+        w.usize(self.backlog.len());
+        for req in &self.backlog {
+            put_service_req(w, req);
+        }
+        w.usize(self.done.len());
+        for (id, at) in &self.done {
+            w.u64(*id);
+            w.cycle(*at);
+        }
+        w.u64(self.rmw_alu_cycles);
+        w.usize(self.rmw_stage.len());
+        for (ready, req) in &self.rmw_stage {
+            w.cycle(*ready);
+            put_service_req(w, req);
+        }
+        w.usize(self.poisoned.len());
+        for id in &self.poisoned {
+            w.u64(*id);
+        }
+        w.bool(self.failed);
+        w.component(&self.stats);
+    }
+}
+
+impl Restore for DimmServer {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.component(&mut self.dimm)?;
+        let n = r.seq_len()?;
+        let mut backlog = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            backlog.push_back(get_service_req(r)?);
+        }
+        self.backlog = backlog;
+        let n = r.seq_len()?;
+        let mut done = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = r.u64()?;
+            done.push((id, r.cycle()?));
+        }
+        self.done = done;
+        self.rmw_alu_cycles = r.u64()?;
+        let n = r.seq_len()?;
+        let mut rmw_stage = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let ready = r.cycle()?;
+            rmw_stage.push_back((ready, get_service_req(r)?));
+        }
+        self.rmw_stage = rmw_stage;
+        let n = r.seq_len()?;
+        let mut poisoned = Vec::with_capacity(n);
+        for _ in 0..n {
+            poisoned.push(r.u64()?);
+        }
+        self.poisoned = poisoned;
+        self.failed = r.bool()?;
+        r.component(&mut self.stats)?;
+        self.drain_scratch.clear();
+        self.jny.clear();
+        self.jny_done.clear();
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@
 use std::collections::VecDeque;
 
 use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use beacon_sim::stats::Stats;
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 use serde::{Deserialize, Serialize};
@@ -386,6 +387,78 @@ impl TaskEngine {
             self.stats.incr("engine.tasks_completed");
             self.trace_task(now, TraceLevel::Task, "task.retire", task.0 as u64);
         }
+    }
+}
+
+impl Snapshot for TaskEngine {
+    const TAG: &'static str = "accel.engine";
+    const VERSION: u16 = 1;
+    fn snap(&self, w: &mut SnapWriter) {
+        // `n_pes`, `pe_latency` and `trace_id` are construction-time.
+        // Per-task latency IS dynamic (submit_for_app varies it), so it
+        // travels with each task. The heap serialises sorted so
+        // identical logical state yields identical bytes.
+        let computing = self.computing.clone().into_sorted_vec();
+        w.usize(computing.len());
+        for std::cmp::Reverse((until, task)) in &computing {
+            w.cycle(*until);
+            w.u32(task.0);
+        }
+        w.usize(self.ready.len());
+        for task in &self.ready {
+            w.u32(task.0);
+        }
+        w.usize(self.tasks.len());
+        for t in &self.tasks {
+            beacon_genomics::snap::put_trace(w, &t.trace);
+            w.duration(t.latency);
+            w.usize(t.cursor);
+            w.u32(t.outstanding);
+            w.u32(t.outstanding_posted);
+            w.bool(t.steps_done);
+            w.bool(t.retired);
+        }
+        w.usize(self.completed);
+        w.component(&self.stats);
+        w.u64(self.busy_pe_cycles);
+        w.cycle(self.last_busy_update);
+    }
+}
+
+impl Restore for TaskEngine {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.seq_len()?;
+        let mut computing = std::collections::BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            let until = r.cycle()?;
+            computing.push(std::cmp::Reverse((until, TaskId(r.u32()?))));
+        }
+        self.computing = computing;
+        let n = r.seq_len()?;
+        let mut ready = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            ready.push_back(TaskId(r.u32()?));
+        }
+        self.ready = ready;
+        let n = r.seq_len()?;
+        let mut tasks = Vec::with_capacity(n);
+        for _ in 0..n {
+            tasks.push(TaskState {
+                trace: beacon_genomics::snap::get_trace(r)?,
+                latency: r.duration()?,
+                cursor: r.usize()?,
+                outstanding: r.u32()?,
+                outstanding_posted: r.u32()?,
+                steps_done: r.bool()?,
+                retired: r.bool()?,
+            });
+        }
+        self.tasks = tasks;
+        self.completed = r.usize()?;
+        r.component(&mut self.stats)?;
+        self.busy_pe_cycles = r.u64()?;
+        self.last_busy_update = r.cycle()?;
+        Ok(())
     }
 }
 

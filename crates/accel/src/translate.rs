@@ -16,6 +16,7 @@ use beacon_cxl::message::NodeId;
 use beacon_dram::address::{DramCoord, Interleave};
 use beacon_dram::params::DimmGeometry;
 use beacon_genomics::trace::{Access, Region};
+use beacon_sim::snap::{SnapError, SnapReader, SnapWriter};
 
 /// One physical piece of a translated access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -176,6 +177,68 @@ impl RegionMap {
             }
         }
         changed
+    }
+
+    /// Serialises this map for a checkpoint (see [`RegionMap::from_snap`]).
+    pub fn snap_into(&self, w: &mut SnapWriter) {
+        beacon_dram::snap::put_geometry(w, &self.geometry);
+        w.usize(self.placements.len());
+        for (region, p) in &self.placements {
+            beacon_genomics::snap::put_region(w, *region);
+            w.usize(p.homes.len());
+            for home in &p.homes {
+                beacon_cxl::snap::put_node(w, *home);
+            }
+            w.u64(p.stripe_bytes);
+            w.u64(p.base_offset);
+            w.u64(p.row_offset);
+            w.u64(p.sparse_window);
+            beacon_dram::snap::put_interleave(w, &p.interleave);
+        }
+    }
+
+    /// Rebuilds a map serialised by [`RegionMap::snap_into`].
+    ///
+    /// # Errors
+    /// [`SnapError::Corrupt`] on malformed placements; any decode error
+    /// from the constituent fields.
+    pub fn from_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let geometry = beacon_dram::snap::get_geometry(r)?;
+        let n = r.seq_len()?;
+        let mut placements = BTreeMap::new();
+        for _ in 0..n {
+            let region = beacon_genomics::snap::get_region(r)?;
+            let h = r.seq_len()?;
+            if h == 0 {
+                return Err(SnapError::Corrupt(format!(
+                    "placement of {region:?} has no homes"
+                )));
+            }
+            let mut homes = Vec::with_capacity(h);
+            for _ in 0..h {
+                homes.push(beacon_cxl::snap::get_node(r)?);
+            }
+            let stripe_bytes = r.u64()?;
+            let base_offset = r.u64()?;
+            let row_offset = r.u64()?;
+            let sparse_window = r.u64()?;
+            let interleave = beacon_dram::snap::get_interleave(r)?;
+            placements.insert(
+                region,
+                Placement {
+                    homes,
+                    stripe_bytes,
+                    base_offset,
+                    row_offset,
+                    sparse_window,
+                    interleave,
+                },
+            );
+        }
+        Ok(RegionMap {
+            geometry,
+            placements,
+        })
     }
 
     /// Translates one logical access into physical segments, splitting at

@@ -6,6 +6,8 @@
 //!     [--fig15] [--fig16] [--fig17] [--faults <seed>] [--report]
 //!     [--report-json <out.json>] [--quick] [--threads <n>] [--no-skip]
 //!     [--trace <out.json>] [--metrics <out.jsonl|out.csv>] [--progress]
+//!     [--snapshot-every <cycles>] [--snapshot-out <prefix>]
+//!     [--resume <file.snap>]
 //! ```
 //!
 //! With no selector (or `--all`) everything runs. `--quick` switches to
@@ -27,14 +29,27 @@
 //! (open in `chrome://tracing` or Perfetto), `--metrics` samples gauge
 //! time-series to JSON-lines (or CSV when the path ends in `.csv`) and
 //! `--progress` prints periodic simulation-rate lines to stderr.
+//! `--snapshot-every <cycles>` runs the checkpoint demonstration: the
+//! FM-seeding/Pt workload on BEACON-D, pausing at every epoch boundary
+//! to write a resumable snapshot to `<prefix>-<cycle>.snap` (prefix
+//! from `--snapshot-out`, default `beacon`), then prints the final
+//! digest. `--resume <file>` reconstructs the system from a snapshot
+//! and runs it to completion — the printed `final digest:` line is
+//! bit-identical to the uninterrupted run's, regardless of `--threads`
+//! or `--no-skip`.
 
 use std::time::Instant;
 
 use beacon_bench::{bench_scale, figures_scale, BENCH_PES, FIGURE_PES};
+use beacon_core::config::{BeaconConfig, BeaconVariant, Optimizations};
+use beacon_core::experiments::common::{fm_workload, WorkloadScale};
 use beacon_core::experiments::{
     faults, fig12, fig13, fig14, fig15, fig16, fig17, fig3, report, tables,
 };
+use beacon_core::mmf::build_layout;
 use beacon_core::obs::{self, ObsConfig, DEFAULT_STALL_WINDOW};
+use beacon_core::system::BeaconSystem;
+use beacon_genomics::genome::GenomeId;
 use beacon_sim::trace::{self, TraceBuffer, TraceLevel};
 
 /// Cycles between metrics samples (quick scale).
@@ -67,6 +82,9 @@ struct Selection {
     trace: Option<String>,
     metrics: Option<String>,
     progress: bool,
+    snapshot_every: Option<u64>,
+    snapshot_out: String,
+    resume: Option<String>,
 }
 
 fn usage() -> String {
@@ -86,9 +104,13 @@ fn usage() -> String {
      \x20 --faults <seed>    RAS fault sweep (link errors, DIMM loss)\n\
      \x20 --report           journey-attribution bottleneck report\n\
      \x20 --report-json <path>  write the report as JSON too (implies --report)\n\
+     \x20 --snapshot-every <cycles>  checkpoint demo: snapshot FM-seeding/Pt\n\
+     \x20                    at every epoch boundary, print the final digest\n\
+     \x20 --resume <file>    resume a snapshot to completion, print its digest\n\
      \n\
      options:\n\
      \x20 --quick            small bench scale (smoke test)\n\
+     \x20 --snapshot-out <prefix>  snapshot file prefix (default: beacon)\n\
      \x20 --threads <n>      deterministic parallel engine with n workers\n\
      \x20 --no-skip          tick every cycle (disable event-horizon fast-forwarding)\n\
      \x20 --trace <path>     write a Chrome-trace-event JSON of the runs\n\
@@ -120,6 +142,9 @@ impl Selection {
             trace: None,
             metrics: None,
             progress: false,
+            snapshot_every: None,
+            snapshot_out: "beacon".to_owned(),
+            resume: None,
         };
         let mut any = false;
         let mut i = 0;
@@ -205,6 +230,26 @@ impl Selection {
                     i += 1;
                     let path = args.get(i).ok_or("--metrics needs a file path")?;
                     sel.metrics = Some(path.clone());
+                }
+                "--snapshot-every" => {
+                    i += 1;
+                    let n = args.get(i).ok_or("--snapshot-every needs a cycle count")?;
+                    sel.snapshot_every =
+                        Some(n.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                            format!("--snapshot-every needs a positive cycle count, got {n}")
+                        })?);
+                    any = true;
+                }
+                "--snapshot-out" => {
+                    i += 1;
+                    let prefix = args.get(i).ok_or("--snapshot-out needs a path prefix")?;
+                    sel.snapshot_out = prefix.clone();
+                }
+                "--resume" => {
+                    i += 1;
+                    let path = args.get(i).ok_or("--resume needs a snapshot file")?;
+                    sel.resume = Some(path.clone());
+                    any = true;
                 }
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -311,6 +356,14 @@ fn main() {
             println!("report: attribution JSON -> {path}");
         }
     }
+    if let Some(every) = sel.snapshot_every {
+        section("Checkpoint", || {
+            checkpoint_section(&scale, pes, every, &sel.snapshot_out)
+        });
+    }
+    if let Some(path) = &sel.resume {
+        section("Resume", || resume_section(path));
+    }
     println!("total harness time: {:?}", t0.elapsed());
 
     if let Some(path) = &sel.trace {
@@ -342,6 +395,78 @@ fn write_or_die(path: &str, body: &str) {
         eprintln!("cannot write {path}: {e}");
         std::process::exit(1);
     }
+}
+
+/// Runs the FM-seeding/Pt workload on BEACON-D, pausing at every
+/// `every`-cycle epoch boundary to write a resumable snapshot, then
+/// finishes the run and prints a greppable `final digest:` line. The
+/// interruptions are invisible to the simulation: the digest is
+/// bit-identical to an uninterrupted run of the same workload.
+fn checkpoint_section(scale: &WorkloadScale, pes: usize, every: u64, prefix: &str) -> String {
+    use std::fmt::Write as _;
+    let w = fm_workload(GenomeId::Pt, scale);
+    let mut cfg = BeaconConfig::paper(BeaconVariant::D, w.app)
+        .with_opts(Optimizations::full(BeaconVariant::D, w.app));
+    cfg.pes_per_module = pes;
+    let layout = build_layout(&cfg, &w.layout);
+    let mut sys = BeaconSystem::new(cfg, layout);
+    sys.submit_round_robin(w.traces.iter().cloned());
+    let mut out = String::new();
+    let mut at = every;
+    while !sys.run_to(at) {
+        let bytes = sys.snapshot();
+        let path = format!("{prefix}-{:012}.snap", sys.clock().as_u64());
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        let _ = writeln!(
+            out,
+            "snapshot: cycle {:>12} -> {path} ({} bytes)",
+            sys.clock().as_u64(),
+            bytes.len()
+        );
+        at += every;
+    }
+    let r = sys.collect();
+    let _ = writeln!(
+        out,
+        "final digest: {:#018x} ({} tasks, {} cycles)",
+        r.digest(),
+        r.tasks,
+        r.cycles
+    );
+    out
+}
+
+/// Reconstructs a [`BeaconSystem`] from a snapshot file and runs it to
+/// completion (on the engine selected by `--threads`/`--no-skip`),
+/// printing the same greppable `final digest:` line as the checkpoint
+/// section — the two must match bit-identically.
+fn resume_section(path: &str) -> String {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut sys = match BeaconSystem::resume(&bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot resume {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let from = sys.clock().as_u64();
+    let r = sys.run();
+    format!(
+        "resumed: {path} @ cycle {from}\n\
+         final digest: {:#018x} ({} tasks, {} cycles)\n",
+        r.digest(),
+        r.tasks,
+        r.cycles
+    )
 }
 
 fn section<F: FnOnce() -> String>(name: &str, f: F) {
@@ -482,9 +607,48 @@ mod tests {
             "--trace",
             "--metrics",
             "--progress",
+            "--snapshot-every",
+            "--snapshot-out",
+            "--resume",
             "--help",
         ] {
             assert!(u.contains(flag), "usage must list {flag}");
         }
+    }
+
+    #[test]
+    fn snapshot_every_takes_a_count_and_acts_as_a_selector() {
+        let sel = Selection::parse(&args(&["--snapshot-every", "5000"])).unwrap();
+        assert_eq!(sel.snapshot_every, Some(5000));
+        assert_eq!(sel.snapshot_out, "beacon");
+        // A lone --snapshot-every must not drag every figure along.
+        assert!(!sel.table1 && !sel.fig12 && !sel.fig17);
+        assert!(Selection::parse(&args(&["--snapshot-every"])).is_err());
+        assert!(Selection::parse(&args(&["--snapshot-every", "0"])).is_err());
+        assert!(Selection::parse(&args(&["--snapshot-every", "often"])).is_err());
+        // And with no selector at all, no checkpoint demo runs.
+        assert_eq!(Selection::parse(&[]).unwrap().snapshot_every, None);
+    }
+
+    #[test]
+    fn snapshot_out_takes_a_prefix() {
+        let sel = Selection::parse(&args(&[
+            "--snapshot-every",
+            "1000",
+            "--snapshot-out",
+            "/tmp/ckpt",
+        ]))
+        .unwrap();
+        assert_eq!(sel.snapshot_out, "/tmp/ckpt");
+        assert!(Selection::parse(&args(&["--snapshot-out"])).is_err());
+    }
+
+    #[test]
+    fn resume_takes_a_file_and_acts_as_a_selector() {
+        let sel = Selection::parse(&args(&["--resume", "/tmp/a.snap"])).unwrap();
+        assert_eq!(sel.resume.as_deref(), Some("/tmp/a.snap"));
+        assert!(!sel.table1 && !sel.fig12 && !sel.fig17);
+        assert!(Selection::parse(&args(&["--resume"])).is_err());
+        assert_eq!(Selection::parse(&[]).unwrap().resume, None);
     }
 }

@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run -p beacon-bench --bin simspeed --release -- [--quick]
 //!     [--threads <n>] [--out <path>] [--min-speedup <x>]
-//!     [--max-overhead <x>]
+//!     [--max-overhead <x>] [--max-snap-overhead <x>]
 //! ```
 //!
 //! Noise control: every cell gets one untimed warm-up run per skip
@@ -31,6 +31,20 @@
 //! (total attribution wall time over total skip-on wall time across all
 //! cells): individual cells finish in milliseconds, where one scheduler
 //! hiccup swamps the quantity being measured, but the sum is stable.
+//!
+//! A fourth timed leg measures checkpoint/restore cost: the skip-on run
+//! is paused at its halfway cycle, the full pool state is serialized
+//! with `BeaconSystem::snapshot`, a fresh system is reconstructed with
+//! `BeaconSystem::resume`, and the run completes there. Its digest must
+//! also match bit-identically, and its wall time over the plain skip-on
+//! leg is the snapshot overhead — reported per cell and gated in
+//! aggregate by `--max-snap-overhead`. The snapshot gate is separate
+//! from `--max-overhead` because the two costs scale differently:
+//! attribution cost is proportional to simulated work, so one ratio
+//! fits every scale, while a checkpoint cycle is a fixed cost
+//! (serialize + restore of the whole pool, under a millisecond), so
+//! the ratio shrinks as runs grow — tiny `--quick` cells need a looser
+//! ceiling than the bench-scale bar.
 
 use std::time::Instant;
 
@@ -66,13 +80,15 @@ struct Sample {
 
 fn usage() -> String {
     "usage: simspeed [--quick] [--threads <n>] [--out <path>] [--min-speedup <x>] \
-     [--max-overhead <x>]\n\
+     [--max-overhead <x>] [--max-snap-overhead <x>]\n\
      \n\
      \x20 --quick            tiny test scale (CI smoke)\n\
      \x20 --threads <n>      measure on the parallel engine with n workers\n\
      \x20 --out <path>       JSON output path (default BENCH_SIM.json)\n\
      \x20 --min-speedup <x>  exit non-zero when any cell speeds up less than x\n\
      \x20 --max-overhead <x> exit non-zero when attribution costs more than x overall\n\
+     \x20 --max-snap-overhead <x>  exit non-zero when one checkpoint/restore\n\
+     \x20                    cycle costs more than x overall\n\
      \x20 --help             show this message\n"
         .to_owned()
 }
@@ -164,6 +180,43 @@ fn measure(cell: &Cell, skip: bool, attr: bool, threads: usize) -> Sample {
     }
 }
 
+/// The checkpoint/restore leg: run (skip on) to the halfway cycle on
+/// the sequential engine, serialize a full snapshot, reconstruct a new
+/// system from it, and finish the run there. The wall time includes
+/// both the serialize and the deserialize, so the ratio against the
+/// plain skip-on leg is the end-to-end cost of one checkpoint cycle.
+fn measure_snap(cell: &Cell, threads: usize, mid: u64) -> Sample {
+    beacon_sim::engine::set_skip(true);
+    let w = &cell.workload;
+    let mut cfg = BeaconConfig::paper(cell.variant, w.app)
+        .with_opts(Optimizations::full(cell.variant, w.app));
+    cfg.switches = cell.switches;
+    cfg.pes_per_module = 8;
+    let layout = build_layout(&cfg, &w.layout);
+    let mut sys = BeaconSystem::new(cfg, layout);
+    sys.submit_round_robin(w.traces.iter().cloned());
+    let t = Instant::now();
+    let drained = sys.run_to(mid);
+    assert!(
+        !drained,
+        "{}/{}: workload drained before the halfway checkpoint at cycle {mid}",
+        cell.kernel, cell.genome
+    );
+    let bytes = sys.snapshot();
+    let mut resumed = BeaconSystem::resume(&bytes).expect("own snapshot must resume");
+    let r = if threads <= 1 {
+        resumed.run()
+    } else {
+        resumed.run_parallel(threads)
+    };
+    let wall_s = t.elapsed().as_secs_f64();
+    Sample {
+        wall_s,
+        cycles: r.cycles,
+        digest: r.digest(),
+    }
+}
+
 /// One untimed warm-up run per leg, then `rounds` timed runs per leg
 /// with the legs *interleaved* (off, on, off, on, …), keeping the
 /// fastest wall time of each. Two noise defences, both aimed at the
@@ -175,12 +228,11 @@ fn measure(cell: &Cell, skip: bool, attr: bool, threads: usize) -> Sample {
 /// leg it landed on. Every repetition must reproduce the warm-up's
 /// digest and cycle count bit-identically — the simulator is
 /// deterministic, so any difference is a bug, not noise.
-fn measure_legs(cell: &Cell, threads: usize, rounds: usize) -> (Sample, Sample, Sample) {
-    let leg = |skip: bool, attr: bool, warm: &Sample, best: Option<Sample>| {
-        let r = measure(cell, skip, attr, threads);
+fn measure_legs(cell: &Cell, threads: usize, rounds: usize) -> (Sample, Sample, Sample, Sample) {
+    let keep_best = |r: Sample, warm: &Sample, what: &str, best: Option<Sample>| {
         assert_eq!(
             r.digest, warm.digest,
-            "{}/{}: repeated run diverged (skip={skip}, attr={attr})",
+            "{}/{}: repeated run diverged ({what})",
             cell.kernel, cell.genome
         );
         assert_eq!(r.cycles, warm.cycles);
@@ -197,16 +249,35 @@ fn measure_legs(cell: &Cell, threads: usize, rounds: usize) -> (Sample, Sample, 
         "{}/{}: attribution changed the run digest",
         cell.kernel, cell.genome
     );
-    let (mut off, mut on, mut attr) = (None, None, None);
+    let mid = warm_on.cycles / 2;
+    let warm_snap = measure_snap(cell, threads, mid);
+    assert_eq!(
+        warm_snap.digest, warm_on.digest,
+        "{}/{}: checkpoint/restore changed the run digest",
+        cell.kernel, cell.genome
+    );
+    let (mut off, mut on, mut attr, mut snap) = (None, None, None, None);
     for _ in 0..rounds {
-        off = leg(false, false, &warm_off, off);
-        on = leg(true, false, &warm_on, on);
-        attr = leg(true, true, &warm_attr, attr);
+        off = keep_best(
+            measure(cell, false, false, threads),
+            &warm_off,
+            "skip off",
+            off,
+        );
+        on = keep_best(measure(cell, true, false, threads), &warm_on, "skip on", on);
+        attr = keep_best(measure(cell, true, true, threads), &warm_attr, "attr", attr);
+        snap = keep_best(
+            measure_snap(cell, threads, mid),
+            &warm_snap,
+            "snapshot",
+            snap,
+        );
     }
     (
         off.expect("at least one timed run"),
         on.expect("at least one timed run"),
         attr.expect("at least one timed run"),
+        snap.expect("at least one timed run"),
     )
 }
 
@@ -217,6 +288,7 @@ fn main() {
     let mut out = "BENCH_SIM.json".to_owned();
     let mut min_speedup: Option<f64> = None;
     let mut max_overhead: Option<f64> = None;
+    let mut max_snap_overhead: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -254,6 +326,13 @@ fn main() {
                     _ => die("--max-overhead needs a number >= 1.0"),
                 }
             }
+            "--max-snap-overhead" => {
+                i += 1;
+                match args.get(i).and_then(|x| x.parse::<f64>().ok()) {
+                    Some(x) if x >= 1.0 => max_snap_overhead = Some(x),
+                    _ => die("--max-snap-overhead needs a number >= 1.0"),
+                }
+            }
             other => die(&format!("unknown flag {other}")),
         }
         i += 1;
@@ -277,8 +356,8 @@ fn main() {
         scale.pt_genome_len, scale.reads, threads
     );
     println!(
-        "{:<20} {:<7} {:>12} {:>12} {:>12} {:>8} {:>9}",
-        "kernel", "genome", "cycles", "off Mcyc/s", "on Mcyc/s", "speedup", "attr ovh"
+        "{:<20} {:<7} {:>12} {:>12} {:>12} {:>8} {:>9} {:>9}",
+        "kernel", "genome", "cycles", "off Mcyc/s", "on Mcyc/s", "speedup", "attr ovh", "snap ovh"
     );
 
     let mut rows = Vec::new();
@@ -287,8 +366,9 @@ fn main() {
     let mut worst_cell = String::new();
     let mut wall_on_total = 0.0f64;
     let mut wall_attr_total = 0.0f64;
+    let mut wall_snap_total = 0.0f64;
     for cell in build_cells(&scale) {
-        let (off, on, attr) = measure_legs(&cell, threads, rounds);
+        let (off, on, attr, snap) = measure_legs(&cell, threads, rounds);
         assert_eq!(
             off.digest, on.digest,
             "{}/{}: fast-forwarded run diverged from per-cycle run",
@@ -299,22 +379,25 @@ fn main() {
         let rate_on = on.cycles as f64 / on.wall_s;
         let speedup = rate_on / rate_off;
         let overhead = attr.wall_s / on.wall_s;
+        let snap_overhead = snap.wall_s / on.wall_s;
         wall_on_total += on.wall_s;
         wall_attr_total += attr.wall_s;
+        wall_snap_total += snap.wall_s;
         best = best.max(speedup);
         if speedup < worst {
             worst = speedup;
             worst_cell = format!("{}/{}", cell.kernel, cell.genome);
         }
         println!(
-            "{:<20} {:<7} {:>12} {:>12.2} {:>12.2} {:>7.2}x {:>8.3}x",
+            "{:<20} {:<7} {:>12} {:>12.2} {:>12.2} {:>7.2}x {:>8.3}x {:>8.3}x",
             cell.kernel,
             cell.genome,
             on.cycles,
             rate_off / 1e6,
             rate_on / 1e6,
             speedup,
-            overhead
+            overhead,
+            snap_overhead
         );
         rows.push(format!(
             "    {{\"kernel\": \"{}\", \"genome\": \"{}\", \"threads\": {}, \
@@ -322,7 +405,8 @@ fn main() {
              \"wall_s_skip_off\": {:.6}, \"wall_s_skip_on\": {:.6}, \
              \"cycles_per_sec_skip_off\": {:.1}, \"cycles_per_sec_skip_on\": {:.1}, \
              \"speedup\": {:.3}, \"wall_s_attr_on\": {:.6}, \
-             \"attr_overhead\": {:.3}}}",
+             \"attr_overhead\": {:.3}, \"wall_s_snapshot\": {:.6}, \
+             \"snapshot_overhead\": {:.3}}}",
             cell.kernel,
             cell.genome,
             threads,
@@ -334,7 +418,9 @@ fn main() {
             rate_on,
             speedup,
             attr.wall_s,
-            overhead
+            overhead,
+            snap.wall_s,
+            snap_overhead
         ));
     }
 
@@ -349,9 +435,11 @@ fn main() {
         std::process::exit(1);
     }
     let agg_overhead = wall_attr_total / wall_on_total;
+    let agg_snap_overhead = wall_snap_total / wall_on_total;
     println!(
         "\nbest speedup {best:.2}x, worst {worst:.2}x ({worst_cell}); \
-         aggregate attribution overhead {agg_overhead:.3}x -> {out}"
+         aggregate attribution overhead {agg_overhead:.3}x, \
+         snapshot overhead {agg_snap_overhead:.3}x -> {out}"
     );
     if let Some(floor) = min_speedup {
         if worst < floor {
@@ -367,6 +455,15 @@ fn main() {
             eprintln!(
                 "FAIL: aggregate attribution overhead {agg_overhead:.3}x \
                  exceeds the --max-overhead ceiling of {ceiling}x"
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(ceiling) = max_snap_overhead {
+        if agg_snap_overhead > ceiling {
+            eprintln!(
+                "FAIL: aggregate snapshot overhead {agg_snap_overhead:.3}x \
+                 exceeds the --max-snap-overhead ceiling of {ceiling}x"
             );
             std::process::exit(1);
         }

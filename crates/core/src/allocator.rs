@@ -15,6 +15,7 @@ use std::fmt;
 
 use beacon_cxl::message::NodeId;
 use beacon_dram::params::DimmGeometry;
+use beacon_sim::snap::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// Why an allocation failed.
@@ -276,6 +277,68 @@ impl PoolAllocator {
                 .entry(n)
                 .or_insert_with(|| FreeList::new(self.geometry.rows));
         }
+    }
+
+    /// Serialises the allocator for a checkpoint (see
+    /// [`PoolAllocator::from_snap`]).
+    pub fn snap_into(&self, w: &mut SnapWriter) {
+        beacon_dram::snap::put_geometry(w, &self.geometry);
+        w.usize(self.free.len());
+        for (node, list) in &self.free {
+            beacon_cxl::snap::put_node(w, *node);
+            w.usize(list.ranges.len());
+            for (start, len) in &list.ranges {
+                w.u64(*start);
+                w.u64(*len);
+            }
+        }
+        w.usize(self.excluded.len());
+        for node in &self.excluded {
+            beacon_cxl::snap::put_node(w, *node);
+        }
+    }
+
+    /// Rebuilds an allocator serialised by [`PoolAllocator::snap_into`].
+    ///
+    /// # Errors
+    /// [`SnapError::Corrupt`] on unsorted free lists or exclusions; any
+    /// decode error from the constituent fields.
+    pub fn from_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let geometry = beacon_dram::snap::get_geometry(r)?;
+        let n = r.seq_len()?;
+        let mut free = BTreeMap::new();
+        for _ in 0..n {
+            let node = beacon_cxl::snap::get_node(r)?;
+            let m = r.seq_len()?;
+            let mut ranges = Vec::with_capacity(m);
+            let mut prev_end = 0u64;
+            for _ in 0..m {
+                let start = r.u64()?;
+                let len = r.u64()?;
+                if !ranges.is_empty() && start < prev_end {
+                    return Err(SnapError::Corrupt(format!(
+                        "free list of {node:?} not sorted"
+                    )));
+                }
+                prev_end = start + len;
+                ranges.push((start, len));
+            }
+            free.insert(node, FreeList { ranges });
+        }
+        let n = r.seq_len()?;
+        let mut excluded = Vec::with_capacity(n);
+        for _ in 0..n {
+            let node = beacon_cxl::snap::get_node(r)?;
+            if excluded.last().is_some_and(|&last| node <= last) {
+                return Err(SnapError::Corrupt("excluded nodes not sorted".into()));
+            }
+            excluded.push(node);
+        }
+        Ok(PoolAllocator {
+            geometry,
+            free,
+            excluded,
+        })
     }
 }
 

@@ -39,6 +39,7 @@ pub mod mmf;
 pub mod obs;
 pub mod parallel;
 pub mod report;
+pub mod snap;
 pub mod system;
 
 /// Commonly used items.

@@ -107,6 +107,21 @@ pub struct MemoryLayout {
 /// be in the full-size system (see `Placement::sparse_window`).
 pub const SPARSE_ROW_WINDOW: u64 = 64;
 
+/// The CXLG-DIMM chip-select mode implied by a configuration's
+/// optimisation point. Pure function of `cfg.opts` — snapshot resume
+/// recomputes the mode from the restored configuration instead of
+/// serialising it.
+pub fn cxlg_mode_for(cfg: &BeaconConfig) -> AccessMode {
+    if !cfg.opts.placement_mapping {
+        AccessMode::RankLockstep
+    } else {
+        match cfg.opts.multi_chip_coalescing {
+            Some(c) => AccessMode::Coalesced { chips: c },
+            None => AccessMode::PerChip,
+        }
+    }
+}
+
 /// The MMF's graceful-degradation plan for a whole-DIMM failure: a
 /// second map epoch with every placement re-homed off the dead DIMM,
 /// plus the accounting of what that costs.
@@ -229,14 +244,7 @@ pub fn build_layout(cfg: &BeaconConfig, specs: &[LayoutSpec]) -> MemoryLayout {
     let geometry = cfg.geometry;
     let n_modules = cfg.compute_modules() as usize;
 
-    let cxlg_mode = if !cfg.opts.placement_mapping {
-        AccessMode::RankLockstep
-    } else {
-        match cfg.opts.multi_chip_coalescing {
-            Some(c) => AccessMode::Coalesced { chips: c },
-            None => AccessMode::PerChip,
-        }
-    };
+    let cxlg_mode = cxlg_mode_for(cfg);
     let cxlg_groups = cxlg_mode.group_count(&geometry);
 
     let mut cursors = Cursors(crate::allocator::PoolAllocator::new(

@@ -306,15 +306,30 @@ impl BeaconSystem {
             self.cfg.host_latency >= 1,
             "parallel runs need host_latency >= 1 for a non-zero lookahead"
         );
-        assert!(
-            self.host_stage.is_empty(),
-            "runs start with an empty host stage"
-        );
         self.refresh_journey_gates();
         let cfg = self.cfg;
+        let start = self.clock;
         let maps = std::mem::take(&mut self.maps);
         let remap = self.remap.take();
         let rmw_alu_cycles = self.rmw_alu_cycles;
+        // A restored checkpoint resumes with host-staged traffic in
+        // flight: seed the hub with it, applying exactly the transform
+        // `pump_host` would at delivery (clear the host-bias detour
+        // flag, route by destination switch). The stage is ready-cycle
+        // sorted, so the hub's canonical order is preserved, and the
+        // first exchange runs before any shard advances — a bundle due
+        // at the capture cycle is delivered on it.
+        let mut hub = HostHub::new(cfg.host_latency);
+        for (ready, mut bundle) in self.host_stage.drain(..) {
+            for m in &mut bundle.messages {
+                *m = m.cleared_via_host();
+            }
+            let dst = bundle.messages[0]
+                .dst
+                .switch()
+                .expect("pool destinations only");
+            hub.pending.push_back((ready, dst, bundle));
+        }
         let mut shards: Vec<PoolShard<'_>> = std::mem::take(&mut self.switches)
             .into_iter()
             .enumerate()
@@ -324,7 +339,7 @@ impl BeaconSystem {
                 remap: remap.as_deref(),
                 rmw_alu_cycles,
                 node,
-                pos: Cycle::ZERO,
+                pos: start,
                 inbox: VecDeque::new(),
                 outbox: Vec::new(),
                 seq: 0,
@@ -334,8 +349,7 @@ impl BeaconSystem {
                 ticked: 0,
             })
             .collect();
-        let mut hub = HostHub::new(cfg.host_latency);
-        let engine = ParallelEngine::new(cfg.host_latency, threads);
+        let engine = ParallelEngine::new(cfg.host_latency, threads).starting_at(start);
 
         // Mirror obs::drive at barrier granularity.
         let installed = obs::snapshot();
@@ -396,6 +410,7 @@ impl BeaconSystem {
             obs::commit(samples);
         }
         self.finished_at = outcome.finished_at();
+        self.clock = self.finished_at;
         self.collect()
     }
 }

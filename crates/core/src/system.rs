@@ -24,16 +24,17 @@ use std::fmt::Write as _;
 
 use beacon_sim::component::{Probe, Tick};
 use beacon_sim::cycle::{Cycle, Duration};
-use beacon_sim::engine::Engine;
+use beacon_sim::engine::{Engine, RunOutcome};
 use beacon_sim::faults::{stream, FaultSchedule};
 use beacon_sim::journey::{self, ComponentUtil, JGate, JStamp, Phase, QueueAcc, QueueStat};
+use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use beacon_sim::stats::Stats;
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 
 use beacon_accel::pending::PendingTable;
 use beacon_accel::result::RunResult;
 use beacon_accel::server::{DimmServer, ServiceOp};
-use beacon_accel::task::{IssuedAccess, TaskEngine};
+use beacon_accel::task::{AccessToken, IssuedAccess, TaskEngine};
 use beacon_accel::translate::RegionMap;
 use beacon_cxl::bundle::Bundle;
 use beacon_cxl::message::{Message, MsgKind, NodeId};
@@ -309,6 +310,14 @@ pub struct BeaconSystem {
     /// Precomputed graceful-degradation plan for the scheduled DIMM
     /// failure (see [`crate::mmf::plan_dimm_loss`]).
     pub(crate) remap: Option<Box<RemapPlan>>,
+    /// The next cycle this system will simulate: zero on a fresh build,
+    /// the capture cycle on a restored checkpoint, the finish cycle
+    /// after a drained run. Every engine the system spawns starts here.
+    pub(crate) clock: Cycle,
+    /// The pool allocator holding this system's layout grants, retained
+    /// so checkpoints can serialise it and resume can rebuild the
+    /// degradation plan from identical pre-run state.
+    pub(crate) allocator: crate::allocator::PoolAllocator,
 }
 
 impl BeaconSystem {
@@ -529,6 +538,8 @@ impl BeaconSystem {
             finished_at: Cycle::ZERO,
             rmw_alu_cycles: 4,
             remap,
+            clock: Cycle::ZERO,
+            allocator: layout.allocator,
         }
     }
 
@@ -587,10 +598,38 @@ impl BeaconSystem {
             return self.run_parallel(threads);
         }
         self.refresh_journey_gates();
-        let mut engine = Engine::new();
+        let mut engine = Engine::starting_at(self.clock);
         let outcome = crate::obs::drive(&mut engine, self);
         self.finished_at = outcome.finished_at();
+        self.clock = self.finished_at;
         self.collect()
+    }
+
+    /// Runs the sequential engine up to cycle `to` (an epoch boundary
+    /// for checkpointing) or until the workload drains, whichever comes
+    /// first. Returns `true` when the run drained. The system's state
+    /// at the pause is bit-identical to an uninterrupted run passing
+    /// through `to`, so [`BeaconSystem::snapshot`] here captures a
+    /// resumable checkpoint; calling [`BeaconSystem::run`] afterwards
+    /// continues to completion.
+    pub fn run_to(&mut self, to: u64) -> bool {
+        self.refresh_journey_gates();
+        let mut engine = Engine::starting_at(self.clock).with_limit(to);
+        let outcome = engine.run(self);
+        self.clock = engine.now();
+        match outcome {
+            RunOutcome::Drained { finished_at } => {
+                self.finished_at = finished_at;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The next cycle this system will simulate (the capture cycle of a
+    /// checkpoint taken now).
+    pub fn clock(&self) -> Cycle {
+        self.clock
     }
 
     /// Re-arms the per-switch sampling gates from the installed
@@ -1912,6 +1951,413 @@ impl SwitchNode {
         now: Cycle,
     ) -> Result<(), beacon_cxl::link::SendError> {
         self.fabric.endpoint_send(Switch::UPLINK, bundle, now)
+    }
+}
+
+// ----- checkpoint serialisation ---------------------------------------
+//
+// Only dynamic state travels: static topology (node ids, map indices,
+// trace labels, per-component parameters) is rebuilt by
+// `BeaconSystem::new` from the restored configuration, and each
+// component's `restore` overwrites the freshly constructed dynamic
+// fields. Attribution state (journey stamps, queue-depth integrals,
+// sampling gates) is digest-excluded and restores empty.
+
+fn put_serve_entry(w: &mut SnapWriter, e: &ServeEntry) {
+    beacon_cxl::snap::put_node(w, e.requester);
+    w.u64(e.orig_tag);
+    beacon_cxl::snap::put_kind(w, e.kind);
+    w.u32(e.bytes);
+    w.bool(e.via_host);
+    w.bool(e.in_use);
+}
+
+fn get_serve_entry(r: &mut SnapReader<'_>) -> Result<ServeEntry, SnapError> {
+    Ok(ServeEntry {
+        requester: beacon_cxl::snap::get_node(r)?,
+        orig_tag: r.u64()?,
+        kind: beacon_cxl::snap::get_kind(r)?,
+        bytes: r.u32()?,
+        via_host: r.bool()?,
+        in_use: r.bool()?,
+    })
+}
+
+fn put_logic_serve(w: &mut SnapWriter, e: &LogicServe) {
+    beacon_cxl::snap::put_node(w, e.requester);
+    w.u64(e.orig_tag);
+    w.u64(e.coord.pack());
+    w.u32(e.bytes);
+    beacon_cxl::snap::put_node(w, e.dimm);
+    w.u8(match e.phase {
+        AtomicPhase::Read => 0,
+        AtomicPhase::Write => 1,
+    });
+    w.bool(e.via_host);
+    w.bool(e.in_use);
+}
+
+fn get_logic_serve(r: &mut SnapReader<'_>) -> Result<LogicServe, SnapError> {
+    Ok(LogicServe {
+        requester: beacon_cxl::snap::get_node(r)?,
+        orig_tag: r.u64()?,
+        coord: DramCoord::unpack(r.u64()?),
+        bytes: r.u32()?,
+        dimm: beacon_cxl::snap::get_node(r)?,
+        phase: match r.u8()? {
+            0 => AtomicPhase::Read,
+            1 => AtomicPhase::Write,
+            t => return Err(SnapError::Corrupt(format!("unknown AtomicPhase tag {t}"))),
+        },
+        via_host: r.bool()?,
+        in_use: r.bool()?,
+        // An in-flight atomic's tracked journey does not survive a
+        // checkpoint: attribution is digest-excluded by contract.
+        jny: None,
+    })
+}
+
+fn put_issued(w: &mut SnapWriter, ia: &IssuedAccess) {
+    w.u64(ia.token.encode());
+    beacon_genomics::snap::put_access(w, &ia.access);
+    w.bool(ia.blocking);
+}
+
+fn get_issued(r: &mut SnapReader<'_>) -> Result<IssuedAccess, SnapError> {
+    Ok(IssuedAccess {
+        token: AccessToken::decode(r.u64()?),
+        access: beacon_genomics::snap::get_access(r)?,
+        blocking: r.bool()?,
+    })
+}
+
+fn put_ras(w: &mut SnapWriter, ras: &Option<Box<RasState>>) {
+    match ras {
+        None => w.bool(false),
+        Some(r) => {
+            w.bool(true);
+            w.usize(r.inflight.len());
+            for (pid, (ia, retries)) in &r.inflight {
+                w.u64(*pid);
+                put_issued(w, ia);
+                w.u32(*retries);
+            }
+        }
+    }
+}
+
+fn get_ras(r: &mut SnapReader<'_>) -> Result<Option<Box<RasState>>, SnapError> {
+    if !r.bool()? {
+        return Ok(None);
+    }
+    let n = r.seq_len()?;
+    let mut inflight = BTreeMap::new();
+    for _ in 0..n {
+        let pid = r.u64()?;
+        let ia = get_issued(r)?;
+        let retries = r.u32()?;
+        inflight.insert(pid, (ia, retries));
+    }
+    Ok(Some(Box::new(RasState { inflight })))
+}
+
+/// Bounds-checks a serialised free-list index against its table.
+fn check_free(idx: u32, len: usize, what: &str) -> Result<u32, SnapError> {
+    if (idx as usize) < len {
+        Ok(idx)
+    } else {
+        Err(SnapError::Corrupt(format!(
+            "{what} free index {idx} out of range (table holds {len})"
+        )))
+    }
+}
+
+impl Egress {
+    fn snap(&self, w: &mut SnapWriter) {
+        match &self.packer {
+            None => w.bool(false),
+            Some(p) => {
+                w.bool(true);
+                w.component(p);
+            }
+        }
+        w.usize(self.queue.len());
+        for b in &self.queue {
+            beacon_cxl::snap::put_bundle(w, b);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>, what: &str) -> Result<(), SnapError> {
+        let has_packer = r.bool()?;
+        match (&mut self.packer, has_packer) {
+            (Some(p), true) => r.component(p)?,
+            (None, false) => {}
+            (mine, theirs) => {
+                return Err(SnapError::Topology(format!(
+                    "{what}: snapshot egress packer={theirs}, system has packer={}",
+                    mine.is_some()
+                )))
+            }
+        }
+        let n = r.seq_len()?;
+        self.queue.clear();
+        for _ in 0..n {
+            self.queue.push_back(beacon_cxl::snap::get_bundle(r)?);
+        }
+        Ok(())
+    }
+}
+
+impl LogicNode {
+    fn snap(&self, w: &mut SnapWriter) {
+        match &self.engine {
+            None => w.bool(false),
+            Some(e) => {
+                w.bool(true);
+                w.component(e);
+            }
+        }
+        w.component(&self.pending);
+        w.usize(self.serve.len());
+        for e in &self.serve {
+            put_logic_serve(w, e);
+        }
+        w.usize(self.free_serve.len());
+        for i in &self.free_serve {
+            w.u32(*i);
+        }
+        self.egress.snap(w);
+        w.usize(self.alu_stage.len());
+        for (ready, sidx) in &self.alu_stage {
+            w.cycle(*ready);
+            w.u32(*sidx);
+        }
+        w.component(&self.stats);
+        put_ras(w, &self.ras);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>, sw: usize) -> Result<(), SnapError> {
+        let has_engine = r.bool()?;
+        match (&mut self.engine, has_engine) {
+            (Some(e), true) => r.component(e)?,
+            (None, false) => {}
+            (mine, theirs) => {
+                return Err(SnapError::Topology(format!(
+                    "switch {sw} logic: snapshot engine={theirs}, system has engine={}",
+                    mine.is_some()
+                )))
+            }
+        }
+        r.component(&mut self.pending)?;
+        let n = r.seq_len()?;
+        self.serve.clear();
+        for _ in 0..n {
+            self.serve.push(get_logic_serve(r)?);
+        }
+        let n = r.seq_len()?;
+        self.free_serve.clear();
+        for _ in 0..n {
+            self.free_serve
+                .push(check_free(r.u32()?, self.serve.len(), "logic serve")?);
+        }
+        self.egress.restore(r, "switch logic")?;
+        let n = r.seq_len()?;
+        self.alu_stage.clear();
+        for _ in 0..n {
+            let ready = r.cycle()?;
+            let sidx = check_free(r.u32()?, self.serve.len(), "logic ALU stage")?;
+            self.alu_stage.push_back((ready, sidx));
+        }
+        r.component(&mut self.stats)?;
+        self.ras = get_ras(r)?;
+        Ok(())
+    }
+}
+
+impl CxlgModule {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.component(&self.engine);
+        w.component(&self.server);
+        w.component(&self.pending);
+        w.usize(self.serve.len());
+        for e in &self.serve {
+            put_serve_entry(w, e);
+        }
+        w.usize(self.free_serve.len());
+        for i in &self.free_serve {
+            w.u32(*i);
+        }
+        self.egress.snap(w);
+        put_ras(w, &self.ras);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.component(&mut self.engine)?;
+        r.component(&mut self.server)?;
+        r.component(&mut self.pending)?;
+        let n = r.seq_len()?;
+        self.serve.clear();
+        for _ in 0..n {
+            self.serve.push(get_serve_entry(r)?);
+        }
+        let n = r.seq_len()?;
+        self.free_serve.clear();
+        for _ in 0..n {
+            self.free_serve
+                .push(check_free(r.u32()?, self.serve.len(), "cxlg serve")?);
+        }
+        self.egress.restore(r, "cxlg module")?;
+        self.ras = get_ras(r)?;
+        Ok(())
+    }
+}
+
+impl UnmodDimm {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.component(&self.server);
+        w.usize(self.serve.len());
+        for e in &self.serve {
+            put_serve_entry(w, e);
+        }
+        w.usize(self.free_serve.len());
+        for i in &self.free_serve {
+            w.u32(*i);
+        }
+        self.egress.snap(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.component(&mut self.server)?;
+        let n = r.seq_len()?;
+        self.serve.clear();
+        for _ in 0..n {
+            self.serve.push(get_serve_entry(r)?);
+        }
+        let n = r.seq_len()?;
+        self.free_serve.clear();
+        for _ in 0..n {
+            self.free_serve
+                .push(check_free(r.u32()?, self.serve.len(), "unmod serve")?);
+        }
+        self.egress.restore(r, "unmodified DIMM")
+    }
+}
+
+impl Snapshot for SwitchNode {
+    const TAG: &'static str = "core.switch";
+    const VERSION: u16 = 1;
+
+    fn snap(&self, w: &mut SnapWriter) {
+        // Scratch buffers are drained back to empty before every driver
+        // returns; a checkpoint boundary sits between ticks.
+        debug_assert!(
+            self.issued_scratch.is_empty()
+                && self.rmw_scratch.is_empty()
+                && self.done_scratch.is_empty()
+                && self.resp_scratch.is_empty()
+                && self.comp_scratch.is_empty()
+                && self.poison_scratch.is_empty()
+                && self.jny_scratch.is_empty()
+        );
+        w.component(&self.fabric);
+        self.logic.snap(w);
+        w.usize(self.dimms.len());
+        for d in &self.dimms {
+            match d {
+                DimmSlot::Cxlg(m) => {
+                    w.u8(0);
+                    m.snap(w);
+                }
+                DimmSlot::Unmodified(u) => {
+                    w.u8(1);
+                    u.snap(w);
+                }
+            }
+        }
+        match &self.ras_fail {
+            None => w.bool(false),
+            Some(f) => {
+                w.bool(true);
+                w.usize(f.slot);
+                w.cycle(f.at);
+                w.bool(f.done);
+            }
+        }
+    }
+}
+
+impl Restore for SwitchNode {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.component(&mut self.fabric)?;
+        let sw = self.index;
+        self.logic.restore(r, sw)?;
+        let n = r.seq_len()?;
+        if n != self.dimms.len() {
+            return Err(SnapError::Topology(format!(
+                "switch {sw} has {} DIMM slots, snapshot has {n}",
+                self.dimms.len()
+            )));
+        }
+        for (slot, d) in self.dimms.iter_mut().enumerate() {
+            let tag = r.u8()?;
+            match (d, tag) {
+                (DimmSlot::Cxlg(m), 0) => m.restore(r)?,
+                (DimmSlot::Unmodified(u), 1) => u.restore(r)?,
+                (DimmSlot::Cxlg(_), 1) | (DimmSlot::Unmodified(_), 0) => {
+                    return Err(SnapError::Topology(format!(
+                        "switch {sw} slot {slot}: snapshot DIMM kind does not match"
+                    )))
+                }
+                (_, t) => {
+                    return Err(SnapError::Corrupt(format!("unknown DimmSlot tag {t}")));
+                }
+            }
+        }
+        self.ras_fail = if r.bool()? {
+            let slot = r.usize()?;
+            if slot >= self.dimms.len() {
+                return Err(SnapError::Corrupt(format!(
+                    "scheduled DIMM failure names slot {slot} of {}",
+                    self.dimms.len()
+                )));
+            }
+            Some(SlotFault {
+                slot,
+                at: r.cycle()?,
+                done: r.bool()?,
+            })
+        } else {
+            None
+        };
+        // Per-tick scratch is always empty at a boundary; attribution
+        // state (queue integrals, sampling gate) is digest-excluded and
+        // restores empty — `refresh_journey_gates` re-arms the gate at
+        // the next run entry.
+        self.issued_scratch.clear();
+        self.rmw_scratch.clear();
+        self.done_scratch.clear();
+        self.resp_scratch.clear();
+        self.comp_scratch.clear();
+        self.poison_scratch.clear();
+        self.jny_scratch.clear();
+        self.q_staged = QueueAcc::default();
+        self.q_inbox = QueueAcc::default();
+        for q in &mut self.q_backlog {
+            *q = QueueAcc::default();
+        }
+        self.jgate = None;
+        Ok(())
+    }
+}
+
+impl BeaconSystem {
+    /// Clears restore-transient host-side state: the back-pressure
+    /// scratch, the staged queue (about to be overwritten) and the
+    /// digest-excluded queue-depth integral.
+    pub(crate) fn reset_host_for_restore(&mut self) {
+        self.host_stage.clear();
+        self.host_scratch.clear();
+        self.q_host = QueueAcc::default();
     }
 }
 

@@ -36,6 +36,7 @@ pub mod link;
 pub mod message;
 pub mod packer;
 pub mod params;
+pub mod snap;
 pub mod switch;
 
 /// Commonly used items.

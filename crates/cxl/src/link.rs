@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 use beacon_sim::cycle::{Cycle, Duration};
 use beacon_sim::faults::FaultStream;
 use beacon_sim::journey::{self, Phase};
+use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use beacon_sim::stats::Stats;
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 
@@ -302,6 +303,52 @@ impl Link {
     /// Occupancy of the sender queue.
     pub fn queued(&self) -> usize {
         self.in_flight.len()
+    }
+}
+
+impl Snapshot for Link {
+    const TAG: &'static str = "cxl.link";
+    const VERSION: u16 = 1;
+    fn snap(&self, w: &mut SnapWriter) {
+        // Static configuration (`params`, `trace_id`) is rebuilt by the
+        // topology constructor on resume; only dynamic state travels.
+        w.f64(self.busy_until);
+        w.usize(self.in_flight.len());
+        for (at, bundle) in &self.in_flight {
+            w.cycle(*at);
+            crate::snap::put_bundle(w, bundle);
+        }
+        w.component(&self.stats);
+        match &self.faults {
+            None => w.bool(false),
+            Some(f) => {
+                w.bool(true);
+                w.component(&f.crc);
+                w.cycle(f.down_until);
+            }
+        }
+    }
+}
+
+impl Restore for Link {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.busy_until = r.f64()?;
+        let n = r.seq_len()?;
+        let mut in_flight = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let at = r.cycle()?;
+            in_flight.push_back((at, crate::snap::get_bundle(r)?));
+        }
+        self.in_flight = in_flight;
+        r.component(&mut self.stats)?;
+        if r.bool()? {
+            let f = self.faults.get_or_insert_with(Default::default);
+            r.component(&mut f.crc)?;
+            f.down_until = r.cycle()?;
+        } else {
+            self.faults = None;
+        }
+        Ok(())
     }
 }
 

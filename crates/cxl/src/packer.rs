@@ -11,6 +11,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use beacon_sim::cycle::{Cycle, Duration};
 use beacon_sim::horizon::HorizonCache;
+use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use beacon_sim::stats::Stats;
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 
@@ -238,6 +239,65 @@ impl DataPacker {
     /// Packer statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+}
+
+impl Snapshot for DataPacker {
+    const TAG: &'static str = "cxl.packer";
+    const VERSION: u16 = 1;
+    fn snap(&self, w: &mut SnapWriter) {
+        // `flush_age`, `fill_bytes` and `trace_id` are construction-time
+        // configuration; the horizon cache restores dirty.
+        w.usize(self.slots.len());
+        for (dst, slot) in &self.slots {
+            crate::snap::put_node(w, *dst);
+            w.usize(slot.msgs.len());
+            for msg in &slot.msgs {
+                crate::snap::put_message(w, msg);
+            }
+            w.u32(slot.bytes);
+            w.cycle(slot.oldest);
+        }
+        w.usize(self.ready.len());
+        for bundle in &self.ready {
+            crate::snap::put_bundle(w, bundle);
+        }
+        w.component(&self.stats);
+    }
+}
+
+impl Restore for DataPacker {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.seq_len()?;
+        let mut slots = BTreeMap::new();
+        for _ in 0..n {
+            let dst = crate::snap::get_node(r)?;
+            let m = r.seq_len()?;
+            let mut msgs = Vec::with_capacity(m);
+            for _ in 0..m {
+                msgs.push(crate::snap::get_message(r)?);
+            }
+            let bytes = r.u32()?;
+            let oldest = r.cycle()?;
+            slots.insert(
+                dst,
+                Slot {
+                    msgs,
+                    bytes,
+                    oldest,
+                },
+            );
+        }
+        self.slots = slots;
+        let n = r.seq_len()?;
+        let mut ready = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            ready.push_back(crate::snap::get_bundle(r)?);
+        }
+        self.ready = ready;
+        r.component(&mut self.stats)?;
+        self.horizon.invalidate();
+        Ok(())
     }
 }
 

@@ -1,0 +1,233 @@
+//! Wire codecs for the fabric's value types in checkpoint snapshots.
+//!
+//! [`Message`], [`Bundle`], [`NodeId`] and [`MsgKind`] appear inside the
+//! dynamic state of many components (link in-flight buffers, switch
+//! staging queues, packer slots, DIMM schedulers, host stages), so their
+//! encodings live here once rather than per component. Enums travel as
+//! explicit `u8` tags — adding a variant must extend the decoder, and an
+//! unknown tag is a typed [`SnapError::Corrupt`], never a panic.
+//!
+//! Journey attribution stamps (`Message::jny`) are deliberately **not**
+//! serialized: attribution is observability-only, excluded from the
+//! result digest, and restored runs begin with attribution off. A
+//! decoded message always carries `jny: None`.
+
+use beacon_sim::snap::{SnapError, SnapReader, SnapWriter};
+
+use crate::bundle::Bundle;
+use crate::message::{Message, MsgKind, NodeId};
+
+/// Encodes a [`NodeId`] (tag byte + coordinates).
+pub fn put_node(w: &mut SnapWriter, node: NodeId) {
+    match node {
+        NodeId::Host => w.u8(0),
+        NodeId::SwitchLogic(s) => {
+            w.u8(1);
+            w.u32(s);
+        }
+        NodeId::Dimm { switch_idx, slot } => {
+            w.u8(2);
+            w.u32(switch_idx);
+            w.u32(slot);
+        }
+    }
+}
+
+/// Decodes a [`NodeId`].
+///
+/// # Errors
+/// [`SnapError::Corrupt`] on an unknown tag; any read error on short
+/// input.
+pub fn get_node(r: &mut SnapReader<'_>) -> Result<NodeId, SnapError> {
+    match r.u8()? {
+        0 => Ok(NodeId::Host),
+        1 => Ok(NodeId::SwitchLogic(r.u32()?)),
+        2 => Ok(NodeId::Dimm {
+            switch_idx: r.u32()?,
+            slot: r.u32()?,
+        }),
+        t => Err(SnapError::Corrupt(format!("unknown NodeId tag {t}"))),
+    }
+}
+
+/// Encodes a [`MsgKind`] as a stable tag byte.
+pub fn put_kind(w: &mut SnapWriter, kind: MsgKind) {
+    let tag = match kind {
+        MsgKind::ReadReq => 0u8,
+        MsgKind::WriteReq => 1,
+        MsgKind::AtomicReq => 2,
+        MsgKind::ReadResp => 3,
+        MsgKind::Ack => 4,
+        MsgKind::Nak => 5,
+        MsgKind::Control => 6,
+    };
+    w.u8(tag);
+}
+
+/// Decodes a [`MsgKind`].
+///
+/// # Errors
+/// [`SnapError::Corrupt`] on an unknown tag; any read error on short
+/// input.
+pub fn get_kind(r: &mut SnapReader<'_>) -> Result<MsgKind, SnapError> {
+    Ok(match r.u8()? {
+        0 => MsgKind::ReadReq,
+        1 => MsgKind::WriteReq,
+        2 => MsgKind::AtomicReq,
+        3 => MsgKind::ReadResp,
+        4 => MsgKind::Ack,
+        5 => MsgKind::Nak,
+        6 => MsgKind::Control,
+        t => return Err(SnapError::Corrupt(format!("unknown MsgKind tag {t}"))),
+    })
+}
+
+/// Encodes a [`Message`]. The journey stamp is dropped (see module doc).
+pub fn put_message(w: &mut SnapWriter, msg: &Message) {
+    put_node(w, msg.src);
+    put_node(w, msg.dst);
+    put_kind(w, msg.kind);
+    w.u32(msg.payload_bytes);
+    w.u64(msg.tag);
+    w.u64(msg.aux);
+    w.bool(msg.via_host);
+}
+
+/// Decodes a [`Message`] (with `jny: None`).
+///
+/// # Errors
+/// Propagates any decode error from the constituent fields.
+pub fn get_message(r: &mut SnapReader<'_>) -> Result<Message, SnapError> {
+    Ok(Message {
+        src: get_node(r)?,
+        dst: get_node(r)?,
+        kind: get_kind(r)?,
+        payload_bytes: r.u32()?,
+        tag: r.u64()?,
+        aux: r.u64()?,
+        via_host: r.bool()?,
+        jny: None,
+    })
+}
+
+/// Encodes a [`Bundle`] (length-prefixed message list).
+pub fn put_bundle(w: &mut SnapWriter, bundle: &Bundle) {
+    w.usize(bundle.messages.len());
+    for msg in &bundle.messages {
+        put_message(w, msg);
+    }
+}
+
+/// Decodes a [`Bundle`].
+///
+/// # Errors
+/// [`SnapError::Corrupt`] when the bundle is empty (never valid on the
+/// wire); any decode error from the messages.
+pub fn get_bundle(r: &mut SnapReader<'_>) -> Result<Bundle, SnapError> {
+    let n = r.seq_len()?;
+    if n == 0 {
+        return Err(SnapError::Corrupt("empty bundle".into()));
+    }
+    let mut messages = Vec::with_capacity(n);
+    for _ in 0..n {
+        messages.push(get_message(r)?);
+    }
+    Ok(Bundle { messages })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_msg(msg: Message) -> Message {
+        let mut w = SnapWriter::new();
+        put_message(&mut w, &msg);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let got = get_message(&mut r).expect("decode");
+        r.finish().expect("fully consumed");
+        got
+    }
+
+    #[test]
+    fn node_ids_roundtrip() {
+        for node in [NodeId::Host, NodeId::SwitchLogic(3), NodeId::dimm(7, 2)] {
+            let mut w = SnapWriter::new();
+            put_node(&mut w, node);
+            let bytes = w.into_bytes();
+            let mut r = SnapReader::new(&bytes);
+            assert_eq!(get_node(&mut r).unwrap(), node);
+        }
+    }
+
+    #[test]
+    fn every_kind_roundtrips() {
+        for kind in [
+            MsgKind::ReadReq,
+            MsgKind::WriteReq,
+            MsgKind::AtomicReq,
+            MsgKind::ReadResp,
+            MsgKind::Ack,
+            MsgKind::Nak,
+            MsgKind::Control,
+        ] {
+            let mut w = SnapWriter::new();
+            put_kind(&mut w, kind);
+            let bytes = w.into_bytes();
+            let mut r = SnapReader::new(&bytes);
+            assert_eq!(get_kind(&mut r).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn message_roundtrips_with_flags() {
+        let msg = Message::write_req(NodeId::Host, NodeId::dimm(1, 3), 64, 99)
+            .with_aux(0xABCD)
+            .routed_via_host(true);
+        assert_eq!(roundtrip_msg(msg), msg);
+    }
+
+    #[test]
+    fn journey_stamp_is_dropped() {
+        let mut msg = Message::read_req(NodeId::Host, NodeId::dimm(0, 0), 32, 1);
+        msg.jny = Some(beacon_sim::journey::JStamp::fresh(7, Default::default()));
+        assert!(roundtrip_msg(msg).jny.is_none());
+    }
+
+    #[test]
+    fn bundle_roundtrips() {
+        let b = Bundle::packed(vec![
+            Message::read_req(NodeId::dimm(0, 0), NodeId::dimm(0, 1), 32, 1),
+            Message::atomic_req(NodeId::SwitchLogic(0), NodeId::dimm(0, 2), 4, 2),
+        ]);
+        let mut w = SnapWriter::new();
+        put_bundle(&mut w, &b);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(get_bundle(&mut r).unwrap(), b);
+    }
+
+    #[test]
+    fn empty_bundle_is_corrupt() {
+        let mut w = SnapWriter::new();
+        w.usize(0);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(get_bundle(&mut r), Err(SnapError::Corrupt(_))));
+    }
+
+    #[test]
+    fn unknown_tags_are_typed_errors() {
+        let mut w = SnapWriter::new();
+        w.u8(9);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            get_node(&mut SnapReader::new(&bytes)),
+            Err(SnapError::Corrupt(_))
+        ));
+        assert!(matches!(
+            get_kind(&mut SnapReader::new(&bytes)),
+            Err(SnapError::Corrupt(_))
+        ));
+    }
+}

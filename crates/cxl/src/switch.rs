@@ -14,6 +14,7 @@ use beacon_sim::cycle::{Cycle, Duration};
 use beacon_sim::faults::FaultStream;
 use beacon_sim::horizon::HorizonCache;
 use beacon_sim::journey::{self, Phase};
+use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use beacon_sim::stats::Stats;
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 use serde::{Deserialize, Serialize};
@@ -482,6 +483,122 @@ impl Switch {
             self.staged.push_front(entry);
         }
         moved
+    }
+}
+
+impl Snapshot for Switch {
+    const TAG: &'static str = "cxl.switch";
+    const VERSION: u16 = 1;
+    fn snap(&self, w: &mut SnapWriter) {
+        // `cfg` and `track` are rebuilt by the topology constructor;
+        // `pump_scratch` is drained empty at every tick boundary and the
+        // horizon cache restores dirty, so neither travels.
+        w.usize(self.ingress.len());
+        for link in &self.ingress {
+            w.component(link);
+        }
+        for link in &self.egress {
+            w.component(link);
+        }
+        w.usize(self.staged.len());
+        for (ready, target, bundle) in &self.staged {
+            w.cycle(*ready);
+            match target {
+                RouteTarget::Logic => w.u8(0),
+                RouteTarget::Port(p) => {
+                    w.u8(1);
+                    w.usize(*p);
+                }
+            }
+            crate::snap::put_bundle(w, bundle);
+        }
+        w.usize(self.logic_inbox.len());
+        for bundle in &self.logic_inbox {
+            crate::snap::put_bundle(w, bundle);
+        }
+        w.f64(self.bus_busy_until);
+        w.component(&self.stats);
+        match &self.faults {
+            None => w.bool(false),
+            Some(f) => {
+                w.bool(true);
+                w.usize(f.flaps.len());
+                for (port, stream) in &f.flaps {
+                    w.usize(*port);
+                    w.component(stream);
+                }
+                w.duration(f.down);
+            }
+        }
+    }
+}
+
+impl Restore for Switch {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let ports = r.seq_len()?;
+        if ports != self.ingress.len() {
+            return Err(SnapError::Topology(format!(
+                "switch {} has {} ports, snapshot has {ports}",
+                self.cfg.index,
+                self.ingress.len()
+            )));
+        }
+        for link in &mut self.ingress {
+            r.component(link)?;
+        }
+        for link in &mut self.egress {
+            r.component(link)?;
+        }
+        let n = r.seq_len()?;
+        let mut staged = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let ready = r.cycle()?;
+            let target = match r.u8()? {
+                0 => RouteTarget::Logic,
+                1 => {
+                    let p = r.usize()?;
+                    if p >= ports {
+                        return Err(SnapError::Corrupt(format!(
+                            "staged route to port {p} of {ports}"
+                        )));
+                    }
+                    RouteTarget::Port(p)
+                }
+                t => return Err(SnapError::Corrupt(format!("unknown RouteTarget tag {t}"))),
+            };
+            staged.push_back((ready, target, crate::snap::get_bundle(r)?));
+        }
+        self.staged = staged;
+        let n = r.seq_len()?;
+        let mut logic_inbox = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            logic_inbox.push_back(crate::snap::get_bundle(r)?);
+        }
+        self.logic_inbox = logic_inbox;
+        self.bus_busy_until = r.f64()?;
+        r.component(&mut self.stats)?;
+        if r.bool()? {
+            let n = r.seq_len()?;
+            let mut flaps = Vec::with_capacity(n);
+            for _ in 0..n {
+                let port = r.usize()?;
+                if port >= ports {
+                    return Err(SnapError::Corrupt(format!(
+                        "flap stream on port {port} of {ports}"
+                    )));
+                }
+                let mut stream = FaultStream::empty();
+                r.component(&mut stream)?;
+                flaps.push((port, stream));
+            }
+            let down = r.duration()?;
+            self.faults = Some(Box::new(SwitchFaults { flaps, down }));
+        } else {
+            self.faults = None;
+        }
+        self.pump_scratch.clear();
+        self.horizon.invalidate();
+        Ok(())
     }
 }
 

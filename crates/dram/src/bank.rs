@@ -7,6 +7,7 @@
 //! data bus) live in [`crate::module`].
 
 use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 use crate::command::CmdKind;
@@ -173,6 +174,33 @@ impl BankTimer {
             }
             _ => unreachable!("column chain on non-column command"),
         }
+    }
+}
+
+impl Snapshot for BankTimer {
+    const TAG: &'static str = "dram.bank";
+    const VERSION: u16 = 1;
+    fn snap(&self, w: &mut SnapWriter) {
+        match self.open_row {
+            None => w.bool(false),
+            Some(row) => {
+                w.bool(true);
+                w.u64(row);
+            }
+        }
+        w.cycle(self.act_allowed);
+        w.cycle(self.col_allowed);
+        w.cycle(self.pre_allowed);
+    }
+}
+
+impl Restore for BankTimer {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.open_row = if r.bool()? { Some(r.u64()?) } else { None };
+        self.act_allowed = r.cycle()?;
+        self.col_allowed = r.cycle()?;
+        self.pre_allowed = r.cycle()?;
+        Ok(())
     }
 }
 

@@ -47,6 +47,7 @@ pub mod module;
 pub mod params;
 pub mod power;
 pub mod request;
+pub mod snap;
 
 /// Commonly used items.
 pub mod prelude {

@@ -38,6 +38,7 @@ use beacon_sim::cycle::{Cycle, Duration};
 use beacon_sim::faults::FaultStream;
 use beacon_sim::horizon::HorizonCache;
 use beacon_sim::queue::QueueFullError;
+use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use beacon_sim::stats::{Histogram, Stats};
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 use serde::{Deserialize, Serialize};
@@ -1274,6 +1275,276 @@ impl Dimm {
             }
             CmdKind::Refresh => unreachable!("refresh issued by maybe_refresh"),
         }
+    }
+}
+
+fn put_request(w: &mut SnapWriter, req: &MemRequest) {
+    w.u8(match req.kind {
+        ReqKind::Read => 0,
+        ReqKind::Write => 1,
+    });
+    w.u64(req.coord.pack());
+    w.u32(req.bytes);
+    w.u64(req.tag);
+}
+
+fn get_request(r: &mut SnapReader<'_>) -> Result<MemRequest, SnapError> {
+    let kind = match r.u8()? {
+        0 => ReqKind::Read,
+        1 => ReqKind::Write,
+        t => return Err(SnapError::Corrupt(format!("unknown ReqKind tag {t}"))),
+    };
+    Ok(MemRequest {
+        kind,
+        coord: crate::address::DramCoord::unpack(r.u64()?),
+        bytes: r.u32()?,
+        tag: r.u64()?,
+    })
+}
+
+fn put_cycles(w: &mut SnapWriter, cycles: &[Cycle]) {
+    w.usize(cycles.len());
+    for c in cycles {
+        w.cycle(*c);
+    }
+}
+
+fn get_cycles_into(r: &mut SnapReader<'_>, out: &mut [Cycle], what: &str) -> Result<(), SnapError> {
+    let n = r.seq_len()?;
+    if n != out.len() {
+        return Err(SnapError::Topology(format!(
+            "{what}: snapshot has {n} entries, DIMM has {}",
+            out.len()
+        )));
+    }
+    for c in out.iter_mut() {
+        *c = r.cycle()?;
+    }
+    Ok(())
+}
+
+fn put_slots(w: &mut SnapWriter, slots: &VecDeque<u32>) {
+    w.usize(slots.len());
+    for s in slots {
+        w.u32(*s);
+    }
+}
+
+fn get_slots(r: &mut SnapReader<'_>) -> Result<VecDeque<u32>, SnapError> {
+    let n = r.seq_len()?;
+    let mut out = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        out.push_back(r.u32()?);
+    }
+    Ok(out)
+}
+
+impl Snapshot for Dimm {
+    const TAG: &'static str = "dram.dimm";
+    const VERSION: u16 = 1;
+    fn snap(&self, w: &mut SnapWriter) {
+        // `cfg`, `groups_per_rank` and `trace_id` are construction-time;
+        // `merge_scratch` is drained empty between commands and the
+        // horizon cache restores dirty.
+        w.usize(self.banks.len());
+        for bank in &self.banks {
+            w.component(bank);
+        }
+        w.usize(self.entries.len());
+        for entry in &self.entries {
+            match entry {
+                None => w.bool(false),
+                Some(p) => {
+                    w.bool(true);
+                    w.u64(p.id.0);
+                    put_request(w, &p.req);
+                    w.cycle(p.enqueued_at);
+                    w.cycle(p.first_cmd_at);
+                    w.u32(p.bursts_done);
+                    w.u32(p.bursts_total);
+                    w.cycle(p.last_data_end);
+                }
+            }
+        }
+        w.usize(self.free_slots.len());
+        for s in &self.free_slots {
+            w.u32(*s);
+        }
+        put_slots(w, &self.order);
+        w.usize(self.sched.len());
+        for sched in &self.sched {
+            put_slots(w, &sched.hit_read);
+            put_slots(w, &sched.hit_write);
+            put_slots(w, &sched.miss);
+        }
+        w.usize(self.active_banks.len());
+        for b in &self.active_banks {
+            w.u32(*b);
+        }
+        // The heap serialises in its canonical sorted order so identical
+        // logical state always yields identical bytes.
+        let finishing = self.finishing.clone().into_sorted_vec();
+        w.usize(finishing.len());
+        for Reverse((at, slot)) in &finishing {
+            w.cycle(*at);
+            w.u32(*slot);
+        }
+        w.usize(self.completed.len());
+        for c in &self.completed {
+            w.u64(c.id.0);
+            put_request(w, &c.request);
+            w.cycle(c.finished_at);
+            w.cycle(c.enqueued_at);
+            w.cycle(c.service_started_at);
+            w.bool(c.poisoned);
+        }
+        put_cycles(w, &self.data_bus_free);
+        put_cycles(w, &self.cmd_bus_free);
+        w.usize(self.act_window.len());
+        for window in &self.act_window {
+            w.usize(window.len());
+            for at in window {
+                w.cycle(*at);
+            }
+        }
+        put_cycles(w, &self.last_act);
+        put_cycles(w, &self.refresh_due);
+        put_cycles(w, &self.rank_busy);
+        w.u64(self.next_id);
+        w.component(&self.stats);
+        w.component(&self.chip_hist);
+        w.u64(self.data_cycles);
+        w.u64(self.ticked_cycles);
+        match &self.faults {
+            None => w.bool(false),
+            Some(f) => {
+                w.bool(true);
+                w.component(&f.ue);
+                w.bool(f.dead);
+            }
+        }
+    }
+}
+
+impl Restore for Dimm {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let nbanks = r.seq_len()?;
+        if nbanks != self.banks.len() {
+            return Err(SnapError::Topology(format!(
+                "snapshot has {nbanks} banks, DIMM has {}",
+                self.banks.len()
+            )));
+        }
+        for bank in &mut self.banks {
+            r.component(bank)?;
+        }
+        let n = r.seq_len()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(if r.bool()? {
+                Some(Pending {
+                    id: ReqId(r.u64()?),
+                    req: get_request(r)?,
+                    enqueued_at: r.cycle()?,
+                    first_cmd_at: r.cycle()?,
+                    bursts_done: r.u32()?,
+                    bursts_total: r.u32()?,
+                    last_data_end: r.cycle()?,
+                })
+            } else {
+                None
+            });
+        }
+        self.entries = entries;
+        let n = r.seq_len()?;
+        let mut free_slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            free_slots.push(r.u32()?);
+        }
+        self.free_slots = free_slots;
+        self.order = get_slots(r)?;
+        let n = r.seq_len()?;
+        if n != self.sched.len() {
+            return Err(SnapError::Topology(format!(
+                "snapshot has {n} bank-sched entries, DIMM has {}",
+                self.sched.len()
+            )));
+        }
+        for sched in &mut self.sched {
+            sched.hit_read = get_slots(r)?;
+            sched.hit_write = get_slots(r)?;
+            sched.miss = get_slots(r)?;
+        }
+        let n = r.seq_len()?;
+        let mut active_banks = Vec::with_capacity(n);
+        for _ in 0..n {
+            let b = r.u32()?;
+            if b as usize >= nbanks {
+                return Err(SnapError::Corrupt(format!("active bank {b} of {nbanks}")));
+            }
+            active_banks.push(b);
+        }
+        self.active_banks = active_banks;
+        for flag in &mut self.bank_active {
+            *flag = false;
+        }
+        for b in &self.active_banks {
+            self.bank_active[*b as usize] = true;
+        }
+        let n = r.seq_len()?;
+        let mut finishing = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            let at = r.cycle()?;
+            finishing.push(Reverse((at, r.u32()?)));
+        }
+        self.finishing = finishing;
+        let n = r.seq_len()?;
+        let mut completed = Vec::with_capacity(n);
+        for _ in 0..n {
+            completed.push(CompletedAccess {
+                id: ReqId(r.u64()?),
+                request: get_request(r)?,
+                finished_at: r.cycle()?,
+                enqueued_at: r.cycle()?,
+                service_started_at: r.cycle()?,
+                poisoned: r.bool()?,
+            });
+        }
+        self.completed = completed;
+        get_cycles_into(r, &mut self.data_bus_free, "data lanes")?;
+        get_cycles_into(r, &mut self.cmd_bus_free, "command buses")?;
+        let n = r.seq_len()?;
+        if n != self.act_window.len() {
+            return Err(SnapError::Topology(format!(
+                "snapshot has {n} ACT windows, DIMM has {}",
+                self.act_window.len()
+            )));
+        }
+        for window in &mut self.act_window {
+            let m = r.seq_len()?;
+            window.clear();
+            for _ in 0..m {
+                window.push_back(r.cycle()?);
+            }
+        }
+        get_cycles_into(r, &mut self.last_act, "ACT trackers")?;
+        get_cycles_into(r, &mut self.refresh_due, "refresh deadlines")?;
+        get_cycles_into(r, &mut self.rank_busy, "rank-busy windows")?;
+        self.next_id = r.u64()?;
+        r.component(&mut self.stats)?;
+        r.component(&mut self.chip_hist)?;
+        self.data_cycles = r.u64()?;
+        self.ticked_cycles = r.u64()?;
+        if r.bool()? {
+            let f = self.faults.get_or_insert_with(Default::default);
+            r.component(&mut f.ue)?;
+            f.dead = r.bool()?;
+        } else {
+            self.faults = None;
+        }
+        self.merge_scratch.clear();
+        self.horizon.invalidate();
+        Ok(())
     }
 }
 

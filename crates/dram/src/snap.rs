@@ -1,0 +1,121 @@
+//! Checkpoint codecs for DRAM value types shared across crates.
+//!
+//! Geometry and interleave descriptions appear inside region maps and
+//! the pool allocator, both of which travel in system snapshots; their
+//! encodings live here so every consumer agrees on the bytes. Enum
+//! variants travel as explicit `u8` tags; unknown tags decode to typed
+//! [`SnapError::Corrupt`] errors, never panics.
+
+use beacon_sim::snap::{SnapError, SnapReader, SnapWriter};
+
+use crate::address::Interleave;
+use crate::params::DimmGeometry;
+
+/// Encodes a [`DimmGeometry`].
+pub fn put_geometry(w: &mut SnapWriter, g: &DimmGeometry) {
+    w.u32(g.ranks);
+    w.u32(g.chips_per_rank);
+    w.u32(g.chip_io_bits);
+    w.u32(g.banks);
+    w.u64(g.rows);
+    w.u32(g.row_bytes_per_chip);
+}
+
+/// Decodes a [`DimmGeometry`].
+///
+/// # Errors
+/// Any read error on short input.
+pub fn get_geometry(r: &mut SnapReader<'_>) -> Result<DimmGeometry, SnapError> {
+    Ok(DimmGeometry {
+        ranks: r.u32()?,
+        chips_per_rank: r.u32()?,
+        chip_io_bits: r.u32()?,
+        banks: r.u32()?,
+        rows: r.u64()?,
+        row_bytes_per_chip: r.u32()?,
+    })
+}
+
+/// Encodes an [`Interleave`] (tag byte + parameters).
+pub fn put_interleave(w: &mut SnapWriter, il: &Interleave) {
+    match *il {
+        Interleave::RankLevel { line_bytes } => {
+            w.u8(0);
+            w.u32(line_bytes);
+        }
+        Interleave::ChipLevel {
+            block_bytes,
+            groups,
+        } => {
+            w.u8(1);
+            w.u32(block_bytes);
+            w.u32(groups);
+        }
+        Interleave::RowMajor { groups } => {
+            w.u8(2);
+            w.u32(groups);
+        }
+    }
+}
+
+/// Decodes an [`Interleave`].
+///
+/// # Errors
+/// [`SnapError::Corrupt`] on an unknown tag.
+pub fn get_interleave(r: &mut SnapReader<'_>) -> Result<Interleave, SnapError> {
+    Ok(match r.u8()? {
+        0 => Interleave::RankLevel {
+            line_bytes: r.u32()?,
+        },
+        1 => Interleave::ChipLevel {
+            block_bytes: r.u32()?,
+            groups: r.u32()?,
+        },
+        2 => Interleave::RowMajor { groups: r.u32()? },
+        t => return Err(SnapError::Corrupt(format!("unknown Interleave tag {t}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_roundtrips() {
+        let g = DimmGeometry::ddr4_8gb_x4();
+        let mut w = SnapWriter::new();
+        put_geometry(&mut w, &g);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(get_geometry(&mut r).unwrap(), g);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn interleaves_roundtrip() {
+        for il in [
+            Interleave::RankLevel { line_bytes: 64 },
+            Interleave::ChipLevel {
+                block_bytes: 32,
+                groups: 4,
+            },
+            Interleave::RowMajor { groups: 2 },
+        ] {
+            let mut w = SnapWriter::new();
+            put_interleave(&mut w, &il);
+            let bytes = w.into_bytes();
+            assert_eq!(get_interleave(&mut SnapReader::new(&bytes)).unwrap(), il);
+        }
+    }
+
+    #[test]
+    fn unknown_interleave_tag_is_corrupt() {
+        let mut w = SnapWriter::new();
+        w.u8(7);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            get_interleave(&mut SnapReader::new(&bytes)),
+            Err(SnapError::Corrupt(_))
+        ));
+    }
+}

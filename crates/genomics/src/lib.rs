@@ -47,6 +47,7 @@ pub mod kmer;
 pub mod prealign;
 pub mod reads;
 pub mod sequence;
+pub mod snap;
 pub mod trace;
 
 /// Commonly used items.

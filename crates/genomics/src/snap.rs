@@ -1,0 +1,204 @@
+//! Checkpoint codecs for trace value types.
+//!
+//! [`TaskTrace`]s appear inside the dynamic state of the NDP task
+//! engines (a mid-run task's remaining steps must survive a
+//! checkpoint), so their wire encodings live here. Enums travel as
+//! explicit `u8` tags; an unknown tag decodes to a typed
+//! [`SnapError::Corrupt`], never a panic.
+
+use beacon_sim::snap::{SnapError, SnapReader, SnapWriter};
+
+use crate::trace::{Access, AccessKind, AppKind, Region, Step, TaskTrace};
+
+/// Encodes an [`AppKind`] as a stable tag byte.
+pub fn put_app(w: &mut SnapWriter, app: AppKind) {
+    let tag = match app {
+        AppKind::FmSeeding => 0u8,
+        AppKind::HashSeeding => 1,
+        AppKind::KmerCounting => 2,
+        AppKind::PreAlignment => 3,
+    };
+    w.u8(tag);
+}
+
+/// Decodes an [`AppKind`].
+///
+/// # Errors
+/// [`SnapError::Corrupt`] on an unknown tag.
+pub fn get_app(r: &mut SnapReader<'_>) -> Result<AppKind, SnapError> {
+    Ok(match r.u8()? {
+        0 => AppKind::FmSeeding,
+        1 => AppKind::HashSeeding,
+        2 => AppKind::KmerCounting,
+        3 => AppKind::PreAlignment,
+        t => return Err(SnapError::Corrupt(format!("unknown AppKind tag {t}"))),
+    })
+}
+
+/// Encodes a [`Region`] as a stable tag byte.
+pub fn put_region(w: &mut SnapWriter, region: Region) {
+    let tag = match region {
+        Region::FmIndex => 0u8,
+        Region::HashTable => 1,
+        Region::CandidateLists => 2,
+        Region::Bloom => 3,
+        Region::Reference => 4,
+        Region::ReadBuf => 5,
+    };
+    w.u8(tag);
+}
+
+/// Decodes a [`Region`].
+///
+/// # Errors
+/// [`SnapError::Corrupt`] on an unknown tag.
+pub fn get_region(r: &mut SnapReader<'_>) -> Result<Region, SnapError> {
+    Ok(match r.u8()? {
+        0 => Region::FmIndex,
+        1 => Region::HashTable,
+        2 => Region::CandidateLists,
+        3 => Region::Bloom,
+        4 => Region::Reference,
+        5 => Region::ReadBuf,
+        t => return Err(SnapError::Corrupt(format!("unknown Region tag {t}"))),
+    })
+}
+
+/// Encodes an [`Access`].
+pub fn put_access(w: &mut SnapWriter, access: &Access) {
+    put_region(w, access.region);
+    w.u64(access.offset);
+    w.u32(access.bytes);
+    w.u8(match access.kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+        AccessKind::Rmw => 2,
+    });
+}
+
+/// Decodes an [`Access`].
+///
+/// # Errors
+/// [`SnapError::Corrupt`] on an unknown tag; any read error on short
+/// input.
+pub fn get_access(r: &mut SnapReader<'_>) -> Result<Access, SnapError> {
+    let region = get_region(r)?;
+    let offset = r.u64()?;
+    let bytes = r.u32()?;
+    let kind = match r.u8()? {
+        0 => AccessKind::Read,
+        1 => AccessKind::Write,
+        2 => AccessKind::Rmw,
+        t => return Err(SnapError::Corrupt(format!("unknown AccessKind tag {t}"))),
+    };
+    Ok(Access {
+        region,
+        offset,
+        bytes,
+        kind,
+    })
+}
+
+/// Encodes a full [`TaskTrace`] (app + length-prefixed steps).
+pub fn put_trace(w: &mut SnapWriter, trace: &TaskTrace) {
+    put_app(w, trace.app);
+    w.usize(trace.steps.len());
+    for step in &trace.steps {
+        w.usize(step.accesses.len());
+        for access in &step.accesses {
+            put_access(w, access);
+        }
+        w.bool(step.wait_for_data);
+    }
+}
+
+/// Decodes a [`TaskTrace`].
+///
+/// # Errors
+/// Propagates decode errors from the constituent fields.
+pub fn get_trace(r: &mut SnapReader<'_>) -> Result<TaskTrace, SnapError> {
+    let app = get_app(r)?;
+    let n = r.seq_len()?;
+    let mut steps = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = r.seq_len()?;
+        let mut accesses = Vec::with_capacity(m);
+        for _ in 0..m {
+            accesses.push(get_access(r)?);
+        }
+        let wait_for_data = r.bool()?;
+        steps.push(Step {
+            accesses,
+            wait_for_data,
+        });
+    }
+    Ok(TaskTrace { app, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_roundtrips() {
+        let trace = TaskTrace::new(
+            AppKind::KmerCounting,
+            vec![
+                Step::blocking(vec![
+                    Access::read(Region::FmIndex, 1024, 32),
+                    Access::read(Region::Reference, 0, 64),
+                ]),
+                Step::posted(vec![Access::rmw(Region::Bloom, 7, 1)]),
+            ],
+        );
+        let mut w = SnapWriter::new();
+        put_trace(&mut w, &trace);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(get_trace(&mut r).unwrap(), trace);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn all_enum_variants_roundtrip() {
+        for app in [
+            AppKind::FmSeeding,
+            AppKind::HashSeeding,
+            AppKind::KmerCounting,
+            AppKind::PreAlignment,
+        ] {
+            let mut w = SnapWriter::new();
+            put_app(&mut w, app);
+            let b = w.into_bytes();
+            assert_eq!(get_app(&mut SnapReader::new(&b)).unwrap(), app);
+        }
+        for region in [
+            Region::FmIndex,
+            Region::HashTable,
+            Region::CandidateLists,
+            Region::Bloom,
+            Region::Reference,
+            Region::ReadBuf,
+        ] {
+            let mut w = SnapWriter::new();
+            put_region(&mut w, region);
+            let b = w.into_bytes();
+            assert_eq!(get_region(&mut SnapReader::new(&b)).unwrap(), region);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_typed_errors() {
+        let mut w = SnapWriter::new();
+        w.u8(200);
+        let b = w.into_bytes();
+        assert!(matches!(
+            get_app(&mut SnapReader::new(&b)),
+            Err(SnapError::Corrupt(_))
+        ));
+        assert!(matches!(
+            get_region(&mut SnapReader::new(&b)),
+            Err(SnapError::Corrupt(_))
+        ));
+    }
+}

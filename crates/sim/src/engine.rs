@@ -65,6 +65,12 @@ fn horizon_jump<T: Tick + ?Sized>(model: &T, ticked: Cycle, stepped: Cycle, cap:
 /// cost is bounded — a dense phase amortises the sweep over up to
 /// `MAX_BACKOFF` ticks, and a dead span is entered at most
 /// `MAX_BACKOFF - 1` cheap no-op ticks late.
+///
+/// The same argument makes throttle state **snapshot-exempt**: because
+/// any probe schedule is digest-invariant, checkpoint/restore does not
+/// capture the backoff counters — a resumed run starts from a fresh
+/// throttle ([`ProbeThrottle::new`]), deterministically (see DESIGN.md
+/// §11/§14).
 #[derive(Debug, Clone)]
 pub struct ProbeThrottle {
     /// Ticks remaining until the next horizon probe.
@@ -274,8 +280,16 @@ impl Engine {
 
     /// Creates an engine starting at cycle zero with the default limit.
     pub fn new() -> Self {
+        Engine::starting_at(Cycle::ZERO)
+    }
+
+    /// Creates an engine whose clock starts at `at` — the resume path
+    /// of checkpoint/restore, where a restored system continues from
+    /// the capture cycle instead of cycle zero.
+    /// `starting_at(Cycle::ZERO)` is identical to [`Engine::new`].
+    pub fn starting_at(at: Cycle) -> Self {
         Engine {
-            now: Cycle::ZERO,
+            now: at,
             limit: Cycle::new(Self::DEFAULT_LIMIT),
         }
     }

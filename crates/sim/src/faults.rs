@@ -30,6 +30,7 @@ use std::collections::VecDeque;
 
 use crate::cycle::Cycle;
 use crate::rng::SimRng;
+use crate::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// Well-known stream-id name spaces, so every component in the stack
 /// derives its faults from a disjoint id without central coordination.
@@ -111,6 +112,42 @@ impl FaultStream {
     /// Remaining event count.
     pub fn len(&self) -> usize {
         self.events.len()
+    }
+
+    /// Iterates the remaining fault stamps in firing order.
+    pub fn iter(&self) -> impl Iterator<Item = Cycle> + '_ {
+        self.events.iter().copied()
+    }
+}
+
+impl Snapshot for FaultStream {
+    const TAG: &'static str = "sim.faults";
+    const VERSION: u16 = 1;
+    fn snap(&self, w: &mut SnapWriter) {
+        // Only the *remaining* stamps travel: a partially-drained
+        // stream resumes exactly where it was consumed to.
+        w.usize(self.events.len());
+        for at in &self.events {
+            w.cycle(*at);
+        }
+    }
+}
+
+impl Restore for FaultStream {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.seq_len()?;
+        let mut events = VecDeque::with_capacity(n);
+        let mut prev = Cycle::ZERO;
+        for _ in 0..n {
+            let at = r.cycle()?;
+            if at < prev {
+                return Err(SnapError::Corrupt("fault stream not sorted".into()));
+            }
+            prev = at;
+            events.push_back(at);
+        }
+        self.events = events;
+        Ok(())
     }
 }
 

@@ -34,6 +34,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod queue;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 pub mod trace;
 
@@ -49,6 +50,7 @@ pub mod prelude {
     pub use crate::parallel::{EpochHub, EpochShard, ParallelEngine};
     pub use crate::queue::BoundedQueue;
     pub use crate::rng::SimRng;
+    pub use crate::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
     pub use crate::stats::{Fnv64, Histogram, Stats};
     pub use crate::trace::{TraceBuffer, TraceCategory, TraceEvent, TraceLevel};
 }

@@ -142,6 +142,7 @@ pub struct ParallelEngine {
     epoch: Duration,
     limit: Cycle,
     threads: usize,
+    start: Cycle,
 }
 
 impl ParallelEngine {
@@ -157,12 +158,22 @@ impl ParallelEngine {
             epoch: Duration::new(epoch_cycles),
             limit: Cycle::new(Engine::DEFAULT_LIMIT),
             threads,
+            start: Cycle::ZERO,
         }
     }
 
     /// Replaces the deadlock-guard cycle limit.
     pub fn with_limit(mut self, limit: u64) -> Self {
         self.limit = Cycle::new(limit);
+        self
+    }
+
+    /// Starts the epoch clock at `at` instead of cycle zero — the
+    /// resume path of checkpoint/restore. Every shard must already be
+    /// positioned at `at`; observer cadences are measured relative to
+    /// it, mirroring [`Engine::starting_at`].
+    pub fn starting_at(mut self, at: Cycle) -> Self {
+        self.start = at;
         self
     }
 
@@ -245,19 +256,19 @@ impl ParallelEngine {
         };
         let stall_window = hooks.stall_window;
 
-        let mut next_progress = cadence_start(progress_every);
-        let mut next_sample = cadence_start(sample_every);
-        let mut next_stall_check = cadence_start(stall_window);
+        let mut next_progress = cadence_start(self.start, progress_every);
+        let mut next_sample = cadence_start(self.start, sample_every);
+        let mut next_stall_check = cadence_start(self.start, stall_window);
 
         if sample_every > 0 {
             if let Some(cb) = hooks.on_sample.as_mut() {
-                cb(Cycle::ZERO, shards);
+                cb(self.start, shards);
             }
         }
         let mut last_progress_count: u64 = shards.iter().map(EpochShard::progress).sum();
-        let mut last_progress_at = Cycle::ZERO;
+        let mut last_progress_at = self.start;
 
-        let mut t0 = Cycle::ZERO;
+        let mut t0 = self.start;
         let outcome = loop {
             let horizon = (t0 + self.epoch).min(self.limit);
             let hub_busy = hub.exchange(shards, horizon);
@@ -360,9 +371,9 @@ impl ParallelEngine {
     }
 }
 
-fn cadence_start(every: u64) -> Cycle {
+fn cadence_start(from: Cycle, every: u64) -> Cycle {
     if every > 0 {
-        Cycle::ZERO + Duration::new(every)
+        from + Duration::new(every)
     } else {
         Cycle::NEVER
     }

@@ -8,6 +8,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+use crate::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
+
 /// A seedable, deterministic random-number generator.
 ///
 /// Thin wrapper over [`rand::rngs::StdRng`] that fixes the seeding scheme
@@ -84,6 +86,36 @@ impl SimRng {
             v += 1;
         }
         v
+    }
+
+    /// Captures the raw generator state for checkpointing. The pair
+    /// ([`SimRng::state`], [`SimRng::from_state`]) round-trips a
+    /// generator mid-stream: the resumed sequence continues exactly
+    /// where the captured one left off.
+    pub fn state(&self) -> u64 {
+        self.inner.state()
+    }
+
+    /// Rebuilds a generator from a state captured by [`SimRng::state`].
+    pub fn from_state(state: u64) -> Self {
+        SimRng {
+            inner: StdRng::from_state(state),
+        }
+    }
+}
+
+impl Snapshot for SimRng {
+    const TAG: &'static str = "sim.rng";
+    const VERSION: u16 = 1;
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.state());
+    }
+}
+
+impl Restore for SimRng {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        *self = SimRng::from_state(r.u64()?);
+        Ok(())
     }
 }
 
@@ -217,6 +249,55 @@ mod tests {
         for _ in 0..100 {
             let u = r.unit();
             assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    mod snapshot_roundtrip {
+        use super::*;
+        use crate::snap::{SnapReader, SnapWriter};
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Capturing a generator mid-stream and resuming from the
+            /// state must continue the exact sequence — for any seed
+            /// and any number of draws consumed before the capture.
+            #[test]
+            fn state_roundtrip_continues_the_stream(
+                seed in 0u64..u64::MAX,
+                consumed in 0usize..64,
+            ) {
+                let mut original = SimRng::from_seed(seed);
+                for _ in 0..consumed {
+                    original.next_u64();
+                }
+                let mut resumed = SimRng::from_state(original.state());
+                for _ in 0..32 {
+                    prop_assert_eq!(original.next_u64(), resumed.next_u64());
+                }
+            }
+
+            /// The trait-framed encode/decode path round-trips the
+            /// same way as the raw state accessor.
+            #[test]
+            fn snap_restore_roundtrip(
+                seed in 0u64..u64::MAX,
+                consumed in 0usize..64,
+            ) {
+                let mut original = SimRng::from_seed(seed);
+                for _ in 0..consumed {
+                    original.next_u64();
+                }
+                let mut w = SnapWriter::new();
+                w.component(&original);
+                let bytes = w.into_bytes();
+                let mut restored = SimRng::from_seed(0);
+                let mut r = SnapReader::new(&bytes);
+                r.component(&mut restored).expect("matching frame");
+                r.finish().expect("fully consumed");
+                for _ in 0..32 {
+                    prop_assert_eq!(original.next_u64(), restored.next_u64());
+                }
+            }
         }
     }
 }

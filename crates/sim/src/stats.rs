@@ -10,6 +10,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
+
 /// A registry of named counters and histograms.
 ///
 /// ```
@@ -112,6 +114,66 @@ impl Stats {
     pub fn clear(&mut self) {
         self.counters.clear();
         self.values.clear();
+    }
+}
+
+impl Snapshot for Stats {
+    const TAG: &'static str = "sim.stats";
+    const VERSION: u16 = 1;
+    fn snap(&self, w: &mut SnapWriter) {
+        // BTreeMap iteration is key-sorted, so equal registries always
+        // encode to equal bytes.
+        w.usize(self.counters.len());
+        for (k, v) in &self.counters {
+            w.str(k);
+            w.u64(*v);
+        }
+        w.usize(self.values.len());
+        for (k, v) in &self.values {
+            w.str(k);
+            w.f64(*v);
+        }
+    }
+}
+
+impl Restore for Stats {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.counters.clear();
+        for _ in 0..r.seq_len()? {
+            let k = r.str()?;
+            let v = r.u64()?;
+            self.counters.insert(k, v);
+        }
+        self.values.clear();
+        for _ in 0..r.seq_len()? {
+            let k = r.str()?;
+            let v = r.f64()?;
+            self.values.insert(k, v);
+        }
+        Ok(())
+    }
+}
+
+impl Snapshot for Histogram {
+    const TAG: &'static str = "sim.hist";
+    const VERSION: u16 = 1;
+    fn snap(&self, w: &mut SnapWriter) {
+        w.usize(self.buckets.len());
+        for &b in &self.buckets {
+            w.u64(b);
+        }
+    }
+}
+
+impl Restore for Histogram {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.seq_len()?;
+        let mut buckets = Vec::with_capacity(n);
+        for _ in 0..n {
+            buckets.push(r.u64()?);
+        }
+        self.buckets = buckets;
+        Ok(())
     }
 }
 

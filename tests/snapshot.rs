@@ -1,0 +1,386 @@
+//! Snapshot conformance suite: `BeaconSystem::snapshot` → `resume`
+//! must be **invisible** — a resumed run continues bit-identically to
+//! an uninterrupted one.
+//!
+//! Four contracts:
+//!
+//! 1. **Resume ≡ straight run.** For every kernel × genome cell, pause
+//!    a run at a mid-run epoch boundary, serialize, reconstruct from
+//!    the bytes, and finish: the `RunResult` digest equals the
+//!    uninterrupted run's, whether the remainder runs sequentially or
+//!    on any parallel thread count, with event-horizon fast-forwarding
+//!    on or off — in any combination with the capture-side settings.
+//! 2. **Faults survive the checkpoint.** Armed runs (quiet, noisy,
+//!    scheduled DIMM loss) resume onto the same fault history: the
+//!    fault streams' next-arrival state rides in the snapshot.
+//! 3. **The format is stable and fails typed.** Snapshot bytes are a
+//!    pure function of (workload, config, epoch); damaged or
+//!    mismatched files are rejected with typed [`SnapError`]s, never
+//!    panics.
+//! 4. **Any epoch works** (property-based): a snapshot at a random
+//!    epoch boundary — including a snapshot of an already-resumed run —
+//!    resumes to the straight-run digest.
+//!
+//! `BEACON_THREADS` (comma-separated) restricts the thread axis and
+//! `BEACON_FAULT_SEED` picks the fault history, exactly as in
+//! `tests/differential.rs` / `tests/faults.rs` — CI fans this suite
+//! out as a matrix job.
+
+use beacon_core::config::{BeaconConfig, BeaconVariant, FaultsConfig, Optimizations};
+use beacon_core::experiments::common::{
+    fm_workload, kmer_workload, prealign_workload, AppWorkload, WorkloadScale,
+};
+use beacon_core::mmf::build_layout;
+use beacon_core::system::BeaconSystem;
+use beacon_genomics::genome::GenomeId;
+use beacon_sim::snap::SnapError;
+use proptest::prelude::*;
+
+fn thread_matrix() -> Vec<usize> {
+    match std::env::var("BEACON_THREADS") {
+        Ok(v) => v
+            .split(',')
+            .map(|s| s.trim().parse().expect("BEACON_THREADS must be integers"))
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+fn fault_seed() -> u64 {
+    match std::env::var("BEACON_FAULT_SEED") {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .expect("BEACON_FAULT_SEED must be an integer"),
+        Err(_) => 42,
+    }
+}
+
+/// Restores event-horizon fast-forwarding (the global default) when a
+/// test that toggles it unwinds.
+struct SkipGuard;
+impl Drop for SkipGuard {
+    fn drop(&mut self) {
+        beacon_sim::engine::set_skip(true);
+    }
+}
+
+fn build_system(
+    variant: BeaconVariant,
+    w: &AppWorkload,
+    refresh: bool,
+    faults: Option<FaultsConfig>,
+) -> BeaconSystem {
+    let mut cfg =
+        BeaconConfig::paper(variant, w.app).with_opts(Optimizations::full(variant, w.app));
+    cfg.pes_per_module = 8;
+    cfg.refresh_enabled = refresh;
+    if let Some(f) = faults {
+        cfg = cfg.with_faults(f);
+    }
+    let layout = build_layout(&cfg, &w.layout);
+    let mut sys = BeaconSystem::new(cfg, layout);
+    sys.submit_round_robin(w.traces.iter().cloned());
+    sys
+}
+
+/// Pauses a fresh run of the cell at cycle `at`, snapshots, and
+/// returns the bytes. Panics if the workload drained before `at` (the
+/// caller picked a mid-run epoch from the golden cycle count).
+fn capture_at(
+    variant: BeaconVariant,
+    w: &AppWorkload,
+    refresh: bool,
+    faults: Option<FaultsConfig>,
+    at: u64,
+) -> Vec<u8> {
+    let mut sys = build_system(variant, w, refresh, faults);
+    let drained = sys.run_to(at);
+    assert!(!drained, "workload drained before the capture epoch {at}");
+    assert_eq!(
+        sys.clock().as_u64(),
+        at,
+        "run_to must stop exactly at the epoch"
+    );
+    sys.snapshot()
+}
+
+/// Contract 1 kernel: golden straight run, then resume-from-midpoint
+/// across the whole thread matrix, digest-compared with a structured
+/// diff on failure.
+fn assert_cell_resumes(
+    variant: BeaconVariant,
+    w: &AppWorkload,
+    refresh: bool,
+    faults: Option<FaultsConfig>,
+) {
+    let golden = build_system(variant, w, refresh, faults).run();
+    assert!(golden.tasks > 0, "cell must do work to be meaningful");
+    let bytes = capture_at(variant, w, refresh, faults, golden.cycles / 2);
+    for threads in thread_matrix() {
+        let mut resumed = BeaconSystem::resume(&bytes).expect("snapshot must resume");
+        let got = if threads == 1 {
+            resumed.run()
+        } else {
+            resumed.run_parallel(threads)
+        };
+        assert_eq!(
+            got.digest(),
+            golden.digest(),
+            "{variant:?}/{:?} resumed at cycle {} diverged at {threads} thread(s):\n{}",
+            w.app,
+            golden.cycles / 2,
+            got.diff(&golden).unwrap_or_default(),
+        );
+    }
+}
+
+#[test]
+fn fm_seeding_resumes_bit_identically() {
+    let scale = WorkloadScale::test();
+    for genome in [GenomeId::Pt, GenomeId::Ss] {
+        let w = fm_workload(genome, &scale);
+        assert_cell_resumes(BeaconVariant::D, &w, true, None);
+    }
+}
+
+#[test]
+fn kmer_counting_resumes_on_switch_logic() {
+    let scale = WorkloadScale::test();
+    let w = kmer_workload(&scale);
+    assert_cell_resumes(BeaconVariant::S, &w, true, None);
+}
+
+#[test]
+fn prealignment_resumes_bit_identically() {
+    let scale = WorkloadScale::test();
+    let w = prealign_workload(GenomeId::Pg, &scale);
+    assert_cell_resumes(BeaconVariant::D, &w, false, None);
+}
+
+/// Contract 1, skip axis: every combination of fast-forwarding on/off
+/// at capture time and at resume time reproduces the per-cycle golden
+/// digest — the checkpoint neither depends on nor disturbs the
+/// event-horizon machinery (horizon caches restore invalidated).
+#[test]
+fn skip_modes_mix_freely_across_the_checkpoint() {
+    let _guard = SkipGuard;
+    let scale = WorkloadScale::test();
+    let w = fm_workload(GenomeId::Pt, &scale);
+    beacon_sim::engine::set_skip(false);
+    let golden = build_system(BeaconVariant::D, &w, true, None).run();
+    assert!(golden.tasks > 0, "cell must do work to be meaningful");
+    for capture_skip in [false, true] {
+        beacon_sim::engine::set_skip(capture_skip);
+        let bytes = capture_at(BeaconVariant::D, &w, true, None, golden.cycles / 2);
+        for resume_skip in [false, true] {
+            beacon_sim::engine::set_skip(resume_skip);
+            let mut resumed = BeaconSystem::resume(&bytes).expect("snapshot must resume");
+            let got = resumed.run();
+            assert_eq!(
+                got.digest(),
+                golden.digest(),
+                "capture skip={capture_skip}, resume skip={resume_skip} diverged:\n{}",
+                got.diff(&golden).unwrap_or_default(),
+            );
+        }
+    }
+}
+
+/// Contract 2: a quiet armed schedule and a noisy one both resume onto
+/// the same fault history as the straight run, across thread counts.
+#[test]
+fn fault_schedules_survive_the_checkpoint() {
+    let scale = WorkloadScale::test();
+    let w = fm_workload(GenomeId::Pt, &scale);
+    for faults in [
+        FaultsConfig::quiet(fault_seed()),
+        FaultsConfig::noisy(fault_seed(), 400.0),
+    ] {
+        assert_cell_resumes(BeaconVariant::D, &w, false, Some(faults));
+    }
+}
+
+/// Contract 2, scheduled death: capturing *before* a scheduled DIMM
+/// kill and resuming must execute the kill at the same cycle with the
+/// same graceful degradation as the uninterrupted run.
+#[test]
+fn scheduled_dimm_loss_fires_after_resume() {
+    let scale = WorkloadScale::test();
+    let w = fm_workload(GenomeId::Pt, &scale);
+    let healthy = build_system(BeaconVariant::D, &w, false, None).run();
+    let faults = FaultsConfig::dimm_loss(fault_seed(), 0, 2, healthy.cycles / 2);
+    let golden = build_system(BeaconVariant::D, &w, false, Some(faults)).run();
+    let gd = golden
+        .degraded
+        .as_ref()
+        .expect("armed run carries a RAS report");
+    assert_eq!(gd.failed_dimms, 1, "the scheduled kill must have fired");
+    // Capture before the kill: the pending fault rides in the snapshot.
+    let bytes = capture_at(
+        BeaconVariant::D,
+        &w,
+        false,
+        Some(faults),
+        healthy.cycles / 4,
+    );
+    for threads in thread_matrix() {
+        let mut resumed = BeaconSystem::resume(&bytes).expect("snapshot must resume");
+        let got = if threads == 1 {
+            resumed.run()
+        } else {
+            resumed.run_parallel(threads)
+        };
+        assert_eq!(
+            got.digest(),
+            golden.digest(),
+            "resumed DIMM-loss run diverged at {threads} thread(s):\n{}",
+            got.diff(&golden).unwrap_or_default(),
+        );
+        let rd = got
+            .degraded
+            .as_ref()
+            .expect("resumed run carries a RAS report");
+        assert_eq!(
+            (rd.failed_dimms, rd.lost_capacity_bytes, rd.remap_regions),
+            (gd.failed_dimms, gd.lost_capacity_bytes, gd.remap_regions),
+            "degradation report diverged after resume"
+        );
+    }
+}
+
+/// Contract 3: snapshot bytes are a pure function of (workload,
+/// config, epoch) — two independent captures are byte-identical, and
+/// the header line is the documented fixed-key-order JSON.
+#[test]
+fn snapshot_bytes_are_deterministic_and_header_is_stable() {
+    let scale = WorkloadScale::test();
+    let w = fm_workload(GenomeId::Pt, &scale);
+    let golden = build_system(BeaconVariant::D, &w, true, None).run();
+    let at = golden.cycles / 2;
+    let a = capture_at(BeaconVariant::D, &w, true, None, at);
+    let b = capture_at(BeaconVariant::D, &w, true, None, at);
+    assert_eq!(
+        a, b,
+        "independent captures of the same epoch must be byte-identical"
+    );
+
+    let nl = a.iter().position(|&c| c == b'\n').expect("header line");
+    let header = std::str::from_utf8(&a[..nl]).expect("header is UTF-8");
+    let cfg = BeaconConfig::paper(BeaconVariant::D, w.app)
+        .with_opts(Optimizations::full(BeaconVariant::D, w.app));
+    let expect_prefix = format!(
+        "{{\"magic\":\"BEACONSNAP\",\"format\":1,\"cycle\":{at},\
+         \"variant\":\"D\",\"switches\":{},\"cxlg_per_switch\":{},\
+         \"unmodified_per_switch\":{},\"pes_per_module\":8,\
+         \"fault_seed\":0,\"body_bytes\":",
+        cfg.switches, cfg.cxlg_per_switch, cfg.unmodified_per_switch,
+    );
+    assert!(
+        header.starts_with(&expect_prefix),
+        "header drifted from the documented golden form:\n  got:  {header}\n  want: {expect_prefix}…"
+    );
+    assert_eq!(
+        header.len(),
+        nl,
+        "header must be exactly one line with no trailing bytes"
+    );
+}
+
+/// Contract 3, negative paths: damaged or mismatched snapshots fail
+/// with the right typed error — no panics, no partial systems.
+#[test]
+fn damaged_snapshots_are_rejected_typed() {
+    let scale = WorkloadScale::test();
+    let w = fm_workload(GenomeId::Pt, &scale);
+    let golden = build_system(BeaconVariant::D, &w, true, None).run();
+    let bytes = capture_at(BeaconVariant::D, &w, true, None, golden.cycles / 2);
+    let nl = bytes.iter().position(|&c| c == b'\n').unwrap();
+
+    // Version from the future.
+    let text = std::str::from_utf8(&bytes[..nl]).unwrap();
+    let mut forged = text
+        .replace("\"format\":1,", "\"format\":204,")
+        .into_bytes();
+    forged.push(b'\n');
+    forged.extend_from_slice(&bytes[nl + 1..]);
+    assert!(matches!(
+        BeaconSystem::resume(&forged),
+        Err(SnapError::FormatVersion { found: 204, .. })
+    ));
+
+    // Truncated body: every prefix must fail cleanly (typed, no panic).
+    for cut in [nl + 1, nl + 1 + (bytes.len() - nl - 1) / 2, bytes.len() - 1] {
+        match BeaconSystem::resume(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(_) => panic!("truncation to {cut} bytes resumed successfully"),
+        }
+    }
+
+    // Not a snapshot at all.
+    assert!(matches!(
+        BeaconSystem::resume(b"PNG\x0d\x0a\x1a\x0a\n rest"),
+        Err(SnapError::BadMagic(_))
+    ));
+
+    // Wrong topology for the resuming experiment.
+    let mut other = BeaconConfig::paper(BeaconVariant::D, w.app)
+        .with_opts(Optimizations::full(BeaconVariant::D, w.app));
+    other.switches *= 2;
+    assert!(matches!(
+        BeaconSystem::resume_expecting(&bytes, &other),
+        Err(SnapError::Topology(_))
+    ));
+}
+
+/// Shared fixture for the property tests: the golden straight run and
+/// a capture-ready workload, built once.
+fn proptest_fixture() -> (AppWorkload, u64, u64) {
+    let scale = WorkloadScale::test();
+    let w = fm_workload(GenomeId::Pt, &scale);
+    let golden = build_system(BeaconVariant::D, &w, true, None).run();
+    assert!(golden.cycles > 4, "golden run too short for epoch sampling");
+    (w, golden.cycles, golden.digest())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Contract 4: snapshot at a random epoch boundary, resume, finish:
+    /// digest equals the uninterrupted run.
+    #[test]
+    fn random_epoch_resume_equals_straight_run(frac in 1u64..1000) {
+        let (w, cycles, golden_digest) = proptest_fixture();
+        let at = 1 + frac * (cycles - 2) / 1000;
+        let bytes = capture_at(BeaconVariant::D, &w, true, None, at);
+        let mut resumed = BeaconSystem::resume(&bytes).expect("snapshot must resume");
+        let got = resumed.run();
+        prop_assert_eq!(
+            got.digest(),
+            golden_digest,
+            "resume at random epoch {} diverged", at
+        );
+    }
+
+    /// Contract 4, chained: a snapshot taken from an *already-resumed*
+    /// run resumes to the same digest — checkpoints compose.
+    #[test]
+    fn chained_snapshots_compose(a in 1u64..500, b in 500u64..999) {
+        let (w, cycles, golden_digest) = proptest_fixture();
+        let at_a = 1 + a * (cycles - 2) / 1000;
+        let at_b = 1 + b * (cycles - 2) / 1000;
+        prop_assume!(at_a < at_b);
+        let first = capture_at(BeaconVariant::D, &w, true, None, at_a);
+        let mut mid = BeaconSystem::resume(&first).expect("first snapshot must resume");
+        let drained = mid.run_to(at_b);
+        prop_assert!(!drained, "drained before the second epoch");
+        let second = mid.snapshot();
+        let mut resumed = BeaconSystem::resume(&second).expect("second snapshot must resume");
+        let got = resumed.run();
+        prop_assert_eq!(
+            got.digest(),
+            golden_digest,
+            "chained resume through epochs {} and {} diverged", at_a, at_b
+        );
+    }
+}

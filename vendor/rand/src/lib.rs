@@ -194,6 +194,24 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Raw 64-bit generator state. Together with
+        /// [`StdRng::from_state`] this allows a generator to be
+        /// checkpointed mid-stream and resumed bit-identically — the
+        /// upstream `rand` crate offers no such accessor, but the
+        /// stand-in's whole state is one word.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`StdRng::state`]; the resumed stream continues exactly
+        /// where the captured one left off.
+        pub fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u32(&mut self) -> u32 {
             (self.next_u64() >> 32) as u32
