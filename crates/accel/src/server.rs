@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 
 use beacon_sim::component::Tick;
 use beacon_sim::cycle::Cycle;
+use beacon_sim::engine::dense_fastpath_enabled;
 use beacon_sim::journey::{self, JStamp, Phase};
 use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use beacon_sim::stats::{Histogram, Stats};
@@ -419,6 +420,14 @@ impl Restore for DimmServer {
 
 impl Tick for DimmServer {
     fn tick(&mut self, now: Cycle) {
+        // Dense-kernel fast path: the horizon is conservative-exact, so
+        // beyond it neither pump can move, the DIMM tick is a state
+        // no-op and there is nothing to drain. Only the DIMM's time
+        // high-water needs maintaining for later `enqueued_at` stamps.
+        if dense_fastpath_enabled() && DimmServer::next_event(self) > now {
+            self.dimm.sync_time(now);
+            return;
+        }
         // Keep the DIMM's time high-water exact: the pumps below enqueue
         // before `dimm.tick(now)`, and a fast-forwarding engine may not
         // have ticked the DIMM on the previous cycle.

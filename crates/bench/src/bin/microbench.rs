@@ -17,6 +17,19 @@
 //! capacity), snapshots the allocation counter, runs the timed loop and
 //! reports ns/iter plus the allocation delta. Exit status is non-zero
 //! when any steady-state loop allocated.
+//!
+//! Built with `--features audit` (forwarding beacon-dram's `tick-audit`
+//! feature), the DIMM section also reports *work-budget* columns from
+//! the deterministic per-tick counters: FR-FCFS choice-pass list-head
+//! inspections and horizon-recompute terms per iteration. Hardware
+//! instruction/branch counters are not available in every environment
+//! this runs in, so these deterministic iteration counts are the
+//! budget proxy: they bound the branchy inner-loop work of
+//! `Dimm::tick_banks` exactly and reproduce bit-identically across
+//! runs. The section asserts the per-tick budget — a regression that
+//! makes the batched bank sweep super-linear (e.g. re-scanning every
+//! queue entry instead of the per-bank list heads) fails this binary
+//! even when wall-clock noise would hide it.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::VecDeque;
@@ -77,7 +90,28 @@ struct Report {
     iters: u64,
     ns_per_iter: f64,
     allocs: u64,
+    /// FR-FCFS choice-pass scans per iteration (`audit` builds only).
+    choice_per_iter: Option<f64>,
+    /// Horizon-recompute terms per iteration (`audit` builds only).
+    horizon_per_iter: Option<f64>,
 }
+
+/// Per-tick budget for `Dimm::tick_banks` choice-pass scans, asserted
+/// by the DIMM section in `audit` builds. The mixed hit/conflict
+/// traffic below keeps every bank group active, so the FR-FCFS sweep
+/// inspects each non-empty per-bank list head a small constant number
+/// of times per tick (once per choice pass, at most two passes — the
+/// column pass and the ACT/PRE rehoming pass). 16 active banks * 2
+/// passes = 32; 48 leaves headroom for the occasional extra pass after
+/// a retirement without letting per-entry rescans (O(queue) per tick)
+/// slip through.
+const DIMM_CHOICE_SCAN_BUDGET: f64 = 48.0;
+
+/// Per-tick budget for horizon-recompute terms: one term per active
+/// bank list plus refresh/completion terms, only on dirty recomputes.
+/// A clean-cache tick folds zero terms, so the steady-state average
+/// must stay well under one full sweep (16 banks) per tick.
+const DIMM_HORIZON_TERM_BUDGET: f64 = 24.0;
 
 /// Mixed open-row-hit / row-conflict traffic at a fixed queue depth:
 /// exercises column issue, ACT/PRE rehoming, retirement and the horizon
@@ -125,16 +159,30 @@ fn bench_dimm_tick(warm: u64, iters: u64) -> Report {
         drive(&mut dimm, &mut completed, c);
     }
     let base = allocs();
+    #[cfg(feature = "audit")]
+    let audit_base = dimm.audit_counters();
     let t = Instant::now();
     for c in warm..warm + iters {
         drive(&mut dimm, &mut completed, c);
     }
     let elapsed = t.elapsed();
+    #[cfg(feature = "audit")]
+    let (choice_per_iter, horizon_per_iter) = {
+        let a = dimm.audit_counters();
+        (
+            Some((a.choice_scans - audit_base.choice_scans) as f64 / iters as f64),
+            Some((a.horizon_scans - audit_base.horizon_scans) as f64 / iters as f64),
+        )
+    };
+    #[cfg(not(feature = "audit"))]
+    let (choice_per_iter, horizon_per_iter) = (None, None);
     Report {
         name: "dimm_tick",
         iters,
         ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
         allocs: allocs() - base,
+        choice_per_iter,
+        horizon_per_iter,
     }
 }
 
@@ -195,6 +243,8 @@ fn bench_switch_tick(warm: u64, iters: u64) -> Report {
         iters,
         ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
         allocs: allocs() - base,
+        choice_per_iter: None,
+        horizon_per_iter: None,
     }
 }
 
@@ -233,6 +283,8 @@ fn bench_next_event(warm: u64, iters: u64) -> Report {
         iters,
         ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
         allocs: allocs() - base,
+        choice_per_iter: None,
+        horizon_per_iter: None,
     }
 }
 
@@ -246,8 +298,8 @@ fn main() {
 
     println!("microbench — warm-up {warm} iters, measuring {iters} iters\n");
     println!(
-        "{:<24} {:>12} {:>12} {:>14}",
-        "benchmark", "iters", "ns/iter", "allocs (steady)"
+        "{:<24} {:>12} {:>12} {:>14} {:>12} {:>12}",
+        "benchmark", "iters", "ns/iter", "allocs (steady)", "choice/iter", "horizon/iter"
     );
 
     let reports = [
@@ -256,19 +308,48 @@ fn main() {
         bench_next_event(warm.min(4_000), iters),
     ];
 
+    let fmt_opt = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.2}"),
+        None => "-".to_owned(),
+    };
     let mut failed = false;
     for r in &reports {
         println!(
-            "{:<24} {:>12} {:>12.1} {:>14}",
-            r.name, r.iters, r.ns_per_iter, r.allocs
+            "{:<24} {:>12} {:>12.1} {:>14} {:>12} {:>12}",
+            r.name,
+            r.iters,
+            r.ns_per_iter,
+            r.allocs,
+            fmt_opt(r.choice_per_iter),
+            fmt_opt(r.horizon_per_iter)
         );
         if r.allocs != 0 {
             failed = true;
         }
+        if r.name == "dimm_tick" {
+            if let Some(c) = r.choice_per_iter {
+                if c > DIMM_CHOICE_SCAN_BUDGET {
+                    eprintln!(
+                        "FAIL: dimm_tick choice scans {c:.2}/iter exceed the \
+                         budget of {DIMM_CHOICE_SCAN_BUDGET}/iter"
+                    );
+                    failed = true;
+                }
+            }
+            if let Some(h) = r.horizon_per_iter {
+                if h > DIMM_HORIZON_TERM_BUDGET {
+                    eprintln!(
+                        "FAIL: dimm_tick horizon terms {h:.2}/iter exceed the \
+                         budget of {DIMM_HORIZON_TERM_BUDGET}/iter"
+                    );
+                    failed = true;
+                }
+            }
+        }
     }
     if failed {
-        eprintln!("\nFAIL: a steady-state loop performed heap allocations");
+        eprintln!("\nFAIL: a steady-state loop broke its allocation or work budget");
         std::process::exit(1);
     }
-    println!("\nall steady-state loops allocation-free");
+    println!("\nall steady-state loops within allocation and work budgets");
 }

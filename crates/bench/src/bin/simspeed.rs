@@ -5,7 +5,8 @@
 //! ```text
 //! cargo run -p beacon-bench --bin simspeed --release -- [--quick]
 //!     [--threads <n>] [--out <path>] [--min-speedup <x>]
-//!     [--max-overhead <x>] [--max-snap-overhead <x>]
+//!     [--min-dense-speedup <x>] [--max-overhead <x>]
+//!     [--max-snap-overhead <x>]
 //! ```
 //!
 //! Noise control: every cell gets one untimed warm-up run per skip
@@ -19,11 +20,16 @@
 //! as a coarse conformance check; the digest is recorded per row.
 //! Results go to stdout as a table and to `--out` (default
 //! `BENCH_SIM.json`) as JSON. `--quick` uses the tiny test scale so CI
-//! can smoke the harness in seconds; `--min-speedup` makes the process
-//! exit non-zero when any cell's skip-on/skip-off speedup falls below
-//! the threshold (the CI perf gate).
+//! can smoke the harness in seconds; the cell matrix itself is
+//! identical at every scale — in particular `--quick` runs the
+//! event-dense rows (fm-seeding/Pt, fm-seeding/Ss, kmer-counting/Human)
+//! through the same five legs, so the dense-fast-path digest assertions
+//! and the `--min-dense-speedup` gate are exercised on every CI run,
+//! not only at bench scale. `--min-speedup` makes the process exit
+//! non-zero when any cell's skip-on/skip-off speedup falls below the
+//! threshold (the CI perf gate).
 //!
-//! A third timed leg repeats the skip-on configuration with journey
+//! A timed leg repeats the skip-on configuration with journey
 //! attribution sampling enabled (1-in-8, the `--report` default). Its
 //! digest must match the plain legs bit-identically — attribution is
 //! observation only — and the wall-time ratio is reported as the
@@ -32,7 +38,19 @@
 //! cells): individual cells finish in milliseconds, where one scheduler
 //! hiccup swamps the quantity being measured, but the sum is stable.
 //!
-//! A fourth timed leg measures checkpoint/restore cost: the skip-on run
+//! A third timed leg repeats the skip-on configuration with the dense
+//! fast path disabled (`set_dense_fastpath(false)`): per-component tick
+//! gates off, so every awake cycle sweeps every component. Its digest
+//! must match bit-identically — the gates only skip provable no-ops —
+//! and the wall-time ratio against the plain skip-on leg is reported
+//! per row as `dense_speedup`. `--min-dense-speedup` gates the
+//! *aggregate* ratio (total dense-off wall time over total dense-on
+//! wall time), for the same reason the overhead gates are aggregate:
+//! per-cell ratios near 1.0x are noise-dominated at millisecond run
+//! times. On event-dense rows the gates are worth ~5-10%; the
+//! latency-bound sparse row gains the most (see DESIGN.md §15).
+//!
+//! A timed leg measures checkpoint/restore cost: the skip-on run
 //! is paused at its halfway cycle, the full pool state is serialized
 //! with `BeaconSystem::snapshot`, a fresh system is reconstructed with
 //! `BeaconSystem::resume`, and the run completes there. Its digest must
@@ -80,12 +98,14 @@ struct Sample {
 
 fn usage() -> String {
     "usage: simspeed [--quick] [--threads <n>] [--out <path>] [--min-speedup <x>] \
-     [--max-overhead <x>] [--max-snap-overhead <x>]\n\
+     [--min-dense-speedup <x>] [--max-overhead <x>] [--max-snap-overhead <x>]\n\
      \n\
      \x20 --quick            tiny test scale (CI smoke)\n\
      \x20 --threads <n>      measure on the parallel engine with n workers\n\
      \x20 --out <path>       JSON output path (default BENCH_SIM.json)\n\
      \x20 --min-speedup <x>  exit non-zero when any cell speeds up less than x\n\
+     \x20 --min-dense-speedup <x>  exit non-zero when the dense fast path\n\
+     \x20                    (per-component tick gates) pays less than x overall\n\
      \x20 --max-overhead <x> exit non-zero when attribution costs more than x overall\n\
      \x20 --max-snap-overhead <x>  exit non-zero when one checkpoint/restore\n\
      \x20                    cycle costs more than x overall\n\
@@ -139,8 +159,9 @@ fn build_cells(scale: &WorkloadScale) -> Vec<Cell> {
     ]
 }
 
-fn measure(cell: &Cell, skip: bool, attr: bool, threads: usize) -> Sample {
+fn measure(cell: &Cell, skip: bool, dense: bool, attr: bool, threads: usize) -> Sample {
     beacon_sim::engine::set_skip(skip);
+    beacon_sim::engine::set_dense_fastpath(dense);
     let w = &cell.workload;
     let mut cfg = BeaconConfig::paper(cell.variant, w.app)
         .with_opts(Optimizations::full(cell.variant, w.app));
@@ -187,6 +208,7 @@ fn measure(cell: &Cell, skip: bool, attr: bool, threads: usize) -> Sample {
 /// plain skip-on leg is the end-to-end cost of one checkpoint cycle.
 fn measure_snap(cell: &Cell, threads: usize, mid: u64) -> Sample {
     beacon_sim::engine::set_skip(true);
+    beacon_sim::engine::set_dense_fastpath(true);
     let w = &cell.workload;
     let mut cfg = BeaconConfig::paper(cell.variant, w.app)
         .with_opts(Optimizations::full(cell.variant, w.app));
@@ -228,7 +250,11 @@ fn measure_snap(cell: &Cell, threads: usize, mid: u64) -> Sample {
 /// leg it landed on. Every repetition must reproduce the warm-up's
 /// digest and cycle count bit-identically — the simulator is
 /// deterministic, so any difference is a bug, not noise.
-fn measure_legs(cell: &Cell, threads: usize, rounds: usize) -> (Sample, Sample, Sample, Sample) {
+fn measure_legs(
+    cell: &Cell,
+    threads: usize,
+    rounds: usize,
+) -> (Sample, Sample, Sample, Sample, Sample) {
     let keep_best = |r: Sample, warm: &Sample, what: &str, best: Option<Sample>| {
         assert_eq!(
             r.digest, warm.digest,
@@ -241,9 +267,15 @@ fn measure_legs(cell: &Cell, threads: usize, rounds: usize) -> (Sample, Sample, 
             _ => Some(r),
         }
     };
-    let warm_off = measure(cell, false, false, threads);
-    let warm_on = measure(cell, true, false, threads);
-    let warm_attr = measure(cell, true, true, threads);
+    let warm_off = measure(cell, false, true, false, threads);
+    let warm_on = measure(cell, true, true, false, threads);
+    let warm_dense_off = measure(cell, true, false, false, threads);
+    assert_eq!(
+        warm_dense_off.digest, warm_on.digest,
+        "{}/{}: the dense fast path changed the run digest",
+        cell.kernel, cell.genome
+    );
+    let warm_attr = measure(cell, true, true, true, threads);
     assert_eq!(
         warm_attr.digest, warm_on.digest,
         "{}/{}: attribution changed the run digest",
@@ -256,16 +288,32 @@ fn measure_legs(cell: &Cell, threads: usize, rounds: usize) -> (Sample, Sample, 
         "{}/{}: checkpoint/restore changed the run digest",
         cell.kernel, cell.genome
     );
-    let (mut off, mut on, mut attr, mut snap) = (None, None, None, None);
+    let (mut off, mut on, mut dense_off, mut attr, mut snap) = (None, None, None, None, None);
     for _ in 0..rounds {
         off = keep_best(
-            measure(cell, false, false, threads),
+            measure(cell, false, true, false, threads),
             &warm_off,
             "skip off",
             off,
         );
-        on = keep_best(measure(cell, true, false, threads), &warm_on, "skip on", on);
-        attr = keep_best(measure(cell, true, true, threads), &warm_attr, "attr", attr);
+        on = keep_best(
+            measure(cell, true, true, false, threads),
+            &warm_on,
+            "skip on",
+            on,
+        );
+        dense_off = keep_best(
+            measure(cell, true, false, false, threads),
+            &warm_dense_off,
+            "dense off",
+            dense_off,
+        );
+        attr = keep_best(
+            measure(cell, true, true, true, threads),
+            &warm_attr,
+            "attr",
+            attr,
+        );
         snap = keep_best(
             measure_snap(cell, threads, mid),
             &warm_snap,
@@ -276,6 +324,7 @@ fn measure_legs(cell: &Cell, threads: usize, rounds: usize) -> (Sample, Sample, 
     (
         off.expect("at least one timed run"),
         on.expect("at least one timed run"),
+        dense_off.expect("at least one timed run"),
         attr.expect("at least one timed run"),
         snap.expect("at least one timed run"),
     )
@@ -287,6 +336,7 @@ fn main() {
     let mut threads = 1usize;
     let mut out = "BENCH_SIM.json".to_owned();
     let mut min_speedup: Option<f64> = None;
+    let mut min_dense_speedup: Option<f64> = None;
     let mut max_overhead: Option<f64> = None;
     let mut max_snap_overhead: Option<f64> = None;
     let mut i = 0;
@@ -317,6 +367,13 @@ fn main() {
                 match args.get(i).and_then(|x| x.parse::<f64>().ok()) {
                     Some(x) if x > 0.0 => min_speedup = Some(x),
                     _ => die("--min-speedup needs a positive number"),
+                }
+            }
+            "--min-dense-speedup" => {
+                i += 1;
+                match args.get(i).and_then(|x| x.parse::<f64>().ok()) {
+                    Some(x) if x > 0.0 => min_dense_speedup = Some(x),
+                    _ => die("--min-dense-speedup needs a positive number"),
                 }
             }
             "--max-overhead" => {
@@ -356,8 +413,16 @@ fn main() {
         scale.pt_genome_len, scale.reads, threads
     );
     println!(
-        "{:<20} {:<7} {:>12} {:>12} {:>12} {:>8} {:>9} {:>9}",
-        "kernel", "genome", "cycles", "off Mcyc/s", "on Mcyc/s", "speedup", "attr ovh", "snap ovh"
+        "{:<20} {:<7} {:>12} {:>12} {:>12} {:>8} {:>7} {:>9} {:>9}",
+        "kernel",
+        "genome",
+        "cycles",
+        "off Mcyc/s",
+        "on Mcyc/s",
+        "speedup",
+        "dense",
+        "attr ovh",
+        "snap ovh"
     );
 
     let mut rows = Vec::new();
@@ -365,10 +430,11 @@ fn main() {
     let mut worst = f64::INFINITY;
     let mut worst_cell = String::new();
     let mut wall_on_total = 0.0f64;
+    let mut wall_dense_off_total = 0.0f64;
     let mut wall_attr_total = 0.0f64;
     let mut wall_snap_total = 0.0f64;
     for cell in build_cells(&scale) {
-        let (off, on, attr, snap) = measure_legs(&cell, threads, rounds);
+        let (off, on, dense_off, attr, snap) = measure_legs(&cell, threads, rounds);
         assert_eq!(
             off.digest, on.digest,
             "{}/{}: fast-forwarded run diverged from per-cycle run",
@@ -378,9 +444,11 @@ fn main() {
         let rate_off = off.cycles as f64 / off.wall_s;
         let rate_on = on.cycles as f64 / on.wall_s;
         let speedup = rate_on / rate_off;
+        let dense_speedup = dense_off.wall_s / on.wall_s;
         let overhead = attr.wall_s / on.wall_s;
         let snap_overhead = snap.wall_s / on.wall_s;
         wall_on_total += on.wall_s;
+        wall_dense_off_total += dense_off.wall_s;
         wall_attr_total += attr.wall_s;
         wall_snap_total += snap.wall_s;
         best = best.max(speedup);
@@ -389,13 +457,14 @@ fn main() {
             worst_cell = format!("{}/{}", cell.kernel, cell.genome);
         }
         println!(
-            "{:<20} {:<7} {:>12} {:>12.2} {:>12.2} {:>7.2}x {:>8.3}x {:>8.3}x",
+            "{:<20} {:<7} {:>12} {:>12.2} {:>12.2} {:>7.2}x {:>6.2}x {:>8.3}x {:>8.3}x",
             cell.kernel,
             cell.genome,
             on.cycles,
             rate_off / 1e6,
             rate_on / 1e6,
             speedup,
+            dense_speedup,
             overhead,
             snap_overhead
         );
@@ -404,7 +473,8 @@ fn main() {
              \"simulated_cycles\": {}, \"digest\": \"{:#018x}\", \
              \"wall_s_skip_off\": {:.6}, \"wall_s_skip_on\": {:.6}, \
              \"cycles_per_sec_skip_off\": {:.1}, \"cycles_per_sec_skip_on\": {:.1}, \
-             \"speedup\": {:.3}, \"wall_s_attr_on\": {:.6}, \
+             \"speedup\": {:.3}, \"wall_s_dense_off\": {:.6}, \
+             \"dense_speedup\": {:.3}, \"wall_s_attr_on\": {:.6}, \
              \"attr_overhead\": {:.3}, \"wall_s_snapshot\": {:.6}, \
              \"snapshot_overhead\": {:.3}}}",
             cell.kernel,
@@ -417,6 +487,8 @@ fn main() {
             rate_off,
             rate_on,
             speedup,
+            dense_off.wall_s,
+            dense_speedup,
             attr.wall_s,
             overhead,
             snap.wall_s,
@@ -436,9 +508,11 @@ fn main() {
     }
     let agg_overhead = wall_attr_total / wall_on_total;
     let agg_snap_overhead = wall_snap_total / wall_on_total;
+    let agg_dense_speedup = wall_dense_off_total / wall_on_total;
     println!(
         "\nbest speedup {best:.2}x, worst {worst:.2}x ({worst_cell}); \
-         aggregate attribution overhead {agg_overhead:.3}x, \
+         aggregate dense speedup {agg_dense_speedup:.3}x, \
+         attribution overhead {agg_overhead:.3}x, \
          snapshot overhead {agg_snap_overhead:.3}x -> {out}"
     );
     if let Some(floor) = min_speedup {
@@ -446,6 +520,15 @@ fn main() {
             eprintln!(
                 "FAIL: {worst_cell} speedup {worst:.3}x is below the \
                  --min-speedup floor of {floor}x"
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(floor) = min_dense_speedup {
+        if agg_dense_speedup < floor {
+            eprintln!(
+                "FAIL: aggregate dense speedup {agg_dense_speedup:.3}x is \
+                 below the --min-dense-speedup floor of {floor}x"
             );
             std::process::exit(1);
         }

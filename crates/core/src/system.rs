@@ -24,7 +24,7 @@ use std::fmt::Write as _;
 
 use beacon_sim::component::{Probe, Tick};
 use beacon_sim::cycle::{Cycle, Duration};
-use beacon_sim::engine::{Engine, RunOutcome};
+use beacon_sim::engine::{dense_fastpath_enabled, Engine, RunOutcome};
 use beacon_sim::faults::{stream, FaultSchedule};
 use beacon_sim::journey::{self, ComponentUtil, JGate, JStamp, Phase, QueueAcc, QueueStat};
 use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
@@ -1736,8 +1736,19 @@ impl SwitchNode {
     pub(crate) fn tick_cycle(&mut self, ctx: SysCtx<'_>, now: Cycle) {
         self.apply_dimm_failure(now);
         self.fabric.tick(now);
-        self.drive_logic(ctx, now);
+        // Dense fast path: drive only the endpoints that can act this
+        // cycle. Each gate is the same per-component horizon the
+        // engine-level skip already trusts, plus the port's link-arrival
+        // horizon — before it, the endpoint's receive pump is guaranteed
+        // empty and every drive step below is a no-op.
+        let dense = dense_fastpath_enabled();
+        if !dense || self.logic_horizon() <= now {
+            self.drive_logic(ctx, now);
+        }
         for slot in 0..self.dimms.len() {
+            if dense && self.slot_horizon(slot) > now {
+                continue;
+            }
             self.drive_slot(ctx, slot, now);
         }
         if journey::active() {
@@ -1756,6 +1767,40 @@ impl SwitchNode {
                 };
                 self.q_backlog[slot].observe_if_changed(depth, now);
             }
+        }
+    }
+
+    /// The in-switch logic's event horizon: the earliest cycle at which
+    /// [`SwitchNode::drive_logic`] can do anything — inbox delivery, an
+    /// ALU-stage writeback, engine progress, or an egress pump. The same
+    /// per-component horizons [`SwitchNode::subtree_next_event`] sums,
+    /// restricted to the logic.
+    fn logic_horizon(&self) -> Cycle {
+        if self.fabric.logic_inbox_len() > 0 {
+            return Cycle::ZERO;
+        }
+        let mut h = self.logic.egress.next_event();
+        if let Some(&(ready, _)) = self.logic.alu_stage.front() {
+            h = h.min(ready);
+        }
+        if let Some(e) = &self.logic.engine {
+            h = h.min(e.next_event());
+        }
+        h
+    }
+
+    /// A DIMM slot's event horizon: the earliest cycle at which
+    /// [`SwitchNode::drive_slot`] can do anything — a bundle landing on
+    /// its port, engine or server progress, or an egress pump.
+    fn slot_horizon(&self, slot: usize) -> Cycle {
+        let port = self.fabric.dimm_port(slot as u32);
+        let h = self.fabric.port_arrival(port);
+        match &self.dimms[slot] {
+            DimmSlot::Cxlg(m) => h
+                .min(m.engine.next_event())
+                .min(m.server.next_event())
+                .min(m.egress.next_event()),
+            DimmSlot::Unmodified(u) => h.min(u.server.next_event()).min(u.egress.next_event()),
         }
     }
 

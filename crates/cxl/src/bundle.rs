@@ -10,17 +10,36 @@ use crate::message::Message;
 use crate::params::FLIT_BYTES;
 
 /// A group of messages serialised together on a link.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Bundle {
-    /// The messages sharing this bundle's flits.
+    /// The messages sharing this bundle's flits. In-place mutation (hop
+    /// stamping, `via_host` rewrites) must not change any message's wire
+    /// size: byte accounting is decoded once at construction, so the
+    /// fabric hot loops do pure arithmetic instead of re-walking the
+    /// message list (debug builds verify the cache on every read).
     pub messages: Vec<Message>,
+    /// Cached total useful wire bytes; `0` means "not yet computed"
+    /// (only reachable through serde, which skips the field — real
+    /// bundles always carry at least one 4 B header).
+    #[serde(skip)]
+    useful: u32,
 }
+
+impl PartialEq for Bundle {
+    fn eq(&self, other: &Self) -> bool {
+        self.messages == other.messages
+    }
+}
+
+impl Eq for Bundle {}
 
 impl Bundle {
     /// A bundle holding a single message (the unpacked transfer scheme).
     pub fn single(msg: Message) -> Self {
+        let useful = msg.wire_bytes();
         Bundle {
             messages: vec![msg],
+            useful,
         }
     }
 
@@ -30,12 +49,23 @@ impl Bundle {
     /// Panics when `messages` is empty.
     pub fn packed(messages: Vec<Message>) -> Self {
         assert!(!messages.is_empty(), "empty bundle");
-        Bundle { messages }
+        let useful = messages.iter().map(Message::wire_bytes).sum();
+        Bundle { messages, useful }
     }
 
-    /// Total useful wire bytes (headers + live payloads).
+    /// Total useful wire bytes (headers + live payloads). O(1): decoded
+    /// once at construction.
     pub fn useful_bytes(&self) -> u32 {
-        self.messages.iter().map(Message::wire_bytes).sum()
+        if self.useful != 0 {
+            debug_assert_eq!(
+                self.useful,
+                self.messages.iter().map(Message::wire_bytes).sum::<u32>(),
+                "bundle byte cache diverged from its messages"
+            );
+            self.useful
+        } else {
+            self.messages.iter().map(Message::wire_bytes).sum()
+        }
     }
 
     /// Bytes occupied on the wire at slot granularity `granule`.

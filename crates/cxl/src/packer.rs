@@ -7,7 +7,7 @@
 //! [`Bundle`]s, either when a flit fills up or when the oldest message
 //! exceeds a flush age.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use beacon_sim::cycle::{Cycle, Duration};
 use beacon_sim::horizon::HorizonCache;
@@ -33,7 +33,12 @@ pub struct DataPacker {
     flush_age: Duration,
     /// Target fill level in bytes (one flit by default).
     fill_bytes: u32,
-    slots: BTreeMap<NodeId, Slot>,
+    /// Per-destination slots, kept sorted by `NodeId` so the hot tick
+    /// sweep is one linear pass over a dense array in exactly the
+    /// destination order the former tree map produced. The set of
+    /// destinations is small and stabilizes early, so inserts (binary
+    /// search + shift) are rare after warm-up.
+    slots: Vec<(NodeId, Slot)>,
     ready: VecDeque<Bundle>,
     stats: Stats,
     horizon: HorizonCache,
@@ -48,7 +53,7 @@ impl DataPacker {
         DataPacker {
             flush_age: Duration::new(flush_age_cycles),
             fill_bytes: FLIT_BYTES,
-            slots: BTreeMap::new(),
+            slots: Vec::new(),
             ready: VecDeque::new(),
             stats: Stats::new(),
             horizon: HorizonCache::new(),
@@ -95,11 +100,24 @@ impl DataPacker {
             self.ready.push_back(Bundle::single(msg));
             return;
         }
-        let slot = self.slots.entry(msg.dst).or_insert_with(|| Slot {
-            msgs: Vec::new(),
-            bytes: 0,
-            oldest: now,
-        });
+        let idx = match self.slots.binary_search_by_key(&msg.dst, |(d, _)| *d) {
+            Ok(i) => i,
+            Err(i) => {
+                self.slots.insert(
+                    i,
+                    (
+                        msg.dst,
+                        Slot {
+                            msgs: Vec::new(),
+                            bytes: 0,
+                            oldest: now,
+                        },
+                    ),
+                );
+                i
+            }
+        };
+        let slot = &mut self.slots[idx].1;
         if slot.msgs.is_empty() {
             slot.oldest = now;
         }
@@ -130,9 +148,9 @@ impl DataPacker {
             return;
         }
         let age = self.flush_age;
-        // Flush in place — the map iterates in destination order, exactly
-        // the order the old collect-then-flush pass produced, without the
-        // per-call list of expired destinations.
+        // Flush in place — the sorted slot array iterates in destination
+        // order, exactly the order the old tree map produced, as one
+        // linear sweep over contiguous memory.
         let DataPacker {
             slots,
             ready,
@@ -141,7 +159,7 @@ impl DataPacker {
             ..
         } = self;
         let mut flushed = false;
-        for slot in slots.values_mut() {
+        for (_, slot) in slots.iter_mut() {
             if slot.msgs.is_empty() || now.since(slot.oldest) < age {
                 continue;
             }
@@ -178,7 +196,7 @@ impl DataPacker {
     pub fn flush_all(&mut self, now: Cycle) {
         let mut emitted = false;
         let DataPacker { slots, ready, .. } = self;
-        for slot in slots.values_mut() {
+        for (_, slot) in slots.iter_mut() {
             if slot.msgs.is_empty() {
                 continue;
             }
@@ -209,7 +227,7 @@ impl DataPacker {
 
     /// True when nothing is buffered or ready.
     pub fn is_idle(&self) -> bool {
-        self.ready.is_empty() && self.slots.values().all(|s| s.msgs.is_empty())
+        self.ready.is_empty() && self.slots.iter().all(|(_, s)| s.msgs.is_empty())
     }
 
     /// The packer's event horizon: the earliest cycle at which it can
@@ -228,9 +246,9 @@ impl DataPacker {
                 return Cycle::ZERO;
             }
             self.slots
-                .values()
-                .filter(|s| !s.msgs.is_empty())
-                .map(|s| s.oldest + self.flush_age)
+                .iter()
+                .filter(|(_, s)| !s.msgs.is_empty())
+                .map(|(_, s)| s.oldest + self.flush_age)
                 .min()
                 .unwrap_or(Cycle::NEVER)
         })
@@ -269,7 +287,7 @@ impl Snapshot for DataPacker {
 impl Restore for DataPacker {
     fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
         let n = r.seq_len()?;
-        let mut slots = BTreeMap::new();
+        let mut slots: Vec<(NodeId, Slot)> = Vec::with_capacity(n);
         for _ in 0..n {
             let dst = crate::snap::get_node(r)?;
             let m = r.seq_len()?;
@@ -279,14 +297,24 @@ impl Restore for DataPacker {
             }
             let bytes = r.u32()?;
             let oldest = r.cycle()?;
-            slots.insert(
+            // Snapshots write slots in ascending destination order; a
+            // violation means a corrupt or hand-edited image, not a
+            // different-but-valid layout.
+            if let Some((prev, _)) = slots.last() {
+                if *prev >= dst {
+                    return Err(SnapError::Corrupt(format!(
+                        "packer slots out of order: {prev:?} then {dst:?}"
+                    )));
+                }
+            }
+            slots.push((
                 dst,
                 Slot {
                     msgs,
                     bytes,
                     oldest,
                 },
-            );
+            ));
         }
         self.slots = slots;
         let n = r.seq_len()?;

@@ -132,7 +132,8 @@ pub fn get_bundle(r: &mut SnapReader<'_>) -> Result<Bundle, SnapError> {
     for _ in 0..n {
         messages.push(get_message(r)?);
     }
-    Ok(Bundle { messages })
+    // Through the constructor so the byte-accounting cache is rebuilt.
+    Ok(Bundle::packed(messages))
 }
 
 #[cfg(test)]

@@ -11,8 +11,9 @@ use std::collections::VecDeque;
 
 use beacon_sim::component::Tick;
 use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::engine::dense_fastpath_enabled;
 use beacon_sim::faults::FaultStream;
-use beacon_sim::horizon::HorizonCache;
+use beacon_sim::horizon::{GateThrottle, HorizonCache};
 use beacon_sim::journey::{self, Phase};
 use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use beacon_sim::stats::Stats;
@@ -91,6 +92,8 @@ pub struct Switch {
     bus_busy_until: f64,
     stats: Stats,
     horizon: HorizonCache,
+    /// Backoff for the dense-fast-path tick gate (wall-clock only).
+    gate: GateThrottle,
     /// Reusable buffer for back-pressured staged entries during a pump.
     pump_scratch: Vec<(Cycle, RouteTarget, Bundle)>,
     /// Trace-track label for switch-bus arbitration events.
@@ -163,6 +166,7 @@ impl Switch {
             bus_busy_until: 0.0,
             stats: Stats::new(),
             horizon: HorizonCache::new(),
+            gate: GateThrottle::new(),
             pump_scratch: Vec::new(),
             track: format!("switch{}", cfg.index),
             faults: None,
@@ -251,6 +255,14 @@ impl Switch {
     /// True when the endpoint on `port` could send at `now`.
     pub fn endpoint_can_send(&self, port: usize, now: Cycle) -> bool {
         self.ingress[port].can_send(now)
+    }
+
+    /// Arrival cycle of the oldest bundle in flight toward the endpoint
+    /// on `port` ([`Cycle::NEVER`] when none): before this cycle,
+    /// [`Switch::endpoint_recv`] is guaranteed to return `None`, so an
+    /// idle endpoint can skip its receive pump entirely.
+    pub fn port_arrival(&self, port: usize) -> Cycle {
+        self.egress[port].next_arrival()
     }
 
     /// The endpoint attached to `port` receives the next arrived bundle.
@@ -604,6 +616,20 @@ impl Restore for Switch {
 
 impl Tick for Switch {
     fn tick(&mut self, now: Cycle) {
+        // Dense-kernel fast path: the memoized horizon covers every
+        // contributor below (flap stamps, ingress/egress arrivals,
+        // staged ready cycles, logic inbox), so beyond it this tick is
+        // provably a state no-op. The gate throttle keeps the probe off
+        // the busy path: when traffic dirties the horizon every cycle a
+        // recompute here is an O(staged + ports) sweep that always
+        // answers "must tick", so failed probes back off exponentially.
+        if dense_fastpath_enabled()
+            && self
+                .gate
+                .can_skip(&self.horizon, now, || self.compute_next_event())
+        {
+            return;
+        }
         // Open any flap windows due this cycle before moving traffic.
         let mut changed = self.apply_flaps(now);
         // Ingest arrived bundles from every port and route them.

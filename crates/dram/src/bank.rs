@@ -14,7 +14,7 @@ use crate::command::CmdKind;
 use crate::params::TimingParams;
 
 /// Timing state of one bank.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BankTimer {
     open_row: Option<u64>,
     /// Earliest cycle an ACT may issue.
@@ -173,6 +173,265 @@ impl BankTimer {
                 Some((first, end))
             }
             _ => unreachable!("column chain on non-column command"),
+        }
+    }
+}
+
+/// Sentinel stored in [`BankSoa`]'s open-row column for a precharged bank.
+/// Real row numbers are bounded by the geometry (`row < rows`), so the
+/// all-ones pattern can never collide with a legitimate row.
+pub const ROW_NONE: u64 = u64::MAX;
+
+/// Struct-of-arrays timing state for every bank of a DIMM.
+///
+/// Semantically a `Vec<BankTimer>`, stored as four parallel columns so the
+/// controller's hot sweeps (FR-FCFS candidate selection, horizon recompute,
+/// the batched `Dimm::tick_banks`) walk dense `u64` cache lines instead of
+/// hopping across per-bank structs with `Option` niches. Every operation
+/// mirrors the corresponding [`BankTimer`] transition rule exactly; with the
+/// `soa-oracle` feature each mutation is also applied to a retained
+/// `Vec<BankTimer>` shadow and cross-checked, proving the columns and the
+/// scalar state machine never diverge.
+#[derive(Debug, Clone)]
+pub struct BankSoa {
+    /// Open row per bank, [`ROW_NONE`] when precharged.
+    open_row: Vec<u64>,
+    /// Earliest cycle an ACT may issue, per bank.
+    act_allowed: Vec<Cycle>,
+    /// Earliest cycle a READ/WRITE may issue, per bank.
+    col_allowed: Vec<Cycle>,
+    /// Earliest cycle a PRE may issue, per bank.
+    pre_allowed: Vec<Cycle>,
+    #[cfg(feature = "soa-oracle")]
+    shadow: Vec<BankTimer>,
+}
+
+impl BankSoa {
+    /// `n` fresh, precharged banks.
+    pub fn new(n: usize) -> Self {
+        BankSoa {
+            open_row: vec![ROW_NONE; n],
+            act_allowed: vec![Cycle::ZERO; n],
+            col_allowed: vec![Cycle::NEVER; n],
+            pre_allowed: vec![Cycle::ZERO; n],
+            #[cfg(feature = "soa-oracle")]
+            shadow: vec![BankTimer::new(); n],
+        }
+    }
+
+    /// Number of banks.
+    pub fn len(&self) -> usize {
+        self.open_row.len()
+    }
+
+    /// True when the SoA holds no banks.
+    pub fn is_empty(&self) -> bool {
+        self.open_row.is_empty()
+    }
+
+    /// Currently open row of bank `b`, if any.
+    #[inline]
+    pub fn open_row(&self, b: usize) -> Option<u64> {
+        let raw = self.open_row[b];
+        if raw == ROW_NONE {
+            None
+        } else {
+            Some(raw)
+        }
+    }
+
+    /// True when bank `b` has an open row.
+    #[inline]
+    pub fn is_open(&self, b: usize) -> bool {
+        self.open_row[b] != ROW_NONE
+    }
+
+    /// The command bank `b` needs next to serve an access to `row`
+    /// (mirrors [`BankTimer::next_cmd_for`]).
+    #[inline]
+    pub fn next_cmd_for(&self, b: usize, row: u64, kind: CmdKind) -> CmdKind {
+        debug_assert!(kind.is_column());
+        match self.open_row[b] {
+            open if open == row => kind,
+            ROW_NONE => CmdKind::Activate,
+            _ => CmdKind::Precharge,
+        }
+    }
+
+    /// True when `cmd` may legally issue on bank `b` at `now`
+    /// (mirrors [`BankTimer::can_issue`]).
+    #[inline]
+    pub fn can_issue(&self, b: usize, cmd: CmdKind, now: Cycle) -> bool {
+        let open = self.open_row[b] != ROW_NONE;
+        match cmd {
+            CmdKind::Activate | CmdKind::Refresh => !open && now >= self.act_allowed[b],
+            CmdKind::Precharge => open && now >= self.pre_allowed[b],
+            CmdKind::Read | CmdKind::Write => open && now >= self.col_allowed[b],
+        }
+    }
+
+    /// Earliest cycle at which `cmd` could issue on bank `b`
+    /// (mirrors [`BankTimer::earliest`]).
+    #[inline]
+    pub fn earliest(&self, b: usize, cmd: CmdKind) -> Cycle {
+        let open = self.open_row[b] != ROW_NONE;
+        match cmd {
+            CmdKind::Activate | CmdKind::Refresh => {
+                if open {
+                    Cycle::NEVER
+                } else {
+                    self.act_allowed[b]
+                }
+            }
+            CmdKind::Precharge => {
+                if open {
+                    self.pre_allowed[b]
+                } else {
+                    Cycle::NEVER
+                }
+            }
+            CmdKind::Read | CmdKind::Write => {
+                if open {
+                    self.col_allowed[b]
+                } else {
+                    Cycle::NEVER
+                }
+            }
+        }
+    }
+
+    /// Applies `cmd` to bank `b` at `now` (mirrors [`BankTimer::apply`],
+    /// single-burst column semantics — the module extends chained data
+    /// windows itself). Returns the data window for column commands.
+    pub fn apply(
+        &mut self,
+        b: usize,
+        cmd: CmdKind,
+        row: u64,
+        now: Cycle,
+        t: &TimingParams,
+    ) -> Option<(Cycle, Cycle)> {
+        #[cfg(feature = "soa-oracle")]
+        self.shadow[b].apply(cmd, row, now, t);
+        debug_assert!(self.can_issue(b, cmd, now), "illegal {cmd:?} at {now:?}");
+        let out = match cmd {
+            CmdKind::Activate => {
+                debug_assert_ne!(row, ROW_NONE);
+                self.open_row[b] = row;
+                self.col_allowed[b] = now + Duration::new(t.trcd);
+                self.pre_allowed[b] = now + Duration::new(t.tras);
+                self.act_allowed[b] = now + Duration::new(t.trc());
+                None
+            }
+            CmdKind::Precharge => {
+                self.open_row[b] = ROW_NONE;
+                self.col_allowed[b] = Cycle::NEVER;
+                self.act_allowed[b] = self.act_allowed[b].max(now + Duration::new(t.trp));
+                None
+            }
+            CmdKind::Read => {
+                let first = now + Duration::new(t.cl);
+                let end = first + Duration::new(t.tbl);
+                self.col_allowed[b] = now + Duration::new(t.tccd);
+                self.pre_allowed[b] = self.pre_allowed[b].max(now + Duration::new(t.trtp));
+                Some((first, end))
+            }
+            CmdKind::Write => {
+                let first = now + Duration::new(t.cwl);
+                let end = first + Duration::new(t.tbl);
+                self.col_allowed[b] = now + Duration::new(t.tccd);
+                self.pre_allowed[b] = self.pre_allowed[b].max(end + Duration::new(t.twr));
+                Some((first, end))
+            }
+            CmdKind::Refresh => {
+                self.act_allowed[b] = self.act_allowed[b].max(now + Duration::new(t.trfc));
+                None
+            }
+        };
+        #[cfg(feature = "soa-oracle")]
+        self.check(b);
+        out
+    }
+
+    /// Resets bank `b` to the fresh precharged state (rank refresh closes
+    /// every open row; mirrors replacing the bank with `BankTimer::new()`).
+    pub fn reset(&mut self, b: usize) {
+        self.open_row[b] = ROW_NONE;
+        self.act_allowed[b] = Cycle::ZERO;
+        self.col_allowed[b] = Cycle::NEVER;
+        self.pre_allowed[b] = Cycle::ZERO;
+        #[cfg(feature = "soa-oracle")]
+        {
+            self.shadow[b] = BankTimer::new();
+            self.check(b);
+        }
+    }
+
+    /// Materializes bank `b` as a scalar [`BankTimer`] (tests, oracles).
+    pub fn timer(&self, b: usize) -> BankTimer {
+        BankTimer {
+            open_row: self.open_row(b),
+            act_allowed: self.act_allowed[b],
+            col_allowed: self.col_allowed[b],
+            pre_allowed: self.pre_allowed[b],
+        }
+    }
+
+    /// Raw column access for the snapshot writer: `(open_row, act, col,
+    /// pre)`, where `open_row` uses the [`ROW_NONE`] sentinel.
+    pub(crate) fn columns(&self) -> (&[u64], &[Cycle], &[Cycle], &[Cycle]) {
+        (
+            &self.open_row,
+            &self.act_allowed,
+            &self.col_allowed,
+            &self.pre_allowed,
+        )
+    }
+
+    /// Raw column write access for the snapshot reader. The caller must
+    /// keep the four columns the same length and use [`ROW_NONE`]
+    /// consistently.
+    pub(crate) fn columns_mut(
+        &mut self,
+    ) -> (
+        &mut Vec<u64>,
+        &mut Vec<Cycle>,
+        &mut Vec<Cycle>,
+        &mut Vec<Cycle>,
+    ) {
+        (
+            &mut self.open_row,
+            &mut self.act_allowed,
+            &mut self.col_allowed,
+            &mut self.pre_allowed,
+        )
+    }
+
+    /// Rebuilds the `soa-oracle` shadow from the columns (after a restore).
+    #[cfg(feature = "soa-oracle")]
+    pub(crate) fn rebuild_shadow(&mut self) {
+        self.shadow = (0..self.len()).map(|b| self.timer(b)).collect();
+    }
+
+    /// Cross-checks bank `b` against the retained scalar oracle.
+    #[cfg(feature = "soa-oracle")]
+    fn check(&self, b: usize) {
+        debug_assert_eq!(
+            self.timer(b),
+            self.shadow[b],
+            "SoA bank {b} diverged from BankTimer oracle"
+        );
+    }
+
+    /// Cross-checks every bank against the retained scalar oracle.
+    #[cfg(feature = "soa-oracle")]
+    pub fn verify_oracle(&self) {
+        for b in 0..self.len() {
+            assert_eq!(
+                self.timer(b),
+                self.shadow[b],
+                "SoA bank {b} diverged from BankTimer oracle"
+            );
         }
     }
 }

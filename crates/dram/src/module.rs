@@ -35,15 +35,16 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use beacon_sim::component::Tick;
 use beacon_sim::cycle::{Cycle, Duration};
+use beacon_sim::engine::dense_fastpath_enabled;
 use beacon_sim::faults::FaultStream;
-use beacon_sim::horizon::HorizonCache;
+use beacon_sim::horizon::{GateThrottle, HorizonCache};
 use beacon_sim::queue::QueueFullError;
 use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use beacon_sim::stats::{Histogram, Stats};
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 use serde::{Deserialize, Serialize};
 
-use crate::bank::BankTimer;
+use crate::bank::BankSoa;
 use crate::command::CmdKind;
 use crate::params::{DimmGeometry, TimingParams};
 use crate::request::{CompletedAccess, MemRequest, ReqId, ReqKind};
@@ -193,6 +194,37 @@ impl BankSched {
     }
 }
 
+/// Deterministic per-tick work counters (`tick-audit` feature): a
+/// retired-work proxy for the microbench budget columns. Pure
+/// observation — never snapshotted, never digested, identical across
+/// runs with the same tick pattern.
+#[cfg(feature = "tick-audit")]
+#[derive(Debug, Clone, Default)]
+pub struct TickAudit {
+    /// `tick` calls observed.
+    ticks: u64,
+    /// Ticks short-circuited by the horizon gate (no sweep performed).
+    gated_ticks: u64,
+    /// Active-bank list-head inspections across the FR-FCFS choice passes.
+    choice_scans: std::cell::Cell<u64>,
+    /// Active-bank terms folded during horizon recomputes.
+    horizon_scans: std::cell::Cell<u64>,
+}
+
+/// A point-in-time copy of the [`TickAudit`] counters.
+#[cfg(feature = "tick-audit")]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickAuditCounters {
+    /// `tick` calls observed.
+    pub ticks: u64,
+    /// Ticks short-circuited by the horizon gate (no sweep performed).
+    pub gated_ticks: u64,
+    /// Active-bank list-head inspections across the FR-FCFS choice passes.
+    pub choice_scans: u64,
+    /// Active-bank terms folded during horizon recomputes.
+    pub horizon_scans: u64,
+}
+
 /// Injected-fault state. Boxed behind an `Option` so fault-free DIMMs —
 /// the common case — pay one pointer of space and a never-taken branch.
 #[derive(Debug, Clone, Default)]
@@ -209,8 +241,15 @@ struct DimmFaults {
 pub struct Dimm {
     cfg: DimmConfig,
     groups_per_rank: u32,
-    /// `[rank][group][bank]`, flattened.
-    banks: Vec<BankTimer>,
+    /// `[rank][group][bank]`, flattened, stored as parallel columns.
+    banks: BankSoa,
+    /// Rank of each flattened bank index (side table; the hot sweeps
+    /// index instead of dividing).
+    bank_rank: Vec<u32>,
+    /// `(rank, group)` data-lane of each flattened bank index.
+    bank_lane: Vec<u32>,
+    /// Command bus of each flattened bank index.
+    bank_cbus: Vec<u32>,
     /// Request slab; freed slots are recycled through `free_slots`, so
     /// the controller performs no per-request allocation in steady state.
     entries: Vec<Option<Pending>>,
@@ -256,12 +295,16 @@ pub struct Dimm {
     data_cycles: u64,
     ticked_cycles: u64,
     horizon: HorizonCache,
+    /// Backoff for the dense-fast-path tick gate (wall-clock only).
+    gate: GateThrottle,
     /// Reusable buffer for the order-preserving merges on PRE/refresh.
     merge_scratch: VecDeque<u32>,
     /// Trace-track label; `None` falls back to `"dram"`.
     trace_id: Option<Box<str>>,
     /// Injected-fault state; `None` when no faults are configured.
     faults: Option<Box<DimmFaults>>,
+    #[cfg(feature = "tick-audit")]
+    audit: TickAudit,
 }
 
 impl Dimm {
@@ -275,10 +318,22 @@ impl Dimm {
         let groups = cfg.access_mode.group_count(&cfg.geometry);
         let nbanks = (cfg.geometry.ranks * groups * cfg.geometry.banks) as usize;
         let chips = (cfg.geometry.ranks * cfg.geometry.chips_per_rank) as usize;
+        let banks_per_lane = cfg.geometry.banks;
+        let bank_rank: Vec<u32> = (0..nbanks)
+            .map(|b| b as u32 / (groups * banks_per_lane))
+            .collect();
+        let bank_lane: Vec<u32> = (0..nbanks).map(|b| b as u32 / banks_per_lane).collect();
+        let bank_cbus: Vec<u32> = bank_rank
+            .iter()
+            .map(|&r| if cfg.per_rank_cmd_bus { r } else { 0 })
+            .collect();
         Dimm {
             cfg,
             groups_per_rank: groups,
-            banks: vec![BankTimer::new(); nbanks],
+            banks: BankSoa::new(nbanks),
+            bank_rank,
+            bank_lane,
+            bank_cbus,
             entries: Vec::with_capacity(cfg.queue_depth),
             free_slots: Vec::with_capacity(cfg.queue_depth),
             order: VecDeque::with_capacity(cfg.queue_depth),
@@ -306,10 +361,30 @@ impl Dimm {
             data_cycles: 0,
             ticked_cycles: 0,
             horizon: HorizonCache::new(),
+            gate: GateThrottle::new(),
             merge_scratch: VecDeque::new(),
             trace_id: None,
             faults: None,
+            #[cfg(feature = "tick-audit")]
+            audit: TickAudit::default(),
         }
+    }
+
+    /// Snapshot of the deterministic work counters (`tick-audit` only).
+    #[cfg(feature = "tick-audit")]
+    pub fn audit_counters(&self) -> TickAuditCounters {
+        TickAuditCounters {
+            ticks: self.audit.ticks,
+            gated_ticks: self.audit.gated_ticks,
+            choice_scans: self.audit.choice_scans.get(),
+            horizon_scans: self.audit.horizon_scans.get(),
+        }
+    }
+
+    /// Zeroes the deterministic work counters (`tick-audit` only).
+    #[cfg(feature = "tick-audit")]
+    pub fn audit_reset(&mut self) {
+        self.audit = TickAudit::default();
     }
 
     /// Arms an uncorrectable-error stream: each read retiring at or
@@ -412,13 +487,15 @@ impl Dimm {
     }
 
     /// Rank served by the flattened bank index.
+    #[inline]
     fn rank_of_bank(&self, bidx: usize) -> u32 {
-        bidx as u32 / (self.groups_per_rank * self.cfg.geometry.banks)
+        self.bank_rank[bidx]
     }
 
     /// `(rank, group)` lane index of the flattened bank index.
+    #[inline]
     fn lane_of_bank(&self, bidx: usize) -> usize {
-        bidx / self.cfg.geometry.banks as usize
+        self.bank_lane[bidx] as usize
     }
 
     fn mark_bank_active(&mut self, bidx: usize) {
@@ -481,7 +558,7 @@ impl Dimm {
         // plain push_back keeps every list age-ordered.
         let bidx = self.bank_index(req.coord.rank, req.coord.group, req.coord.bank);
         let sched = &mut self.sched[bidx];
-        match self.banks[bidx].open_row() {
+        match self.banks.open_row(bidx) {
             Some(open) if open == req.coord.row => match req.kind {
                 ReqKind::Read => sched.hit_read.push_back(slot),
                 ReqKind::Write => sched.hit_write.push_back(slot),
@@ -592,11 +669,14 @@ impl Dimm {
         }
         for &b in &self.active_banks {
             let bidx = b as usize;
-            let bank = &self.banks[bidx];
+            #[cfg(feature = "tick-audit")]
+            self.audit
+                .horizon_scans
+                .set(self.audit.horizon_scans.get() + 1);
             let sched = &self.sched[bidx];
             let rank = self.rank_of_bank(bidx);
             let floor =
-                self.cmd_bus_free[self.cmd_bus_index(rank)].max(self.rank_busy[rank as usize]);
+                self.cmd_bus_free[self.bank_cbus[bidx] as usize].max(self.rank_busy[rank as usize]);
             let lane = self.lane_of_bank(bidx);
             for (list, kind, lead) in [
                 (&sched.hit_read, CmdKind::Read, t.cl),
@@ -608,14 +688,15 @@ impl Dimm {
                 // The data lane must be free when the burst starts, i.e.
                 // issue cycle n satisfies data_bus_free <= n + lead.
                 let lane_term = Cycle::new(self.data_bus_free[lane].as_u64().saturating_sub(lead));
-                h = h.min(bank.earliest(kind).max(floor).max(lane_term));
+                h = h.min(self.banks.earliest(bidx, kind).max(floor).max(lane_term));
             }
             if !sched.miss.is_empty() {
-                let need = match bank.open_row() {
-                    Some(_) => CmdKind::Precharge,
-                    None => CmdKind::Activate,
+                let need = if self.banks.is_open(bidx) {
+                    CmdKind::Precharge
+                } else {
+                    CmdKind::Activate
                 };
-                let mut ready = bank.earliest(need).max(floor);
+                let mut ready = self.banks.earliest(bidx, need).max(floor);
                 if need == CmdKind::Activate {
                     if self.last_act[lane] != Cycle::ZERO {
                         ready = ready.max(self.last_act[lane] + Duration::new(t.trrd));
@@ -659,10 +740,11 @@ impl Dimm {
                 ReqKind::Read => CmdKind::Read,
                 ReqKind::Write => CmdKind::Write,
             };
-            let bank = &self.banks[self.bank_index(c.rank, c.group, c.bank)];
-            let need = bank.next_cmd_for(c.row, col_kind);
-            let mut ready = bank
-                .earliest(need)
+            let bidx = self.bank_index(c.rank, c.group, c.bank);
+            let need = self.banks.next_cmd_for(bidx, c.row, col_kind);
+            let mut ready = self
+                .banks
+                .earliest(bidx, need)
                 .max(self.cmd_bus_free[self.cmd_bus_index(c.rank)])
                 .max(self.rank_busy[c.rank as usize]);
             if need == CmdKind::Activate {
@@ -719,10 +801,10 @@ impl Dimm {
             for group in 0..self.groups_per_rank {
                 for bank in 0..self.cfg.geometry.banks {
                     let idx = self.bank_index(rank, group, bank);
-                    if self.banks[idx].open_row().is_some() {
+                    if self.banks.is_open(idx) {
                         // Model the forced precharge as resetting the bank;
                         // its cost is folded into tRFC.
-                        self.banks[idx] = BankTimer::new();
+                        self.banks.reset(idx);
                         // Requests that were hits are misses now.
                         self.rehome_all_to_miss(idx);
                     }
@@ -927,13 +1009,16 @@ impl Dimm {
         let mut best: Option<(ReqId, u32, CmdKind)> = None;
         for &b in &self.active_banks {
             let bidx = b as usize;
+            #[cfg(feature = "tick-audit")]
+            self.audit
+                .choice_scans
+                .set(self.audit.choice_scans.get() + 1);
             let rank = self.rank_of_bank(bidx);
             if now < self.rank_busy[rank as usize]
-                || now < self.cmd_bus_free[self.cmd_bus_index(rank)]
+                || now < self.cmd_bus_free[self.bank_cbus[bidx] as usize]
             {
                 continue;
             }
-            let bank = &self.banks[bidx];
             let sched = &self.sched[bidx];
             let lane = self.lane_of_bank(bidx);
             for (list, kind, lead) in [
@@ -941,7 +1026,7 @@ impl Dimm {
                 (&sched.hit_write, CmdKind::Write, t.cwl),
             ] {
                 let Some(&slot) = list.front() else { continue };
-                if !bank.can_issue(kind, now) {
+                if !self.banks.can_issue(bidx, kind, now) {
                     // `col_allowed` is shared by reads and writes: if one
                     // kind cannot issue, neither can the other.
                     break;
@@ -966,9 +1051,13 @@ impl Dimm {
         let mut best: Option<(ReqId, u32, CmdKind)> = None;
         for &b in &self.active_banks {
             let bidx = b as usize;
+            #[cfg(feature = "tick-audit")]
+            self.audit
+                .choice_scans
+                .set(self.audit.choice_scans.get() + 1);
             let rank = self.rank_of_bank(bidx);
             if now < self.rank_busy[rank as usize]
-                || now < self.cmd_bus_free[self.cmd_bus_index(rank)]
+                || now < self.cmd_bus_free[self.bank_cbus[bidx] as usize]
             {
                 continue;
             }
@@ -976,10 +1065,10 @@ impl Dimm {
             let Some(&slot) = sched.miss.front() else {
                 continue;
             };
-            let bank = &self.banks[bidx];
-            let need = match bank.open_row() {
-                Some(_) => CmdKind::Precharge,
-                None => CmdKind::Activate,
+            let need = if self.banks.is_open(bidx) {
+                CmdKind::Precharge
+            } else {
+                CmdKind::Activate
             };
             if need == CmdKind::Activate {
                 let lane = self.lane_of_bank(bidx);
@@ -988,7 +1077,7 @@ impl Dimm {
                     continue;
                 }
             }
-            if !bank.can_issue(need, now) {
+            if !self.banks.can_issue(bidx, need, now) {
                 continue;
             }
             let id = self.entry(slot).id;
@@ -1018,10 +1107,10 @@ impl Dimm {
             ReqKind::Read => CmdKind::Read,
             ReqKind::Write => CmdKind::Write,
         };
-        let bank = &self.banks[self.bank_index(c.rank, c.group, c.bank)];
-        let need = bank.next_cmd_for(c.row, col_kind);
+        let bidx = self.bank_index(c.rank, c.group, c.bank);
+        let need = self.banks.next_cmd_for(bidx, c.row, col_kind);
         if need.is_column() {
-            if bank.can_issue(col_kind, now) {
+            if self.banks.can_issue(bidx, col_kind, now) {
                 let lead = match p.req.kind {
                     ReqKind::Read => t.cl,
                     ReqKind::Write => t.cwl,
@@ -1036,7 +1125,7 @@ impl Dimm {
         if need == CmdKind::Activate && self.act_blocked(c.rank, c.group, now) {
             return None;
         }
-        if bank.can_issue(need, now) {
+        if self.banks.can_issue(bidx, need, now) {
             Some((slot, need))
         } else {
             None
@@ -1084,8 +1173,10 @@ impl Dimm {
                 ReqKind::Read => CmdKind::Read,
                 ReqKind::Write => CmdKind::Write,
             };
-            let bank = &self.banks[self.bank_index(c.rank, c.group, c.bank)];
-            if bank.next_cmd_for(c.row, col_kind) == col_kind && bank.can_issue(col_kind, now) {
+            let bidx = self.bank_index(c.rank, c.group, c.bank);
+            if self.banks.next_cmd_for(bidx, c.row, col_kind) == col_kind
+                && self.banks.can_issue(bidx, col_kind, now)
+            {
                 let lead = match p.req.kind {
                     ReqKind::Read => t.cl,
                     ReqKind::Write => t.cwl,
@@ -1113,24 +1204,27 @@ impl Dimm {
                 ReqKind::Write => CmdKind::Write,
             };
             let bidx = self.bank_index(c.rank, c.group, c.bank);
-            let need = self.banks[bidx].next_cmd_for(c.row, col_kind);
+            let need = self.banks.next_cmd_for(bidx, c.row, col_kind);
             if need.is_column() {
                 continue; // column handled in pass 1
             }
             if need == CmdKind::Activate && self.act_blocked(c.rank, c.group, now) {
                 continue;
             }
-            if self.banks[bidx].can_issue(need, now) {
+            if self.banks.can_issue(bidx, need, now) {
                 return Some((p.id, need));
             }
         }
         None
     }
 
-    /// FR-FCFS issue: one command per cycle per command bus.
-    fn issue_one(&mut self, now: Cycle) {
+    /// FR-FCFS issue: one command per cycle per command bus. Returns
+    /// whether a command issued; once it returns `false` at a given `now`
+    /// the controller state is unchanged, so further calls would also
+    /// return `false` and the caller may stop early.
+    fn issue_one(&mut self, now: Cycle) -> bool {
         let Some((slot, kind)) = self.choose(now) else {
-            return;
+            return false;
         };
         let t = self.cfg.timing;
         let chips_per_group = self.cfg.access_mode.chips_per_group(&self.cfg.geometry) as u64;
@@ -1140,7 +1234,7 @@ impl Dimm {
             (p.req.coord, p.req.kind)
         };
         let bidx = self.bank_index(coord.rank, coord.group, coord.bank);
-        let window = self.banks[bidx].apply(kind, coord.row, now, &t);
+        let window = self.banks.apply(bidx, kind, coord.row, now, &t);
         let cbus = self.cmd_bus_index(coord.rank);
         self.cmd_bus_free[cbus] = now + Duration::new(1);
         self.horizon.invalidate();
@@ -1275,6 +1369,24 @@ impl Dimm {
             }
             CmdKind::Refresh => unreachable!("refresh issued by maybe_refresh"),
         }
+        true
+    }
+
+    /// The batched per-cycle sweep over the SoA bank state: refresh,
+    /// one command slot per command bus, retirement. [`Tick::tick`]
+    /// gates this behind the memoized horizon; callers that already
+    /// know the cycle is live (microbenchmarks, oracles) may invoke it
+    /// directly.
+    pub fn tick_banks(&mut self, now: Cycle) {
+        self.maybe_refresh(now);
+        // One command slot per command bus per cycle; issue_one leaves
+        // the state untouched when it returns false, so stop early.
+        for _ in 0..self.cmd_bus_free.len() {
+            if !self.issue_one(now) {
+                break;
+            }
+        }
+        self.retire_finished(now);
     }
 }
 
@@ -1341,14 +1453,27 @@ fn get_slots(r: &mut SnapReader<'_>) -> Result<VecDeque<u32>, SnapError> {
 
 impl Snapshot for Dimm {
     const TAG: &'static str = "dram.dimm";
-    const VERSION: u16 = 1;
+    // v2: bank state travels as four SoA columns (open-row with the
+    // ROW_NONE sentinel, then act/col/pre cycles) instead of per-bank
+    // "dram.bank" component frames.
+    const VERSION: u16 = 2;
     fn snap(&self, w: &mut SnapWriter) {
-        // `cfg`, `groups_per_rank` and `trace_id` are construction-time;
-        // `merge_scratch` is drained empty between commands and the
-        // horizon cache restores dirty.
-        w.usize(self.banks.len());
-        for bank in &self.banks {
-            w.component(bank);
+        // `cfg`, `groups_per_rank`, the bank side tables and `trace_id`
+        // are construction-time; `merge_scratch` is drained empty between
+        // commands and the horizon cache restores dirty.
+        let (open_row, act, col, pre) = self.banks.columns();
+        w.usize(open_row.len());
+        for &row in open_row {
+            w.u64(row);
+        }
+        for &at in act {
+            w.cycle(at);
+        }
+        for &at in col {
+            w.cycle(at);
+        }
+        for &at in pre {
+            w.cycle(at);
         }
         w.usize(self.entries.len());
         for entry in &self.entries {
@@ -1435,9 +1560,23 @@ impl Restore for Dimm {
                 self.banks.len()
             )));
         }
-        for bank in &mut self.banks {
-            r.component(bank)?;
+        {
+            let (open_row, act, col, pre) = self.banks.columns_mut();
+            for row in open_row.iter_mut() {
+                *row = r.u64()?;
+            }
+            for at in act.iter_mut() {
+                *at = r.cycle()?;
+            }
+            for at in col.iter_mut() {
+                *at = r.cycle()?;
+            }
+            for at in pre.iter_mut() {
+                *at = r.cycle()?;
+            }
         }
+        #[cfg(feature = "soa-oracle")]
+        self.banks.rebuild_shadow();
         let n = r.seq_len()?;
         let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
@@ -1551,12 +1690,28 @@ impl Restore for Dimm {
 impl Tick for Dimm {
     fn tick(&mut self, now: Cycle) {
         self.ticked_cycles = now.as_u64() + 1;
-        self.maybe_refresh(now);
-        // One command slot per command bus per cycle.
-        for _ in 0..self.cmd_bus_free.len() {
-            self.issue_one(now);
+        #[cfg(feature = "tick-audit")]
+        {
+            self.audit.ticks += 1;
         }
-        self.retire_finished(now);
+        // Dense-kernel fast path: the memoized horizon is conservative-
+        // exact (the same property the engine-level skip relies on), so
+        // when it lies beyond `now` the sweep below is provably a state
+        // no-op — no refresh due, no issuable command, nothing retiring.
+        // Failed dirty probes back off exponentially so a dense issue
+        // stream never pays the O(active banks) recompute every cycle.
+        if dense_fastpath_enabled()
+            && self
+                .gate
+                .can_skip(&self.horizon, now, || self.compute_next_event())
+        {
+            #[cfg(feature = "tick-audit")]
+            {
+                self.audit.gated_ticks += 1;
+            }
+            return;
+        }
+        self.tick_banks(now);
     }
 
     fn is_idle(&self) -> bool {

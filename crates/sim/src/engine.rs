@@ -15,6 +15,7 @@
 //! calling thread for A/B comparison.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::component::{Probe, Tick};
 use crate::cycle::{Cycle, Duration};
@@ -22,6 +23,8 @@ use crate::cycle::{Cycle, Duration};
 thread_local! {
     static SKIP: Cell<bool> = const { Cell::new(true) };
 }
+
+static DENSE_FASTPATH: AtomicBool = AtomicBool::new(true);
 
 /// Enables or disables event-horizon fast-forwarding for engines driven
 /// on the calling thread (ambient, mirrors how thread counts are
@@ -35,6 +38,25 @@ pub fn set_skip(enabled: bool) {
 /// Whether event-horizon fast-forwarding is enabled on this thread.
 pub fn skip_enabled() -> bool {
     SKIP.with(|s| s.get())
+}
+
+/// Enables or disables the per-component dense-kernel fast path: components
+/// whose memoized horizon proves the current cycle is a no-op return from
+/// `tick` without sweeping their internal queues. Like [`set_skip`], this
+/// never changes simulated results — only wall-clock time — so the escape
+/// hatch exists purely so `simspeed` can measure the on/off ratio
+/// (`dense_speedup`) in-process and assert digest equality between the legs.
+///
+/// Process-wide (not thread-local) on purpose: component ticks execute on
+/// parallel shard worker threads, which must observe the same setting as the
+/// thread that configured the run.
+pub fn set_dense_fastpath(enabled: bool) {
+    DENSE_FASTPATH.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the per-component dense-kernel fast path is enabled.
+pub fn dense_fastpath_enabled() -> bool {
+    DENSE_FASTPATH.load(Ordering::Relaxed)
 }
 
 /// Computes the post-tick jump target: the model's horizon clamped to

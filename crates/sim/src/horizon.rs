@@ -79,6 +79,90 @@ impl HorizonCache {
     }
 }
 
+/// Largest cooldown window a [`GateThrottle`] backs off to, in ticks.
+const GATE_BACKOFF_CAP: u8 = 6; // 2^6 - 1 = 63 ticks
+
+/// Adaptive throttle for dense-fast-path tick gates.
+///
+/// A tick gate skips a component's sweep when its memoized horizon
+/// proves the cycle is a no-op. A *clean* [`HorizonCache`] makes the
+/// probe a load-and-compare; a *dirty* one forces the from-scratch
+/// recompute — and in a dense phase, where a mutation dirties the cache
+/// every cycle and the recompute always answers "must tick", per-cycle
+/// probing taxes exactly the busiest components. (The engine-level
+/// probe throttle exists for the same reason; this is the per-component
+/// analogue.) After each failed dirty probe the throttle doubles a
+/// cooldown window during which the gate ticks unconditionally instead
+/// of recomputing; any successful skip resets it. Ticking when a probe
+/// would have skipped is always safe — the tick is a state no-op — so
+/// the throttle trades a bounded number of no-op sweeps on phase
+/// transitions for never paying O(component) recomputes every cycle of
+/// a dense phase. Pure wall-clock state: simulated results are
+/// bit-identical with or without it, and it is never snapshotted.
+#[derive(Debug, Clone)]
+pub struct GateThrottle {
+    /// Consecutive failed (must-tick) dirty probes, capped.
+    fails: Cell<u8>,
+    /// Ticks remaining before the next dirty-cache probe.
+    cooldown: Cell<u16>,
+}
+
+impl Default for GateThrottle {
+    fn default() -> Self {
+        GateThrottle::new()
+    }
+}
+
+impl GateThrottle {
+    /// A throttle with no backoff accumulated: the first dirty probe
+    /// recomputes immediately.
+    pub const fn new() -> Self {
+        GateThrottle {
+            fails: Cell::new(0),
+            cooldown: Cell::new(0),
+        }
+    }
+
+    /// True when the component's tick at `now` is provably a no-op and
+    /// can be skipped. `horizon` is the component's memoized horizon
+    /// cache and `recompute` its from-scratch fallback (only invoked on
+    /// a dirty cache outside the cooldown window).
+    #[inline]
+    pub fn can_skip(
+        &self,
+        horizon: &HorizonCache,
+        now: Cycle,
+        recompute: impl FnOnce() -> Cycle,
+    ) -> bool {
+        if !horizon.is_dirty() {
+            // Clean probes are free: take them every cycle, and let a
+            // successful skip clear any backoff left over from a dense
+            // phase so the next dirty probe is prompt again.
+            if horizon.get_or(|| unreachable!("cache is clean")) > now {
+                self.fails.set(0);
+                return true;
+            }
+            return false;
+        }
+        let cd = self.cooldown.get();
+        if cd > 0 {
+            // Inside the backoff window: tick unconditionally rather
+            // than recompute (the tick is safe either way).
+            self.cooldown.set(cd - 1);
+            return false;
+        }
+        if horizon.get_or(recompute) > now {
+            self.fails.set(0);
+            true
+        } else {
+            let f = self.fails.get().min(GATE_BACKOFF_CAP - 1) + 1;
+            self.fails.set(f);
+            self.cooldown.set((1u16 << f) - 1);
+            false
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

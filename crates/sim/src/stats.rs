@@ -5,7 +5,6 @@
 //! of counters a figure needs, and ad-hoc counters can be added deep inside a
 //! model without threading new struct fields through the stack.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -13,6 +12,13 @@ use serde::{Deserialize, Serialize};
 use crate::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// A registry of named counters and histograms.
+///
+/// Backed by key-sorted dense arrays rather than a tree map: registries
+/// hold a few dozen keys, hot loops hammer the same key millions of
+/// times, and an MRU index hint turns the common repeat-increment into a
+/// single string compare with no pointer chasing. All observable
+/// behavior (sorted iteration, digests, snapshot bytes) is identical to
+/// the former `BTreeMap` backing.
 ///
 /// ```
 /// use beacon_sim::stats::Stats;
@@ -24,8 +30,34 @@ use crate::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 /// ```
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Stats {
-    counters: BTreeMap<String, u64>,
-    values: BTreeMap<String, f64>,
+    /// Counters, sorted by key (binary-searched on miss).
+    counters: Vec<(Box<str>, u64)>,
+    /// Float accumulators, sorted by key.
+    values: Vec<(Box<str>, f64)>,
+    /// Way cache mapping a key's *address* to its index in `counters`.
+    /// Hot call sites pass `&'static str` literals whose address never
+    /// changes, so one compare replaces the binary search. Every hit is
+    /// verified by key *content* before use, so a stale or colliding
+    /// entry degrades to the slow path instead of corrupting a counter —
+    /// the cache is never observable (and meaningless across
+    /// serialization).
+    #[serde(skip)]
+    hints: [(usize, u32); HINT_WAYS],
+    /// MRU hint for `values`.
+    #[serde(skip)]
+    hint_f64: usize,
+}
+
+/// Ways in the counter-hint cache (power of two; a registry has ~a
+/// dozen keys, of which a handful are hot).
+const HINT_WAYS: usize = 8;
+
+/// The way a key address falls into. Distinct literals sit at distinct
+/// rodata offsets, so low address bits spread them well.
+#[inline]
+fn hint_way(key: &str) -> (usize, usize) {
+    let ptr = key.as_ptr() as usize;
+    (ptr, (ptr >> 3) & (HINT_WAYS - 1))
 }
 
 impl Stats {
@@ -39,12 +71,27 @@ impl Stats {
         if amount == 0 {
             return;
         }
-        match self.counters.get_mut(key) {
-            Some(v) => *v += amount,
-            None => {
-                self.counters.insert(key.to_owned(), amount);
+        let (ptr, way) = hint_way(key);
+        let (hptr, hidx) = self.hints[way];
+        if hptr == ptr {
+            if let Some((k, v)) = self.counters.get_mut(hidx as usize) {
+                if &**k == key {
+                    *v += amount;
+                    return;
+                }
             }
         }
+        let i = match self.counters.binary_search_by(|(k, _)| (**k).cmp(key)) {
+            Ok(i) => {
+                self.counters[i].1 += amount;
+                i
+            }
+            Err(i) => {
+                self.counters.insert(i, (key.into(), amount));
+                i
+            }
+        };
+        self.hints[way] = (ptr, i as u32);
     }
 
     /// Increments counter `key` by one.
@@ -54,18 +101,40 @@ impl Stats {
 
     /// Current value of counter `key` (zero when never touched).
     pub fn get(&self, key: &str) -> u64 {
-        self.counters.get(key).copied().unwrap_or(0)
+        match self.counters.binary_search_by(|(k, _)| (**k).cmp(key)) {
+            Ok(i) => self.counters[i].1,
+            Err(_) => 0,
+        }
     }
 
     /// Adds `amount` to the floating-point accumulator `key` (used for
     /// energy in picojoules, which overflows integer granularity).
     pub fn add_f64(&mut self, key: &str, amount: f64) {
-        *self.values.entry(key.to_owned()).or_insert(0.0) += amount;
+        if let Some((k, v)) = self.values.get_mut(self.hint_f64) {
+            if &**k == key {
+                *v += amount;
+                return;
+            }
+        }
+        let i = match self.values.binary_search_by(|(k, _)| (**k).cmp(key)) {
+            Ok(i) => {
+                self.values[i].1 += amount;
+                i
+            }
+            Err(i) => {
+                self.values.insert(i, (key.into(), amount));
+                i
+            }
+        };
+        self.hint_f64 = i;
     }
 
     /// Current value of float accumulator `key` (zero when never touched).
     pub fn get_f64(&self, key: &str) -> f64 {
-        self.values.get(key).copied().unwrap_or(0.0)
+        match self.values.binary_search_by(|(k, _)| (**k).cmp(key)) {
+            Ok(i) => self.values[i].1,
+            Err(_) => 0.0,
+        }
     }
 
     /// Sum of every float accumulator whose key starts with `prefix`.
@@ -91,22 +160,22 @@ impl Stats {
     /// Reports and JSON built from this iterator are byte-stable
     /// across runs regardless of counter insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.counters.iter().map(|(k, v)| (&**k, *v))
     }
 
     /// Iterates over `(key, value)` float pairs in **sorted key order**
     /// (same byte-stability guarantee as [`Stats::iter`]).
     pub fn iter_f64(&self) -> impl Iterator<Item = (&str, f64)> {
-        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+        self.values.iter().map(|(k, v)| (&**k, *v))
     }
 
     /// Merges another registry into this one (summing matching keys).
     pub fn merge(&mut self, other: &Stats) {
         for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+            self.add(k, *v);
         }
         for (k, v) in &other.values {
-            *self.values.entry(k.clone()).or_insert(0.0) += v;
+            self.add_f64(k, *v);
         }
     }
 
@@ -114,6 +183,8 @@ impl Stats {
     pub fn clear(&mut self) {
         self.counters.clear();
         self.values.clear();
+        self.hints = [(0, 0); HINT_WAYS];
+        self.hint_f64 = 0;
     }
 }
 
@@ -121,8 +192,8 @@ impl Snapshot for Stats {
     const TAG: &'static str = "sim.stats";
     const VERSION: u16 = 1;
     fn snap(&self, w: &mut SnapWriter) {
-        // BTreeMap iteration is key-sorted, so equal registries always
-        // encode to equal bytes.
+        // The arrays are key-sorted, so equal registries always encode
+        // to equal bytes (same wire layout as the former tree map).
         w.usize(self.counters.len());
         for (k, v) in &self.counters {
             w.str(k);
@@ -138,18 +209,21 @@ impl Snapshot for Stats {
 
 impl Restore for Stats {
     fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
-        self.counters.clear();
+        self.clear();
         for _ in 0..r.seq_len()? {
             let k = r.str()?;
             let v = r.u64()?;
-            self.counters.insert(k, v);
+            self.counters.push((k.into_boxed_str(), v));
         }
-        self.values.clear();
+        // Snapshots are written sorted; sorting here keeps a hand-built
+        // image from silently breaking the sorted-array invariant.
+        self.counters.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         for _ in 0..r.seq_len()? {
             let k = r.str()?;
             let v = r.f64()?;
-            self.values.insert(k, v);
+            self.values.push((k.into_boxed_str(), v));
         }
+        self.values.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         Ok(())
     }
 }

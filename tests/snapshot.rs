@@ -333,6 +333,33 @@ fn damaged_snapshots_are_rejected_typed() {
     ));
 }
 
+/// A snapshot captured **before** the DIMM bank-state refactor to
+/// struct-of-arrays (committed fixture, `"dram.dimm"` payload v1) must
+/// be rejected with the typed component-version error — not mis-read
+/// through the reordered wire layout, and not a panic. The fixture
+/// pins the rejection path for every future payload bump: whenever a
+/// component's wire order changes, its version must change with it.
+#[test]
+fn pre_soa_refactor_snapshot_is_rejected_typed() {
+    let bytes = std::fs::read(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/data/pre_soa_refactor.snap"
+    ))
+    .expect("committed fixture tests/data/pre_soa_refactor.snap");
+    match BeaconSystem::resume(&bytes) {
+        Err(SnapError::ComponentVersion {
+            tag,
+            found,
+            supported,
+        }) => {
+            assert_eq!(tag, "dram.dimm");
+            assert_eq!(found, 1);
+            assert_eq!(supported, 2);
+        }
+        other => panic!("pre-refactor snapshot must fail on the dram.dimm version, got {other:?}"),
+    }
+}
+
 /// Shared fixture for the property tests: the golden straight run and
 /// a capture-ready workload, built once.
 fn proptest_fixture() -> (AppWorkload, u64, u64) {
