@@ -34,7 +34,7 @@ use beacon_genomics::trace::{AccessKind, Region, TaskTrace};
 use crate::pending::PendingTable;
 use crate::result::RunResult;
 use crate::server::{DimmServer, ServiceOp};
-use crate::task::TaskEngine;
+use crate::task::{IssuedAccess, TaskEngine};
 use crate::translate::{Placement, RegionMap};
 
 /// Marks a service id as serving a remote request (vs completing a local
@@ -251,6 +251,8 @@ pub struct Medal {
     down: Vec<Link>,
     host_stage: VecDeque<(Cycle, Bundle)>,
     finished_at: Cycle,
+    /// Reused engine-issue buffer (`TaskEngine::tick_into`).
+    issued_scratch: Vec<IssuedAccess>,
 }
 
 impl Medal {
@@ -296,6 +298,7 @@ impl Medal {
                 .collect(),
             host_stage: VecDeque::new(),
             finished_at: Cycle::ZERO,
+            issued_scratch: Vec::new(),
             cfg,
         }
     }
@@ -382,9 +385,11 @@ impl Medal {
     }
 
     fn drive_engines(&mut self, now: Cycle) {
+        let mut issued = std::mem::take(&mut self.issued_scratch);
         for mi in 0..self.modules.len() {
-            let issued = self.modules[mi].engine.tick(now);
-            for ia in issued {
+            issued.clear();
+            self.modules[mi].engine.tick_into(now, &mut issued);
+            for &ia in &issued {
                 let segments = self.modules[mi].map.translate(&ia.access);
                 let pid =
                     self.modules[mi]
@@ -413,6 +418,7 @@ impl Medal {
                 }
             }
         }
+        self.issued_scratch = issued;
     }
 
     fn pump_outbound(&mut self, now: Cycle) {

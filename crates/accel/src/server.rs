@@ -14,11 +14,11 @@ use beacon_sim::cycle::Cycle;
 use beacon_sim::engine::dense_fastpath_enabled;
 use beacon_sim::journey::{self, JStamp, Phase};
 use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
-use beacon_sim::stats::{Histogram, Stats};
+use beacon_sim::stats::{Histogram, StatId, Stats};
 
 use beacon_dram::address::DramCoord;
-use beacon_dram::module::{Dimm, DimmConfig};
-use beacon_dram::request::{CompletedAccess, MemRequest, ReqKind};
+use beacon_dram::module::{CmdRing, Dimm, DimmConfig};
+use beacon_dram::request::{CompletedAccess, ReqKind};
 
 /// Kind of service operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +60,10 @@ pub struct DimmServer {
     rmw_stage: VecDeque<(Cycle, ServiceReq)>,
     /// Reusable buffer for draining DIMM completions each tick.
     drain_scratch: Vec<CompletedAccess>,
+    /// Staging ring to the DIMM: commands decode once at fill and the
+    /// controller admits the batch in one sweep. Filled and fully
+    /// drained inside [`Tick::tick`], so never live across a snapshot.
+    ring: CmdRing,
     /// Service ids whose completion carried poisoned data (DIMM UE) —
     /// a subset of `done`; empty unless fault injection is armed.
     poisoned: Vec<u64>,
@@ -73,11 +77,16 @@ pub struct DimmServer {
     /// owner to attach to response messages.
     jny_done: Vec<(u64, JStamp)>,
     stats: Stats,
+    /// Pre-resolved handle for the per-tick atomic-op fold.
+    atomic_ops_id: StatId,
 }
 
 impl DimmServer {
     /// Creates a server over a fresh DIMM.
     pub fn new(config: DimmConfig) -> Self {
+        let ring = CmdRing::with_capacity(config.queue_depth);
+        let mut stats = Stats::new();
+        let atomic_ops_id = stats.id("server.atomic_ops");
         DimmServer {
             dimm: Dimm::new(config),
             backlog: VecDeque::new(),
@@ -85,11 +94,13 @@ impl DimmServer {
             rmw_alu_cycles: 4,
             rmw_stage: VecDeque::new(),
             drain_scratch: Vec::new(),
+            ring,
             poisoned: Vec::new(),
             failed: false,
             jny: Vec::new(),
             jny_done: Vec::new(),
-            stats: Stats::new(),
+            stats,
+            atomic_ops_id,
         }
     }
 
@@ -226,28 +237,44 @@ impl DimmServer {
         self.dimm.chip_histogram()
     }
 
-    fn pump_backlog(&mut self) {
-        while let Some(req) = self.backlog.front().copied() {
-            if self.dimm.queue_free() == 0 {
+    /// Stages every admissible command into the ring — RMW write phases
+    /// first (the atomic engine's write-phase priority), then the
+    /// backlog — decoding each exactly once. Bounded by the DIMM's free
+    /// queue slots, so [`Dimm::consume_ring`] cannot overfill. The
+    /// batch admission order equals the retired per-message
+    /// `Dimm::enqueue` order bit for bit.
+    fn fill_ring(&mut self, now: Cycle) {
+        let mut free = self.dimm.queue_free();
+        while free > 0 {
+            let Some(&(ready, req)) = self.rmw_stage.front() else {
+                break;
+            };
+            if ready > now {
                 break;
             }
+            let cmd = self.dimm.decode(
+                ReqKind::Write,
+                req.coord,
+                req.bytes,
+                PHASE_RMW_WRITE | req.id,
+            );
+            self.ring.push(cmd);
+            self.rmw_stage.pop_front();
+            free -= 1;
+        }
+        while free > 0 {
+            let Some(req) = self.backlog.front().copied() else {
+                break;
+            };
             let (kind, tag) = match req.op {
                 ServiceOp::Read => (ReqKind::Read, PHASE_SINGLE | req.id),
                 ServiceOp::Write => (ReqKind::Write, PHASE_SINGLE | req.id),
                 ServiceOp::Rmw => (ReqKind::Read, PHASE_RMW_READ | req.id),
             };
-            let mem = MemRequest {
-                kind,
-                coord: req.coord,
-                bytes: req.bytes,
-                tag,
-            };
-            match self.dimm.enqueue(mem) {
-                Ok(_) => {
-                    self.backlog.pop_front();
-                }
-                Err(_) => break,
-            }
+            let cmd = self.dimm.decode(kind, req.coord, req.bytes, tag);
+            self.ring.push(cmd);
+            self.backlog.pop_front();
+            free -= 1;
         }
     }
 
@@ -295,26 +322,6 @@ impl DimmServer {
         stamp.phase = Phase::Return;
         stamp.resp = true;
         self.jny_done.push((id, stamp));
-    }
-
-    fn pump_rmw_stage(&mut self, now: Cycle) {
-        while let Some(&(ready, req)) = self.rmw_stage.front() {
-            if ready > now || self.dimm.queue_free() == 0 {
-                break;
-            }
-            let mem = MemRequest {
-                kind: ReqKind::Write,
-                coord: req.coord,
-                bytes: req.bytes,
-                tag: PHASE_RMW_WRITE | req.id,
-            };
-            match self.dimm.enqueue(mem) {
-                Ok(_) => {
-                    self.rmw_stage.pop_front();
-                }
-                Err(_) => break,
-            }
-        }
     }
 }
 
@@ -428,17 +435,20 @@ impl Tick for DimmServer {
             self.dimm.sync_time(now);
             return;
         }
-        // Keep the DIMM's time high-water exact: the pumps below enqueue
+        // Keep the DIMM's time high-water exact: the ring batch lands
         // before `dimm.tick(now)`, and a fast-forwarding engine may not
         // have ticked the DIMM on the previous cycle.
         self.dimm.sync_time(now);
-        self.pump_rmw_stage(now);
-        self.pump_backlog();
+        self.fill_ring(now);
+        self.dimm.consume_ring(&mut self.ring);
         self.dimm.tick(now);
         // Reuse one scratch buffer for completions (taken out of `self`
         // so the loop body can borrow the other fields mutably).
         let mut completed = std::mem::take(&mut self.drain_scratch);
         self.dimm.drain_completed_into(&mut completed);
+        // Tick-local accumulator: one sorted-array lookup per tick
+        // instead of one per retiring atomic (DESIGN.md §15.5).
+        let mut atomic_ops = 0u64;
         for c in completed.drain(..) {
             let id = c.request.tag & !PHASE_MASK;
             match c.request.tag & PHASE_MASK {
@@ -458,7 +468,7 @@ impl Tick for DimmServer {
                 }
                 PHASE_RMW_READ => {
                     // Atomic engine: arithmetic, then the write phase.
-                    self.stats.incr("server.atomic_ops");
+                    atomic_ops += 1;
                     let ready =
                         c.finished_at + beacon_sim::cycle::Duration::new(self.rmw_alu_cycles);
                     self.rmw_stage.push_back((
@@ -479,6 +489,8 @@ impl Tick for DimmServer {
             }
         }
         self.drain_scratch = completed;
+        // `Stats::add_id` ignores zero, so idle drains cost one branch.
+        self.stats.add_id(self.atomic_ops_id, atomic_ops);
     }
 
     fn is_idle(&self) -> bool {

@@ -67,6 +67,129 @@ pub struct IssuedAccess {
     pub blocking: bool,
 }
 
+/// Deterministic per-tick work counters (`tick-audit` feature): the
+/// batched-drain analogue of the DRAM crate's `TickAudit`. Pure
+/// observation — never snapshotted, never digested, identical across
+/// runs with the same tick pattern.
+#[cfg(feature = "tick-audit")]
+#[derive(Debug, Clone, Default)]
+pub struct EngineAudit {
+    /// `tick_into` calls observed.
+    ticks: u64,
+    /// Completion buckets drained (one sort + one sweep each).
+    batches: u64,
+    /// PE step completions processed out of drained buckets.
+    completions: u64,
+}
+
+/// A point-in-time copy of the [`EngineAudit`] counters.
+#[cfg(feature = "tick-audit")]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineAuditCounters {
+    /// `tick_into` calls observed.
+    pub ticks: u64,
+    /// Completion buckets drained (one sort + one sweep each).
+    pub batches: u64,
+    /// PE step completions processed out of drained buckets.
+    pub completions: u64,
+}
+
+/// Cycle-keyed completion buckets (DESIGN.md §15.5): every PE finishing
+/// on the same cycle sits in one bucket, so a tick drains whole batches
+/// instead of popping a heap once per completion. Buckets stay sorted
+/// ascending by finish cycle; a drained bucket is sorted by `TaskId`
+/// before processing, which reproduces the old
+/// `BinaryHeap<Reverse<(Cycle, TaskId)>>` pop order exactly. Drained
+/// bucket `Vec`s are recycled through a spare pool so the steady state
+/// allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct CompletionQueue {
+    /// `(finish_cycle, tasks)` buckets, ascending by cycle, each
+    /// non-empty and unsorted until drained.
+    buckets: VecDeque<(Cycle, Vec<TaskId>)>,
+    /// Total computing PEs (sum of bucket lengths).
+    busy: usize,
+    /// Emptied bucket storage kept for reuse.
+    spare: Vec<Vec<TaskId>>,
+}
+
+/// Bucket `Vec`s retained for reuse; beyond this the engine is cycling
+/// through more distinct finish cycles than any real workload mix.
+const SPARE_BUCKETS: usize = 8;
+
+impl CompletionQueue {
+    /// Number of computing PEs.
+    fn len(&self) -> usize {
+        self.busy
+    }
+
+    /// Earliest finish cycle, if any PE is computing.
+    fn next_cycle(&self) -> Option<Cycle> {
+        self.buckets.front().map(|&(c, _)| c)
+    }
+
+    fn fresh_bucket(&mut self, task: TaskId) -> Vec<TaskId> {
+        let mut ids = self.spare.pop().unwrap_or_default();
+        ids.push(task);
+        ids
+    }
+
+    /// Records that `task`'s PE finishes at `until`.
+    fn push(&mut self, until: Cycle, task: TaskId) {
+        self.busy += 1;
+        // Fast paths: uniform-latency engines land every assignment of a
+        // tick on the tail bucket (same finish cycle) or just past it.
+        match self.buckets.back_mut() {
+            Some((c, ids)) if *c == until => {
+                ids.push(task);
+                return;
+            }
+            Some((c, _)) if *c < until => {
+                let ids = self.fresh_bucket(task);
+                self.buckets.push_back((until, ids));
+                return;
+            }
+            None => {
+                let ids = self.fresh_bucket(task);
+                self.buckets.push_back((until, ids));
+                return;
+            }
+            _ => {}
+        }
+        // Mixed per-app latencies: find or create the bucket in place.
+        match self.buckets.binary_search_by(|(c, _)| c.cmp(&until)) {
+            Ok(i) => self.buckets[i].1.push(task),
+            Err(i) => {
+                let ids = self.fresh_bucket(task);
+                self.buckets.insert(i, (until, ids));
+            }
+        }
+    }
+
+    /// Takes the earliest bucket when it is due at `now`, sorted by
+    /// `TaskId` (heap pop order). The caller must hand the `Vec` back
+    /// via [`CompletionQueue::recycle`].
+    fn take_due(&mut self, now: Cycle) -> Option<Vec<TaskId>> {
+        match self.buckets.front() {
+            Some(&(c, _)) if c <= now => {
+                let (_, mut ids) = self.buckets.pop_front().expect("front checked");
+                ids.sort_unstable();
+                self.busy -= ids.len();
+                Some(ids)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns a drained bucket's storage to the spare pool.
+    fn recycle(&mut self, mut ids: Vec<TaskId>) {
+        if self.spare.len() < SPARE_BUCKETS {
+            ids.clear();
+            self.spare.push(ids);
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct TaskState {
     trace: TaskTrace,
@@ -86,14 +209,16 @@ struct TaskState {
 
 /// PEs + Task Scheduler of one NDP module.
 ///
-/// The tick path is event-driven: computing PEs sit in a min-heap keyed
-/// by completion cycle, so a tick costs O(events) rather than O(PEs) —
-/// essential with the paper's 512-PE configurations.
+/// The tick path is event-driven and batched: computing PEs sit in
+/// cycle-keyed buckets ([`CompletionQueue`]), so a tick drains every
+/// completion due at `now` in one pass rather than one heap pop per PE —
+/// essential with the paper's 512-PE configurations, where dense
+/// kernels finish tens of steps per cycle.
 #[derive(Debug, Clone)]
 pub struct TaskEngine {
     n_pes: usize,
-    /// `(finish_cycle, task)` of every computing PE.
-    computing: std::collections::BinaryHeap<std::cmp::Reverse<(Cycle, TaskId)>>,
+    /// Finish-cycle buckets of every computing PE.
+    computing: CompletionQueue,
     /// Default per-step compute latency for tasks whose application is
     /// not consulted (see [`TaskEngine::submit`]).
     pe_latency: Duration,
@@ -105,8 +230,15 @@ pub struct TaskEngine {
     /// Integral of busy-PE count over time (utilisation / PE energy).
     busy_pe_cycles: u64,
     last_busy_update: Cycle,
+    /// Tick-local accumulator for `engine.accesses_issued`: folded into
+    /// `stats` once per `tick_into` so the sorted-array lookup runs
+    /// O(1) per tick instead of once per issued step. Always zero
+    /// outside `tick_into` — never snapshotted.
+    acc_accesses_issued: u64,
     /// Trace-track label; `None` falls back to `"engine"`.
     trace_id: Option<Box<str>>,
+    #[cfg(feature = "tick-audit")]
+    audit: EngineAudit,
 }
 
 impl TaskEngine {
@@ -119,7 +251,7 @@ impl TaskEngine {
         assert!(n_pes > 0, "need at least one PE");
         TaskEngine {
             n_pes,
-            computing: std::collections::BinaryHeap::new(),
+            computing: CompletionQueue::default(),
             pe_latency: Duration::new(pe_latency_cycles as u64),
             ready: VecDeque::new(),
             tasks: Vec::new(),
@@ -127,8 +259,27 @@ impl TaskEngine {
             stats: Stats::new(),
             busy_pe_cycles: 0,
             last_busy_update: Cycle::ZERO,
+            acc_accesses_issued: 0,
             trace_id: None,
+            #[cfg(feature = "tick-audit")]
+            audit: EngineAudit::default(),
         }
+    }
+
+    /// Snapshot of the deterministic work counters (`tick-audit` only).
+    #[cfg(feature = "tick-audit")]
+    pub fn audit_counters(&self) -> EngineAuditCounters {
+        EngineAuditCounters {
+            ticks: self.audit.ticks,
+            batches: self.audit.batches,
+            completions: self.audit.completions,
+        }
+    }
+
+    /// Zeroes the deterministic work counters (`tick-audit` only).
+    #[cfg(feature = "tick-audit")]
+    pub fn audit_reset(&mut self) {
+        self.audit = EngineAudit::default();
     }
 
     /// Sets the track label this engine's trace events are emitted under.
@@ -230,30 +381,35 @@ impl TaskEngine {
         self.ready.len()
     }
 
-    /// Advances the PEs to cycle `now`; returns the accesses issued.
-    pub fn tick(&mut self, now: Cycle) -> Vec<IssuedAccess> {
-        let mut issued = Vec::new();
-        self.tick_into(now, &mut issued);
-        issued
-    }
-
-    /// Allocation-free variant of [`TaskEngine::tick`]: appends issued
-    /// accesses to `out` so the owning system can reuse one scratch
-    /// buffer across ticks instead of allocating a `Vec` per call.
+    /// Advances the PEs to cycle `now`, appending the accesses issued to
+    /// `out` so the owning system can reuse one scratch buffer across
+    /// ticks instead of allocating a `Vec` per call.
+    ///
+    /// Completions due at `now` drain in whole cycle buckets (sorted by
+    /// `TaskId`, matching the retired min-heap's pop order bit for bit)
+    /// so the per-completion bookkeeping amortises across the batch.
     pub fn tick_into(&mut self, now: Cycle, out: &mut Vec<IssuedAccess>) {
+        #[cfg(feature = "tick-audit")]
+        {
+            self.audit.ticks += 1;
+        }
         // Accumulate the busy-PE integral over the elapsed interval.
         let elapsed = now.since(self.last_busy_update).as_u64();
         self.busy_pe_cycles += elapsed * self.computing.len() as u64;
         self.last_busy_update = now;
 
         loop {
-            // Finish every compute that is due.
-            while let Some(&std::cmp::Reverse((until, task))) = self.computing.peek() {
-                if until > now {
-                    break;
+            // Finish every compute that is due, one bucket at a time.
+            while let Some(batch) = self.computing.take_due(now) {
+                #[cfg(feature = "tick-audit")]
+                {
+                    self.audit.batches += 1;
+                    self.audit.completions += batch.len() as u64;
                 }
-                self.computing.pop();
-                self.finish_step(task, now, out);
+                for &task in &batch {
+                    self.finish_step(task, now, out);
+                }
+                self.computing.recycle(batch);
             }
             // Assign ready tasks to free PEs.
             let mut assigned = false;
@@ -262,21 +418,18 @@ impl TaskEngine {
                     break;
                 };
                 let until = now + self.tasks[task.0 as usize].latency;
-                self.computing.push(std::cmp::Reverse((until, task)));
+                self.computing.push(until, task);
                 assigned = true;
             }
             // Zero-latency engines (or immediate finishes) may cascade:
             // keep going until nothing new happened this cycle.
-            if !assigned
-                || self
-                    .computing
-                    .peek()
-                    .map(|&std::cmp::Reverse((u, _))| u > now)
-                    .unwrap_or(true)
-            {
+            if !assigned || self.computing.next_cycle().map(|u| u > now).unwrap_or(true) {
                 break;
             }
         }
+        // Flush the tick-local counter; `Stats::add` ignores zero.
+        let issued = std::mem::take(&mut self.acc_accesses_issued);
+        self.stats.add("engine.accesses_issued", issued);
     }
 
     /// The cycle at which the engine next has internal work due
@@ -286,10 +439,7 @@ impl TaskEngine {
         if !self.ready.is_empty() {
             return Cycle::ZERO; // work available immediately
         }
-        self.computing
-            .peek()
-            .map(|&std::cmp::Reverse((u, _))| u)
-            .unwrap_or(Cycle::NEVER)
+        self.computing.next_cycle().unwrap_or(Cycle::NEVER)
     }
 
     /// Executes the step the PE just finished computing for `task`:
@@ -313,8 +463,7 @@ impl TaskEngine {
                 blocking,
             });
         }
-        self.stats
-            .add("engine.accesses_issued", step.accesses.len() as u64);
+        self.acc_accesses_issued += step.accesses.len() as u64;
         if trace::enabled(TraceLevel::Flit) {
             trace::emit(
                 self.trace_id.as_deref().unwrap_or("engine"),
@@ -396,13 +545,21 @@ impl Snapshot for TaskEngine {
     fn snap(&self, w: &mut SnapWriter) {
         // `n_pes`, `pe_latency` and `trace_id` are construction-time.
         // Per-task latency IS dynamic (submit_for_app varies it), so it
-        // travels with each task. The heap serialises sorted so
-        // identical logical state yields identical bytes.
-        let computing = self.computing.clone().into_sorted_vec();
-        w.usize(computing.len());
-        for std::cmp::Reverse((until, task)) in &computing {
-            w.cycle(*until);
-            w.u32(task.0);
+        // travels with each task. The buckets serialise as ascending
+        // `(cycle, task)` pairs — byte-identical to the retired heap's
+        // `into_sorted_vec` wire form, so the payload version is
+        // unchanged. The accumulator is flushed at every tick boundary
+        // and snapshots only happen between cycles, so it never needs a
+        // wire slot.
+        debug_assert_eq!(self.acc_accesses_issued, 0, "unflushed accumulator");
+        w.usize(self.computing.len());
+        for (until, ids) in &self.computing.buckets {
+            let mut sorted: Vec<u32> = ids.iter().map(|t| t.0).collect();
+            sorted.sort_unstable();
+            for id in sorted {
+                w.cycle(*until);
+                w.u32(id);
+            }
         }
         w.usize(self.ready.len());
         for task in &self.ready {
@@ -428,12 +585,15 @@ impl Snapshot for TaskEngine {
 impl Restore for TaskEngine {
     fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
         let n = r.seq_len()?;
-        let mut computing = std::collections::BinaryHeap::with_capacity(n);
+        let mut computing = CompletionQueue::default();
         for _ in 0..n {
             let until = r.cycle()?;
-            computing.push(std::cmp::Reverse((until, TaskId(r.u32()?))));
+            // Pairs arrive ascending, so every push lands on the tail
+            // bucket fast path.
+            computing.push(until, TaskId(r.u32()?));
         }
         self.computing = computing;
+        self.acc_accesses_issued = 0;
         let n = r.seq_len()?;
         let mut ready = VecDeque::with_capacity(n);
         for _ in 0..n {
@@ -494,11 +654,20 @@ mod tests {
         )
     }
 
+    /// Collecting shim for the removed allocating `tick` wrapper: the
+    /// engine API is `tick_into`; tests trade the scratch reuse for
+    /// brevity.
+    fn tick(e: &mut TaskEngine, now: Cycle) -> Vec<IssuedAccess> {
+        let mut out = Vec::new();
+        e.tick_into(now, &mut out);
+        out
+    }
+
     /// Runs the engine with an ideal zero-latency memory.
     fn run_ideal(engine: &mut TaskEngine, max_cycles: u64) -> u64 {
         for c in 0..max_cycles {
             let now = Cycle::new(c);
-            let issued = engine.tick(now);
+            let issued = tick(engine, now);
             for a in issued {
                 engine.on_data(a.token, now);
             }
@@ -574,7 +743,7 @@ mod tests {
         // returning any data: possible only if the PE switched tasks.
         let mut issued_tasks = std::collections::HashSet::new();
         for c in 0..200 {
-            for acc in e.tick(Cycle::new(c)) {
+            for acc in tick(&mut e, Cycle::new(c)) {
                 issued_tasks.insert(acc.token.task);
             }
             if issued_tasks.len() == 2 {
@@ -595,7 +764,7 @@ mod tests {
         e.submit(trace);
         let mut tokens = Vec::new();
         for c in 0..100 {
-            tokens.extend(e.tick(Cycle::new(c)).into_iter().map(|a| a.token));
+            tokens.extend(tick(&mut e, Cycle::new(c)).into_iter().map(|a| a.token));
             if !tokens.is_empty() {
                 break;
             }
@@ -629,7 +798,7 @@ mod tests {
         let mut done_at = Vec::new();
         for c in 0..200 {
             let before = e.completed();
-            e.tick(Cycle::new(c));
+            tick(&mut e, Cycle::new(c));
             if e.completed() > before {
                 done_at.push(c);
             }
@@ -640,6 +809,64 @@ mod tests {
         assert_eq!(done_at, vec![16, 82]);
     }
 
+    mod completion_queue_oracle {
+        use super::*;
+        use proptest::prelude::*;
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// The bucket queue drains in exactly the retained
+            /// `BinaryHeap<Reverse<(Cycle, TaskId)>>` pop order — the
+            /// per-event oracle the batched tick replaced — and agrees
+            /// with it on occupancy and horizon after every operation.
+            #[test]
+            fn bucket_drain_matches_heap_pop_order(
+                ops in prop::collection::vec(0u64..u64::MAX, 1..300)
+            ) {
+                let mut q = CompletionQueue::default();
+                let mut heap: BinaryHeap<Reverse<(Cycle, TaskId)>> = BinaryHeap::new();
+                let mut now = 0u64;
+                for &r in &ops {
+                    if r % 3 == 0 {
+                        // Advance the clock and drain everything due:
+                        // whole buckets on one side, one pop at a time
+                        // on the other.
+                        now += r % 5;
+                        let n = Cycle::new(now);
+                        let mut batched = Vec::new();
+                        while let Some(b) = q.take_due(n) {
+                            batched.extend_from_slice(&b);
+                            q.recycle(b);
+                        }
+                        let mut popped = Vec::new();
+                        while heap.peek().is_some_and(|&Reverse((c, _))| c <= n) {
+                            popped.push(heap.pop().expect("peeked").0 .1);
+                        }
+                        prop_assert_eq!(
+                            &batched, &popped,
+                            "drain order diverged at cycle {}", now
+                        );
+                    } else {
+                        // Narrow ranges force bucket collisions and
+                        // duplicate task ids within one bucket.
+                        let until = Cycle::new(now + 1 + (r >> 8) % 24);
+                        let task = TaskId((r % 7) as u32);
+                        q.push(until, task);
+                        heap.push(Reverse((until, task)));
+                    }
+                    prop_assert_eq!(q.len(), heap.len());
+                    prop_assert_eq!(
+                        q.next_cycle(),
+                        heap.peek().map(|&Reverse((c, _))| c)
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     #[should_panic(expected = "retired task")]
     fn data_for_retired_task_panics() {
@@ -647,7 +874,7 @@ mod tests {
         e.submit(chain_trace(1));
         let mut token = None;
         for c in 0..100 {
-            if let Some(a) = e.tick(Cycle::new(c)).first() {
+            if let Some(a) = tick(&mut e, Cycle::new(c)).first() {
                 token = Some(a.token);
                 break;
             }

@@ -18,24 +18,28 @@
 //! reports ns/iter plus the allocation delta. Exit status is non-zero
 //! when any steady-state loop allocated.
 //!
-//! Built with `--features audit` (forwarding beacon-dram's `tick-audit`
-//! feature), the DIMM section also reports *work-budget* columns from
+//! Built with `--features audit` (forwarding beacon-dram's and
+//! beacon-accel's `tick-audit` features), the DIMM and engine sections
+//! also report *work-budget* columns from
 //! the deterministic per-tick counters: FR-FCFS choice-pass list-head
 //! inspections and horizon-recompute terms per iteration. Hardware
 //! instruction/branch counters are not available in every environment
 //! this runs in, so these deterministic iteration counts are the
 //! budget proxy: they bound the branchy inner-loop work of
 //! `Dimm::tick_banks` exactly and reproduce bit-identically across
-//! runs. The section asserts the per-tick budget — a regression that
-//! makes the batched bank sweep super-linear (e.g. re-scanning every
-//! queue entry instead of the per-bank list heads) fails this binary
-//! even when wall-clock noise would hide it.
+//! runs. The sections assert their per-tick budgets — a regression
+//! that makes the batched bank sweep super-linear (e.g. re-scanning
+//! every queue entry instead of the per-bank list heads) or degrades
+//! `TaskEngine`'s bucketed completion drain back to per-completion
+//! dequeues fails this binary even when wall-clock noise would hide
+//! it.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
 
+use beacon_accel::task::TaskEngine;
 use beacon_core::config::{BeaconConfig, BeaconVariant, Optimizations};
 use beacon_core::experiments::common::{fm_workload, WorkloadScale};
 use beacon_core::mmf::build_layout;
@@ -47,6 +51,7 @@ use beacon_dram::address::DramCoord;
 use beacon_dram::module::{AccessMode, Dimm, DimmConfig};
 use beacon_dram::request::{CompletedAccess, MemRequest, ReqKind};
 use beacon_genomics::genome::GenomeId;
+use beacon_genomics::trace::{Access, AppKind, Region, Step, TaskTrace};
 use beacon_sim::component::Tick;
 use beacon_sim::cycle::Cycle;
 
@@ -94,6 +99,10 @@ struct Report {
     choice_per_iter: Option<f64>,
     /// Horizon-recompute terms per iteration (`audit` builds only).
     horizon_per_iter: Option<f64>,
+    /// Completion buckets drained per iteration (`audit` builds only).
+    batch_per_iter: Option<f64>,
+    /// PE step completions per iteration (`audit` builds only).
+    comp_per_iter: Option<f64>,
 }
 
 /// Per-tick budget for `Dimm::tick_banks` choice-pass scans, asserted
@@ -112,6 +121,16 @@ const DIMM_CHOICE_SCAN_BUDGET: f64 = 48.0;
 /// A clean-cache tick folds zero terms, so the steady-state average
 /// must stay well under one full sweep (16 banks) per tick.
 const DIMM_HORIZON_TERM_BUDGET: f64 = 24.0;
+
+/// Per-tick budget for `TaskEngine` completion-bucket drains, asserted
+/// by the engine section in `audit` builds. Ticking every cycle, at
+/// most one bucket of PE completions matures per tick (all PEs
+/// finishing on the same cycle share one bucket), so the batched drain
+/// performs at most one sort + sweep per iteration. A regression back
+/// to per-completion dequeues (one "batch" per finishing PE, the old
+/// `BinaryHeap` shape) pushes this to the per-tick completion count
+/// and fails the assertion even when wall-clock noise would hide it.
+const ENGINE_BATCH_BUDGET: f64 = 1.0;
 
 /// Mixed open-row-hit / row-conflict traffic at a fixed queue depth:
 /// exercises column issue, ACT/PRE rehoming, retirement and the horizon
@@ -183,6 +202,8 @@ fn bench_dimm_tick(warm: u64, iters: u64) -> Report {
         allocs: allocs() - base,
         choice_per_iter,
         horizon_per_iter,
+        batch_per_iter: None,
+        comp_per_iter: None,
     }
 }
 
@@ -245,6 +266,83 @@ fn bench_switch_tick(warm: u64, iters: u64) -> Report {
         allocs: allocs() - base,
         choice_per_iter: None,
         horizon_per_iter: None,
+        batch_per_iter: None,
+        comp_per_iter: None,
+    }
+}
+
+/// The accelerator tick path in its steady state: blocking tasks cycle
+/// PE-compute → issue → `on_data` → ready forever (data returns the
+/// same cycle), so every iteration exercises `tick_into`'s batched
+/// completion drain, access emission into the caller's scratch and the
+/// ready-queue round trip. Submission happens up front; the measured
+/// loop must allocate nothing and drain at most one completion bucket
+/// per tick.
+fn bench_engine_tick(warm: u64, iters: u64) -> Report {
+    let pes = 4usize;
+    let latency = 16u32;
+    let mut engine = TaskEngine::new(pes, latency);
+    // Twice the work the loop can consume (each blocking step occupies
+    // a PE for `latency` cycles, so the pool retires at most
+    // `pes / latency` steps per cycle): the measured window must stay
+    // strictly in the steady state, clear of the end-of-workload drain
+    // where the thinning ready queue changes the bucket pattern.
+    let steps_needed = (warm + iters) * pes as u64 / latency as u64 * 2;
+    let steps_per_task = 8usize;
+    let tasks = steps_needed as usize / steps_per_task + 1;
+    for t in 0..tasks {
+        let steps = (0..steps_per_task)
+            .map(|s| {
+                Step::blocking(vec![Access::read(
+                    Region::FmIndex,
+                    ((t * steps_per_task + s) as u64) * 64,
+                    32,
+                )])
+            })
+            .collect();
+        engine.submit(TaskTrace::new(AppKind::FmSeeding, steps));
+    }
+    let mut out = Vec::with_capacity(pes * 2);
+
+    let drive = |engine: &mut TaskEngine, out: &mut Vec<_>, c: u64| {
+        let now = Cycle::new(c);
+        engine.tick_into(now, out);
+        let _ = engine.next_event();
+        for ia in out.drain(..) {
+            engine.on_data(ia.token, now);
+        }
+    };
+
+    for c in 0..warm {
+        drive(&mut engine, &mut out, c);
+    }
+    let base = allocs();
+    #[cfg(feature = "audit")]
+    let audit_base = engine.audit_counters();
+    let t = Instant::now();
+    for c in warm..warm + iters {
+        drive(&mut engine, &mut out, c);
+    }
+    let elapsed = t.elapsed();
+    #[cfg(feature = "audit")]
+    let (batch_per_iter, comp_per_iter) = {
+        let a = engine.audit_counters();
+        (
+            Some((a.batches - audit_base.batches) as f64 / iters as f64),
+            Some((a.completions - audit_base.completions) as f64 / iters as f64),
+        )
+    };
+    #[cfg(not(feature = "audit"))]
+    let (batch_per_iter, comp_per_iter) = (None, None);
+    Report {
+        name: "engine_tick",
+        iters,
+        ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+        allocs: allocs() - base,
+        choice_per_iter: None,
+        horizon_per_iter: None,
+        batch_per_iter,
+        comp_per_iter,
     }
 }
 
@@ -285,6 +383,8 @@ fn bench_next_event(warm: u64, iters: u64) -> Report {
         allocs: allocs() - base,
         choice_per_iter: None,
         horizon_per_iter: None,
+        batch_per_iter: None,
+        comp_per_iter: None,
     }
 }
 
@@ -298,13 +398,21 @@ fn main() {
 
     println!("microbench — warm-up {warm} iters, measuring {iters} iters\n");
     println!(
-        "{:<24} {:>12} {:>12} {:>14} {:>12} {:>12}",
-        "benchmark", "iters", "ns/iter", "allocs (steady)", "choice/iter", "horizon/iter"
+        "{:<24} {:>12} {:>12} {:>14} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark",
+        "iters",
+        "ns/iter",
+        "allocs (steady)",
+        "choice/iter",
+        "horizon/iter",
+        "batch/iter",
+        "comp/iter"
     );
 
     let reports = [
         bench_dimm_tick(warm, iters),
         bench_switch_tick(warm, iters),
+        bench_engine_tick(warm, iters),
         bench_next_event(warm.min(4_000), iters),
     ];
 
@@ -315,13 +423,15 @@ fn main() {
     let mut failed = false;
     for r in &reports {
         println!(
-            "{:<24} {:>12} {:>12.1} {:>14} {:>12} {:>12}",
+            "{:<24} {:>12} {:>12.1} {:>14} {:>12} {:>12} {:>12} {:>12}",
             r.name,
             r.iters,
             r.ns_per_iter,
             r.allocs,
             fmt_opt(r.choice_per_iter),
-            fmt_opt(r.horizon_per_iter)
+            fmt_opt(r.horizon_per_iter),
+            fmt_opt(r.batch_per_iter),
+            fmt_opt(r.comp_per_iter)
         );
         if r.allocs != 0 {
             failed = true;
@@ -341,6 +451,17 @@ fn main() {
                     eprintln!(
                         "FAIL: dimm_tick horizon terms {h:.2}/iter exceed the \
                          budget of {DIMM_HORIZON_TERM_BUDGET}/iter"
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if r.name == "engine_tick" {
+            if let Some(b) = r.batch_per_iter {
+                if b > ENGINE_BATCH_BUDGET {
+                    eprintln!(
+                        "FAIL: engine_tick completion batches {b:.2}/iter exceed \
+                         the budget of {ENGINE_BATCH_BUDGET}/iter"
                     );
                     failed = true;
                 }

@@ -258,6 +258,15 @@ pub(crate) struct SwitchNode {
     q_staged: QueueAcc,
     q_inbox: QueueAcc,
     q_backlog: Vec<QueueAcc>,
+    /// Memoized endpoint term of [`SwitchNode::slot_horizon`] per slot
+    /// (engine ∧ server ∧ egress next-event). A slot's endpoints mutate
+    /// only inside [`SwitchNode::drive_slot`] (which clears the flag),
+    /// at task submission and on injected DIMM failure — every other
+    /// cycle the cached value is exact, so the dense-fast-path probe
+    /// pays one indexed load plus the live port-arrival term instead of
+    /// three component horizon walks (DESIGN.md §15.5).
+    slot_h: Vec<Cycle>,
+    slot_h_valid: Vec<bool>,
     /// Run-local sampling gate: refreshed from the installed recorder at
     /// run start, consulted (without thread-local traffic) on every
     /// access this subtree issues, summed into the report at collect.
@@ -429,6 +438,8 @@ impl BeaconSystem {
                     q_staged: QueueAcc::default(),
                     q_inbox: QueueAcc::default(),
                     q_backlog: vec![QueueAcc::default(); cfg.slots_per_switch() as usize],
+                    slot_h: vec![Cycle::ZERO; cfg.slots_per_switch() as usize],
+                    slot_h_valid: vec![false; cfg.slots_per_switch() as usize],
                     jgate: journey::gate(),
                     ras_fail: None,
                 }
@@ -562,6 +573,7 @@ impl BeaconSystem {
                     }
                     DimmSlot::Unmodified(_) => unreachable!("slot layout broken"),
                 }
+                self.switches[s].slot_h_valid[d] = false;
             }
             BeaconVariant::S => {
                 self.switches[module]
@@ -1464,6 +1476,10 @@ impl SwitchNode {
                 Self::pump_port(fabric, port, &mut u.egress, now);
             }
         }
+        // The drive above is the only steady-state mutator of this
+        // slot's endpoints; recompute the memoized horizon lazily on
+        // the next probe.
+        self.slot_h_valid[slot] = false;
     }
 
     fn pump_port(fabric: &mut Switch, port: usize, egress: &mut Egress, now: Cycle) {
@@ -1723,6 +1739,7 @@ impl SwitchNode {
                 }
                 self.logic.stats.incr("ras.dimm_killed");
                 self.logic.stats.add("ras.naks", lost.len() as u64);
+                self.slot_h_valid[slot] = false;
             }
             DimmSlot::Cxlg(_) => {
                 unreachable!("validate() restricts hard failures to unmodified slots")
@@ -1792,16 +1809,21 @@ impl SwitchNode {
     /// A DIMM slot's event horizon: the earliest cycle at which
     /// [`SwitchNode::drive_slot`] can do anything — a bundle landing on
     /// its port, engine or server progress, or an egress pump.
-    fn slot_horizon(&self, slot: usize) -> Cycle {
+    fn slot_horizon(&mut self, slot: usize) -> Cycle {
         let port = self.fabric.dimm_port(slot as u32);
-        let h = self.fabric.port_arrival(port);
-        match &self.dimms[slot] {
-            DimmSlot::Cxlg(m) => h
-                .min(m.engine.next_event())
-                .min(m.server.next_event())
-                .min(m.egress.next_event()),
-            DimmSlot::Unmodified(u) => h.min(u.server.next_event()).min(u.egress.next_event()),
+        let arrival = self.fabric.port_arrival(port);
+        if !self.slot_h_valid[slot] {
+            self.slot_h[slot] = match &self.dimms[slot] {
+                DimmSlot::Cxlg(m) => m
+                    .engine
+                    .next_event()
+                    .min(m.server.next_event())
+                    .min(m.egress.next_event()),
+                DimmSlot::Unmodified(u) => u.server.next_event().min(u.egress.next_event()),
+            };
+            self.slot_h_valid[slot] = true;
         }
+        arrival.min(self.slot_h[slot])
     }
 
     /// True when nothing under this switch has queued or in-flight work
@@ -2389,6 +2411,9 @@ impl Restore for SwitchNode {
         self.q_inbox = QueueAcc::default();
         for q in &mut self.q_backlog {
             *q = QueueAcc::default();
+        }
+        for v in &mut self.slot_h_valid {
+            *v = false;
         }
         self.jgate = None;
         Ok(())

@@ -11,7 +11,7 @@ use beacon_sim::cycle::{Cycle, Duration};
 use beacon_sim::faults::FaultStream;
 use beacon_sim::journey::{self, Phase};
 use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
-use beacon_sim::stats::Stats;
+use beacon_sim::stats::{StatId, Stats};
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 
 use crate::bundle::Bundle;
@@ -59,6 +59,29 @@ struct LinkFaults {
     down_until: Cycle,
 }
 
+/// [`StatId`] handles for the counters every successful `try_send`
+/// bumps, resolved once at construction.
+#[derive(Debug, Clone, Copy)]
+struct SendStatIds {
+    bundles: StatId,
+    msgs: StatId,
+    flits: StatId,
+    wire_bytes: StatId,
+    useful_bytes: StatId,
+}
+
+impl SendStatIds {
+    fn resolve(stats: &mut Stats) -> Self {
+        SendStatIds {
+            bundles: stats.id("cxl.bundles"),
+            msgs: stats.id("cxl.msgs"),
+            flits: stats.id("cxl.flits"),
+            wire_bytes: stats.id("cxl.wire_bytes"),
+            useful_bytes: stats.id("cxl.useful_bytes"),
+        }
+    }
+}
+
 /// One direction of a CXL (or DDR-channel) link.
 #[derive(Debug, Clone)]
 pub struct Link {
@@ -69,6 +92,9 @@ pub struct Link {
     /// order): `(arrives_at, bundle)`.
     in_flight: VecDeque<(Cycle, Bundle)>,
     stats: Stats,
+    /// Pre-resolved handles for the five per-bundle counters `try_send`
+    /// bumps (O(1) adds on the hot path).
+    send_ids: SendStatIds,
     /// Trace-track label; `None` falls back to `"cxl.link"`.
     trace_id: Option<Box<str>>,
     /// RAS fault state; `None` on healthy links (the common case).
@@ -82,11 +108,14 @@ impl Link {
     /// Panics when the parameters are invalid.
     pub fn new(params: LinkParams) -> Self {
         params.validate().expect("invalid link params");
+        let mut stats = Stats::new();
+        let send_ids = SendStatIds::resolve(&mut stats);
         Link {
             params,
             busy_until: 0.0,
             in_flight: VecDeque::new(),
-            stats: Stats::new(),
+            stats,
+            send_ids,
             trace_id: None,
             faults: None,
         }
@@ -183,19 +212,21 @@ impl Link {
                 ser += extra;
                 self.stats.add("ras.crc_errors", retries);
                 self.stats.add("ras.retry_cycles", extra.ceil() as u64);
-                self.stats.add("cxl.wire_bytes", (wire as u64) * retries);
+                let wire_id = self.send_ids.wire_bytes;
+                self.stats.add_id(wire_id, (wire as u64) * retries);
             }
         }
         let done = start + ser;
         self.busy_until = done;
         let arrives = Cycle::new(done.ceil() as u64) + Duration::new(self.params.latency_cycles);
 
-        self.stats.incr("cxl.bundles");
-        self.stats.add("cxl.msgs", bundle.messages.len() as u64);
-        self.stats.add("cxl.flits", bundle.flits() as u64);
-        self.stats.add("cxl.wire_bytes", wire as u64);
+        let ids = self.send_ids;
+        self.stats.incr_id(ids.bundles);
+        self.stats.add_id(ids.msgs, bundle.messages.len() as u64);
+        self.stats.add_id(ids.flits, bundle.flits() as u64);
+        self.stats.add_id(ids.wire_bytes, wire as u64);
         self.stats
-            .add("cxl.useful_bytes", bundle.useful_bytes() as u64);
+            .add_id(ids.useful_bytes, bundle.useful_bytes() as u64);
 
         if trace::enabled(TraceLevel::Flit) {
             trace::emit(

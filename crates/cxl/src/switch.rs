@@ -16,7 +16,7 @@ use beacon_sim::faults::FaultStream;
 use beacon_sim::horizon::{GateThrottle, HorizonCache};
 use beacon_sim::journey::{self, Phase};
 use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
-use beacon_sim::stats::Stats;
+use beacon_sim::stats::{StatId, Stats};
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 use serde::{Deserialize, Serialize};
 
@@ -91,6 +91,10 @@ pub struct Switch {
     logic_inbox: VecDeque<Bundle>,
     bus_busy_until: f64,
     stats: Stats,
+    /// Pre-resolved handles for the two per-bundle counters `stage`
+    /// bumps (O(1) adds on the hot path).
+    fwd_id: StatId,
+    bus_bytes_id: StatId,
     horizon: HorizonCache,
     /// Backoff for the dense-fast-path tick gate (wall-clock only).
     gate: GateThrottle,
@@ -141,6 +145,9 @@ impl Switch {
 
     /// Builds an idle switch.
     pub fn new(cfg: SwitchConfig) -> Self {
+        let mut stats = Stats::new();
+        let fwd_id = stats.id("switch.forwarded");
+        let bus_bytes_id = stats.id("switch.bus_bytes");
         let ports = 1 + cfg.dimm_slots as usize;
         let mut ingress = Vec::with_capacity(ports);
         let mut egress = Vec::with_capacity(ports);
@@ -164,7 +171,9 @@ impl Switch {
             staged: VecDeque::new(),
             logic_inbox: VecDeque::new(),
             bus_busy_until: 0.0,
-            stats: Stats::new(),
+            stats,
+            fwd_id,
+            bus_bytes_id,
             horizon: HorizonCache::new(),
             gate: GateThrottle::new(),
             pump_scratch: Vec::new(),
@@ -402,8 +411,8 @@ impl Switch {
         self.bus_busy_until = start + ser;
         let ready =
             Cycle::new((start + ser).ceil() as u64) + Duration::new(self.cfg.forward_latency);
-        self.stats.incr("switch.forwarded");
-        self.stats.add("switch.bus_bytes", wire as u64);
+        self.stats.incr_id(self.fwd_id);
+        self.stats.add_id(self.bus_bytes_id, wire as u64);
         if trace::enabled(TraceLevel::Flit) {
             trace::emit(
                 &self.track,

@@ -40,10 +40,11 @@ use beacon_sim::faults::FaultStream;
 use beacon_sim::horizon::{GateThrottle, HorizonCache};
 use beacon_sim::queue::QueueFullError;
 use beacon_sim::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
-use beacon_sim::stats::{Histogram, Stats};
+use beacon_sim::stats::{Histogram, StatId, Stats};
 use beacon_sim::trace::{self, TraceCategory, TraceEvent, TraceLevel};
 use serde::{Deserialize, Serialize};
 
+use crate::address::DramCoord;
 use crate::bank::BankSoa;
 use crate::command::CmdKind;
 use crate::params::{DimmGeometry, TimingParams};
@@ -168,11 +169,104 @@ struct Pending {
     bursts_done: u32,
     bursts_total: u32,
     last_data_end: Cycle,
+    /// Flattened bank index, decoded once at admission and reused by
+    /// every scheduler pass (snapshot payload v3 persists it with the
+    /// entry).
+    bidx: u32,
 }
 
 impl Pending {
     fn finished(&self) -> bool {
         self.bursts_done == self.bursts_total
+    }
+}
+
+/// One admission-ready command: a [`MemRequest`] plus everything the
+/// controller would otherwise re-derive from it (flattened bank index,
+/// total burst count). Produced by [`Dimm::decode`].
+#[derive(Debug, Clone, Copy)]
+pub struct DecodedCmd {
+    /// Read or write at the DRAM level.
+    pub kind: ReqKind,
+    /// Target coordinate.
+    pub coord: DramCoord,
+    /// Payload bytes.
+    pub bytes: u32,
+    /// Caller tag (opaque to the controller).
+    pub tag: u64,
+    /// Flattened bank index (decode-once).
+    pub bidx: u32,
+    /// Total bursts the request needs.
+    pub bursts: u32,
+}
+
+/// Fixed-capacity SoA ring of already-decoded commands between a
+/// producer (`DimmServer`) and the controller (DESIGN.md §15.5). The
+/// producer stages at most `queue_free()` commands per tick —
+/// write-phase RMWs first, then the backlog, preserving the per-message
+/// wire order — and [`Dimm::consume_ring`] admits them all in arrival
+/// order in one sweep. The ring is filled and fully drained within one
+/// tick, so it is never live across a snapshot and needs no wire slot.
+#[derive(Debug, Clone, Default)]
+pub struct CmdRing {
+    kinds: Vec<ReqKind>,
+    coords: Vec<DramCoord>,
+    bytes: Vec<u32>,
+    tags: Vec<u64>,
+    bidxs: Vec<u32>,
+    bursts: Vec<u32>,
+    /// Staging capacity (the consumer's queue depth).
+    cap: usize,
+}
+
+impl CmdRing {
+    /// A ring that stages at most `cap` commands (the controller queue
+    /// depth: the producer never decodes more than the queue can admit).
+    pub fn with_capacity(cap: usize) -> Self {
+        CmdRing {
+            kinds: Vec::with_capacity(cap),
+            coords: Vec::with_capacity(cap),
+            bytes: Vec::with_capacity(cap),
+            tags: Vec::with_capacity(cap),
+            bidxs: Vec::with_capacity(cap),
+            bursts: Vec::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// Staged commands.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Stages a decoded command.
+    ///
+    /// # Panics
+    /// Panics when the ring is full — the producer must bound its fill
+    /// by the consumer's `queue_free()`.
+    pub fn push(&mut self, cmd: DecodedCmd) {
+        assert!(self.len() < self.cap, "command ring overfilled");
+        self.kinds.push(cmd.kind);
+        self.coords.push(cmd.coord);
+        self.bytes.push(cmd.bytes);
+        self.tags.push(cmd.tag);
+        self.bidxs.push(cmd.bidx);
+        self.bursts.push(cmd.bursts);
+    }
+
+    /// Drops every staged command.
+    pub fn clear(&mut self) {
+        self.kinds.clear();
+        self.coords.clear();
+        self.bytes.clear();
+        self.tags.clear();
+        self.bidxs.clear();
+        self.bursts.clear();
     }
 }
 
@@ -223,6 +317,64 @@ pub struct TickAuditCounters {
     pub choice_scans: u64,
     /// Active-bank terms folded during horizon recomputes.
     pub horizon_scans: u64,
+}
+
+/// Tick-local command-mix accumulators (DESIGN.md §15.5): `issue_one`
+/// bumps plain integers and `tick_banks` folds them into `Stats` once
+/// per sweep, so the sorted-array/hint-cache machinery is hit
+/// O(counters) per tick instead of O(commands). `Stats::add` ignores
+/// zeroes, so counters a workload never touches are never created —
+/// the final counter set and values are bit-identical to per-command
+/// increments.
+#[derive(Debug, Clone, Copy, Default)]
+struct CmdStatAcc {
+    act: u64,
+    act_chips: u64,
+    row_miss: u64,
+    pre: u64,
+    pre_chips: u64,
+    row_conflict: u64,
+    read: u64,
+    write: u64,
+    rd_burst_chips: u64,
+    wr_burst_chips: u64,
+    row_hit: u64,
+}
+
+/// [`StatId`] handles for the eleven command-mix counters the per-sweep
+/// fold touches, resolved once at construction (handles survive
+/// snapshot restore; see [`Stats::id`]).
+#[derive(Debug, Clone, Copy)]
+struct CmdStatIds {
+    act: StatId,
+    act_chips: StatId,
+    row_miss: StatId,
+    pre: StatId,
+    pre_chips: StatId,
+    row_conflict: StatId,
+    read: StatId,
+    write: StatId,
+    rd_burst_chips: StatId,
+    wr_burst_chips: StatId,
+    row_hit: StatId,
+}
+
+impl CmdStatIds {
+    fn resolve(stats: &mut Stats) -> Self {
+        CmdStatIds {
+            act: stats.id("dram.cmd.act"),
+            act_chips: stats.id("dram.act_chips"),
+            row_miss: stats.id("dram.row_miss"),
+            pre: stats.id("dram.cmd.pre"),
+            pre_chips: stats.id("dram.pre_chips"),
+            row_conflict: stats.id("dram.row_conflict"),
+            read: stats.id("dram.cmd.read"),
+            write: stats.id("dram.cmd.write"),
+            rd_burst_chips: stats.id("dram.rd_burst_chips"),
+            wr_burst_chips: stats.id("dram.wr_burst_chips"),
+            row_hit: stats.id("dram.row_hit"),
+        }
+    }
 }
 
 /// Injected-fault state. Boxed behind an `Option` so fault-free DIMMs —
@@ -299,6 +451,14 @@ pub struct Dimm {
     gate: GateThrottle,
     /// Reusable buffer for the order-preserving merges on PRE/refresh.
     merge_scratch: VecDeque<u32>,
+    /// Tick-local command-mix accumulators, folded into `stats` once per
+    /// `tick_banks` sweep. Always zero between sweeps — never
+    /// snapshotted (DESIGN.md §15.5).
+    acc: CmdStatAcc,
+    /// Pre-resolved [`StatId`] handles for the per-sweep fold: eleven
+    /// O(1) indexed adds instead of eleven string lookups through an
+    /// 8-way hint cache that eleven keys thrash.
+    cmd_ids: CmdStatIds,
     /// Trace-track label; `None` falls back to `"dram"`.
     trace_id: Option<Box<str>>,
     /// Injected-fault state; `None` when no faults are configured.
@@ -327,6 +487,8 @@ impl Dimm {
             .iter()
             .map(|&r| if cfg.per_rank_cmd_bus { r } else { 0 })
             .collect();
+        let mut stats = Stats::new();
+        let cmd_ids = CmdStatIds::resolve(&mut stats);
         Dimm {
             cfg,
             groups_per_rank: groups,
@@ -356,13 +518,15 @@ impl Dimm {
             refresh_due: vec![Cycle::new(cfg.timing.trefi); cfg.geometry.ranks as usize],
             rank_busy: vec![Cycle::ZERO; cfg.geometry.ranks as usize],
             next_id: 0,
-            stats: Stats::new(),
+            stats,
             chip_hist: Histogram::new(chips),
             data_cycles: 0,
             ticked_cycles: 0,
             horizon: HorizonCache::new(),
             gate: GateThrottle::new(),
             merge_scratch: VecDeque::new(),
+            acc: CmdStatAcc::default(),
+            cmd_ids,
             trace_id: None,
             faults: None,
             #[cfg(feature = "tick-audit")]
@@ -528,51 +692,124 @@ impl Dimm {
     /// the request is empty — both are wiring bugs in the caller, not
     /// runtime conditions.
     pub fn enqueue(&mut self, req: MemRequest) -> Result<ReqId, QueueFullError<MemRequest>> {
-        let g = &self.cfg.geometry;
-        assert!(req.coord.rank < g.ranks, "rank out of range");
-        assert!(req.coord.group < self.groups_per_rank, "group out of range");
-        assert!(req.coord.bank < g.banks, "bank out of range");
-        assert!(req.coord.row < g.rows, "row out of range");
-        assert!(req.coord.col < g.cols_per_row(), "column out of range");
-        assert!(req.bytes > 0, "empty request");
-
+        let cmd = self.decode(req.kind, req.coord, req.bytes, req.tag);
         if self.order.len() >= self.cfg.queue_depth {
             return Err(QueueFullError(req));
         }
-        let burst_bytes = self.cfg.access_mode.burst_bytes(&self.cfg.geometry);
-        let bursts = req.bytes.div_ceil(burst_bytes).max(1);
+        let id = self.admit(cmd);
+        self.horizon.invalidate();
+        self.stats.incr(match req.kind {
+            ReqKind::Read => "dram.req.read",
+            ReqKind::Write => "dram.req.write",
+        });
+        Ok(id)
+    }
+
+    /// Decodes a request's admission-invariant fields once: flattened
+    /// bank index and total burst count. Producers staging through a
+    /// [`CmdRing`] decode at fill time so [`Dimm::consume_ring`] admits
+    /// without re-deriving anything.
+    ///
+    /// # Panics
+    /// Panics when the coordinate is outside the configured geometry or
+    /// the request is empty — wiring bugs in the caller.
+    pub fn decode(&self, kind: ReqKind, coord: DramCoord, bytes: u32, tag: u64) -> DecodedCmd {
+        let g = &self.cfg.geometry;
+        assert!(coord.rank < g.ranks, "rank out of range");
+        assert!(coord.group < self.groups_per_rank, "group out of range");
+        assert!(coord.bank < g.banks, "bank out of range");
+        assert!(coord.row < g.rows, "row out of range");
+        assert!(coord.col < g.cols_per_row(), "column out of range");
+        assert!(bytes > 0, "empty request");
+        let burst_bytes = self.cfg.access_mode.burst_bytes(g);
+        DecodedCmd {
+            kind,
+            coord,
+            bytes,
+            tag,
+            bidx: self.bank_index(coord.rank, coord.group, coord.bank) as u32,
+            bursts: bytes.div_ceil(burst_bytes).max(1),
+        }
+    }
+
+    /// Admits one decoded command: slab slot, age order, scheduling
+    /// index. Capacity and geometry were checked at decode/staging
+    /// time; the caller owns the horizon invalidation and request
+    /// counters so batches pay them once.
+    fn admit(&mut self, cmd: DecodedCmd) -> ReqId {
+        debug_assert!(self.order.len() < self.cfg.queue_depth, "queue overfilled");
         let id = ReqId(self.next_id);
+        self.next_id += 1;
+        let bidx = cmd.bidx as usize;
         let slot = self.alloc_slot(Pending {
             id,
-            req,
+            req: MemRequest {
+                kind: cmd.kind,
+                coord: cmd.coord,
+                bytes: cmd.bytes,
+                tag: cmd.tag,
+            },
             enqueued_at: self.now_hint(),
             first_cmd_at: Cycle::NEVER,
             bursts_done: 0,
-            bursts_total: bursts,
+            bursts_total: cmd.bursts,
             last_data_end: Cycle::ZERO,
+            bidx: cmd.bidx,
         });
-        self.next_id += 1;
         self.order.push_back(slot);
 
-        // Index the new request: ids are assigned in enqueue order, so a
-        // plain push_back keeps every list age-ordered.
-        let bidx = self.bank_index(req.coord.rank, req.coord.group, req.coord.bank);
+        // Index the new request: ids are assigned in admission order, so
+        // a plain push_back keeps every list age-ordered.
         let sched = &mut self.sched[bidx];
         match self.banks.open_row(bidx) {
-            Some(open) if open == req.coord.row => match req.kind {
+            Some(open) if open == cmd.coord.row => match cmd.kind {
                 ReqKind::Read => sched.hit_read.push_back(slot),
                 ReqKind::Write => sched.hit_write.push_back(slot),
             },
             _ => sched.miss.push_back(slot),
         }
         self.mark_bank_active(bidx);
-        self.horizon.invalidate();
+        id
+    }
 
-        self.stats.incr(match req.kind {
-            ReqKind::Read => "dram.req.read",
-            ReqKind::Write => "dram.req.write",
-        });
-        Ok(id)
+    /// Admits every staged command in arrival order, then empties the
+    /// ring. One horizon invalidation and one request-counter flush
+    /// cover the whole batch; the per-command work is the slab insert
+    /// and the scheduling-index push only. Equivalent to calling
+    /// [`Dimm::enqueue`] once per staged command (the retained
+    /// per-event oracle path).
+    ///
+    /// # Panics
+    /// Panics (debug) when the batch exceeds the queue's free slots —
+    /// the producer must bound its fill by `queue_free()`.
+    pub fn consume_ring(&mut self, ring: &mut CmdRing) {
+        if ring.is_empty() {
+            return;
+        }
+        debug_assert!(
+            self.order.len() + ring.len() <= self.cfg.queue_depth,
+            "ring batch exceeds queue capacity"
+        );
+        let (mut reads, mut writes) = (0u64, 0u64);
+        for i in 0..ring.len() {
+            let cmd = DecodedCmd {
+                kind: ring.kinds[i],
+                coord: ring.coords[i],
+                bytes: ring.bytes[i],
+                tag: ring.tags[i],
+                bidx: ring.bidxs[i],
+                bursts: ring.bursts[i],
+            };
+            match cmd.kind {
+                ReqKind::Read => reads += 1,
+                ReqKind::Write => writes += 1,
+            }
+            self.admit(cmd);
+        }
+        ring.clear();
+        self.horizon.invalidate();
+        self.stats.add("dram.req.read", reads);
+        self.stats.add("dram.req.write", writes);
     }
 
     fn now_hint(&self) -> Cycle {
@@ -740,7 +977,7 @@ impl Dimm {
                 ReqKind::Read => CmdKind::Read,
                 ReqKind::Write => CmdKind::Write,
             };
-            let bidx = self.bank_index(c.rank, c.group, c.bank);
+            let bidx = p.bidx as usize;
             let need = self.banks.next_cmd_for(bidx, c.row, col_kind);
             let mut ready = self
                 .banks
@@ -779,11 +1016,11 @@ impl Dimm {
         (rank * self.groups_per_rank + group) as usize
     }
 
-    fn record_chip_access(&mut self, rank: u32, group: u32) {
+    fn record_chip_access(&mut self, rank: u32, group: u32, bursts: u64) {
         let chips_per_group = self.cfg.access_mode.chips_per_group(&self.cfg.geometry);
         let base = rank * self.cfg.geometry.chips_per_rank + group * chips_per_group;
         for c in 0..chips_per_group {
-            self.chip_hist.record((base + c) as usize, 1);
+            self.chip_hist.record((base + c) as usize, bursts);
         }
     }
 
@@ -1107,7 +1344,7 @@ impl Dimm {
             ReqKind::Read => CmdKind::Read,
             ReqKind::Write => CmdKind::Write,
         };
-        let bidx = self.bank_index(c.rank, c.group, c.bank);
+        let bidx = p.bidx as usize;
         let need = self.banks.next_cmd_for(bidx, c.row, col_kind);
         if need.is_column() {
             if self.banks.can_issue(bidx, col_kind, now) {
@@ -1173,7 +1410,7 @@ impl Dimm {
                 ReqKind::Read => CmdKind::Read,
                 ReqKind::Write => CmdKind::Write,
             };
-            let bidx = self.bank_index(c.rank, c.group, c.bank);
+            let bidx = p.bidx as usize;
             if self.banks.next_cmd_for(bidx, c.row, col_kind) == col_kind
                 && self.banks.can_issue(bidx, col_kind, now)
             {
@@ -1203,7 +1440,7 @@ impl Dimm {
                 ReqKind::Read => CmdKind::Read,
                 ReqKind::Write => CmdKind::Write,
             };
-            let bidx = self.bank_index(c.rank, c.group, c.bank);
+            let bidx = p.bidx as usize;
             let need = self.banks.next_cmd_for(bidx, c.row, col_kind);
             if need.is_column() {
                 continue; // column handled in pass 1
@@ -1229,11 +1466,10 @@ impl Dimm {
         let t = self.cfg.timing;
         let chips_per_group = self.cfg.access_mode.chips_per_group(&self.cfg.geometry) as u64;
 
-        let (coord, req_kind) = {
+        let (coord, req_kind, bidx) = {
             let p = self.entry(slot);
-            (p.req.coord, p.req.kind)
+            (p.req.coord, p.req.kind, p.bidx as usize)
         };
-        let bidx = self.bank_index(coord.rank, coord.group, coord.bank);
         let window = self.banks.apply(bidx, kind, coord.row, now, &t);
         let cbus = self.cmd_bus_index(coord.rank);
         self.cmd_bus_free[cbus] = now + Duration::new(1);
@@ -1249,9 +1485,9 @@ impl Dimm {
             CmdKind::Activate => {
                 self.note_act(coord.rank, coord.group, now);
                 self.rehome_after_activate(bidx, coord.row);
-                self.stats.incr("dram.cmd.act");
-                self.stats.add("dram.act_chips", chips_per_group);
-                self.stats.incr("dram.row_miss");
+                self.acc.act += 1;
+                self.acc.act_chips += chips_per_group;
+                self.acc.row_miss += 1;
                 if trace::enabled(TraceLevel::Command) {
                     trace::emit(
                         self.trace_id.as_deref().unwrap_or("dram"),
@@ -1268,9 +1504,9 @@ impl Dimm {
             }
             CmdKind::Precharge => {
                 self.rehome_all_to_miss(bidx);
-                self.stats.incr("dram.cmd.pre");
-                self.stats.add("dram.pre_chips", chips_per_group);
-                self.stats.incr("dram.row_conflict");
+                self.acc.pre += 1;
+                self.acc.pre_chips += chips_per_group;
+                self.acc.row_conflict += 1;
                 if trace::enabled(TraceLevel::Command) {
                     trace::emit(
                         self.trace_id.as_deref().unwrap_or("dram"),
@@ -1336,20 +1572,16 @@ impl Dimm {
                 }
                 match req_kind {
                     ReqKind::Read => {
-                        self.stats.incr("dram.cmd.read");
-                        self.stats
-                            .add("dram.rd_burst_chips", chips_per_group * chained);
+                        self.acc.read += 1;
+                        self.acc.rd_burst_chips += chips_per_group * chained;
                     }
                     ReqKind::Write => {
-                        self.stats.incr("dram.cmd.write");
-                        self.stats
-                            .add("dram.wr_burst_chips", chips_per_group * chained);
+                        self.acc.write += 1;
+                        self.acc.wr_burst_chips += chips_per_group * chained;
                     }
                 }
-                self.stats.incr("dram.row_hit");
-                for _ in 0..chained {
-                    self.record_chip_access(coord.rank, coord.group);
-                }
+                self.acc.row_hit += 1;
+                self.record_chip_access(coord.rank, coord.group, chained);
                 if trace::enabled(TraceLevel::Command) {
                     trace::emit(
                         self.trace_id.as_deref().unwrap_or("dram"),
@@ -1387,6 +1619,26 @@ impl Dimm {
             }
         }
         self.retire_finished(now);
+        self.flush_cmd_stats();
+    }
+
+    /// Folds the tick-local command-mix accumulators into `stats`.
+    /// `Stats::add` ignores zeroes, so counters the sweep did not touch
+    /// cost one branch each and are never created.
+    fn flush_cmd_stats(&mut self) {
+        let a = std::mem::take(&mut self.acc);
+        let ids = self.cmd_ids;
+        self.stats.add_id(ids.act, a.act);
+        self.stats.add_id(ids.act_chips, a.act_chips);
+        self.stats.add_id(ids.row_miss, a.row_miss);
+        self.stats.add_id(ids.pre, a.pre);
+        self.stats.add_id(ids.pre_chips, a.pre_chips);
+        self.stats.add_id(ids.row_conflict, a.row_conflict);
+        self.stats.add_id(ids.read, a.read);
+        self.stats.add_id(ids.write, a.write);
+        self.stats.add_id(ids.rd_burst_chips, a.rd_burst_chips);
+        self.stats.add_id(ids.wr_burst_chips, a.wr_burst_chips);
+        self.stats.add_id(ids.row_hit, a.row_hit);
     }
 }
 
@@ -1456,7 +1708,10 @@ impl Snapshot for Dimm {
     // v2: bank state travels as four SoA columns (open-row with the
     // ROW_NONE sentinel, then act/col/pre cycles) instead of per-bank
     // "dram.bank" component frames.
-    const VERSION: u16 = 2;
+    // v3: each live slab entry persists its decoded flattened bank
+    // index (the command-ring admission path decodes once and the
+    // scheduler passes reuse the stored index).
+    const VERSION: u16 = 3;
     fn snap(&self, w: &mut SnapWriter) {
         // `cfg`, `groups_per_rank`, the bank side tables and `trace_id`
         // are construction-time; `merge_scratch` is drained empty between
@@ -1488,6 +1743,7 @@ impl Snapshot for Dimm {
                     w.u32(p.bursts_done);
                     w.u32(p.bursts_total);
                     w.cycle(p.last_data_end);
+                    w.u32(p.bidx);
                 }
             }
         }
@@ -1581,7 +1837,7 @@ impl Restore for Dimm {
         let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
             entries.push(if r.bool()? {
-                Some(Pending {
+                let p = Pending {
                     id: ReqId(r.u64()?),
                     req: get_request(r)?,
                     enqueued_at: r.cycle()?,
@@ -1589,7 +1845,15 @@ impl Restore for Dimm {
                     bursts_done: r.u32()?,
                     bursts_total: r.u32()?,
                     last_data_end: r.cycle()?,
-                })
+                    bidx: r.u32()?,
+                };
+                if p.bidx as usize >= nbanks {
+                    return Err(SnapError::Corrupt(format!(
+                        "entry bank index {} of {nbanks}",
+                        p.bidx
+                    )));
+                }
+                Some(p)
             } else {
                 None
             });

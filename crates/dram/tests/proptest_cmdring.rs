@@ -1,0 +1,187 @@
+//! Property tests for the flat command ring (DESIGN.md §15.5).
+//!
+//! One equivalence, over random request streams: a DIMM fed through a
+//! [`CmdRing`] — commands decoded at fill time, admitted in arrival
+//! order by one [`Dimm::consume_ring`] sweep per cycle — must behave
+//! bit-for-bit like a DIMM fed the same stream through the retained
+//! per-event [`Dimm::enqueue`] oracle path: same retirements at the
+//! same cycles, same post-tick horizon every cycle, same final
+//! command-mix counters, and the same admission decisions when the
+//! queue fills (the ring producer bounds its fill by `queue_free()`,
+//! exactly as `enqueue` rejects once the queue is full).
+
+use beacon_dram::address::DramCoord;
+use beacon_dram::module::{AccessMode, CmdRing, Dimm, DimmConfig};
+use beacon_dram::request::{MemRequest, ReqKind};
+use beacon_sim::component::Tick;
+use beacon_sim::cycle::Cycle;
+use proptest::prelude::*;
+
+/// Everything observable about one replay: `(tag, finished_at)` per
+/// retirement in drain order, the post-tick horizon per cycle, and the
+/// final command-mix counters.
+struct Observed {
+    retired: Vec<(u64, u64)>,
+    horizons: Vec<Cycle>,
+    counters: Vec<(String, u64)>,
+}
+
+/// Derives the burst of requests staged on one cycle from the raw
+/// sample: zero to three, so single admissions, true batches and empty
+/// cycles all occur.
+fn cycle_requests(d: &Dimm, step: usize, r: u64) -> Vec<MemRequest> {
+    let groups = d.groups_per_rank() as u64;
+    let banks = d.config().geometry.banks as u64;
+    let ranks = d.config().geometry.ranks as u64;
+    (0..r % 4)
+        .map(|i| {
+            // Remix per sub-request so a burst spreads across banks.
+            let s = r
+                .rotate_left(13 * (i as u32 + 1))
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let coord = DramCoord {
+                rank: ((s >> 48) % ranks) as u32,
+                group: ((s >> 32) % groups) as u32,
+                bank: ((s >> 16) % banks) as u32,
+                row: s % 4,
+                col: ((s >> 8) % 4) as u32,
+            };
+            let bytes = [4u32, 32, 64, 256][(s % 4) as usize];
+            let tag = (step as u64) << 8 | i;
+            if s.is_multiple_of(5) {
+                MemRequest::write(coord, bytes).with_tag(tag)
+            } else {
+                MemRequest::read(coord, bytes).with_tag(tag)
+            }
+        })
+        .collect()
+}
+
+/// Replays `ops` (one raw 64-bit sample per cycle) against a fresh
+/// DIMM, staging each cycle's burst through the command ring when
+/// `via_ring` is set and through per-event `enqueue` otherwise, then
+/// drains the queue with trailing ticks so every admitted request
+/// retires.
+fn replay(cfg: DimmConfig, ops: &[u64], via_ring: bool) -> Observed {
+    let mut d = Dimm::new(cfg);
+    let mut ring = CmdRing::with_capacity(d.config().queue_depth);
+    let mut o = Observed {
+        retired: Vec::new(),
+        horizons: Vec::new(),
+        counters: Vec::new(),
+    };
+    let drain = |d: &mut Dimm, o: &mut Observed| {
+        for c in d.drain_completed() {
+            o.retired.push((c.request.tag, c.finished_at.as_u64()));
+        }
+    };
+    let mut now = Cycle::ZERO;
+    for (step, &r) in ops.iter().enumerate() {
+        now = Cycle::new(step as u64);
+        d.sync_time(now);
+        let burst = cycle_requests(&d, step, r);
+        if via_ring {
+            // Producer protocol: decode up to `queue_free()` commands,
+            // drop the rest (the oracle's enqueue rejects the same
+            // ones — the queue cannot drain mid-burst).
+            let free = d.queue_free();
+            for req in burst.into_iter().take(free) {
+                ring.push(d.decode(req.kind, req.coord, req.bytes, req.tag));
+            }
+            d.consume_ring(&mut ring);
+            assert!(ring.is_empty(), "consume_ring must drain the ring");
+        } else {
+            for req in burst {
+                let _ = d.enqueue(req);
+            }
+        }
+        d.tick(now);
+        o.horizons.push(Dimm::next_event(&d));
+        if r % 7 == 0 {
+            drain(&mut d, &mut o);
+        }
+    }
+    while d.queue_len() > 0 {
+        now = now.next();
+        d.tick(now);
+        o.horizons.push(Dimm::next_event(&d));
+        drain(&mut d, &mut o);
+    }
+    drain(&mut d, &mut o);
+    o.counters = d.stats().iter().map(|(k, v)| (k.to_owned(), v)).collect();
+    o
+}
+
+/// Replays the same stream through both admission paths and requires
+/// bit-identical observations.
+fn check_ring_equivalence(cfg: DimmConfig, ops: &[u64]) {
+    let ringed = replay(cfg, ops, true);
+    let oracle = replay(cfg, ops, false);
+    prop_assert_eq!(
+        &ringed.retired,
+        &oracle.retired,
+        "ring and per-event admission retired different sequences"
+    );
+    prop_assert_eq!(
+        &ringed.horizons,
+        &oracle.horizons,
+        "ring and per-event admission reported different horizons"
+    );
+    prop_assert_eq!(
+        &ringed.counters,
+        &oracle.counters,
+        "ring and per-event admission issued different command mixes"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ring_matches_enqueue_oracle_perchip(
+        ops in prop::collection::vec(0u64..u64::MAX, 50..400)
+    ) {
+        check_ring_equivalence(DimmConfig::paper_ndp(AccessMode::PerChip), &ops);
+    }
+
+    #[test]
+    fn ring_matches_enqueue_oracle_lockstep_refresh(
+        ops in prop::collection::vec(0u64..u64::MAX, 50..400)
+    ) {
+        let mut cfg = DimmConfig::paper(AccessMode::RankLockstep);
+        cfg.refresh_enabled = true;
+        check_ring_equivalence(cfg, &ops);
+    }
+
+    /// Saturation: a tiny queue forces the `queue_free()` bound on the
+    /// producer every cycle, pinning the drop-on-full equivalence with
+    /// `enqueue`'s rejection.
+    #[test]
+    fn ring_matches_enqueue_oracle_under_saturation(
+        ops in prop::collection::vec(0u64..u64::MAX, 50..200)
+    ) {
+        let mut cfg = DimmConfig::paper_ndp(AccessMode::PerChip);
+        cfg.queue_depth = 3;
+        check_ring_equivalence(cfg, &ops);
+    }
+}
+
+/// `ReqKind` is re-exported for producers; pin the two arms the ring
+/// carries.
+#[test]
+fn decoded_kind_round_trips() {
+    let cfg = DimmConfig::paper_ndp(AccessMode::PerChip);
+    let d = Dimm::new(cfg);
+    let coord = DramCoord {
+        rank: 0,
+        group: 0,
+        bank: 0,
+        row: 0,
+        col: 0,
+    };
+    let rd = d.decode(ReqKind::Read, coord, 64, 7);
+    let wr = d.decode(ReqKind::Write, coord, 64, 9);
+    assert!(matches!(rd.kind, ReqKind::Read));
+    assert!(matches!(wr.kind, ReqKind::Write));
+    assert_eq!((rd.tag, wr.tag), (7, 9));
+}

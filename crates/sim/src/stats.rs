@@ -46,7 +46,28 @@ pub struct Stats {
     /// MRU hint for `values`.
     #[serde(skip)]
     hint_f64: usize,
+    /// Registered [`StatId`] handles: `(key, index-or-MAX)`. Unlike the
+    /// way cache these are maintained *exactly* (every counter insert
+    /// fixes them up), so `add_id` needs no content verification — one
+    /// bounds-checked load replaces the whole lookup. `u32::MAX` marks a
+    /// key whose counter does not exist yet: registering a handle never
+    /// materializes a zero counter, so handles are invisible to
+    /// iteration, digests and snapshots.
+    #[serde(skip)]
+    handles: Vec<(Box<str>, u32)>,
 }
+
+/// A stable handle to one counter in a specific [`Stats`] registry,
+/// obtained from [`Stats::id`]. Turns the string lookup of
+/// [`Stats::add`] into a direct index — the right tool for per-cycle
+/// flush paths that hammer a fixed set of keys. A handle is only
+/// meaningful on the registry (or a clone of the registry) that issued
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatId(u32);
+
+/// Sentinel in the handle table for "counter not materialized yet".
+const NO_SLOT: u32 = u32::MAX;
 
 /// Ways in the counter-hint cache (power of two; a registry has ~a
 /// dozen keys, of which a handful are hot).
@@ -88,6 +109,7 @@ impl Stats {
             }
             Err(i) => {
                 self.counters.insert(i, (key.into(), amount));
+                self.reindex_after_insert(i, key);
                 i
             }
         };
@@ -97,6 +119,80 @@ impl Stats {
     /// Increments counter `key` by one.
     pub fn incr(&mut self, key: &str) {
         self.add(key, 1);
+    }
+
+    /// Registers `key` and returns a stable [`StatId`] for O(1) adds.
+    /// Does **not** create the counter — a handle whose key is never
+    /// bumped leaves the registry untouched. Registering the same key
+    /// twice returns the same handle.
+    pub fn id(&mut self, key: &str) -> StatId {
+        if let Some(i) = self.handles.iter().position(|(k, _)| &**k == key) {
+            return StatId(i as u32);
+        }
+        let slot = match self.counters.binary_search_by(|(k, _)| (**k).cmp(key)) {
+            Ok(i) => i as u32,
+            Err(_) => NO_SLOT,
+        };
+        self.handles.push((key.into(), slot));
+        StatId(self.handles.len() as u32 - 1)
+    }
+
+    /// Adds `amount` to the counter behind `id` — one indexed load on
+    /// the hot path, no string compare.
+    ///
+    /// # Panics
+    /// Panics when `id` was issued by a different registry (out of
+    /// range). Handles from a clone of the same registry are fine.
+    #[inline]
+    pub fn add_id(&mut self, id: StatId, amount: u64) {
+        if amount == 0 {
+            return;
+        }
+        let slot = self.handles[id.0 as usize].1;
+        if slot != NO_SLOT {
+            self.counters[slot as usize].1 += amount;
+            return;
+        }
+        self.materialize(id, amount);
+    }
+
+    /// Increments the counter behind `id` by one.
+    #[inline]
+    pub fn incr_id(&mut self, id: StatId) {
+        self.add_id(id, 1);
+    }
+
+    /// First nonzero add through a handle: insert the counter and
+    /// reindex. Cold by construction (once per key per registry).
+    #[cold]
+    fn materialize(&mut self, id: StatId, amount: u64) {
+        let key = self.handles[id.0 as usize].0.clone();
+        match self.counters.binary_search_by(|(k, _)| (**k).cmp(&*key)) {
+            Ok(i) => {
+                // `add` created it behind our back; adopt the index.
+                self.counters[i].1 += amount;
+                self.handles[id.0 as usize].1 = i as u32;
+            }
+            Err(i) => {
+                self.counters.insert(i, (key.clone(), amount));
+                self.reindex_after_insert(i, &key);
+            }
+        }
+    }
+
+    /// Restores the handle table's exactness after an insert at `i`:
+    /// shifts every index at-or-past `i` and binds handles waiting on
+    /// `key`. O(handles), and inserts happen once per key.
+    fn reindex_after_insert(&mut self, i: usize, key: &str) {
+        for (k, slot) in &mut self.handles {
+            if *slot != NO_SLOT {
+                if *slot >= i as u32 {
+                    *slot += 1;
+                }
+            } else if &**k == key {
+                *slot = i as u32;
+            }
+        }
     }
 
     /// Current value of counter `key` (zero when never touched).
@@ -179,12 +275,16 @@ impl Stats {
         }
     }
 
-    /// Removes every counter and accumulator.
+    /// Removes every counter and accumulator. Issued [`StatId`] handles
+    /// stay valid: their keys are retained and rebind on the next add.
     pub fn clear(&mut self) {
         self.counters.clear();
         self.values.clear();
         self.hints = [(0, 0); HINT_WAYS];
         self.hint_f64 = 0;
+        for (_, slot) in &mut self.handles {
+            *slot = NO_SLOT;
+        }
     }
 }
 
@@ -224,6 +324,18 @@ impl Restore for Stats {
             self.values.push((k.into_boxed_str(), v));
         }
         self.values.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        // `clear` parked the handles; rebind them against the restored
+        // counter array so callers' cached `StatId`s stay exact.
+        for hi in 0..self.handles.len() {
+            let slot = match self
+                .counters
+                .binary_search_by(|(k, _)| (**k).cmp(&self.handles[hi].0))
+            {
+                Ok(i) => i as u32,
+                Err(_) => NO_SLOT,
+            };
+            self.handles[hi].1 = slot;
+        }
         Ok(())
     }
 }
@@ -520,6 +632,69 @@ mod tests {
         s.add("a", 4);
         assert_eq!(s.get("a"), 5);
         assert_eq!(s.get("missing"), 0);
+    }
+
+    #[test]
+    fn stat_ids_accumulate_without_materializing_early() {
+        let mut s = Stats::new();
+        let hot = s.id("hot");
+        let cold = s.id("cold");
+        // Registering alone is invisible: no counters, digest unchanged.
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.get("hot"), 0);
+        s.add_id(hot, 0);
+        assert_eq!(s.iter().count(), 0, "zero add must not materialize");
+        s.add_id(hot, 2);
+        s.incr_id(hot);
+        assert_eq!(s.get("hot"), 3);
+        assert_eq!(s.iter().count(), 1, "cold handle never materialized");
+        let _ = cold;
+        // Same key, same handle.
+        assert_eq!(s.id("hot"), hot);
+    }
+
+    #[test]
+    fn stat_ids_survive_interleaved_string_inserts() {
+        // String-keyed inserts shift the sorted array under the handles;
+        // the handle table must be reindexed exactly.
+        let mut s = Stats::new();
+        let m = s.id("mm");
+        s.add_id(m, 5);
+        s.add("aa", 1); // inserts before "mm"
+        s.add("zz", 1); // inserts after
+        s.add_id(m, 5);
+        assert_eq!(s.get("mm"), 10);
+        // A parked handle binds when `add` creates its key directly.
+        let z = s.id("z-late");
+        s.add("z-late", 7);
+        s.add("ab", 1); // another shifting insert
+        s.add_id(z, 3);
+        assert_eq!(s.get("z-late"), 10);
+    }
+
+    #[test]
+    fn stat_ids_survive_clear_and_restore() {
+        let mut s = Stats::new();
+        let a = s.id("k.a");
+        let b = s.id("k.b");
+        s.add_id(a, 1);
+        s.add_id(b, 2);
+        s.clear();
+        assert_eq!(s.iter().count(), 0);
+        s.add_id(b, 4);
+        assert_eq!(s.get("k.b"), 4);
+        assert_eq!(s.get("k.a"), 0);
+        // Round-trip through the snapshot machinery rebinds handles.
+        let mut w = SnapWriter::new();
+        s.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut t = s.clone();
+        t.restore(&mut r).unwrap();
+        t.add_id(a, 9);
+        t.add_id(b, 1);
+        assert_eq!(t.get("k.a"), 9);
+        assert_eq!(t.get("k.b"), 5);
     }
 
     #[test]

@@ -354,9 +354,34 @@ fn pre_soa_refactor_snapshot_is_rejected_typed() {
         }) => {
             assert_eq!(tag, "dram.dimm");
             assert_eq!(found, 1);
-            assert_eq!(supported, 2);
+            assert_eq!(supported, 3);
         }
         other => panic!("pre-refactor snapshot must fail on the dram.dimm version, got {other:?}"),
+    }
+}
+
+/// A snapshot captured **before** the command-ring refactor (committed
+/// fixture, `"dram.dimm"` payload v2) must be rejected the same typed
+/// way: v3 persists each live entry's decoded flattened bank index, so
+/// a v2 body would mis-read through the new wire layout.
+#[test]
+fn pre_cmdring_refactor_snapshot_is_rejected_typed() {
+    let bytes = std::fs::read(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/data/pre_cmdring_refactor.snap"
+    ))
+    .expect("committed fixture tests/data/pre_cmdring_refactor.snap");
+    match BeaconSystem::resume(&bytes) {
+        Err(SnapError::ComponentVersion {
+            tag,
+            found,
+            supported,
+        }) => {
+            assert_eq!(tag, "dram.dimm");
+            assert_eq!(found, 2);
+            assert_eq!(supported, 3);
+        }
+        other => panic!("pre-ring snapshot must fail on the dram.dimm version, got {other:?}"),
     }
 }
 
