@@ -7,7 +7,8 @@
 //!     [--report-json <out.json>] [--quick] [--threads <n>] [--no-skip]
 //!     [--trace <out.json>] [--metrics <out.jsonl|out.csv>] [--progress]
 //!     [--snapshot-every <cycles>] [--snapshot-out <prefix>]
-//!     [--resume <file.snap>]
+//!     [--resume <file.snap>] [--service <spec.json>]
+//!     [--service-json <out.json>]
 //! ```
 //!
 //! With no selector (or `--all`) everything runs. `--quick` switches to
@@ -37,6 +38,14 @@
 //! and runs it to completion — the printed `final digest:` line is
 //! bit-identical to the uninterrupted run's, regardless of `--threads`
 //! or `--no-skip`.
+//! `--service <spec.json>` runs the multi-tenant pool service on a
+//! replayable spec file (see `specs/demo_two_tenant.json` and
+//! `schemas/service.schema.json`): seeded job arrivals, quota-aware
+//! admission, weighted fair-share scheduling, and a per-tenant SLO
+//! report. The output's `report digest:` and per-job `digest:` lines
+//! are greppable and bit-identical across `--threads`/`--no-skip`;
+//! `--service-json <path>` additionally writes the schema-checked
+//! machine-readable report.
 
 use std::time::Instant;
 
@@ -50,6 +59,7 @@ use beacon_core::mmf::build_layout;
 use beacon_core::obs::{self, ObsConfig, DEFAULT_STALL_WINDOW};
 use beacon_core::system::BeaconSystem;
 use beacon_genomics::genome::GenomeId;
+use beacon_pool::prelude::{run_service, ServiceSpec};
 use beacon_sim::trace::{self, TraceBuffer, TraceLevel};
 
 /// Cycles between metrics samples (quick scale).
@@ -85,6 +95,8 @@ struct Selection {
     snapshot_every: Option<u64>,
     snapshot_out: String,
     resume: Option<String>,
+    service: Option<String>,
+    service_json: Option<String>,
 }
 
 fn usage() -> String {
@@ -107,10 +119,13 @@ fn usage() -> String {
      \x20 --snapshot-every <cycles>  checkpoint demo: snapshot FM-seeding/Pt\n\
      \x20                    at every epoch boundary, print the final digest\n\
      \x20 --resume <file>    resume a snapshot to completion, print its digest\n\
+     \x20 --service <spec.json>  run the multi-tenant pool service on a spec\n\
+     \x20                    file, print per-job digests and the SLO report\n\
      \n\
      options:\n\
      \x20 --quick            small bench scale (smoke test)\n\
      \x20 --snapshot-out <prefix>  snapshot file prefix (default: beacon)\n\
+     \x20 --service-json <path>  write the service SLO report as JSON too\n\
      \x20 --threads <n>      deterministic parallel engine with n workers\n\
      \x20 --no-skip          tick every cycle (disable event-horizon fast-forwarding)\n\
      \x20 --trace <path>     write a Chrome-trace-event JSON of the runs\n\
@@ -145,6 +160,8 @@ impl Selection {
             snapshot_every: None,
             snapshot_out: "beacon".to_owned(),
             resume: None,
+            service: None,
+            service_json: None,
         };
         let mut any = false;
         let mut i = 0;
@@ -251,9 +268,23 @@ impl Selection {
                     sel.resume = Some(path.clone());
                     any = true;
                 }
+                "--service" => {
+                    i += 1;
+                    let path = args.get(i).ok_or("--service needs a spec file")?;
+                    sel.service = Some(path.clone());
+                    any = true;
+                }
+                "--service-json" => {
+                    i += 1;
+                    let path = args.get(i).ok_or("--service-json needs a file path")?;
+                    sel.service_json = Some(path.clone());
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
             i += 1;
+        }
+        if sel.service_json.is_some() && sel.service.is_none() {
+            return Err("--service-json needs --service <spec.json>".to_owned());
         }
         if !any {
             sel.table1 = true;
@@ -364,6 +395,11 @@ fn main() {
     if let Some(path) = &sel.resume {
         section("Resume", || resume_section(path));
     }
+    if let Some(path) = &sel.service {
+        section("Pool service", || {
+            service_section(path, sel.service_json.as_deref())
+        });
+    }
     println!("total harness time: {:?}", t0.elapsed());
 
     if let Some(path) = &sel.trace {
@@ -467,6 +503,36 @@ fn resume_section(path: &str) -> String {
         r.tasks,
         r.cycles
     )
+}
+
+/// Runs the multi-tenant pool service on a replayable spec file and
+/// renders the per-job digest lines and per-tenant SLO table. The
+/// whole-report `report digest:` line is bit-identical across
+/// `--threads` and `--no-skip` (enforced by `tests/service.rs`). When
+/// `json_out` is set, the machine-readable report (shape:
+/// `schemas/service.schema.json`) is written there too.
+fn service_section(path: &str, json_out: Option<&str>) -> String {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let spec = match ServiceSpec::parse_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot parse service spec {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = run_service(&spec);
+    let mut out = report.render_text();
+    if let Some(p) = json_out {
+        write_or_die(p, &report.render_json());
+        out.push_str(&format!("service: SLO report JSON -> {p}\n"));
+    }
+    out
 }
 
 fn section<F: FnOnce() -> String>(name: &str, f: F) {
@@ -610,6 +676,8 @@ mod tests {
             "--snapshot-every",
             "--snapshot-out",
             "--resume",
+            "--service",
+            "--service-json",
             "--help",
         ] {
             assert!(u.contains(flag), "usage must list {flag}");
@@ -641,6 +709,34 @@ mod tests {
         .unwrap();
         assert_eq!(sel.snapshot_out, "/tmp/ckpt");
         assert!(Selection::parse(&args(&["--snapshot-out"])).is_err());
+    }
+
+    #[test]
+    fn service_takes_a_spec_and_acts_as_a_selector() {
+        let sel = Selection::parse(&args(&["--service", "specs/demo.json"])).unwrap();
+        assert_eq!(sel.service.as_deref(), Some("specs/demo.json"));
+        assert_eq!(sel.service_json, None);
+        // A lone --service must not drag every figure along.
+        assert!(!sel.table1 && !sel.fig12 && !sel.fig17);
+        assert!(Selection::parse(&args(&["--service"])).is_err());
+        assert_eq!(Selection::parse(&[]).unwrap().service, None);
+    }
+
+    #[test]
+    fn service_json_needs_the_service_spec() {
+        let sel = Selection::parse(&args(&[
+            "--service",
+            "specs/demo.json",
+            "--service-json",
+            "/tmp/slo.json",
+        ]))
+        .unwrap();
+        assert_eq!(sel.service_json.as_deref(), Some("/tmp/slo.json"));
+        assert!(Selection::parse(&args(&["--service-json"])).is_err());
+        // Unlike --report-json there is nothing to imply: the service
+        // needs a spec file, so a lone --service-json is an error.
+        let err = Selection::parse(&args(&["--service-json", "/tmp/slo.json"])).unwrap_err();
+        assert!(err.contains("--service"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! cargo run -p beacon-bench --bin simspeed --release -- [--quick]
 //!     [--threads <n>] [--out <path>] [--min-speedup <x>]
 //!     [--min-dense-speedup <x>] [--max-overhead <x>]
-//!     [--max-snap-overhead <x>]
+//!     [--max-snap-overhead <x>] [--max-service-overhead <x>]
 //! ```
 //!
 //! Noise control: every cell gets one untimed warm-up run per skip
@@ -63,6 +63,18 @@
 //! (serialize + restore of the whole pool, under a millisecond), so
 //! the ratio shrinks as runs grow — tiny `--quick` cells need a looser
 //! ceiling than the bench-scale bar.
+//!
+//! A final timed leg runs the same kernel × genome cell through the
+//! `beacon-pool` service frontend as a one-tenant, one-job spec:
+//! admission, scheduling, layout replay and SLO reporting wrap the same
+//! simulation. Its per-job digest must match the plain skip-on leg
+//! bit-identically — a single-job service round is configured exactly
+//! like the direct run — and the wall-time ratio is the service
+//! overhead, reported per row as `svc ovh` and gated in aggregate by
+//! `--max-service-overhead`. Like the snapshot gate, the service cost
+//! is dominated by fixed per-round work (spec expansion, workload
+//! build, reservation replay), so tiny `--quick` cells need a looser
+//! ceiling than bench scale.
 
 use std::time::Instant;
 
@@ -74,6 +86,7 @@ use beacon_core::experiments::common::{
 use beacon_core::mmf::build_layout;
 use beacon_core::system::BeaconSystem;
 use beacon_genomics::genome::GenomeId;
+use beacon_pool::prelude::{run_service, JobKind, JobSpec, JobStatus, ServiceSpec};
 use beacon_sim::journey::{self, JourneyRecorder};
 use beacon_sim::rng::SimRng;
 
@@ -87,6 +100,11 @@ struct Cell {
     variant: BeaconVariant,
     workload: AppWorkload,
     switches: u32,
+    /// The service-frontend job equivalent to `workload` (the service
+    /// leg rebuilds the workload from `kind`/`genome_id`/`scale`).
+    kind: JobKind,
+    genome_id: GenomeId,
+    scale: WorkloadScale,
 }
 
 /// One timed run of a cell.
@@ -98,7 +116,8 @@ struct Sample {
 
 fn usage() -> String {
     "usage: simspeed [--quick] [--threads <n>] [--out <path>] [--min-speedup <x>] \
-     [--min-dense-speedup <x>] [--max-overhead <x>] [--max-snap-overhead <x>]\n\
+     [--min-dense-speedup <x>] [--max-overhead <x>] [--max-snap-overhead <x>] \
+     [--max-service-overhead <x>]\n\
      \n\
      \x20 --quick            tiny test scale (CI smoke)\n\
      \x20 --threads <n>      measure on the parallel engine with n workers\n\
@@ -109,6 +128,8 @@ fn usage() -> String {
      \x20 --max-overhead <x> exit non-zero when attribution costs more than x overall\n\
      \x20 --max-snap-overhead <x>  exit non-zero when one checkpoint/restore\n\
      \x20                    cycle costs more than x overall\n\
+     \x20 --max-service-overhead <x>  exit non-zero when the beacon-pool service\n\
+     \x20                    frontend costs more than x overall\n\
      \x20 --help             show this message\n"
         .to_owned()
 }
@@ -127,6 +148,9 @@ fn build_cells(scale: &WorkloadScale) -> Vec<Cell> {
             variant: BeaconVariant::D,
             workload: fm_workload(GenomeId::Pt, scale),
             switches: 2,
+            kind: JobKind::FmSeeding,
+            genome_id: GenomeId::Pt,
+            scale: *scale,
         },
         Cell {
             kernel: "fm-seeding",
@@ -134,6 +158,9 @@ fn build_cells(scale: &WorkloadScale) -> Vec<Cell> {
             variant: BeaconVariant::D,
             workload: fm_workload(GenomeId::Ss, scale),
             switches: 2,
+            kind: JobKind::FmSeeding,
+            genome_id: GenomeId::Ss,
+            scale: *scale,
         },
         Cell {
             kernel: "fm-seeding-sparse",
@@ -141,6 +168,9 @@ fn build_cells(scale: &WorkloadScale) -> Vec<Cell> {
             variant: BeaconVariant::D,
             workload: fm_workload(GenomeId::Pt, &sparse),
             switches: 2,
+            kind: JobKind::FmSeeding,
+            genome_id: GenomeId::Pt,
+            scale: sparse,
         },
         Cell {
             kernel: "pre-alignment",
@@ -148,6 +178,9 @@ fn build_cells(scale: &WorkloadScale) -> Vec<Cell> {
             variant: BeaconVariant::D,
             workload: prealign_workload(GenomeId::Pg, scale),
             switches: 2,
+            kind: JobKind::PreAlignment,
+            genome_id: GenomeId::Pg,
+            scale: *scale,
         },
         Cell {
             kernel: "kmer-counting",
@@ -155,6 +188,9 @@ fn build_cells(scale: &WorkloadScale) -> Vec<Cell> {
             variant: BeaconVariant::S,
             workload: kmer_workload(scale),
             switches: 2,
+            kind: JobKind::KmerCounting,
+            genome_id: GenomeId::Human,
+            scale: *scale,
         },
     ]
 }
@@ -239,6 +275,54 @@ fn measure_snap(cell: &Cell, threads: usize, mid: u64) -> Sample {
     }
 }
 
+/// The service-frontend leg: the same kernel × genome cell submitted
+/// as a one-tenant, one-job `beacon-pool` spec. Admission control,
+/// layout replay, scheduling and SLO rollup all run, wrapping one
+/// simulation round configured exactly like the plain skip-on leg —
+/// the per-job digest must match it bit-identically, so the ratio of
+/// wall times is pure service overhead.
+fn measure_service(cell: &Cell, threads: usize) -> Sample {
+    beacon_sim::engine::set_skip(true);
+    beacon_sim::engine::set_dense_fastpath(true);
+    beacon_core::parallel::set_threads(threads);
+    let mut spec = ServiceSpec::demo(42);
+    spec.scale = cell.scale;
+    spec.variant = cell.variant;
+    spec.switches = cell.switches;
+    spec.pes_per_module = 8;
+    // The plain legs run with the BeaconConfig::paper default (refresh
+    // enabled); the demo spec disables it, so restore it here — the
+    // digests must be comparable.
+    spec.refresh = true;
+    spec.sample_every = 0;
+    spec.synth = None;
+    spec.tenants.truncate(1);
+    spec.jobs = vec![JobSpec {
+        id: 0,
+        tenant: "broad".into(),
+        kind: cell.kind,
+        genome: cell.genome_id,
+        arrival_round: 0,
+    }];
+    let t = Instant::now();
+    let report = run_service(&spec);
+    let wall_s = t.elapsed().as_secs_f64();
+    beacon_core::parallel::set_threads(1);
+    assert_eq!(report.jobs.len(), 1);
+    assert_eq!(
+        report.jobs[0].status,
+        JobStatus::Completed,
+        "{}/{}: the service leg must complete its one job",
+        cell.kernel,
+        cell.genome
+    );
+    Sample {
+        wall_s,
+        cycles: report.total_cycles,
+        digest: report.jobs[0].digest,
+    }
+}
+
 /// One untimed warm-up run per leg, then `rounds` timed runs per leg
 /// with the legs *interleaved* (off, on, off, on, …), keeping the
 /// fastest wall time of each. Two noise defences, both aimed at the
@@ -250,11 +334,12 @@ fn measure_snap(cell: &Cell, threads: usize, mid: u64) -> Sample {
 /// leg it landed on. Every repetition must reproduce the warm-up's
 /// digest and cycle count bit-identically — the simulator is
 /// deterministic, so any difference is a bug, not noise.
+#[allow(clippy::type_complexity)]
 fn measure_legs(
     cell: &Cell,
     threads: usize,
     rounds: usize,
-) -> (Sample, Sample, Sample, Sample, Sample) {
+) -> (Sample, Sample, Sample, Sample, Sample, Sample) {
     let keep_best = |r: Sample, warm: &Sample, what: &str, best: Option<Sample>| {
         assert_eq!(
             r.digest, warm.digest,
@@ -288,7 +373,14 @@ fn measure_legs(
         "{}/{}: checkpoint/restore changed the run digest",
         cell.kernel, cell.genome
     );
-    let (mut off, mut on, mut dense_off, mut attr, mut snap) = (None, None, None, None, None);
+    let warm_svc = measure_service(cell, threads);
+    assert_eq!(
+        warm_svc.digest, warm_on.digest,
+        "{}/{}: the service frontend changed the run digest",
+        cell.kernel, cell.genome
+    );
+    let (mut off, mut on, mut dense_off, mut attr, mut snap, mut svc) =
+        (None, None, None, None, None, None);
     for _ in 0..rounds {
         off = keep_best(
             measure(cell, false, true, false, threads),
@@ -320,6 +412,7 @@ fn measure_legs(
             "snapshot",
             snap,
         );
+        svc = keep_best(measure_service(cell, threads), &warm_svc, "service", svc);
     }
     (
         off.expect("at least one timed run"),
@@ -327,6 +420,7 @@ fn measure_legs(
         dense_off.expect("at least one timed run"),
         attr.expect("at least one timed run"),
         snap.expect("at least one timed run"),
+        svc.expect("at least one timed run"),
     )
 }
 
@@ -339,6 +433,7 @@ fn main() {
     let mut min_dense_speedup: Option<f64> = None;
     let mut max_overhead: Option<f64> = None;
     let mut max_snap_overhead: Option<f64> = None;
+    let mut max_service_overhead: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -390,6 +485,13 @@ fn main() {
                     _ => die("--max-snap-overhead needs a number >= 1.0"),
                 }
             }
+            "--max-service-overhead" => {
+                i += 1;
+                match args.get(i).and_then(|x| x.parse::<f64>().ok()) {
+                    Some(x) if x >= 1.0 => max_service_overhead = Some(x),
+                    _ => die("--max-service-overhead needs a number >= 1.0"),
+                }
+            }
             other => die(&format!("unknown flag {other}")),
         }
         i += 1;
@@ -413,7 +515,7 @@ fn main() {
         scale.pt_genome_len, scale.reads, threads
     );
     println!(
-        "{:<20} {:<7} {:>12} {:>12} {:>12} {:>8} {:>7} {:>9} {:>9}",
+        "{:<20} {:<7} {:>12} {:>12} {:>12} {:>8} {:>7} {:>9} {:>9} {:>9}",
         "kernel",
         "genome",
         "cycles",
@@ -422,7 +524,8 @@ fn main() {
         "speedup",
         "dense",
         "attr ovh",
-        "snap ovh"
+        "snap ovh",
+        "svc ovh"
     );
 
     let mut rows = Vec::new();
@@ -433,8 +536,9 @@ fn main() {
     let mut wall_dense_off_total = 0.0f64;
     let mut wall_attr_total = 0.0f64;
     let mut wall_snap_total = 0.0f64;
+    let mut wall_svc_total = 0.0f64;
     for cell in build_cells(&scale) {
-        let (off, on, dense_off, attr, snap) = measure_legs(&cell, threads, rounds);
+        let (off, on, dense_off, attr, snap, svc) = measure_legs(&cell, threads, rounds);
         assert_eq!(
             off.digest, on.digest,
             "{}/{}: fast-forwarded run diverged from per-cycle run",
@@ -447,17 +551,19 @@ fn main() {
         let dense_speedup = dense_off.wall_s / on.wall_s;
         let overhead = attr.wall_s / on.wall_s;
         let snap_overhead = snap.wall_s / on.wall_s;
+        let svc_overhead = svc.wall_s / on.wall_s;
         wall_on_total += on.wall_s;
         wall_dense_off_total += dense_off.wall_s;
         wall_attr_total += attr.wall_s;
         wall_snap_total += snap.wall_s;
+        wall_svc_total += svc.wall_s;
         best = best.max(speedup);
         if speedup < worst {
             worst = speedup;
             worst_cell = format!("{}/{}", cell.kernel, cell.genome);
         }
         println!(
-            "{:<20} {:<7} {:>12} {:>12.2} {:>12.2} {:>7.2}x {:>6.2}x {:>8.3}x {:>8.3}x",
+            "{:<20} {:<7} {:>12} {:>12.2} {:>12.2} {:>7.2}x {:>6.2}x {:>8.3}x {:>8.3}x {:>8.3}x",
             cell.kernel,
             cell.genome,
             on.cycles,
@@ -466,7 +572,8 @@ fn main() {
             speedup,
             dense_speedup,
             overhead,
-            snap_overhead
+            snap_overhead,
+            svc_overhead
         );
         rows.push(format!(
             "    {{\"kernel\": \"{}\", \"genome\": \"{}\", \"threads\": {}, \
@@ -476,7 +583,8 @@ fn main() {
              \"speedup\": {:.3}, \"wall_s_dense_off\": {:.6}, \
              \"dense_speedup\": {:.3}, \"wall_s_attr_on\": {:.6}, \
              \"attr_overhead\": {:.3}, \"wall_s_snapshot\": {:.6}, \
-             \"snapshot_overhead\": {:.3}}}",
+             \"snapshot_overhead\": {:.3}, \"wall_s_service\": {:.6}, \
+             \"service_overhead\": {:.3}}}",
             cell.kernel,
             cell.genome,
             threads,
@@ -492,7 +600,9 @@ fn main() {
             attr.wall_s,
             overhead,
             snap.wall_s,
-            snap_overhead
+            snap_overhead,
+            svc.wall_s,
+            svc_overhead
         ));
     }
 
@@ -508,12 +618,14 @@ fn main() {
     }
     let agg_overhead = wall_attr_total / wall_on_total;
     let agg_snap_overhead = wall_snap_total / wall_on_total;
+    let agg_svc_overhead = wall_svc_total / wall_on_total;
     let agg_dense_speedup = wall_dense_off_total / wall_on_total;
     println!(
         "\nbest speedup {best:.2}x, worst {worst:.2}x ({worst_cell}); \
          aggregate dense speedup {agg_dense_speedup:.3}x, \
          attribution overhead {agg_overhead:.3}x, \
-         snapshot overhead {agg_snap_overhead:.3}x -> {out}"
+         snapshot overhead {agg_snap_overhead:.3}x, \
+         service overhead {agg_svc_overhead:.3}x -> {out}"
     );
     if let Some(floor) = min_speedup {
         if worst < floor {
@@ -547,6 +659,15 @@ fn main() {
             eprintln!(
                 "FAIL: aggregate snapshot overhead {agg_snap_overhead:.3}x \
                  exceeds the --max-snap-overhead ceiling of {ceiling}x"
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(ceiling) = max_service_overhead {
+        if agg_svc_overhead > ceiling {
+            eprintln!(
+                "FAIL: aggregate service overhead {agg_svc_overhead:.3}x \
+                 exceeds the --max-service-overhead ceiling of {ceiling}x"
             );
             std::process::exit(1);
         }

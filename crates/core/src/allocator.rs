@@ -138,7 +138,7 @@ impl FreeList {
 /// let grant = pool.allocate(&nodes, 1 << 20, 1).unwrap();
 /// pool.deallocate(&grant).unwrap();
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PoolAllocator {
     geometry: DimmGeometry,
     free: BTreeMap<NodeId, FreeList>,
@@ -262,6 +262,31 @@ impl PoolAllocator {
     /// Free rows remaining on `node` (`None` for unknown nodes).
     pub fn free_rows(&self, node: NodeId) -> Option<u64> {
         self.free.get(&node).map(FreeList::free_rows)
+    }
+
+    /// The pool's nodes in sorted order, excluded DIMMs included.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.free.keys().copied()
+    }
+
+    /// Total row capacity of the pool's live (non-excluded) nodes —
+    /// the service-level accounting denominator.
+    pub fn total_capacity_rows(&self) -> u64 {
+        self.free.keys().filter(|n| !self.is_excluded(**n)).count() as u64 * self.geometry.rows
+    }
+
+    /// Total free rows across the pool's live (non-excluded) nodes.
+    pub fn total_free_rows(&self) -> u64 {
+        self.free
+            .iter()
+            .filter(|(n, _)| !self.is_excluded(**n))
+            .map(|(_, l)| l.free_rows())
+            .sum()
+    }
+
+    /// Total rows currently reserved on live (non-excluded) nodes.
+    pub fn total_used_rows(&self) -> u64 {
+        self.total_capacity_rows() - self.total_free_rows()
     }
 
     /// Free bytes remaining on `node`.

@@ -374,6 +374,129 @@ pub fn build_layout(cfg: &BeaconConfig, specs: &[LayoutSpec]) -> MemoryLayout {
     }
 }
 
+/// One row reservation [`build_layout`] performs: `per_node_bytes`
+/// (scaled by the sparse-row `window`) on every node of `homes` at a
+/// common base row.
+///
+/// The admission controller of the pool job service replays these
+/// requests against its *persistent* allocator, so service-level
+/// capacity accounting uses exactly the arithmetic of the real
+/// placement — a job admitted by the service can never fail its
+/// round's [`build_layout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowRequest {
+    /// Home DIMMs of the reservation.
+    pub homes: Vec<NodeId>,
+    /// Bytes reserved per home.
+    pub per_node_bytes: u64,
+    /// Sparse-row window multiplier (see [`SPARSE_ROW_WINDOW`]).
+    pub window: u64,
+}
+
+impl RowRequest {
+    /// Rows this request consumes on each of its homes.
+    pub fn rows(&self, allocator: &crate::allocator::PoolAllocator) -> u64 {
+        allocator.rows_needed(self.per_node_bytes, self.window)
+    }
+}
+
+/// The exact sequence of row reservations [`build_layout`] makes for
+/// `specs` under `cfg` — same branches, same homes, same per-node byte
+/// and window arithmetic, in the same order. Kept in lock-step with
+/// [`build_layout`] by the `reservation_plan_matches_build_layout`
+/// test, which replays the plan against a fresh allocator and demands
+/// the free lists come out identical to the built layout's.
+pub fn reservation_plan(cfg: &BeaconConfig, specs: &[LayoutSpec]) -> Vec<RowRequest> {
+    let geometry = cfg.geometry;
+    let n_modules = cfg.compute_modules() as usize;
+    let mut plan = Vec::new();
+    let mut push = |homes: Vec<NodeId>, per_node_bytes: u64, window: u64| {
+        plan.push(RowRequest {
+            homes,
+            per_node_bytes,
+            window,
+        });
+    };
+
+    for spec in specs.iter().filter(|s| !s.partitioned) {
+        if !cfg.opts.placement_mapping {
+            let homes = cfg.all_dimm_nodes();
+            let per_node = per_node_bytes(spec.bytes, cfg.vanilla_stripe_bytes, homes.len());
+            let window = if spec.spatial { 1 } else { SPARSE_ROW_WINDOW };
+            push(homes, per_node, window);
+            continue;
+        }
+        if spec.read_only {
+            for sw in 0..cfg.switches {
+                match (cfg.variant, spec.spatial) {
+                    (BeaconVariant::D, false) => {
+                        let homes: Vec<NodeId> = (0..cfg.cxlg_per_switch)
+                            .map(|d| NodeId::dimm(sw, d))
+                            .collect();
+                        let per_node =
+                            per_node_bytes(spec.bytes, cfg.opt_stripe_bytes, homes.len());
+                        push(homes, per_node, SPARSE_ROW_WINDOW);
+                    }
+                    (BeaconVariant::D, true) => {
+                        let homes: Vec<NodeId> = (cfg.cxlg_per_switch..cfg.slots_per_switch())
+                            .map(|d| NodeId::dimm(sw, d))
+                            .collect();
+                        let stripe = row_bytes(&geometry, 1);
+                        let per_node = per_node_bytes(spec.bytes, stripe, homes.len());
+                        push(homes, per_node, 1);
+                    }
+                    (BeaconVariant::S, false) => {
+                        let homes: Vec<NodeId> = (0..cfg.slots_per_switch())
+                            .map(|d| NodeId::dimm(sw, d))
+                            .collect();
+                        let per_node = per_node_bytes(spec.bytes, 64, homes.len());
+                        push(homes, per_node, SPARSE_ROW_WINDOW);
+                    }
+                    (BeaconVariant::S, true) => {
+                        let homes: Vec<NodeId> = (0..cfg.slots_per_switch())
+                            .map(|d| NodeId::dimm(sw, d))
+                            .collect();
+                        let stripe = row_bytes(&geometry, 1);
+                        let per_node = per_node_bytes(spec.bytes, stripe, homes.len());
+                        push(homes, per_node, 1);
+                    }
+                }
+            }
+        } else {
+            match cfg.variant {
+                BeaconVariant::D => {
+                    let homes = cfg.cxlg_nodes();
+                    let per_node = per_node_bytes(spec.bytes, cfg.opt_stripe_bytes, homes.len());
+                    push(homes, per_node, SPARSE_ROW_WINDOW);
+                }
+                BeaconVariant::S => {
+                    let homes = cfg.all_dimm_nodes();
+                    let per_node = per_node_bytes(spec.bytes, 64, homes.len());
+                    push(homes, per_node, SPARSE_ROW_WINDOW);
+                }
+            }
+        }
+    }
+
+    for spec in specs.iter().filter(|s| s.partitioned) {
+        if !cfg.opts.placement_mapping {
+            let homes = cfg.all_dimm_nodes();
+            let per_node = per_node_bytes(spec.bytes, cfg.vanilla_stripe_bytes, homes.len());
+            push(homes, per_node, 1);
+        } else {
+            for mi in 0..n_modules {
+                let homes = module_local_nodes(cfg, mi as u32);
+                let share = spec.bytes / n_modules as u64 + 1;
+                let stripe = row_bytes(&geometry, 1);
+                let per_node = per_node_bytes(share, stripe, homes.len());
+                push(homes, per_node, 1);
+            }
+        }
+    }
+
+    plan
+}
+
 /// The nodes "near" compute module `mi`: itself for BEACON-D, the
 /// switch's unmodified DIMMs for BEACON-S.
 fn module_local_nodes(cfg: &BeaconConfig, mi: u32) -> Vec<NodeId> {
@@ -483,6 +606,46 @@ mod tests {
             LayoutSpec::shared_spatial(Region::CandidateLists, 1 << 20),
             LayoutSpec::partitioned(Region::ReadBuf, 1 << 16),
         ]
+    }
+
+    #[test]
+    fn reservation_plan_matches_build_layout() {
+        // Every placement branch: D/S × placement on/off, with a
+        // writable region thrown in. Replaying the plan on a fresh
+        // allocator must reproduce the built layout's allocator
+        // exactly — this is the lock-step guarantee the pool service's
+        // admission controller relies on.
+        let mut all = specs();
+        all.push(LayoutSpec::shared_random_writable(
+            Region::HashTable,
+            1 << 20,
+        ));
+        for (variant, placement) in [
+            (BeaconVariant::D, false),
+            (BeaconVariant::D, true),
+            (BeaconVariant::S, false),
+            (BeaconVariant::S, true),
+        ] {
+            let mut cfg = match variant {
+                BeaconVariant::D => BeaconConfig::paper_d(AppKind::FmSeeding),
+                BeaconVariant::S => BeaconConfig::paper_s(AppKind::FmSeeding),
+            };
+            if placement {
+                cfg = cfg.with_opts(Optimizations::full(variant, AppKind::FmSeeding));
+            }
+            let layout = build_layout(&cfg, &all);
+            let mut replay =
+                crate::allocator::PoolAllocator::new(cfg.geometry, &cfg.all_dimm_nodes());
+            for req in reservation_plan(&cfg, &all) {
+                replay
+                    .allocate(&req.homes, req.per_node_bytes, req.window)
+                    .expect("plan fits wherever build_layout fit");
+            }
+            assert_eq!(
+                replay, layout.allocator,
+                "plan diverged for {variant:?} placement={placement}"
+            );
+        }
     }
 
     #[test]

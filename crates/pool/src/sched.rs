@@ -1,0 +1,290 @@
+//! Weighted fair-share scheduling of admitted jobs onto the pool.
+//!
+//! A deficit-round-robin variant over tenants: every round each
+//! backlogged tenant earns `weight × quantum` credit, the scheduler
+//! walks the ready jobs in deterministic priority order (starved jobs
+//! first, then richest tenant) and greedily packs up to `max_corun`
+//! jobs whose region sets don't collide and whose merged layout still
+//! fits a fresh pool. Selected jobs charge their tenant's deficit by
+//! their task count, so heavy tenants drain credit faster and light
+//! tenants catch up — the weight knob demonstrably reorders completion
+//! (see `tests/service.rs`).
+//!
+//! Starvation safety: once a job has waited `starvation_rounds`, it
+//! outranks every non-starved job; among starved jobs the longest wait
+//! (ties by id) goes first, and because admission guarantees every
+//! admitted job fits an empty pool alone, the top-ranked job is always
+//! selected. A backlogged tenant therefore waits a bounded number of
+//! rounds — the property the proptest below hammers.
+
+use std::collections::BTreeMap;
+
+use beacon_genomics::trace::Region;
+
+/// A ready (admitted, not yet run) job as the scheduler sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadyJob {
+    /// Job id.
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Size proxy charged against the tenant's deficit (task count).
+    pub cost: u64,
+    /// Pool regions the job places (conflict set).
+    pub regions: Vec<Region>,
+    /// Rounds this job has been ready without being scheduled.
+    pub rounds_waited: u64,
+}
+
+/// The deficit state of one tenant.
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantState {
+    weight: u64,
+    deficit: u64,
+}
+
+/// The fair-share scheduler.
+#[derive(Debug)]
+pub struct FairScheduler {
+    tenants: BTreeMap<String, TenantState>,
+    quantum: u64,
+    max_corun: usize,
+    starvation_rounds: u64,
+}
+
+impl FairScheduler {
+    /// A scheduler for the given tenant weights.
+    pub fn new(
+        weights: impl IntoIterator<Item = (String, u64)>,
+        quantum: u64,
+        max_corun: usize,
+        starvation_rounds: u64,
+    ) -> Self {
+        FairScheduler {
+            tenants: weights
+                .into_iter()
+                .map(|(n, w)| {
+                    (
+                        n,
+                        TenantState {
+                            weight: w.max(1),
+                            deficit: 0,
+                        },
+                    )
+                })
+                .collect(),
+            quantum: quantum.max(1),
+            max_corun: max_corun.max(1),
+            starvation_rounds,
+        }
+    }
+
+    /// Current deficit of a tenant (inspection/debugging).
+    pub fn deficit(&self, tenant: &str) -> u64 {
+        self.tenants.get(tenant).map_or(0, |t| t.deficit)
+    }
+
+    /// Picks the jobs to co-run this round. `feasible` is consulted
+    /// with the already-selected ids plus a candidate and must say
+    /// whether their merged layout still fits a fresh pool; region
+    /// conflicts are checked here. Returns ids in selection order
+    /// (which is also trace-submission order, so it is part of the
+    /// determinism contract).
+    ///
+    /// With a non-empty `ready` list the selection is never empty:
+    /// the top-priority job has no conflicts and admission guaranteed
+    /// it fits alone.
+    pub fn select(
+        &mut self,
+        ready: &[ReadyJob],
+        mut feasible: impl FnMut(&[u64], &ReadyJob) -> bool,
+    ) -> Vec<u64> {
+        if ready.is_empty() {
+            return Vec::new();
+        }
+        // Credit every backlogged tenant once.
+        let mut backlogged: Vec<&str> = ready.iter().map(|j| j.tenant.as_str()).collect();
+        backlogged.sort_unstable();
+        backlogged.dedup();
+        for name in backlogged {
+            if let Some(t) = self.tenants.get_mut(name) {
+                t.deficit = t.deficit.saturating_add(t.weight * self.quantum);
+            }
+        }
+
+        // Deterministic priority order.
+        let mut order: Vec<&ReadyJob> = ready.iter().collect();
+        let starved = |j: &ReadyJob| -> bool { j.rounds_waited >= self.starvation_rounds };
+        order.sort_by(|a, b| {
+            starved(b)
+                .cmp(&starved(a))
+                .then_with(|| {
+                    if starved(a) && starved(b) {
+                        b.rounds_waited.cmp(&a.rounds_waited)
+                    } else {
+                        self.deficit(&b.tenant).cmp(&self.deficit(&a.tenant))
+                    }
+                })
+                .then_with(|| a.id.cmp(&b.id))
+        });
+
+        let mut selected: Vec<u64> = Vec::new();
+        let mut taken_regions: Vec<Region> = Vec::new();
+        for job in order {
+            if selected.len() >= self.max_corun {
+                break;
+            }
+            if job.regions.iter().any(|r| taken_regions.contains(r)) {
+                continue;
+            }
+            if !feasible(&selected, job) {
+                continue;
+            }
+            selected.push(job.id);
+            taken_regions.extend(job.regions.iter().copied());
+            if let Some(t) = self.tenants.get_mut(&job.tenant) {
+                t.deficit = t.deficit.saturating_sub(job.cost);
+            }
+        }
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beacon_sim::rng::SimRng;
+    use proptest::prelude::*;
+
+    fn job(id: u64, tenant: &str, region: Region, waited: u64) -> ReadyJob {
+        ReadyJob {
+            id,
+            tenant: tenant.into(),
+            cost: 8,
+            regions: vec![region],
+            rounds_waited: waited,
+        }
+    }
+
+    fn sched(weights: &[(&str, u64)]) -> FairScheduler {
+        FairScheduler::new(weights.iter().map(|(n, w)| ((*n).to_owned(), *w)), 16, 2, 4)
+    }
+
+    #[test]
+    fn selection_is_never_empty_with_ready_jobs() {
+        let mut s = sched(&[("a", 1)]);
+        let ready = vec![job(0, "a", Region::FmIndex, 0)];
+        assert_eq!(s.select(&ready, |_, _| true), vec![0]);
+    }
+
+    #[test]
+    fn region_conflicts_defer_the_second_job() {
+        let mut s = sched(&[("a", 1), ("b", 1)]);
+        let ready = vec![
+            job(0, "a", Region::FmIndex, 0),
+            job(1, "b", Region::FmIndex, 0),
+            job(2, "b", Region::Bloom, 0),
+        ];
+        let picked = s.select(&ready, |_, _| true);
+        assert_eq!(picked.len(), 2);
+        assert!(picked.contains(&2), "non-conflicting job rides along");
+        assert!(
+            !(picked.contains(&0) && picked.contains(&1)),
+            "conflicting FmIndex jobs must not co-run"
+        );
+    }
+
+    #[test]
+    fn heavier_tenant_goes_first() {
+        let mut s = FairScheduler::new(
+            [("light".to_owned(), 1), ("heavy".to_owned(), 8)],
+            16,
+            1,
+            100,
+        );
+        let ready = vec![
+            job(0, "light", Region::FmIndex, 0),
+            job(1, "heavy", Region::Bloom, 0),
+        ];
+        assert_eq!(s.select(&ready, |_, _| true), vec![1]);
+    }
+
+    #[test]
+    fn starved_job_outranks_everyone() {
+        let mut s = FairScheduler::new(
+            [("light".to_owned(), 1), ("heavy".to_owned(), 100)],
+            16,
+            1,
+            4,
+        );
+        let ready = vec![
+            job(0, "heavy", Region::FmIndex, 0),
+            job(1, "light", Region::Bloom, 5),
+        ];
+        assert_eq!(s.select(&ready, |_, _| true)[0], 1);
+    }
+
+    #[test]
+    fn infeasible_candidates_are_skipped_not_fatal() {
+        let mut s = sched(&[("a", 1)]);
+        let ready = vec![
+            job(0, "a", Region::FmIndex, 0),
+            job(1, "a", Region::Bloom, 0),
+        ];
+        // Only single-job rounds are feasible.
+        let picked = s.select(&ready, |sel, _| sel.is_empty());
+        assert_eq!(picked.len(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Under arbitrary arrival mixes, weights and co-run limits, no
+        /// backlogged job ever waits more than `starvation_rounds +
+        /// total jobs` rounds — the bounded-wait guarantee.
+        #[test]
+        fn no_backlogged_tenant_starves(
+            seed in 0u64..1_000,
+            n_tenants in 1usize..5,
+            n_jobs in 1usize..40,
+            max_corun in 1usize..4,
+            starvation_rounds in 1u64..6,
+        ) {
+            let mut rng = SimRng::from_seed(seed);
+            let names: Vec<String> = (0..n_tenants).map(|i| format!("t{i}")).collect();
+            let weights: Vec<(String, u64)> = names
+                .iter()
+                .map(|n| (n.clone(), 1 + rng.below(8)))
+                .collect();
+            let mut s = FairScheduler::new(weights, 1 + rng.below(32), max_corun, starvation_rounds);
+            let regions = [Region::FmIndex, Region::Bloom, Region::Reference];
+            let mut ready: Vec<ReadyJob> = (0..n_jobs)
+                .map(|i| ReadyJob {
+                    id: i as u64,
+                    tenant: names[rng.index(n_tenants)].clone(),
+                    cost: 1 + rng.below(64),
+                    regions: vec![regions[rng.index(regions.len())]],
+                    rounds_waited: 0,
+                })
+                .collect();
+            let bound = starvation_rounds + n_jobs as u64;
+            let mut rounds = 0u64;
+            while !ready.is_empty() {
+                rounds += 1;
+                prop_assert!(rounds <= 2 * n_jobs as u64 + 2, "scheduler stopped draining");
+                let picked = s.select(&ready, |_, _| true);
+                prop_assert!(!picked.is_empty(), "non-empty ready list must schedule");
+                ready.retain(|j| !picked.contains(&j.id));
+                for j in &mut ready {
+                    j.rounds_waited += 1;
+                    prop_assert!(
+                        j.rounds_waited <= bound,
+                        "job {} starved past {} rounds",
+                        j.id,
+                        bound
+                    );
+                }
+            }
+        }
+    }
+}

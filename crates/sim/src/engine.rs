@@ -22,6 +22,27 @@ use crate::cycle::{Cycle, Duration};
 
 thread_local! {
     static SKIP: Cell<bool> = const { Cell::new(true) };
+    static STALL_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records one stall-detector firing on this thread. Called by the
+/// sequential and parallel run loops right before they report
+/// [`RunOutcome::Stalled`]; service-level harnesses (the pool job
+/// service) read the counter to attribute engine stalls to the tenants
+/// whose jobs were on the machine when it wedged.
+pub(crate) fn record_stall_event() {
+    STALL_EVENTS.with(|c| c.set(c.get() + 1));
+}
+
+/// Stall-detector firings recorded on this thread since the last
+/// [`take_stall_events`].
+pub fn stall_events() -> u64 {
+    STALL_EVENTS.with(Cell::get)
+}
+
+/// Returns and resets this thread's stall-event counter.
+pub fn take_stall_events() -> u64 {
+    STALL_EVENTS.with(|c| c.replace(0))
 }
 
 static DENSE_FASTPATH: AtomicBool = AtomicBool::new(true);
@@ -520,6 +541,7 @@ impl Engine {
                         events: count,
                         snapshot: model.state_snapshot(),
                     };
+                    record_stall_event();
                     if let Some(cb) = hooks.on_stall.as_mut() {
                         cb(&report);
                     }

@@ -621,6 +621,32 @@ impl Histogram {
     }
 }
 
+/// Nearest-rank percentile over an **ascending-sorted** sample slice —
+/// the service-level latency statistic (exact over every observation,
+/// unlike [`Histogram::percentile`] which ranks bucket totals).
+///
+/// Returns 0 for an empty slice.
+///
+/// ```
+/// use beacon_sim::stats::percentile_of_sorted;
+/// let xs = [10u64, 20, 30, 40];
+/// assert_eq!(percentile_of_sorted(&xs, 50.0), 20);
+/// assert_eq!(percentile_of_sorted(&xs, 99.0), 40);
+/// ```
+///
+/// # Panics
+/// Panics (debug) when the slice is not sorted ascending.
+pub fn percentile_of_sorted(sorted: &[u64], p: f64) -> u64 {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "slice not sorted");
+    if sorted.is_empty() {
+        return 0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

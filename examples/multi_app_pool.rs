@@ -4,15 +4,18 @@
 //! pool's capacity is shared on demand (the memory-pooling story of
 //! §II).
 //!
+//! The co-run logic lives in `beacon-pool` now: a single-tenant service
+//! spec with `max_corun: 1` serialises the jobs, and the same spec with
+//! co-running enabled packs them into one round — the colocation saving
+//! falls out of the two reports.
+//!
 //! ```text
-//! cargo run -p beacon-core --example multi_app_pool --release
+//! cargo run -p beacon-pool --example multi_app_pool --release
 //! ```
 
-use beacon_core::config::{BeaconConfig, BeaconVariant, Optimizations};
-use beacon_core::experiments::common::{fm_workload, prealign_workload, WorkloadScale};
-use beacon_core::mmf::build_layout;
-use beacon_core::system::BeaconSystem;
-use beacon_genomics::trace::AppKind;
+use beacon_core::experiments::common::WorkloadScale;
+use beacon_genomics::genome::GenomeId;
+use beacon_pool::prelude::*;
 
 fn main() {
     let scale = WorkloadScale {
@@ -27,57 +30,44 @@ fn main() {
     };
     // FM seeding stresses the CXLG-DIMMs; pre-alignment streams from the
     // unmodified expansion DIMMs — disjoint resources, so they overlap.
-    let fm = fm_workload(beacon_genomics::genome::GenomeId::Pt, &scale);
-    let km = prealign_workload(beacon_genomics::genome::GenomeId::Pt, &scale);
+    let mut spec = ServiceSpec::demo(42);
+    spec.scale = scale;
+    spec.pes_per_module = 64;
+    spec.synth = None;
+    spec.tenants.truncate(1);
+    for kind in [JobKind::FmSeeding, JobKind::PreAlignment] {
+        spec.jobs.push(JobSpec {
+            id: 0,
+            tenant: "broad".into(),
+            kind,
+            genome: GenomeId::Pt,
+            arrival_round: 0,
+        });
+    }
 
-    // One layout covering both applications' regions: the memory manager
-    // allocates disjoint row ranges for the FM index, the reference and
-    // the read buffers on the same pool.
-    let mut specs = fm.layout.clone();
-    specs.extend(km.layout.iter().cloned());
+    // Serialised: one job per round.
+    spec.max_corun = 1;
+    let solo = run_service(&spec);
+    let solo_cycles: Vec<u64> = solo.jobs.iter().map(|j| j.service_cycles).collect();
 
-    // The system config carries a default app for PE latency, but tasks
-    // are dispatched per-application (submit_for_app), so the mix is
-    // irrelevant to correctness.
-    let mut cfg = BeaconConfig::paper_d(AppKind::FmSeeding)
-        .with_opts(Optimizations::full(BeaconVariant::D, AppKind::FmSeeding));
-    cfg.pes_per_module = 64;
-    cfg.refresh_enabled = false;
+    // Colocated: the scheduler packs both jobs into one round.
+    spec.max_corun = 2;
+    let colocated = run_service(&spec);
+    assert_eq!(colocated.rounds.len(), 1, "disjoint regions co-run");
+    let colo_cycles = colocated.rounds[0].cycles;
 
-    // Run each app alone, then both colocated.
-    let solo_fm = {
-        let mut sys = BeaconSystem::new(cfg, build_layout(&cfg, &specs));
-        sys.submit_round_robin(fm.traces.iter().cloned());
-        sys.run().cycles
-    };
-    let solo_km = {
-        let mut sys = BeaconSystem::new(cfg, build_layout(&cfg, &specs));
-        sys.submit_round_robin(km.traces.iter().cloned());
-        sys.run().cycles
-    };
-    let colocated = {
-        let mut sys = BeaconSystem::new(cfg, build_layout(&cfg, &specs));
-        // Round-robin dispatch spreads both task streams over the
-        // modules, so FM and k-mer tasks share every module's PEs.
-        let mixed = fm.traces.iter().cloned().chain(km.traces.iter().cloned());
-        sys.submit_round_robin(mixed);
-        let r = sys.run();
-        println!(
-            "colocated run: {} tasks ({} FM seeding + {} pre-alignment) in {} cycles",
-            r.tasks,
-            fm.traces.len(),
-            km.traces.len(),
-            r.cycles
-        );
-        r.cycles
-    };
-
-    println!("FM seeding alone:      {solo_fm:>8} cycles");
-    println!("pre-alignment alone:   {solo_km:>8} cycles");
-    println!("colocated:             {colocated:>8} cycles");
+    println!(
+        "colocated round: {} jobs in {} cycles",
+        colocated.rounds[0].jobs.len(),
+        colo_cycles
+    );
+    println!("FM seeding alone:      {:>8} cycles", solo_cycles[0]);
+    println!("pre-alignment alone:   {:>8} cycles", solo_cycles[1]);
+    println!("colocated:             {colo_cycles:>8} cycles");
+    let back_to_back: u64 = solo_cycles.iter().sum();
     println!(
         "running them back to back would take {} cycles; colocation saves {:.0}%",
-        solo_fm + solo_km,
-        100.0 * (1.0 - colocated as f64 / (solo_fm + solo_km) as f64)
+        back_to_back,
+        100.0 * (1.0 - colo_cycles as f64 / back_to_back as f64)
     );
 }
